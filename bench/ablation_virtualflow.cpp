@@ -1,0 +1,79 @@
+// Ablation: gradient-accumulation elasticity (VirtualFlow-style) vs
+// EasyScale.  Both keep the logical DoP and the sample partition fixed, but
+// accumulation shares RNG/BN state across the micro-batches on a worker, so
+// its model drifts from the designed run — EasyScale's EST contexts do not.
+// (The paper cites 0.4% accuracy degradation for VirtualFlow, §2.2.)
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/virtualflow.hpp"
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "ddp/trainer.hpp"
+#include "models/datasets.hpp"
+#include "models/eval.hpp"
+
+namespace {
+
+using namespace easyscale;
+
+constexpr std::int64_t kSteps = 480;
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation",
+                "gradient accumulation (VirtualFlow-like) vs EasyScale, "
+                "ResNet18, 4 logical workers");
+  auto wd = models::make_dataset_for("ResNet18", 512, 256, 42);
+
+  ddp::DDPConfig dcfg;
+  dcfg.workload = "ResNet18";
+  dcfg.world_size = 4;
+  dcfg.batch_per_worker = 8;
+  dcfg.seed = 42;
+  ddp::DDPTrainer reference(dcfg, *wd.train, wd.augment);
+  reference.run_steps(kSteps);
+  const auto ref_acc =
+      models::evaluate(reference.model(), *wd.test, 32, 10).overall;
+  std::printf("%-24s %10s %12s %10s\n", "system", "world", "bitwise==DDP",
+              "accuracy");
+  std::printf("%-24s %10d %12s %9.1f%%\n", "DDP (reference)", 4, "yes",
+              100.0 * ref_acc);
+
+  for (std::int64_t world : {1, 2}) {
+    baselines::VirtualFlowConfig vcfg;
+    vcfg.workload = "ResNet18";
+    vcfg.virtual_nodes = 4;
+    vcfg.batch_per_virtual = 8;
+    vcfg.seed = 42;
+    baselines::VirtualFlowTrainer vf(vcfg, *wd.train, wd.augment);
+    vf.reconfigure(world);
+    vf.run_steps(kSteps);
+    const auto acc = models::evaluate(vf.model(), *wd.test, 32, 10).overall;
+    std::printf("%-24s %10lld %12s %9.1f%% (drift %.2f%%)\n",
+                "VirtualFlow-like", static_cast<long long>(world),
+                vf.params_digest() == reference.params_digest() ? "yes" : "NO",
+                100.0 * acc, 100.0 * std::abs(acc - ref_acc));
+  }
+  for (std::int64_t world : {1, 2}) {
+    core::EasyScaleConfig cfg;
+    cfg.workload = "ResNet18";
+    cfg.num_ests = 4;
+    cfg.batch_per_est = 8;
+    cfg.seed = 42;
+    core::EasyScaleEngine e(cfg, *wd.train, wd.augment);
+    e.configure_workers(std::vector<core::WorkerSpec>(
+        static_cast<std::size_t>(world)));
+    e.run_steps(kSteps);
+    const auto acc =
+        models::evaluate(e.model_for_eval(0), *wd.test, 32, 10).overall;
+    std::printf("%-24s %10lld %12s %9.1f%% (drift %.2f%%)\n", "EasyScale",
+                static_cast<long long>(world),
+                e.params_digest() == reference.params_digest() ? "yes" : "NO",
+                100.0 * acc, 100.0 * std::abs(acc - ref_acc));
+  }
+  bench::note("expected: VirtualFlow rows say NO with nonzero drift; "
+              "EasyScale rows say yes with exactly 0.00% drift.");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Shared helpers for the figure-reproduction binaries: headers, simple
+// fixed-width tables, and wall-clock timing.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace easyscale::bench {
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+/// Wall-clock seconds of `fn`.
+inline double time_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace easyscale::bench

@@ -1,0 +1,158 @@
+// Fig 4: the hyper-parameter-reasoning experiment.  StepLR's decay factor
+// gamma is swept over {0.1, 0.3, 0.5}.  With fixed-DoP DDP the resulting
+// train-loss curves separate cleanly after the decay epoch, so a developer
+// can reason about gamma; with Pollux run at a different GPU count per
+// gamma, the elastic adaptation confounds the sweep.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/elastic_baselines.hpp"
+#include "bench_util.hpp"
+#include "ddp/trainer.hpp"
+#include "models/datasets.hpp"
+
+namespace {
+
+using namespace easyscale;
+
+constexpr std::int64_t kTrain = 512;
+constexpr std::int64_t kEpochs = 16;
+constexpr std::int64_t kDecayEpoch = 4;
+constexpr std::uint64_t kSeed = 42;
+constexpr const char* kModel = "ResNet50";
+
+std::vector<double> epoch_mean_loss(const std::vector<float>& losses,
+                                    std::int64_t steps_per_epoch) {
+  std::vector<double> out;
+  for (std::size_t s = 0; s + static_cast<std::size_t>(steps_per_epoch) <=
+                          losses.size();
+       s += static_cast<std::size_t>(steps_per_epoch)) {
+    double sum = 0.0;
+    for (std::int64_t i = 0; i < steps_per_epoch; ++i) sum += losses[s + i];
+    out.push_back(sum / static_cast<double>(steps_per_epoch));
+  }
+  return out;
+}
+
+std::vector<double> run_ddp(float gamma, const models::WorkloadData& wd) {
+  ddp::DDPConfig cfg;
+  cfg.workload = kModel;
+  cfg.world_size = 4;
+  cfg.batch_per_worker = 8;
+  cfg.seed = kSeed;
+  cfg.optim.lr = 0.2f;  // wide post-decay LR spread so the gamma trend shows
+  cfg.lr_step_epochs = kDecayEpoch;
+  cfg.gamma = gamma;
+  ddp::DDPTrainer t(cfg, *wd.train, wd.augment);
+  t.run_epochs(kEpochs);
+  return epoch_mean_loss(t.loss_history(), t.steps_per_epoch());
+}
+
+std::vector<double> run_pollux(float gamma, std::int64_t world,
+                               const models::WorkloadData& wd) {
+  baselines::ElasticBaselineConfig cfg;
+  cfg.workload = kModel;
+  cfg.base_world = 4;
+  cfg.base_batch = 8;
+  cfg.base_lr = 0.2f;
+  cfg.seed = kSeed;
+  cfg.lr_step_epochs = kDecayEpoch;
+  cfg.gamma = gamma;
+  baselines::PolluxTrainer t(cfg, *wd.train, wd.augment);
+  t.reconfigure(world);
+  std::vector<float> all;
+  for (std::int64_t e = 0; e < kEpochs; ++e) t.run_epochs(1);
+  const std::int64_t spe =
+      static_cast<std::int64_t>(t.loss_history().size()) / kEpochs;
+  return epoch_mean_loss(t.loss_history(), spe);
+}
+
+void print_curves(const char* title,
+                  const std::vector<std::pair<std::string,
+                                              std::vector<double>>>& curves) {
+  std::printf("\n%s\n%-22s", title, "epoch");
+  for (std::int64_t e = 0; e < kEpochs; e += 2) {
+    std::printf("%8lld", static_cast<long long>(e + 1));
+  }
+  std::printf("\n");
+  for (const auto& [name, c] : curves) {
+    std::printf("%-22s", name.c_str());
+    for (std::size_t e = 0; e < c.size(); e += 2) std::printf("%8.3f", c[e]);
+    std::printf("\n");
+  }
+}
+
+/// Fraction of post-decay epochs where the losses order monotonically with
+/// gamma, in whichever direction dominates — the "can a developer read the
+/// trend?" metric.  A clean sweep orders the same way almost every epoch;
+/// confounded elastic runs flip direction epoch to epoch.
+double trend_clarity(const std::vector<std::vector<double>>& raw) {
+  // 3-epoch moving average: developers read smoothed loss curves, and the
+  // paper's figure plots visibly smoothed loss.
+  std::vector<std::vector<double>> by_gamma(raw.size());
+  for (std::size_t g = 0; g < raw.size(); ++g) {
+    for (std::size_t e = 0; e < raw[g].size(); ++e) {
+      const std::size_t lo = e >= 2 ? e - 2 : 0;
+      double sum = 0.0;
+      for (std::size_t i = lo; i <= e; ++i) sum += raw[g][i];
+      by_gamma[g].push_back(sum / static_cast<double>(e - lo + 1));
+    }
+  }
+  std::int64_t increasing = 0, decreasing = 0, total = 0;
+  for (std::size_t e = static_cast<std::size_t>(kDecayEpoch);
+       e < by_gamma[0].size(); ++e) {
+    ++total;
+    bool inc = true, dec = true;
+    for (std::size_t g = 0; g + 1 < by_gamma.size(); ++g) {
+      if (by_gamma[g][e] > by_gamma[g + 1][e]) inc = false;
+      if (by_gamma[g][e] < by_gamma[g + 1][e]) dec = false;
+    }
+    if (inc) ++increasing;
+    if (dec) ++decreasing;
+  }
+  return total ? static_cast<double>(std::max(increasing, decreasing)) /
+                     static_cast<double>(total)
+               : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Fig 4",
+                "train loss of ResNet50 under StepLR gamma in {0.1,0.3,0.5}: "
+                "DDP fixed 4 GPUs vs Pollux on 1/2/4 GPUs");
+  auto wd = models::make_dataset_for(kModel, kTrain, 64, kSeed);
+
+  std::vector<std::pair<std::string, std::vector<double>>> ddp_curves;
+  std::vector<std::vector<double>> ddp_by_gamma;
+  for (float g : {0.1f, 0.3f, 0.5f}) {
+    auto c = run_ddp(g, wd);
+    ddp_by_gamma.push_back(c);
+    ddp_curves.emplace_back("DDP-4GPU-gamma" + std::to_string(g).substr(0, 3),
+                            std::move(c));
+  }
+  std::vector<std::pair<std::string, std::vector<double>>> px_curves;
+  std::vector<std::vector<double>> px_by_gamma;
+  const std::int64_t worlds[] = {1, 2, 4};
+  int wi = 0;
+  for (float g : {0.1f, 0.3f, 0.5f}) {
+    auto c = run_pollux(g, worlds[wi], wd);
+    px_by_gamma.push_back(c);
+    px_curves.emplace_back("Pollux-" + std::to_string(worlds[wi]) +
+                               "GPU-gamma" + std::to_string(g).substr(0, 3),
+                           std::move(c));
+    ++wi;
+  }
+  print_curves("PyTorch DDP, fixed 4 GPUs (mean train loss per epoch):",
+               ddp_curves);
+  print_curves("Pollux, gamma confounded with GPU count:", px_curves);
+  std::printf(
+      "\npost-decay trend clarity (fraction of epochs where loss orders "
+      "monotonically with gamma):\n  DDP: %.0f%%   Pollux: %.0f%%\n",
+      100.0 * trend_clarity(ddp_by_gamma), 100.0 * trend_clarity(px_by_gamma));
+  bench::note("expected: DDP near 100%, Pollux substantially lower (paper "
+              "Fig 4 shows oscillating, trend-free Pollux curves).");
+  return 0;
+}

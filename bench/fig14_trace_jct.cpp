@@ -1,0 +1,51 @@
+// Fig 14: average JCT and makespan on the 64-GPU heterogeneous cluster
+// (32 V100 + 16 P100 + 16 T4) for YARN-CS (FIFO gang scheduling),
+// EasyScale_homo and EasyScale_heter over the same Philly-like trace.
+// Paper: EasyScale_homo 8.3x JCT / 2.5x makespan, EasyScale_heter 13.2x /
+// 2.8x over YARN-CS.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+int main() {
+  using namespace easyscale;
+  bench::banner("Fig 14", "trace experiment: avg JCT and makespan");
+
+  trace::TraceConfig tcfg;
+  tcfg.num_jobs = 80;
+  tcfg.mean_interarrival_s = 60.0;
+  tcfg.runtime_mu = 7.8;
+  const auto jobs = trace::philly_like_trace(tcfg);
+
+  sim::SimConfig scfg;
+  scfg.cluster = {32, 16, 16};  // V100, P100, T4
+
+  struct Row {
+    const char* name;
+    sim::SchedulerPolicy policy;
+    sim::SimResult result;
+  };
+  Row rows[] = {
+      {"YARN-CS", sim::SchedulerPolicy::kYarnCS, {}},
+      {"EasyScale_homo", sim::SchedulerPolicy::kEasyScaleHomo, {}},
+      {"EasyScale_heter", sim::SchedulerPolicy::kEasyScaleHeter, {}},
+  };
+  for (auto& r : rows) {
+    scfg.policy = r.policy;
+    r.result = sim::simulate_trace(jobs, scfg);
+  }
+  std::printf("%-18s %14s %14s %12s %12s\n", "scheduler", "avg_JCT_s",
+              "makespan_s", "JCT_gain", "mkspan_gain");
+  const double base_jct = rows[0].result.avg_jct;
+  const double base_mk = rows[0].result.makespan;
+  for (const auto& r : rows) {
+    std::printf("%-18s %14.0f %14.0f %11.1fx %11.1fx\n", r.name,
+                r.result.avg_jct, r.result.makespan,
+                base_jct / r.result.avg_jct, base_mk / r.result.makespan);
+  }
+  bench::note("expected: EasyScale_heter > EasyScale_homo >> YARN-CS on both "
+              "metrics (paper: 13.2x/8.3x JCT, 2.8x/2.5x makespan).");
+  return 0;
+}

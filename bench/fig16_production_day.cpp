@@ -1,0 +1,51 @@
+// Fig 16: one-day statistic on the 3,000+ GPU production cluster.  Day 1 is
+// serving-only; on day 2 EasyScale jobs opportunistically fill the idle
+// GPUs, scaling in within seconds when serving demand returns.
+// Paper: +17.1% GPU allocation ratio, +62.1% average GPU (SM) utilization,
+// 362 preemptions, zero failed jobs, ~459 idle GPUs used on average.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/colocation.hpp"
+#include "trace/generators.hpp"
+
+int main() {
+  using namespace easyscale;
+  bench::banner("Fig 16", "production co-location, day-1 vs day-2");
+
+  trace::ServingLoadConfig lcfg;
+  const auto demand = trace::serving_load_curve(lcfg);
+  sim::ColocationConfig ccfg;
+  ccfg.total_gpus = lcfg.total_gpus;
+  const auto r = sim::simulate_colocation(demand, ccfg);
+
+  std::printf("%8s %16s %16s %10s %8s\n", "hour", "day1_alloc%",
+              "day2_alloc%", "train_gpus", "util2%");
+  for (std::size_t h = 0; h < 24; ++h) {
+    const auto& p1 = r.day1[h * 60];
+    const auto& p2 = r.day2[h * 60];
+    std::printf("%8zu %15.1f%% %15.1f%% %10lld %7.1f%%\n", h,
+                100.0 * p1.alloc_ratio, 100.0 * p2.alloc_ratio,
+                static_cast<long long>(p2.training_gpus),
+                100.0 * p2.sm_util);
+  }
+  std::printf("\nsummary:\n");
+  std::printf("  GPU allocation ratio: %.1f%% -> %.1f%% (+%.1f%%; paper "
+              "+17.1%%)\n",
+              100.0 * r.day1_alloc_ratio, 100.0 * r.day2_alloc_ratio,
+              100.0 * (r.day2_alloc_ratio - r.day1_alloc_ratio));
+  std::printf("  avg GPU SM utilization: %.1f%% -> %.1f%% (+%.1f%% relative; "
+              "paper +62.1%%)\n",
+              100.0 * r.day1_util, 100.0 * r.day2_util,
+              100.0 * (r.day2_util / r.day1_util - 1.0));
+  std::printf("  avg idle GPUs used by EasyScale: %.0f (paper: 459)\n",
+              r.avg_training_gpus_day2);
+  std::printf("  preemptions (scale-in events): %lld, failed jobs: %lld "
+              "(paper: 362 preemptions, 0 failures)\n",
+              static_cast<long long>(r.preemptions),
+              static_cast<long long>(r.failed_jobs));
+  std::printf("  scale-in latency: one tick (%.0f s); refill after serving "
+              "drop within ~%.0f s (paper: seconds / <5 min)\n",
+              10.0, r.max_refill_s);
+  return 0;
+}

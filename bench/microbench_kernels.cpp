@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks of the substrate hot paths: GEMM kernel
+// variants, ring all-reduce, Philox, EST context capture/restore and
+// on-demand checkpointing.
+#include <benchmark/benchmark.h>
+
+#include "comm/ring.hpp"
+#include "core/engine.hpp"
+#include "kernels/gemm.hpp"
+#include "models/datasets.hpp"
+#include "rng/philox.hpp"
+#include "rng/sampling.hpp"
+
+namespace {
+
+using namespace easyscale;
+
+void BM_GemmVariant(benchmark::State& state) {
+  const auto variant = static_cast<kernels::GemmVariant>(state.range(0));
+  const std::int64_t n = state.range(1);
+  rng::Philox gen(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  rng::fill_normal(gen, a, 0.0f, 1.0f);
+  rng::fill_normal(gen, b, 0.0f, 1.0f);
+  for (auto _ : state) {
+    kernels::gemm_variant(variant, n, n, n, a, b, c, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmVariant)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {32, 64}})
+    ->ArgNames({"variant", "n"});
+
+void BM_RingAllreduce(benchmark::State& state) {
+  const std::int64_t world = state.range(0);
+  const std::size_t n = 1 << 14;
+  rng::Philox gen(2);
+  std::vector<std::vector<float>> parts(static_cast<std::size_t>(world),
+                                        std::vector<float>(n));
+  for (auto& p : parts) rng::fill_normal(gen, p, 0.0f, 1.0f);
+  std::vector<std::span<const float>> views(parts.begin(), parts.end());
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    comm::ring_allreduce_sum(views, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(world * n * 4));
+}
+BENCHMARK(BM_RingAllreduce)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_PhiloxNormal(benchmark::State& state) {
+  rng::Philox gen(3);
+  std::vector<float> out(1024);
+  for (auto _ : state) {
+    rng::fill_normal(gen, out, 0.0f, 1.0f);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PhiloxNormal);
+
+void BM_OnDemandCheckpoint(benchmark::State& state) {
+  auto wd = models::make_dataset_for("ResNet50", 64, 16, 1);
+  core::EasyScaleConfig cfg;
+  cfg.workload = "ResNet50";
+  cfg.num_ests = 4;
+  cfg.batch_per_est = 2;
+  core::EasyScaleEngine engine(cfg, *wd.train, wd.augment);
+  engine.configure_workers({core::WorkerSpec{}});
+  engine.run_steps(1);
+  for (auto _ : state) {
+    auto bytes = engine.checkpoint();
+    benchmark::DoNotOptimize(bytes.data());
+    state.counters["ckpt_bytes"] = static_cast<double>(bytes.size());
+  }
+}
+BENCHMARK(BM_OnDemandCheckpoint);
+
+void BM_ElasticReconfigure(benchmark::State& state) {
+  auto wd = models::make_dataset_for("ResNet50", 64, 16, 1);
+  core::EasyScaleConfig cfg;
+  cfg.workload = "ResNet50";
+  cfg.num_ests = 4;
+  cfg.batch_per_est = 2;
+  core::EasyScaleEngine engine(cfg, *wd.train, wd.augment);
+  engine.configure_workers({core::WorkerSpec{}});
+  engine.run_steps(1);
+  std::size_t workers = 2;
+  for (auto _ : state) {
+    engine.configure_workers(
+        std::vector<core::WorkerSpec>(workers, core::WorkerSpec{}));
+    workers = workers == 2 ? 4 : 2;
+  }
+}
+BENCHMARK(BM_ElasticReconfigure);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Table 1: the workload zoo.  Prints each model with its task, dataset
+// stand-in, parameter count and D2 eligibility (the §3.3 model scan).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/determinism.hpp"
+#include "models/datasets.hpp"
+#include "models/profile.hpp"
+
+int main() {
+  using namespace easyscale;
+  bench::banner("Table 1", "deep learning workloads in the experiments");
+  std::printf("%-18s %-22s %-18s %10s %12s %12s\n", "model", "task",
+              "dataset", "params", "V100_mb/s", "D2_eligible");
+  for (const auto& name : models::workload_names()) {
+    auto workload = models::make_workload(name);
+    auto wd = models::make_dataset_for(name, 16, 16, 1);
+    const char* task = "Image Classification";
+    if (name == "YOLOv3") task = "Object Detection";
+    if (name == "NeuMF") task = "Recommendation";
+    if (name == "Bert" || name == "Electra") task = "Question Answering";
+    std::printf("%-18s %-22s %-18s %10lld %12.1f %12s\n", name.c_str(), task,
+                wd.train->name().c_str(),
+                static_cast<long long>(workload->params().total_numel()),
+                models::profiled_throughput(name, kernels::DeviceType::kV100),
+                core::d2_recommended(*workload) ? "yes" : "no (conv)");
+  }
+  bench::note("models are scaled-down analogues with the original operator "
+              "mix; datasets are deterministic synthetic stand-ins "
+              "(DESIGN.md, substitution table).");
+  return 0;
+}

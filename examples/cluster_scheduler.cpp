@@ -1,0 +1,58 @@
+// Cluster-scheduler walkthrough: the intra-job companion's plan database
+// (Eq. 1 waste model), resource proposals, and a small trace simulation.
+#include <cstdio>
+
+#include "sched/companion.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+int main() {
+  using namespace easyscale;
+
+  // --- companion module: Eq. (1) plans for one job ------------------------
+  sched::Companion companion("ResNet50", /*maxP=*/8);
+  std::printf("companion plans for ResNet50, maxP=8:\n");
+  std::printf("  %-22s %12s %10s %12s\n", "gpus", "f_overload_s", "waste",
+              "mb/s");
+  const sched::GpuVector options[] = {
+      {2, 0, 0}, {4, 0, 0}, {8, 0, 0}, {2, 2, 0}, {4, 0, 4}, {4, 2, 2}};
+  for (const auto& g : options) {
+    const auto plan = companion.make_plan(g);
+    std::printf("  V100:%lld P100:%lld T4:%lld %13.2f %10.2f %12.2f\n",
+                static_cast<long long>(g[0]), static_cast<long long>(g[1]),
+                static_cast<long long>(g[2]), plan.f_overload, plan.waste,
+                plan.throughput);
+  }
+
+  // --- resource proposals (intra-job Role-2) -------------------------------
+  const auto current = companion.make_plan({2, 0, 0});
+  const sched::GpuVector avail = {2, 4, 4};
+  std::printf("\nproposals from V100:2 with free pool V100:2 P100:4 T4:4:\n");
+  for (const auto& p : companion.proposals(current, avail, /*heter=*/true)) {
+    std::printf("  +V100:%lld +P100:%lld +T4:%lld -> speedup %.2fx "
+                "(%.2fx per GPU)\n",
+                static_cast<long long>(p.extra_gpus[0]),
+                static_cast<long long>(p.extra_gpus[1]),
+                static_cast<long long>(p.extra_gpus[2]), p.speedup,
+                p.speedup_per_gpu());
+  }
+
+  // --- end-to-end trace simulation ----------------------------------------
+  trace::TraceConfig tcfg;
+  tcfg.num_jobs = 30;
+  const auto jobs = trace::philly_like_trace(tcfg);
+  sim::SimConfig scfg;
+  scfg.cluster = {16, 8, 8};
+  std::printf("\ntrace of %lld jobs on a 32-GPU cluster:\n",
+              static_cast<long long>(tcfg.num_jobs));
+  for (auto [name, policy] :
+       {std::pair{"YARN-CS", sim::SchedulerPolicy::kYarnCS},
+        std::pair{"EasyScale_homo", sim::SchedulerPolicy::kEasyScaleHomo},
+        std::pair{"EasyScale_heter", sim::SchedulerPolicy::kEasyScaleHeter}}) {
+    scfg.policy = policy;
+    const auto r = sim::simulate_trace(jobs, scfg);
+    std::printf("  %-16s avg JCT %8.0f s   makespan %8.0f s\n", name,
+                r.avg_jct, r.makespan);
+  }
+  return 0;
+}

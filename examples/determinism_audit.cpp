@@ -1,0 +1,91 @@
+// Determinism audit: demonstrates each nondeterminism source §3.3 catalogs,
+// directly at the kernel/communication layer, and the EasyScale control
+// that removes it.
+#include <cstdio>
+#include <vector>
+
+#include "comm/ring.hpp"
+#include "common/digest.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/reduce.hpp"
+#include "kernels/scatter.hpp"
+#include "rng/sampling.hpp"
+
+int main() {
+  using namespace easyscale;
+  rng::Philox gen(123);
+
+  // 1. Hardware-specific kernels: the same GEMM on V100/P100/T4 variants.
+  std::printf("1) operator implementations (hardware-specific kernels)\n");
+  const std::int64_t n = 32;
+  std::vector<float> a(n * n), b(n * n);
+  rng::fill_normal(gen, a, 0.0f, 1.0f);
+  rng::fill_normal(gen, b, 0.0f, 1.0f);
+  for (auto [label, variant] :
+       {std::pair{"V100-native (ilv-8)     ", kernels::GemmVariant::kInterleaved8},
+        std::pair{"P100-native (ilv-4)     ", kernels::GemmVariant::kInterleaved4},
+        std::pair{"T4-native   (ilv-2)     ", kernels::GemmVariant::kInterleaved2},
+        std::pair{"D2 canonical(sequential)",
+                  kernels::GemmVariant::kSequential}}) {
+    std::vector<float> c(n * n);
+    kernels::gemm_variant(variant, n, n, n, a, b, c, false);
+    std::printf("   %s -> digest %016llx\n", label,
+                static_cast<unsigned long long>(digest_floats(c)));
+  }
+  std::printf("   => same math, different bits per device; D2 pins one "
+              "variant everywhere.\n\n");
+
+  // 2. Communication: ring all-reduce association depends on world size.
+  std::printf("2) communication mechanism (ring all-reduce order)\n");
+  std::vector<std::vector<float>> grads(8, std::vector<float>(1024));
+  for (auto& g : grads) rng::fill_normal(gen, g, 0.0f, 1.0f);
+  for (std::int64_t world : {2, 4, 8}) {
+    // Pre-fold 8 virtual gradients into `world` physical partials the way
+    // plain DDP would see them, then ring-reduce.
+    std::vector<std::vector<float>> parts(static_cast<std::size_t>(world),
+                                          std::vector<float>(1024, 0.0f));
+    for (std::size_t v = 0; v < grads.size(); ++v) {
+      auto& p = parts[v % static_cast<std::size_t>(world)];
+      for (std::size_t i = 0; i < p.size(); ++i) p[i] += grads[v][i];
+    }
+    std::vector<std::span<const float>> views(parts.begin(), parts.end());
+    std::vector<float> out(1024);
+    comm::ring_allreduce_sum(views, out);
+    std::printf("   physical world %lld -> digest %016llx\n",
+                static_cast<long long>(world),
+                static_cast<unsigned long long>(digest_floats(out)));
+  }
+  {
+    std::vector<std::span<const float>> views(grads.begin(), grads.end());
+    std::vector<float> out(1024);
+    comm::ring_allreduce_sum(views, out);
+    std::printf("   EasyScale virtual ranks (always 8) -> digest %016llx "
+                "on ANY physical mapping\n\n",
+                static_cast<unsigned long long>(digest_floats(out)));
+  }
+
+  // 3. Atomics: scatter-add order.
+  std::printf("3) atomic-instruction kernels (scatter-add)\n");
+  std::vector<std::int64_t> idx(256);
+  std::vector<float> src(256);
+  rng::fill_randint(gen, idx, 8);
+  rng::fill_normal(gen, src, 0.0f, 1.0f);
+  kernels::ExecContext fast;
+  fast.policy = kernels::KernelPolicy::kFastest;
+  kernels::ExecContext det;
+  det.policy = kernels::KernelPolicy::kDeterministic;
+  for (int run = 0; run < 2; ++run) {
+    std::vector<float> out(8, 0.0f);
+    kernels::scatter_add(fast, idx, src, 1, out);
+    std::printf("   emulated atomics, run %d -> digest %016llx\n", run,
+                static_cast<unsigned long long>(digest_floats(out)));
+  }
+  for (int run = 0; run < 2; ++run) {
+    std::vector<float> out(8, 0.0f);
+    kernels::scatter_add(det, idx, src, 1, out);
+    std::printf("   sorted deterministic, run %d -> digest %016llx\n", run,
+                static_cast<unsigned long long>(digest_floats(out)));
+  }
+  std::printf("   => D0 replaces atomic accumulation with a sorted order.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Bucketed gradient synchronization over simulated participants.
+//
+// A GradientSet is one participant's full set of per-parameter gradient
+// tensors (a DDP rank's .grad fields, or one EST's swapped-out gradient
+// buffers).  allreduce_average flattens each bucket, runs the ring
+// all-reduce in the exact NCCL association order over `parts.size()`
+// participants, divides by the participant count, and scatters the result
+// back into every part — leaving all participants with identical averaged
+// gradients, as after a real all-reduce.
+//
+// EasyScale's ElasticDDP calls this with one part per *virtual* rank (EST)
+// and the recorded bucket layout, so the result is bitwise independent of
+// how ESTs are packed onto physical workers (D1).  Plain DDP calls it with
+// one part per *physical* rank, so its bits change with the DoP.
+#pragma once
+
+#include <vector>
+
+#include "autograd/parameter.hpp"
+#include "comm/bucket.hpp"
+#include "tensor/tensor.hpp"
+
+namespace easyscale::comm {
+
+struct GradientSet {
+  std::vector<tensor::Tensor> grads;  // one tensor per parameter, store order
+
+  /// Allocate zeroed gradients matching `params`.
+  static GradientSet zeros_like(const autograd::ParameterStore& params);
+
+  /// Copy the .grad fields out of `params` ("D2H gradient copy").
+  static GradientSet from_store(const autograd::ParameterStore& params);
+
+  /// Write these gradients into the .grad fields of `params`.
+  void to_store(autograd::ParameterStore& params) const;
+
+  void zero();
+  void save(ByteWriter& w) const;
+  static GradientSet load(ByteReader& r);
+};
+
+/// In-place bucketed ring all-reduce + average over all parts.
+void allreduce_average(const BucketLayout& layout,
+                       std::vector<GradientSet*>& parts);
+
+/// Total bytes a participant ships per sync (for the Fig-13 accounting).
+[[nodiscard]] std::int64_t gradient_bytes(const GradientSet& set);
+
+}  // namespace easyscale::comm

@@ -1,0 +1,63 @@
+#include "comm/bucket.hpp"
+
+namespace easyscale::comm {
+
+void BucketLayout::save(ByteWriter& w) const {
+  w.write<std::uint64_t>(buckets.size());
+  for (const auto& b : buckets) w.write_vector(b);
+}
+
+BucketLayout BucketLayout::load(ByteReader& r) {
+  BucketLayout layout;
+  const auto n = r.read<std::uint64_t>();
+  layout.buckets.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    layout.buckets.push_back(r.read_vector<int>());
+  }
+  return layout;
+}
+
+BucketManager::BucketManager(const autograd::ParameterStore& params,
+                             std::int64_t cap_bytes)
+    : params_(&params), cap_bytes_(cap_bytes) {
+  ES_CHECK(cap_bytes > 0, "bucket capacity must be positive");
+}
+
+BucketLayout BucketManager::pack(const std::vector<int>& order) const {
+  BucketLayout layout;
+  std::vector<int> current;
+  std::int64_t current_bytes = 0;
+  for (int id : order) {
+    const std::int64_t bytes =
+        static_cast<std::int64_t>(sizeof(float)) *
+        params_->all()[static_cast<std::size_t>(id)]->numel();
+    if (!current.empty() && current_bytes + bytes > cap_bytes_) {
+      layout.buckets.push_back(std::move(current));
+      current.clear();
+      current_bytes = 0;
+    }
+    current.push_back(id);
+    current_bytes += bytes;
+  }
+  if (!current.empty()) layout.buckets.push_back(std::move(current));
+  return layout;
+}
+
+BucketLayout BucketManager::initial_layout() const {
+  std::vector<int> order;
+  order.reserve(params_->size());
+  for (auto i = static_cast<std::int64_t>(params_->size()) - 1; i >= 0; --i) {
+    order.push_back(static_cast<int>(i));
+  }
+  return pack(order);
+}
+
+BucketLayout BucketManager::layout_from_ready_order(
+    const std::vector<int>& ready_order) const {
+  ES_CHECK(ready_order.size() == params_->size(),
+           "ready order covers " << ready_order.size() << " of "
+                                 << params_->size() << " parameters");
+  return pack(ready_order);
+}
+
+}  // namespace easyscale::comm

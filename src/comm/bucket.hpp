@@ -1,0 +1,57 @@
+// DDP-style gradient buckets.
+//
+// PyTorch DDP maps gradients to fixed-capacity buckets: initially in the
+// static reverse order of parameter registration, then — after the first
+// iteration — rebuilt in the order gradients actually became ready during
+// backward.  Because the ring all-reduce's chunking (and therefore its FP
+// association) depends on the bucket layout, a restart that forgets the
+// rebuilt layout changes training bitwise.  EasyScale-D1 records the layout
+// in the on-demand checkpoint and suppresses the rebuild (§3.3, D1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/parameter.hpp"
+#include "common/serialize.hpp"
+
+namespace easyscale::comm {
+
+struct BucketLayout {
+  /// Parameter ids per bucket, in reduction order.
+  std::vector<std::vector<int>> buckets;
+
+  [[nodiscard]] std::size_t num_buckets() const { return buckets.size(); }
+
+  void save(ByteWriter& w) const;
+  static BucketLayout load(ByteReader& r);
+
+  friend bool operator==(const BucketLayout&, const BucketLayout&) = default;
+};
+
+class BucketManager {
+ public:
+  /// `cap_bytes` mirrors DDP's bucket_cap_mb (default intentionally small
+  /// so the mini models produce several buckets).
+  BucketManager(const autograd::ParameterStore& params,
+                std::int64_t cap_bytes = 4096);
+
+  /// Static layout: reverse registration order, greedy capacity packing.
+  [[nodiscard]] BucketLayout initial_layout() const;
+
+  /// Rebuilt layout from the grad-ready order of one backward pass:
+  /// earliest-ready gradients pack into the earliest buckets so they can
+  /// flush while backward is still running.
+  [[nodiscard]] BucketLayout layout_from_ready_order(
+      const std::vector<int>& ready_order) const;
+
+  [[nodiscard]] std::int64_t cap_bytes() const { return cap_bytes_; }
+
+ private:
+  [[nodiscard]] BucketLayout pack(const std::vector<int>& order) const;
+
+  const autograd::ParameterStore* params_;
+  std::int64_t cap_bytes_;
+};
+
+}  // namespace easyscale::comm

@@ -1,0 +1,104 @@
+#include "comm/ring.hpp"
+
+#include "common/error.hpp"
+
+namespace easyscale::comm {
+
+std::vector<Chunk> ring_chunks(std::int64_t n, std::int64_t world) {
+  ES_CHECK(world > 0, "ring world must be positive");
+  std::vector<Chunk> chunks;
+  chunks.reserve(static_cast<std::size_t>(world));
+  const std::int64_t base = n / world;
+  const std::int64_t extra = n % world;
+  std::int64_t offset = 0;
+  for (std::int64_t c = 0; c < world; ++c) {
+    const std::int64_t len = base + (c < extra ? 1 : 0);
+    chunks.push_back({offset, len});
+    offset += len;
+  }
+  return chunks;
+}
+
+void ring_allreduce_sum(const std::vector<std::span<const float>>& parts,
+                        std::span<float> out) {
+  const auto world = static_cast<std::int64_t>(parts.size());
+  ES_CHECK(world > 0, "ring_allreduce over zero participants");
+  const auto n = static_cast<std::int64_t>(out.size());
+  for (const auto& p : parts) {
+    ES_CHECK(static_cast<std::int64_t>(p.size()) == n,
+             "ring_allreduce: ragged parts");
+  }
+  const auto chunks = ring_chunks(n, world);
+  for (std::int64_t c = 0; c < world; ++c) {
+    const Chunk& ch = chunks[static_cast<std::size_t>(c)];
+    // Initialize from the rank the chunk starts at, then accumulate around
+    // the ring; final owner is rank c.
+    const std::int64_t start = (c + 1) % world;
+    for (std::int64_t i = 0; i < ch.length; ++i) {
+      out[static_cast<std::size_t>(ch.offset + i)] =
+          parts[static_cast<std::size_t>(start)]
+               [static_cast<std::size_t>(ch.offset + i)];
+    }
+    for (std::int64_t step = 1; step < world; ++step) {
+      const std::int64_t r = (start + step) % world;
+      const auto& part = parts[static_cast<std::size_t>(r)];
+      for (std::int64_t i = 0; i < ch.length; ++i) {
+        out[static_cast<std::size_t>(ch.offset + i)] +=
+            part[static_cast<std::size_t>(ch.offset + i)];
+      }
+    }
+  }
+}
+
+void ordered_fold_sum(const std::vector<std::span<const float>>& parts,
+                      std::span<float> out) {
+  ES_CHECK(!parts.empty(), "ordered_fold over zero participants");
+  const auto n = out.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = parts[0][i];
+  for (std::size_t r = 1; r < parts.size(); ++r) {
+    for (std::size_t i = 0; i < n; ++i) out[i] += parts[r][i];
+  }
+}
+
+void ring_reduce_scatter(const std::vector<std::span<const float>>& parts,
+                         std::vector<std::span<float>>& out) {
+  const auto world = static_cast<std::int64_t>(parts.size());
+  ES_CHECK(world > 0, "reduce_scatter over zero participants");
+  ES_CHECK(static_cast<std::int64_t>(out.size()) == world,
+           "reduce_scatter needs one output chunk per rank");
+  const auto n = static_cast<std::int64_t>(parts[0].size());
+  const auto chunks = ring_chunks(n, world);
+  for (std::int64_t c = 0; c < world; ++c) {
+    const Chunk& ch = chunks[static_cast<std::size_t>(c)];
+    auto& dst = out[static_cast<std::size_t>(c)];
+    ES_CHECK(static_cast<std::int64_t>(dst.size()) == ch.length,
+             "reduce_scatter: chunk " << c << " output size mismatch");
+    const std::int64_t start = (c + 1) % world;
+    for (std::int64_t i = 0; i < ch.length; ++i) {
+      dst[static_cast<std::size_t>(i)] =
+          parts[static_cast<std::size_t>(start)]
+               [static_cast<std::size_t>(ch.offset + i)];
+    }
+    for (std::int64_t step = 1; step < world; ++step) {
+      const std::int64_t r = (start + step) % world;
+      const auto& part = parts[static_cast<std::size_t>(r)];
+      for (std::int64_t i = 0; i < ch.length; ++i) {
+        dst[static_cast<std::size_t>(i)] +=
+            part[static_cast<std::size_t>(ch.offset + i)];
+      }
+    }
+  }
+}
+
+void ring_all_gather(const std::vector<std::span<const float>>& chunks,
+                     std::span<float> out) {
+  std::size_t offset = 0;
+  for (const auto& chunk : chunks) {
+    ES_CHECK(offset + chunk.size() <= out.size(), "all_gather overflow");
+    for (std::size_t i = 0; i < chunk.size(); ++i) out[offset + i] = chunk[i];
+    offset += chunk.size();
+  }
+  ES_CHECK(offset == out.size(), "all_gather underfill");
+}
+
+}  // namespace easyscale::comm

@@ -1,0 +1,50 @@
+// Ring all-reduce with faithful floating-point accumulation order.
+//
+// NCCL's ring algorithm splits a buffer into `world` chunks; during
+// reduce-scatter, chunk c travels around the ring and is accumulated in the
+// order rank (c+1)%W, (c+2)%W, ..., c.  An element's summation order is
+// therefore a function of (world size, its chunk index) — which is exactly
+// why changing the degree of parallelism, or re-bucketing gradients,
+// changes training bitwise (§3.3 "communication mechanism").  This module
+// reproduces that order deterministically on the simulated participants.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace easyscale::comm {
+
+struct Chunk {
+  std::int64_t offset;
+  std::int64_t length;
+};
+
+/// Chunk layout of an n-element buffer over `world` ring participants
+/// (NCCL-style: near-equal chunks, remainder spread over leading chunks).
+[[nodiscard]] std::vector<Chunk> ring_chunks(std::int64_t n,
+                                             std::int64_t world);
+
+/// Element-wise sum of parts[0..W) with the ring reduce-scatter association
+/// order; result written to `out` (same length as every part).
+void ring_allreduce_sum(const std::vector<std::span<const float>>& parts,
+                        std::span<float> out);
+
+/// Canonical ordered fold: out = (((parts[0] + parts[1]) + parts[2]) + ...)
+/// — world-size independent.  This is the order a *gather-then-fold*
+/// implementation produces and the reference reduction used in tests.
+void ordered_fold_sum(const std::vector<std::span<const float>>& parts,
+                      std::span<float> out);
+
+/// Ring reduce-scatter: rank r ends up owning the reduced chunk r (same
+/// association order as ring_allreduce_sum).  `out[r]` receives chunk r's
+/// reduced values; its size must match ring_chunks(n, world)[r].length.
+void ring_reduce_scatter(const std::vector<std::span<const float>>& parts,
+                         std::vector<std::span<float>>& out);
+
+/// All-gather of per-rank chunks back into a full buffer (pure data
+/// movement, no arithmetic): the second phase of a ring all-reduce.
+void ring_all_gather(const std::vector<std::span<const float>>& chunks,
+                     std::span<float> out);
+
+}  // namespace easyscale::comm

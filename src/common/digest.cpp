@@ -1,0 +1,26 @@
+#include "common/digest.hpp"
+
+#include <cstdio>
+
+namespace easyscale {
+
+std::string Digest::hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash_));
+  return std::string(buf);
+}
+
+std::uint64_t digest_floats(std::span<const float> values) {
+  Digest d;
+  d.update(values);
+  return d.value();
+}
+
+std::uint64_t digest_bytes(std::span<const std::uint8_t> bytes) {
+  Digest d;
+  d.update(bytes);
+  return d.value();
+}
+
+}  // namespace easyscale

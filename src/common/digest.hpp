@@ -1,0 +1,63 @@
+// Bitwise digests over tensors and byte streams.
+//
+// The paper's accuracy-consistency claims are "bitwise identical model
+// parameters" (§3.1).  Tests and benches assert that property by comparing
+// 64-bit FNV-1a digests of the raw float bit patterns; any single-ULP
+// difference anywhere in the model changes the digest.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace easyscale {
+
+/// Incremental FNV-1a (64-bit) hasher.
+class Digest {
+ public:
+  void update(std::span<const std::uint8_t> bytes) {
+    for (std::uint8_t b : bytes) {
+      hash_ ^= b;
+      hash_ *= kPrime;
+    }
+  }
+
+  void update(std::span<const float> values) {
+    for (float v : values) {
+      const auto bits = std::bit_cast<std::uint32_t>(v);
+      std::uint8_t raw[4] = {
+          static_cast<std::uint8_t>(bits & 0xff),
+          static_cast<std::uint8_t>((bits >> 8) & 0xff),
+          static_cast<std::uint8_t>((bits >> 16) & 0xff),
+          static_cast<std::uint8_t>((bits >> 24) & 0xff),
+      };
+      update(std::span<const std::uint8_t>(raw, 4));
+    }
+  }
+
+  void update_u64(std::uint64_t v) {
+    std::uint8_t raw[8];
+    for (int i = 0; i < 8; ++i) raw[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+    update(std::span<const std::uint8_t>(raw, 8));
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+  /// Hex rendering for logs and experiment reports.
+  [[nodiscard]] std::string hex() const;
+
+ private:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  std::uint64_t hash_ = kOffset;
+};
+
+/// One-shot digest of a float buffer.
+[[nodiscard]] std::uint64_t digest_floats(std::span<const float> values);
+
+/// One-shot digest of raw bytes.
+[[nodiscard]] std::uint64_t digest_bytes(std::span<const std::uint8_t> bytes);
+
+}  // namespace easyscale

@@ -1,0 +1,11 @@
+#include "common/error.hpp"
+
+namespace easyscale::detail {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  std::ostringstream out;
+  out << file << ":" << line << ": " << msg;
+  throw Error(out.str());
+}
+
+}  // namespace easyscale::detail

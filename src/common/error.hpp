@@ -1,0 +1,60 @@
+// Error handling primitives shared by every EasyScale subsystem.
+//
+// Failures that indicate a programming error or a violated invariant throw
+// easyscale::Error; recoverable conditions (e.g. a scheduling proposal being
+// rejected) are modelled with return values instead.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace easyscale {
+
+/// Exception type thrown by ES_CHECK / ES_THROW.  Carries the source
+/// location of the failed check in the message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+
+class MessageStream {
+ public:
+  template <typename T>
+  MessageStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace easyscale
+
+/// Abort the current operation with an easyscale::Error.  Usage:
+///   ES_THROW("bad config: " << value);
+#define ES_THROW(msg_expr)                                                   \
+  do {                                                                      \
+    ::easyscale::detail::MessageStream es_ms_;                              \
+    es_ms_ << msg_expr;                                                     \
+    ::easyscale::detail::throw_error(__FILE__, __LINE__, es_ms_.str());     \
+  } while (false)
+
+/// Invariant check; throws easyscale::Error when `cond` is false.
+#define ES_CHECK(cond, msg_expr)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ES_THROW("check failed: " #cond ": " << msg_expr);                    \
+    }                                                                       \
+  } while (false)
+
+/// Shorthand for checks without a custom message.
+#define ES_ASSERT(cond) ES_CHECK(cond, "assertion")

@@ -1,0 +1,26 @@
+#include "common/log.hpp"
+
+#include <atomic>
+
+namespace easyscale {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& msg) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << msg << "\n";
+}
+
+}  // namespace detail
+
+}  // namespace easyscale

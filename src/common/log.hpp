@@ -1,0 +1,38 @@
+// Minimal leveled logger.  Cluster-simulation and training subsystems log
+// through this so experiments can be run quietly (benches) or verbosely
+// (examples, debugging).
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace easyscale {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace easyscale
+
+#define ES_LOG(level, msg_expr)                                        \
+  do {                                                                 \
+    if (static_cast<int>(level) >=                                     \
+        static_cast<int>(::easyscale::log_level())) {                  \
+      std::ostringstream es_log_ss_;                                   \
+      es_log_ss_ << msg_expr;                                          \
+      ::easyscale::detail::log_emit(level, es_log_ss_.str());          \
+    }                                                                  \
+  } while (false)
+
+#define ES_LOG_DEBUG(msg) ES_LOG(::easyscale::LogLevel::kDebug, msg)
+#define ES_LOG_INFO(msg) ES_LOG(::easyscale::LogLevel::kInfo, msg)
+#define ES_LOG_WARN(msg) ES_LOG(::easyscale::LogLevel::kWarn, msg)
+#define ES_LOG_ERROR(msg) ES_LOG(::easyscale::LogLevel::kError, msg)

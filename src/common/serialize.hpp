@@ -1,0 +1,103 @@
+// Binary serialization used by on-demand checkpoints (§3.2 "Adapting to
+// elasticity").  Everything that affects bitwise training determinism —
+// model parameters, optimizer state, RNG states, EST contexts, bucket
+// layouts, data-worker queuing buffers — round-trips through these streams.
+//
+// The format is a flat little-endian byte stream with no framing; writers
+// and readers must agree on the field order (enforced by the *_state
+// structs that own their own save/load).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace easyscale {
+
+/// Append-only byte sink.
+class ByteWriter {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+
+  void write_string(const std::string& s) {
+    write<std::uint64_t>(s.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(s.data());
+    bytes_.insert(bytes_.end(), p, p + s.size());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_vector(const std::vector<T>& v) {
+    write<std::uint64_t>(v.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    bytes_.insert(bytes_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_span(std::span<const T> v) {
+    write<std::uint64_t>(v.size());
+    const auto* p = reinterpret_cast<const std::uint8_t*>(v.data());
+    bytes_.insert(bytes_.end(), p, p + v.size_bytes());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Sequential reader over a byte buffer produced by ByteWriter.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    T value;
+    ES_CHECK(pos_ + sizeof(T) <= bytes_.size(), "checkpoint stream truncated");
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string read_string() {
+    const auto n = read<std::uint64_t>();
+    ES_CHECK(pos_ + n <= bytes_.size(), "checkpoint stream truncated");
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vector() {
+    const auto n = read<std::uint64_t>();
+    ES_CHECK(pos_ + n * sizeof(T) <= bytes_.size(), "checkpoint stream truncated");
+    std::vector<T> v(n);
+    std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace easyscale

@@ -1,0 +1,71 @@
+#include "core/checkpoint_io.hpp"
+
+#include <cstdio>
+
+#include "common/digest.hpp"
+#include "common/error.hpp"
+
+namespace easyscale::core {
+
+namespace {
+constexpr std::uint32_t kFileMagic = 0x4553434Bu;  // "ESCK"
+constexpr std::uint32_t kFileVersion = 1;
+
+struct FileGuard {
+  std::FILE* f = nullptr;
+  ~FileGuard() {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+}  // namespace
+
+void save_checkpoint_file(const std::string& path,
+                          const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    FileGuard guard;
+    guard.f = std::fopen(tmp.c_str(), "wb");
+    ES_CHECK(guard.f != nullptr, "cannot open " << tmp << " for writing");
+    const std::uint32_t magic = kFileMagic;
+    const std::uint32_t version = kFileVersion;
+    const std::uint64_t size = bytes.size();
+    const std::uint64_t digest = digest_bytes(bytes);
+    ES_CHECK(std::fwrite(&magic, sizeof(magic), 1, guard.f) == 1 &&
+                 std::fwrite(&version, sizeof(version), 1, guard.f) == 1 &&
+                 std::fwrite(&size, sizeof(size), 1, guard.f) == 1 &&
+                 std::fwrite(&digest, sizeof(digest), 1, guard.f) == 1,
+             "checkpoint header write failed");
+    if (!bytes.empty()) {
+      ES_CHECK(std::fwrite(bytes.data(), 1, bytes.size(), guard.f) ==
+                   bytes.size(),
+               "checkpoint payload write failed");
+    }
+  }
+  ES_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+           "cannot move checkpoint into place at " << path);
+}
+
+std::vector<std::uint8_t> load_checkpoint_file(const std::string& path) {
+  FileGuard guard;
+  guard.f = std::fopen(path.c_str(), "rb");
+  ES_CHECK(guard.f != nullptr, "cannot open checkpoint " << path);
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t size = 0, digest = 0;
+  ES_CHECK(std::fread(&magic, sizeof(magic), 1, guard.f) == 1 &&
+               std::fread(&version, sizeof(version), 1, guard.f) == 1 &&
+               std::fread(&size, sizeof(size), 1, guard.f) == 1 &&
+               std::fread(&digest, sizeof(digest), 1, guard.f) == 1,
+           "checkpoint header truncated: " << path);
+  ES_CHECK(magic == kFileMagic, "not an EasyScale checkpoint: " << path);
+  ES_CHECK(version == kFileVersion, "unsupported checkpoint version");
+  std::vector<std::uint8_t> bytes(size);
+  if (size > 0) {
+    ES_CHECK(std::fread(bytes.data(), 1, size, guard.f) == size,
+             "checkpoint payload truncated: " << path);
+  }
+  ES_CHECK(digest_bytes(bytes) == digest,
+           "checkpoint digest mismatch (corrupt file): " << path);
+  return bytes;
+}
+
+}  // namespace easyscale::core

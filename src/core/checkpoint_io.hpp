@@ -1,0 +1,20 @@
+// On-demand checkpoint persistence: a small framed file format (magic +
+// version + payload size + FNV digest) around the engine's checkpoint
+// bytes, so crashes mid-write are detected on load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace easyscale::core {
+
+/// Write checkpoint bytes to `path` atomically (write temp + rename).
+void save_checkpoint_file(const std::string& path,
+                          const std::vector<std::uint8_t>& bytes);
+
+/// Read and verify a checkpoint file; throws on corruption or truncation.
+[[nodiscard]] std::vector<std::uint8_t> load_checkpoint_file(
+    const std::string& path);
+
+}  // namespace easyscale::core

@@ -1,0 +1,67 @@
+#include "core/checkpoint_manager.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "core/checkpoint_io.hpp"
+
+namespace easyscale::core {
+
+namespace {
+bool file_exists(const std::string& path) {
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string prefix, int keep)
+    : prefix_(std::move(prefix)), keep_(keep) {
+  ES_CHECK(keep_ >= 1, "must keep at least one checkpoint generation");
+}
+
+std::string CheckpointManager::path_for(int generation) const {
+  return prefix_ + "." + std::to_string(generation);
+}
+
+void CheckpointManager::save(const std::vector<std::uint8_t>& bytes) {
+  // Rotate: gen keep-2 -> keep-1, ..., gen 0 -> 1; then write gen 0.
+  std::remove(path_for(keep_ - 1).c_str());
+  for (int g = keep_ - 2; g >= 0; --g) {
+    if (file_exists(path_for(g))) {
+      ES_CHECK(std::rename(path_for(g).c_str(), path_for(g + 1).c_str()) == 0,
+               "checkpoint rotation failed for generation " << g);
+    }
+  }
+  save_checkpoint_file(path_for(0), bytes);
+}
+
+std::optional<std::vector<std::uint8_t>> CheckpointManager::load_latest_valid()
+    const {
+  for (int g = 0; g < keep_; ++g) {
+    if (!file_exists(path_for(g))) continue;
+    try {
+      return load_checkpoint_file(path_for(g));
+    } catch (const Error& e) {
+      ES_LOG_WARN("checkpoint generation " << g << " invalid: " << e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+int CheckpointManager::generations_on_disk() const {
+  int n = 0;
+  for (int g = 0; g < keep_; ++g) {
+    if (file_exists(path_for(g))) ++n;
+  }
+  return n;
+}
+
+void CheckpointManager::clear() {
+  for (int g = 0; g < keep_; ++g) std::remove(path_for(g).c_str());
+}
+
+}  // namespace easyscale::core

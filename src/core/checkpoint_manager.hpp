@@ -1,0 +1,42 @@
+// Rotating checkpoint manager.
+//
+// Production elastic training checkpoints frequently (every scale event and
+// periodically in between, §4).  A crash can tear the newest file, so the
+// manager keeps the last `keep` generations (`<prefix>.0` newest ...
+// `<prefix>.{keep-1}` oldest) and `load_latest_valid` walks back to the
+// first generation whose digest verifies — the job never loses more than
+// one checkpoint interval to corruption.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace easyscale::core {
+
+class CheckpointManager {
+ public:
+  CheckpointManager(std::string prefix, int keep = 3);
+
+  /// Persist a new generation (rotates older ones down).
+  void save(const std::vector<std::uint8_t>& bytes);
+
+  /// Newest generation whose integrity checks pass, or nullopt when none.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> load_latest_valid()
+      const;
+
+  /// Number of generations currently on disk (valid or not).
+  [[nodiscard]] int generations_on_disk() const;
+
+  [[nodiscard]] std::string path_for(int generation) const;
+
+  /// Delete every generation.
+  void clear();
+
+ private:
+  std::string prefix_;
+  int keep_;
+};
+
+}  // namespace easyscale::core

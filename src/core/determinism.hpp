@@ -1,0 +1,44 @@
+// Determinism levels (§3.3).
+//
+//  D0 (static):        fixed RNG seeds recorded in contexts/checkpoints +
+//                      deterministic kernel implementations.  Reproducible
+//                      on a fixed set of GPUs; loses the gradient-bucket
+//                      mapping across restarts, so rescaling diverges.
+//  D1 (elastic):       D0 + constant virtual communication ranks + bucket
+//                      layout recorded in the checkpoint with channel
+//                      rebuild disabled.  Bitwise-stable across any number
+//                      of homogeneous GPUs.
+//  +D2 (heterogeneous): hardware-agnostic kernel implementations, bitwise-
+//                      stable across GPU *types*, at a real throughput cost
+//                      for conv-heavy models (Fig 12).
+#pragma once
+
+#include "kernels/exec_context.hpp"
+#include "models/workload.hpp"
+
+namespace easyscale::core {
+
+enum class DeterminismLevel : int { kD0 = 0, kD1 = 1 };
+
+struct DeterminismConfig {
+  DeterminismLevel level = DeterminismLevel::kD1;
+  bool d2 = false;
+};
+
+/// Kernel policy implied by a determinism config.
+[[nodiscard]] inline kernels::KernelPolicy kernel_policy(
+    const DeterminismConfig& cfg) {
+  return cfg.d2 ? kernels::KernelPolicy::kHardwareAgnostic
+                : kernels::KernelPolicy::kDeterministic;
+}
+
+/// The model scan of §3.3: a workload whose layers never lower to
+/// vendor-tuned kernels can enable D2 (and thus heterogeneous GPUs) at
+/// negligible cost.  Conv-bearing workloads pay the canonical-kernel
+/// penalty, so EasyScale schedules them onto homogeneous GPUs instead
+/// unless the user opts in.
+[[nodiscard]] inline bool d2_recommended(const models::Workload& workload) {
+  return !workload.uses_vendor_tuned_kernels();
+}
+
+}  // namespace easyscale::core

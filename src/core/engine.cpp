@@ -1,0 +1,353 @@
+#include "core/engine.hpp"
+
+#include <thread>
+
+#include "common/digest.hpp"
+#include "common/log.hpp"
+
+namespace easyscale::core {
+
+namespace {
+constexpr std::int64_t kPrefetchSteps = 2;
+constexpr std::uint32_t kCheckpointMagic = 0x45535631;  // "ESV1"
+}  // namespace
+
+EasyScaleEngine::EasyScaleEngine(EasyScaleConfig config,
+                                 const data::Dataset& train,
+                                 data::AugmentConfig augment)
+    : config_(std::move(config)), train_(&train), augment_(augment) {
+  ES_CHECK(config_.num_ests > 0, "need at least one EST");
+  // Per-EST pipelines and initial contexts.  Contexts start from a freshly
+  // initialized prototype replica (all virtual workers begin identical,
+  // like DDP after the rank-0 broadcast).
+  auto prototype = models::make_workload(config_.workload);
+  prototype->init(config_.seed);
+  for (std::int64_t r = 0; r < config_.num_ests; ++r) {
+    pipelines_.emplace_back(train, augment_, config_.num_ests, r,
+                            config_.batch_per_est, config_.seed);
+    ESTContext ctx;
+    ctx.virtual_rank = r;
+    rng::StreamSet streams;
+    streams.seed_all(config_.seed, static_cast<std::uint64_t>(r));
+    ctx.model_streams = streams.state();
+    for (tensor::Tensor* b : prototype->buffers()) ctx.bn_buffers.push_back(*b);
+    contexts_.push_back(std::move(ctx));
+    grad_buffers_.push_back(
+        comm::GradientSet::zeros_like(prototype->params()));
+  }
+  steps_per_epoch_ =
+      data::DistributedSampler(train.size(), config_.num_ests, 0,
+                               config_.batch_per_est, config_.seed)
+          .steps_per_epoch();
+  layout_ = comm::BucketManager(prototype->params(), config_.bucket_cap_bytes)
+                .initial_layout();
+}
+
+EasyScaleEngine::~EasyScaleEngine() = default;
+
+void EasyScaleEngine::rebuild_loader() {
+  pool_.reset();
+  if (config_.use_async_loader) {
+    pool_ = std::make_unique<data::SharedDataWorkerPool>(*train_,
+                                                         config_.loader);
+  }
+}
+
+void EasyScaleEngine::configure_workers(
+    const std::vector<WorkerSpec>& specs,
+    std::optional<std::vector<std::vector<std::int64_t>>> assignment) {
+  ES_CHECK(!specs.empty(), "need at least one worker");
+  ES_CHECK(static_cast<std::int64_t>(specs.size()) <= config_.num_ests,
+           "more workers than ESTs");
+  // On-demand checkpoint of the running state before tearing down the old
+  // worker set (scale in/out path).
+  std::vector<std::uint8_t> snapshot;
+  const bool had_workers = !workers_.empty();
+  if (had_workers) snapshot = checkpoint_locked();
+
+  std::vector<std::vector<std::int64_t>> plan;
+  if (assignment.has_value()) {
+    plan = std::move(*assignment);
+    ES_CHECK(plan.size() == specs.size(), "assignment/worker count mismatch");
+    std::vector<bool> seen(static_cast<std::size_t>(config_.num_ests), false);
+    for (const auto& ests : plan) {
+      for (auto e : ests) {
+        ES_CHECK(e >= 0 && e < config_.num_ests, "EST rank out of range");
+        ES_CHECK(!seen[static_cast<std::size_t>(e)], "EST assigned twice");
+        seen[static_cast<std::size_t>(e)] = true;
+      }
+    }
+    for (bool s : seen) ES_CHECK(s, "EST left unassigned");
+  } else {
+    // Contiguous balanced split.
+    plan.resize(specs.size());
+    const auto w = static_cast<std::int64_t>(specs.size());
+    std::int64_t next = 0;
+    for (std::int64_t i = 0; i < w; ++i) {
+      const std::int64_t count =
+          config_.num_ests / w + (i < config_.num_ests % w ? 1 : 0);
+      for (std::int64_t k = 0; k < count; ++k) {
+        plan[static_cast<std::size_t>(i)].push_back(next++);
+      }
+    }
+  }
+  if (!config_.context_switching) {
+    for (const auto& ests : plan) {
+      ES_CHECK(ests.size() == 1,
+               "context switching disabled requires one EST per worker");
+    }
+  }
+
+  workers_.clear();
+  workers_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Worker w;
+    w.spec = specs[i];
+    w.replica = models::make_workload(config_.workload);
+    w.replica->init(config_.seed);
+    w.optimizer = optim::make_optimizer(w.replica->params(), config_.optim);
+    w.scheduler = std::make_unique<optim::StepLR>(
+        *w.optimizer, config_.lr_step_epochs, config_.gamma);
+    w.exec.device = specs[i].device;
+    w.exec.policy = kernel_policy(config_.determinism);
+    w.exec.custom_gemm = config_.custom_d2_gemm;
+    w.ests = plan[i];
+    workers_.push_back(std::move(w));
+  }
+  rebuild_loader();
+  if (had_workers) restore(snapshot);
+  ES_LOG_INFO("EasyScale reconfigured onto " << workers_.size()
+                                             << " worker(s)");
+}
+
+void EasyScaleEngine::capture_context(Worker& worker, ESTContext& ctx) {
+  ctx.model_streams = worker.streams.state();
+  auto buffers = worker.replica->buffers();
+  ES_CHECK(buffers.size() == ctx.bn_buffers.size(), "buffer set mismatch");
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    ctx.bn_buffers[i] = *buffers[i];
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.context_bytes_swapped += ctx.byte_size();
+  }
+}
+
+void EasyScaleEngine::restore_context(Worker& worker, const ESTContext& ctx) {
+  worker.streams.set_state(ctx.model_streams);
+  auto buffers = worker.replica->buffers();
+  ES_CHECK(buffers.size() == ctx.bn_buffers.size(), "buffer set mismatch");
+  for (std::size_t i = 0; i < buffers.size(); ++i) {
+    *buffers[i] = ctx.bn_buffers[i];
+  }
+}
+
+void EasyScaleEngine::one_step() {
+  ES_CHECK(!workers_.empty(), "configure_workers before run");
+  // Keep the shared data-worker pool fed `kPrefetchSteps` ahead.
+  if (pool_) {
+    for (std::int64_t e = 0; e < config_.num_ests; ++e) {
+      while (pipelines_[static_cast<std::size_t>(e)].cursor() <
+             global_step_ + kPrefetchSteps) {
+        pool_->enqueue(pipelines_[static_cast<std::size_t>(e)].make_item());
+      }
+    }
+  }
+
+  autograd::GradReadyRecorder recorder;
+  const bool record = !rebuilt_;
+  float last_loss = 0.0f;
+  auto run_worker = [&](Worker& worker) {
+    for (std::int64_t est : worker.ests) {
+      ESTContext& ctx = contexts_[static_cast<std::size_t>(est)];
+      if (config_.context_switching) {
+        restore_context(worker, ctx);
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.context_switches;
+        }
+      } else {
+        worker.streams.set_state(ctx.model_streams);
+      }
+      const data::Batch batch =
+          pool_ ? pool_->get(est, global_step_)
+                : pipelines_[static_cast<std::size_t>(est)].next();
+      worker.replica->params().zero_grads();
+      autograd::StepContext step_ctx;
+      step_ctx.exec = &worker.exec;
+      step_ctx.rng = &worker.streams;
+      step_ctx.training = true;
+      if (record && est == 0) {
+        recorder.begin(worker.replica->params().size());
+        step_ctx.grad_ready = &recorder;
+      }
+      const float loss = worker.replica->train_step(step_ctx, batch);
+      if (est == config_.num_ests - 1) last_loss = loss;
+      // Gradient D2H swap: the only working-set category that must leave
+      // the device per EST (§3.2).
+      grad_buffers_[static_cast<std::size_t>(est)] =
+          comm::GradientSet::from_store(worker.replica->params());
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        stats_.gradient_bytes_swapped += comm::gradient_bytes(
+            grad_buffers_[static_cast<std::size_t>(est)]);
+      }
+      if (config_.context_switching) {
+        capture_context(worker, ctx);
+      } else {
+        ctx.model_streams = worker.streams.state();
+        auto buffers = worker.replica->buffers();
+        for (std::size_t i = 0; i < buffers.size(); ++i) {
+          ctx.bn_buffers[i] = *buffers[i];
+        }
+      }
+    }
+  };
+  if (config_.parallel_workers && workers_.size() > 1) {
+    // Each worker owns a disjoint replica + EST set; the only shared writes
+    // (loss of the last EST, the EST-0 recorder, swap counters) are ordered
+    // by the join below and race-free by construction (distinct ESTs).
+    std::vector<std::thread> threads;
+    threads.reserve(workers_.size());
+    for (auto& worker : workers_) {
+      threads.emplace_back([&run_worker, &worker] { run_worker(worker); });
+    }
+    for (auto& t : threads) t.join();
+  } else {
+    for (auto& worker : workers_) run_worker(worker);
+  }
+  // ElasticDDP: ring all-reduce over the *virtual* ranks with the recorded
+  // bucket layout — bitwise independent of the physical worker count.
+  std::vector<comm::GradientSet*> parts;
+  parts.reserve(grad_buffers_.size());
+  for (auto& g : grad_buffers_) parts.push_back(&g);
+  comm::allreduce_average(layout_, parts);
+  for (auto& worker : workers_) {
+    grad_buffers_[0].to_store(worker.replica->params());
+    worker.optimizer->step();
+  }
+  if (record) {
+    ES_CHECK(!recorder.order().empty(), "grad-ready order not captured");
+    layout_ = comm::BucketManager(workers_[0].replica->params(),
+                                  config_.bucket_cap_bytes)
+                  .layout_from_ready_order(recorder.order());
+    rebuilt_ = true;
+  }
+  losses_.push_back(last_loss);
+  ++global_step_;
+}
+
+void EasyScaleEngine::run_steps(std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) one_step();
+}
+
+void EasyScaleEngine::run_epochs(std::int64_t n) {
+  for (std::int64_t e = 0; e < n; ++e) {
+    const std::int64_t epoch = global_step_ / steps_per_epoch_;
+    for (auto& worker : workers_) worker.scheduler->set_epoch(epoch);
+    run_steps(steps_per_epoch_);
+  }
+}
+
+std::uint64_t EasyScaleEngine::params_digest() const {
+  ES_CHECK(!workers_.empty(), "no workers configured");
+  Digest d;
+  for (const auto* p : workers_[0].replica->params().all()) {
+    d.update(p->value.data());
+  }
+  return d.value();
+}
+
+models::Workload& EasyScaleEngine::model_for_eval(std::int64_t est_rank) {
+  ES_CHECK(!workers_.empty(), "no workers configured");
+  restore_context(workers_[0], contexts_[static_cast<std::size_t>(est_rank)]);
+  return *workers_[0].replica;
+}
+
+std::vector<std::uint8_t> EasyScaleEngine::checkpoint_locked() const {
+  ByteWriter w;
+  w.write(kCheckpointMagic);
+  w.write(global_step_);
+  // D1 records the gradient-bucket mapping; D0 deliberately loses it
+  // (§5.1.1 explains the resulting divergence at stage boundaries).
+  const bool save_layout =
+      config_.determinism.level == DeterminismLevel::kD1;
+  w.write<std::uint8_t>(save_layout ? 1 : 0);
+  if (save_layout) {
+    w.write<std::uint8_t>(rebuilt_ ? 1 : 0);
+    layout_.save(w);
+  }
+  workers_[0].replica->params().save_values(w);
+  workers_[0].optimizer->save(w);
+  workers_[0].scheduler->save(w);
+  for (std::int64_t e = 0; e < config_.num_ests; ++e) {
+    contexts_[static_cast<std::size_t>(e)].save(w);
+    pipelines_[static_cast<std::size_t>(e)].save(w);
+  }
+  // Queuing buffer: enqueued-but-unconsumed data batches (extra state).
+  std::vector<data::WorkItem> pending;
+  if (pool_) pending = pool_->pending_items();
+  w.write<std::uint64_t>(pending.size());
+  for (const auto& item : pending) item.save(w);
+  return w.take();
+}
+
+std::vector<std::uint8_t> EasyScaleEngine::checkpoint() const {
+  ES_CHECK(!workers_.empty(), "no workers configured");
+  return checkpoint_locked();
+}
+
+void EasyScaleEngine::restore(std::span<const std::uint8_t> bytes) {
+  ES_CHECK(!workers_.empty(), "configure_workers before restore");
+  ByteReader r(bytes);
+  ES_CHECK(r.read<std::uint32_t>() == kCheckpointMagic,
+           "not an EasyScale checkpoint");
+  global_step_ = r.read<std::int64_t>();
+  const bool has_layout = r.read<std::uint8_t>() != 0;
+  if (has_layout) {
+    rebuilt_ = r.read<std::uint8_t>() != 0;
+    layout_ = comm::BucketLayout::load(r);
+  } else {
+    // D0: the bucket mapping was not checkpointed.  Fall back to the static
+    // layout and schedule a rebuild — the restart therefore re-associates
+    // the ring sums and training diverges bitwise from an uninterrupted
+    // run.
+    rebuilt_ = false;
+    layout_ = comm::BucketManager(workers_[0].replica->params(),
+                                  config_.bucket_cap_bytes)
+                  .initial_layout();
+  }
+  // Parameters / optimizer / scheduler load into worker 0, then replicate
+  // onto every other worker.
+  workers_[0].replica->params().load_values(r);
+  workers_[0].optimizer->load(r);
+  workers_[0].scheduler->load(r);
+  for (std::size_t i = 1; i < workers_.size(); ++i) {
+    const auto& src = workers_[0].replica->params().all();
+    const auto& dst = workers_[i].replica->params().all();
+    for (std::size_t p = 0; p < src.size(); ++p) dst[p]->value = src[p]->value;
+    ByteWriter ow;
+    workers_[0].optimizer->save(ow);
+    ByteReader orr(ow.bytes());
+    workers_[i].optimizer->load(orr);
+    ByteWriter sw;
+    workers_[0].scheduler->save(sw);
+    ByteReader sr(sw.bytes());
+    workers_[i].scheduler->load(sr);
+  }
+  for (std::int64_t e = 0; e < config_.num_ests; ++e) {
+    contexts_[static_cast<std::size_t>(e)] = ESTContext::load(r);
+    pipelines_[static_cast<std::size_t>(e)].load(r);
+  }
+  const auto pending_count = r.read<std::uint64_t>();
+  std::vector<data::WorkItem> pending;
+  pending.reserve(pending_count);
+  for (std::uint64_t i = 0; i < pending_count; ++i) {
+    pending.push_back(data::WorkItem::load(r));
+  }
+  if (pool_) {
+    for (auto& item : pending) pool_->enqueue(std::move(item));
+  }
+}
+
+}  // namespace easyscale::core

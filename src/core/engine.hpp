@@ -1,0 +1,163 @@
+// The EasyScale engine: EasyScaleThreads time-sliced over elastic workers.
+//
+// The engine owns `num_ests` logical training workers (ESTs).  At any
+// moment they are mapped onto 1..num_ests physical workers (simulated
+// GPUs); each physical worker holds ONE model + optimizer replica and ONE
+// "CUDA context", shared by all its ESTs (§3.2).  Per global step every
+// EST runs one local step (context-switch in -> forward/backward -> swap
+// gradients out -> context-switch out); gradients are then all-reduced in
+// the exact ring order of `num_ests` *virtual* participants, so the result
+// is bitwise independent of the physical mapping (D1).
+//
+// configure_workers() is the elasticity entry point: it takes an on-demand
+// checkpoint (EST contexts + extra states + parameters) and rebuilds the
+// worker set from it, exactly as the paper's scale in/out path does.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "comm/allreduce.hpp"
+#include "comm/bucket.hpp"
+#include "core/determinism.hpp"
+#include "core/est_context.hpp"
+#include "data/loader.hpp"
+#include "data/pipeline.hpp"
+#include "models/datasets.hpp"
+#include "optim/optimizer.hpp"
+#include "optim/sgd.hpp"
+
+namespace easyscale::core {
+
+struct WorkerSpec {
+  kernels::DeviceType device = kernels::DeviceType::kV100;
+};
+
+struct EasyScaleConfig {
+  std::string workload = "ResNet18";
+  std::int64_t num_ests = 4;  // maxP: logical DoP fixed at model design time
+  std::int64_t batch_per_est = 8;
+  std::uint64_t seed = 42;
+  DeterminismConfig determinism;
+  /// Custom D2 GEMM kernel handle (kernels/custom.hpp), 0 = built-in.
+  /// Only meaningful with determinism.d2 = true.
+  int custom_d2_gemm = 0;
+  std::int64_t bucket_cap_bytes = 4096;
+  optim::OptimizerConfig optim;
+  std::int64_t lr_step_epochs = 20;
+  float gamma = 0.1f;
+  /// Route batches through the shared data-worker pool (async) instead of
+  /// building them inline.  Bitwise identical either way.
+  bool use_async_loader = false;
+  data::LoaderConfig loader;
+  /// Fig-11 ablation: disable EST context switching (requires exactly one
+  /// EST per worker; drops the gradient D2H copy and context save/restore).
+  bool context_switching = true;
+  /// Execute physical workers on parallel threads within each global step
+  /// (real deployments do; the default is sequential for debuggability).
+  /// Bitwise identical either way: workers touch disjoint state between
+  /// synchronization points.
+  bool parallel_workers = false;
+};
+
+/// Swap-traffic counters for the context-switching experiments.
+struct SwitchStats {
+  std::int64_t context_switches = 0;
+  std::int64_t gradient_bytes_swapped = 0;
+  std::int64_t context_bytes_swapped = 0;
+};
+
+class EasyScaleEngine {
+ public:
+  EasyScaleEngine(EasyScaleConfig config, const data::Dataset& train,
+                  data::AugmentConfig augment);
+  ~EasyScaleEngine();
+
+  /// (Re)map ESTs onto a new physical worker set.  Contiguous balanced
+  /// assignment by default; pass `assignment` (worker -> list of EST ranks,
+  /// covering every EST exactly once) to control the mapping.
+  void configure_workers(
+      const std::vector<WorkerSpec>& workers,
+      std::optional<std::vector<std::vector<std::int64_t>>> assignment =
+          std::nullopt);
+
+  /// Run `n` global steps across all ESTs.
+  void run_steps(std::int64_t n);
+
+  /// Run whole epochs, applying the StepLR schedule like the DDP baseline.
+  void run_epochs(std::int64_t n);
+
+  [[nodiscard]] const std::vector<float>& loss_history() const {
+    return losses_;
+  }
+  [[nodiscard]] std::int64_t global_step() const { return global_step_; }
+  [[nodiscard]] std::int64_t steps_per_epoch() const {
+    return steps_per_epoch_;
+  }
+  [[nodiscard]] std::int64_t num_workers() const {
+    return static_cast<std::int64_t>(workers_.size());
+  }
+  [[nodiscard]] const SwitchStats& switch_stats() const { return stats_; }
+  [[nodiscard]] const comm::BucketLayout& current_layout() const {
+    return layout_;
+  }
+
+  /// Post-sync gradient buffer of one EST (identical across ESTs after the
+  /// all-reduce); exposed for tests and the Fig-13 accounting.
+  [[nodiscard]] const comm::GradientSet& grad_buffer(std::int64_t est) const {
+    return grad_buffers_[static_cast<std::size_t>(est)];
+  }
+
+  /// Bitwise digest of the model parameters.
+  [[nodiscard]] std::uint64_t params_digest() const;
+
+  /// Worker-0 replica with EST-`rank`'s context loaded (for evaluation).
+  [[nodiscard]] models::Workload& model_for_eval(std::int64_t est_rank = 0);
+
+  /// On-demand checkpoint: EST contexts + extra states + parameters.
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint() const;
+
+  /// Restore from a checkpoint produced by an engine with the same config
+  /// shape (worker set may differ; call configure_workers afterwards or
+  /// before).
+  void restore(std::span<const std::uint8_t> bytes);
+
+ private:
+  struct Worker {
+    WorkerSpec spec;
+    std::unique_ptr<models::Workload> replica;
+    std::unique_ptr<optim::Optimizer> optimizer;
+    std::unique_ptr<optim::StepLR> scheduler;
+    rng::StreamSet streams;  // receptacle the active EST's streams load into
+    kernels::ExecContext exec;
+    std::vector<std::int64_t> ests;
+  };
+
+  void one_step();
+  void capture_context(Worker& worker, ESTContext& ctx);
+  void restore_context(Worker& worker, const ESTContext& ctx);
+  void rebuild_loader();
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint_locked() const;
+
+  EasyScaleConfig config_;
+  const data::Dataset* train_;
+  data::AugmentConfig augment_;
+
+  std::vector<data::RankDataPipeline> pipelines_;  // one per EST
+  std::vector<ESTContext> contexts_;               // one per EST
+  std::vector<comm::GradientSet> grad_buffers_;    // one per EST
+  std::vector<Worker> workers_;
+  std::unique_ptr<data::SharedDataWorkerPool> pool_;
+
+  comm::BucketLayout layout_;
+  bool rebuilt_ = false;
+  std::int64_t global_step_ = 0;
+  std::int64_t steps_per_epoch_ = 0;
+  std::vector<float> losses_;
+  SwitchStats stats_;
+  std::mutex stats_mutex_;  // counters are shared across worker threads
+};
+
+}  // namespace easyscale::core

@@ -1,0 +1,24 @@
+#include "core/memory_model.hpp"
+
+#include "kernels/device.hpp"
+#include "models/profile.hpp"
+
+namespace easyscale::core {
+
+double packing_memory_gb(const std::string& workload, std::int64_t k) {
+  return static_cast<double>(k) *
+         (kernels::kCudaContextGb + models::profiled_memory_gb(workload));
+}
+
+double easyscale_memory_gb(const std::string& workload, std::int64_t k) {
+  // One context + one working set; per-EST device residue is only the
+  // currently-executing EST's gradients, already included in the working
+  // set.  A small per-EST bookkeeping overhead keeps the curve honest.
+  constexpr double kPerEstOverheadGb = 0.01;
+  return kernels::kCudaContextGb + models::profiled_memory_gb(workload) +
+         kPerEstOverheadGb * static_cast<double>(k - 1);
+}
+
+bool would_oom(double gb, double board_gb) { return gb > board_gb; }
+
+}  // namespace easyscale::core

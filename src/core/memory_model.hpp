@@ -1,0 +1,26 @@
+// GPU memory accounting for the Fig-10 comparison.
+//
+// Worker packing (Gandiva) runs k independent training processes on one
+// GPU: k CUDA contexts + k full working sets.  EasyScale runs k ESTs inside
+// ONE worker process: one CUDA context, one shared model/optimizer/
+// activation working set; per-EST state (gradients, RNG, BN buffers) is
+// swapped to host memory, so device memory stays flat in k.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace easyscale::core {
+
+/// Device memory (GB) of `k` packed workers of `workload` on one GPU.
+[[nodiscard]] double packing_memory_gb(const std::string& workload,
+                                       std::int64_t k);
+
+/// Device memory (GB) of one EasyScale worker hosting `k` ESTs.
+[[nodiscard]] double easyscale_memory_gb(const std::string& workload,
+                                         std::int64_t k);
+
+/// True when `gb` exceeds the board memory (OOM in Fig 10).
+[[nodiscard]] bool would_oom(double gb, double board_gb);
+
+}  // namespace easyscale::core

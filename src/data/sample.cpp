@@ -1,0 +1,49 @@
+#include "data/sample.hpp"
+
+#include "common/error.hpp"
+
+namespace easyscale::data {
+
+Batch collate(const std::vector<Sample>& samples) {
+  ES_CHECK(!samples.empty(), "collate of empty sample list");
+  const std::int64_t n = static_cast<std::int64_t>(samples.size());
+  Batch b;
+  b.size = n;
+  if (samples[0].x.defined()) {
+    std::vector<std::int64_t> dims = {n};
+    for (auto d : samples[0].x.shape().dims()) dims.push_back(d);
+    b.x = tensor::Tensor(tensor::Shape(dims));
+    const std::int64_t per = samples[0].x.numel();
+    for (std::int64_t i = 0; i < n; ++i) {
+      ES_CHECK(samples[static_cast<std::size_t>(i)].x.numel() == per,
+               "ragged sample features");
+      const auto src = samples[static_cast<std::size_t>(i)].x.data();
+      std::copy(src.begin(), src.end(), b.x.raw() + i * per);
+    }
+  }
+  if (!samples[0].ids.empty()) {
+    const std::int64_t k = static_cast<std::int64_t>(samples[0].ids.size());
+    b.ids = tensor::LongTensor(tensor::Shape{n, k});
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto& ids = samples[static_cast<std::size_t>(i)].ids;
+      ES_CHECK(static_cast<std::int64_t>(ids.size()) == k, "ragged ids");
+      std::copy(ids.begin(), ids.end(), b.ids.data().data() + i * k);
+    }
+  }
+  b.y = tensor::LongTensor(tensor::Shape{n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    b.y.at(i) = samples[static_cast<std::size_t>(i)].label;
+  }
+  if (!samples[0].target.empty()) {
+    const std::int64_t m = static_cast<std::int64_t>(samples[0].target.size());
+    b.target = tensor::Tensor(tensor::Shape{n, m});
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto& t = samples[static_cast<std::size_t>(i)].target;
+      ES_CHECK(static_cast<std::int64_t>(t.size()) == m, "ragged targets");
+      std::copy(t.begin(), t.end(), b.target.raw() + i * m);
+    }
+  }
+  return b;
+}
+
+}  // namespace easyscale::data

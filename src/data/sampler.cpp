@@ -1,0 +1,66 @@
+#include "data/sampler.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "rng/sampling.hpp"
+#include "rng/stream_set.hpp"
+
+namespace easyscale::data {
+
+DistributedSampler::DistributedSampler(std::int64_t dataset_size,
+                                       std::int64_t world_size,
+                                       std::int64_t rank,
+                                       std::int64_t batch_size,
+                                       std::uint64_t seed, bool shuffle)
+    : dataset_size_(dataset_size),
+      world_size_(world_size),
+      rank_(rank),
+      batch_size_(batch_size),
+      seed_(seed),
+      shuffle_(shuffle) {
+  ES_CHECK(world_size > 0 && rank >= 0 && rank < world_size,
+           "bad sampler rank/world");
+  ES_CHECK(batch_size > 0 && dataset_size > 0, "bad sampler sizes");
+  set_epoch(0);
+  ES_CHECK(steps_per_epoch() > 0,
+           "batch size " << batch_size << " exceeds the per-rank shard ("
+                         << dataset_size << " samples over " << world_size
+                         << " ranks)");
+}
+
+void DistributedSampler::set_epoch(std::int64_t epoch) {
+  epoch_ = epoch;
+  std::vector<std::int64_t> order;
+  if (shuffle_) {
+    rng::Philox gen(rng::derive_stream_key(
+        seed_, static_cast<std::uint64_t>(epoch), 31));
+    order = rng::permutation(gen, static_cast<std::size_t>(dataset_size_));
+  } else {
+    order.resize(static_cast<std::size_t>(dataset_size_));
+    std::iota(order.begin(), order.end(), std::int64_t{0});
+  }
+  // Pad by wrapping so every rank gets the same shard length (torch
+  // semantics), then take a strided shard.
+  const std::int64_t per_rank = (dataset_size_ + world_size_ - 1) / world_size_;
+  const std::int64_t total = per_rank * world_size_;
+  shard_.clear();
+  shard_.reserve(static_cast<std::size_t>(per_rank));
+  for (std::int64_t i = rank_; i < total; i += world_size_) {
+    shard_.push_back(order[static_cast<std::size_t>(i % dataset_size_)]);
+  }
+}
+
+std::int64_t DistributedSampler::steps_per_epoch() const {
+  return static_cast<std::int64_t>(shard_.size()) / batch_size_;
+}
+
+std::vector<std::int64_t> DistributedSampler::batch_indices(
+    std::int64_t step) const {
+  ES_CHECK(step >= 0 && step < steps_per_epoch(),
+           "sampler step " << step << " out of range");
+  const auto begin = shard_.begin() + step * batch_size_;
+  return std::vector<std::int64_t>(begin, begin + batch_size_);
+}
+
+}  // namespace easyscale::data

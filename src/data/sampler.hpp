@@ -1,0 +1,46 @@
+// Distributed sampler, faithful to torch.utils.data.DistributedSampler:
+// one global per-epoch permutation shared by all virtual ranks, padded to a
+// multiple of the world size, sharded by stride.  Because the shard of
+// virtual rank r is a pure function of (seed, epoch, world, r), EasyScale's
+// ESTs sample exactly what the corresponding DDP workers would — whatever
+// physical GPU they happen to run on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rng/philox.hpp"
+
+namespace easyscale::data {
+
+class DistributedSampler {
+ public:
+  DistributedSampler(std::int64_t dataset_size, std::int64_t world_size,
+                     std::int64_t rank, std::int64_t batch_size,
+                     std::uint64_t seed, bool shuffle = true);
+
+  /// Regenerate the epoch permutation (same for every rank).
+  void set_epoch(std::int64_t epoch);
+
+  [[nodiscard]] std::int64_t steps_per_epoch() const;
+
+  /// Sample indices of this rank's `step`-th mini-batch of the current
+  /// epoch.
+  [[nodiscard]] std::vector<std::int64_t> batch_indices(std::int64_t step) const;
+
+  [[nodiscard]] std::int64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::int64_t batch_size() const { return batch_size_; }
+  [[nodiscard]] std::int64_t world_size() const { return world_size_; }
+
+ private:
+  std::int64_t dataset_size_;
+  std::int64_t world_size_;
+  std::int64_t rank_;
+  std::int64_t batch_size_;
+  std::uint64_t seed_;
+  bool shuffle_;
+  std::int64_t epoch_ = 0;
+  std::vector<std::int64_t> shard_;  // this rank's indices for the epoch
+};
+
+}  // namespace easyscale::data

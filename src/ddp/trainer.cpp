@@ -1,0 +1,120 @@
+#include "ddp/trainer.hpp"
+
+#include <thread>
+
+#include "common/digest.hpp"
+
+namespace easyscale::ddp {
+
+DDPTrainer::DDPTrainer(DDPConfig config, const data::Dataset& train,
+                       const data::AugmentConfig& augment)
+    : config_(std::move(config)) {
+  ES_CHECK(config_.world_size > 0, "DDP world must be positive");
+  if (config_.devices.empty()) {
+    config_.devices.assign(static_cast<std::size_t>(config_.world_size),
+                           kernels::DeviceType::kV100);
+  }
+  ES_CHECK(static_cast<std::int64_t>(config_.devices.size()) ==
+               config_.world_size,
+           "device list does not match world size");
+  replicas_.resize(static_cast<std::size_t>(config_.world_size));
+  for (std::int64_t r = 0; r < config_.world_size; ++r) {
+    Replica& rep = replicas_[static_cast<std::size_t>(r)];
+    rep.workload = models::make_workload(config_.workload);
+    rep.workload->init(config_.seed);  // same init on all ranks (broadcast)
+    rep.optimizer =
+        optim::make_optimizer(rep.workload->params(), config_.optim);
+    rep.scheduler = std::make_unique<optim::StepLR>(
+        *rep.optimizer, config_.lr_step_epochs, config_.gamma);
+    rep.pipeline = std::make_unique<data::RankDataPipeline>(
+        train, augment, config_.world_size, r, config_.batch_per_worker,
+        config_.seed);
+    rep.streams.seed_all(config_.seed, static_cast<std::uint64_t>(r));
+    rep.exec.device = config_.devices[static_cast<std::size_t>(r)];
+    rep.exec.policy = config_.policy;
+    rep.exec.custom_gemm = config_.custom_d2_gemm;
+  }
+  const data::DistributedSampler probe(train.size(), config_.world_size, 0,
+                                       config_.batch_per_worker, config_.seed);
+  steps_per_epoch_ = probe.steps_per_epoch();
+  comm::BucketManager mgr(replicas_[0].workload->params(),
+                          config_.bucket_cap_bytes);
+  layout_ = mgr.initial_layout();
+}
+
+void DDPTrainer::one_step() {
+  autograd::GradReadyRecorder recorder;
+  float last_loss = 0.0f;
+  auto run_rank = [&](std::int64_t r) {
+    Replica& rep = replicas_[static_cast<std::size_t>(r)];
+    rep.workload->params().zero_grads();
+    autograd::StepContext ctx;
+    ctx.exec = &rep.exec;
+    ctx.rng = &rep.streams;
+    ctx.training = true;
+    // Stock DDP observes ready order on the first iteration to rebuild the
+    // bucket mapping; rank 0's order is representative (identical graphs).
+    if (r == 0 && config_.rebuild_buckets && !rebuilt_) {
+      recorder.begin(rep.workload->params().size());
+      ctx.grad_ready = &recorder;
+    }
+    const data::Batch batch = rep.pipeline->next();
+    const float loss = rep.workload->train_step(ctx, batch);
+    if (r == config_.world_size - 1) last_loss = loss;
+  };
+  if (config_.parallel_workers && config_.world_size > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(config_.world_size));
+    for (std::int64_t r = 0; r < config_.world_size; ++r) {
+      threads.emplace_back([&run_rank, r] { run_rank(r); });
+    }
+    for (auto& t : threads) t.join();
+  } else {
+    for (std::int64_t r = 0; r < config_.world_size; ++r) run_rank(r);
+  }
+  // Gradient synchronization: bucketed ring all-reduce over the physical
+  // world.
+  std::vector<comm::GradientSet> sets;
+  sets.reserve(replicas_.size());
+  for (auto& rep : replicas_) {
+    sets.push_back(comm::GradientSet::from_store(rep.workload->params()));
+  }
+  std::vector<comm::GradientSet*> parts;
+  parts.reserve(sets.size());
+  for (auto& s : sets) parts.push_back(&s);
+  comm::allreduce_average(layout_, parts);
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    sets[r].to_store(replicas_[r].workload->params());
+    replicas_[r].optimizer->step();
+  }
+  if (config_.rebuild_buckets && !rebuilt_) {
+    comm::BucketManager mgr(replicas_[0].workload->params(),
+                            config_.bucket_cap_bytes);
+    layout_ = mgr.layout_from_ready_order(recorder.order());
+    rebuilt_ = true;
+  }
+  losses_.push_back(last_loss);
+  ++global_step_;
+}
+
+void DDPTrainer::run_steps(std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) one_step();
+}
+
+void DDPTrainer::run_epochs(std::int64_t n) {
+  for (std::int64_t e = 0; e < n; ++e) {
+    const std::int64_t epoch = global_step_ / steps_per_epoch_;
+    for (auto& rep : replicas_) rep.scheduler->set_epoch(epoch);
+    run_steps(steps_per_epoch_);
+  }
+}
+
+std::uint64_t DDPTrainer::params_digest() const {
+  Digest d;
+  for (const auto* p : replicas_[0].workload->params().all()) {
+    d.update(p->value.data());
+  }
+  return d.value();
+}
+
+}  // namespace easyscale::ddp

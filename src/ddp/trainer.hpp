@@ -1,0 +1,107 @@
+// PyTorch-DDP-style fixed-DoP data-parallel trainer — the paper's baseline.
+//
+// One model/optimizer replica per rank; per-rank RNG streams and sampler
+// shards; bucketed ring all-reduce over the *physical* world size with the
+// stock rebuild-after-first-iteration bucket behaviour.  With fixed seeds,
+// deterministic kernels and the deterministic ring order this is the
+// "DDP-homo" configuration of §5.1.1 (add hardware-agnostic kernels for
+// "DDP-heter").  Its results are reproducible at a fixed DoP — and change
+// bitwise when the DoP changes, which is the gap EasyScale closes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/allreduce.hpp"
+#include "comm/bucket.hpp"
+#include "data/pipeline.hpp"
+#include "kernels/exec_context.hpp"
+#include "models/workload.hpp"
+#include "optim/optimizer.hpp"
+#include "optim/sgd.hpp"
+
+namespace easyscale::ddp {
+
+struct DDPConfig {
+  std::string workload = "ResNet18";
+  std::int64_t world_size = 4;
+  std::int64_t batch_per_worker = 8;
+  std::uint64_t seed = 42;
+  kernels::KernelPolicy policy = kernels::KernelPolicy::kDeterministic;
+  std::vector<kernels::DeviceType> devices;  // per rank; default all V100
+  bool rebuild_buckets = true;
+  /// Custom D2 GEMM kernel handle (kernels/custom.hpp), 0 = built-in.
+  int custom_d2_gemm = 0;
+  std::int64_t bucket_cap_bytes = 4096;
+  optim::OptimizerConfig optim;
+  std::int64_t lr_step_epochs = 20;
+  float gamma = 0.1f;
+  /// Run ranks on parallel threads within a step (bitwise identical to
+  /// sequential; replicas are disjoint between synchronization points).
+  bool parallel_workers = false;
+};
+
+class DDPTrainer {
+ public:
+  DDPTrainer(DDPConfig config, const data::Dataset& train,
+             const data::AugmentConfig& augment);
+
+  /// Run `n` synchronized global steps; records the last rank's loss.
+  void run_steps(std::int64_t n);
+
+  /// Run whole epochs (advances the LR schedule between them).
+  void run_epochs(std::int64_t n);
+
+  [[nodiscard]] const std::vector<float>& loss_history() const {
+    return losses_;
+  }
+
+  /// Bitwise digest of rank-0 model parameters.
+  [[nodiscard]] std::uint64_t params_digest() const;
+
+  /// Rank-0 replica (e.g. for evaluation).
+  [[nodiscard]] models::Workload& model(std::int64_t rank = 0) {
+    return *replicas_[static_cast<std::size_t>(rank)].workload;
+  }
+
+  [[nodiscard]] std::int64_t steps_per_epoch() const {
+    return steps_per_epoch_;
+  }
+  [[nodiscard]] std::int64_t global_step() const { return global_step_; }
+  [[nodiscard]] const comm::BucketLayout& current_layout() const {
+    return layout_;
+  }
+  [[nodiscard]] optim::StepLR& scheduler(std::int64_t rank = 0) {
+    return *replicas_[static_cast<std::size_t>(rank)].scheduler;
+  }
+
+  /// Set the LR-schedule epoch on every rank (elastic baselines restart
+  /// their world and must carry the schedule across rebuilds).
+  void set_epoch_all(std::int64_t epoch) {
+    for (auto& rep : replicas_) rep.scheduler->set_epoch(epoch);
+  }
+
+  [[nodiscard]] std::int64_t world_size() const { return config_.world_size; }
+
+ private:
+  struct Replica {
+    std::unique_ptr<models::Workload> workload;
+    std::unique_ptr<optim::Optimizer> optimizer;
+    std::unique_ptr<optim::StepLR> scheduler;
+    std::unique_ptr<data::RankDataPipeline> pipeline;
+    rng::StreamSet streams;
+    kernels::ExecContext exec;
+  };
+
+  void one_step();
+
+  DDPConfig config_;
+  std::vector<Replica> replicas_;
+  comm::BucketLayout layout_;
+  bool rebuilt_ = false;
+  std::int64_t global_step_ = 0;
+  std::int64_t steps_per_epoch_ = 0;
+  std::vector<float> losses_;
+};
+
+}  // namespace easyscale::ddp

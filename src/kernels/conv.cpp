@@ -1,0 +1,269 @@
+#include "kernels/conv.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/reduce.hpp"
+
+namespace easyscale::kernels {
+
+namespace {
+
+void check_dims(const Conv2dDims& d) {
+  ES_CHECK(d.groups > 0 && d.in_channels % d.groups == 0 &&
+               d.out_channels % d.groups == 0,
+           "conv2d: channels not divisible by groups");
+  ES_CHECK(d.out_h() > 0 && d.out_w() > 0, "conv2d: empty output");
+}
+
+}  // namespace
+
+void im2col(const Conv2dDims& d, std::span<const float> sample_input,
+            std::int64_t group, std::span<float> cols) {
+  const std::int64_t cg = d.in_channels / d.groups;
+  const std::int64_t oh = d.out_h(), ow = d.out_w();
+  ES_CHECK(static_cast<std::int64_t>(cols.size()) ==
+               cg * d.kernel_h * d.kernel_w * oh * ow,
+           "im2col: bad cols size");
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < cg; ++c) {
+    const std::int64_t ic = group * cg + c;
+    for (std::int64_t kh = 0; kh < d.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < d.kernel_w; ++kw, ++row) {
+        float* dst = cols.data() + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * d.stride + kh - d.pad;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * d.stride + kw - d.pad;
+            float v = 0.0f;
+            if (iy >= 0 && iy < d.in_h && ix >= 0 && ix < d.in_w) {
+              v = sample_input[static_cast<std::size_t>(
+                  (ic * d.in_h + iy) * d.in_w + ix)];
+            }
+            dst[y * ow + x] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Conv2dDims& d, std::span<const float> cols,
+            std::int64_t group, std::span<float> sample_grad_input) {
+  const std::int64_t cg = d.in_channels / d.groups;
+  const std::int64_t oh = d.out_h(), ow = d.out_w();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < cg; ++c) {
+    const std::int64_t ic = group * cg + c;
+    for (std::int64_t kh = 0; kh < d.kernel_h; ++kh) {
+      for (std::int64_t kw = 0; kw < d.kernel_w; ++kw, ++row) {
+        const float* src = cols.data() + row * oh * ow;
+        for (std::int64_t y = 0; y < oh; ++y) {
+          const std::int64_t iy = y * d.stride + kh - d.pad;
+          if (iy < 0 || iy >= d.in_h) continue;
+          for (std::int64_t x = 0; x < ow; ++x) {
+            const std::int64_t ix = x * d.stride + kw - d.pad;
+            if (ix < 0 || ix >= d.in_w) continue;
+            sample_grad_input[static_cast<std::size_t>(
+                (ic * d.in_h + iy) * d.in_w + ix)] += src[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+void forward_direct(const Conv2dDims& d, std::span<const float> input,
+                    std::span<const float> weight, std::span<const float> bias,
+                    std::span<float> out) {
+  const std::int64_t cg = d.in_channels / d.groups;
+  const std::int64_t fg = d.out_channels / d.groups;
+  const std::int64_t oh = d.out_h(), ow = d.out_w();
+  const std::int64_t in_sample = d.in_channels * d.in_h * d.in_w;
+  for (std::int64_t n = 0; n < d.batch; ++n) {
+    const float* in_n = input.data() + n * in_sample;
+    for (std::int64_t f = 0; f < d.out_channels; ++f) {
+      const std::int64_t g = f / fg;
+      const float* w_f = weight.data() + f * cg * d.kernel_h * d.kernel_w;
+      const float b = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(f)];
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          float acc = 0.0f;  // single running accumulator: canonical order
+          for (std::int64_t c = 0; c < cg; ++c) {
+            const std::int64_t ic = g * cg + c;
+            for (std::int64_t kh = 0; kh < d.kernel_h; ++kh) {
+              const std::int64_t iy = y * d.stride + kh - d.pad;
+              if (iy < 0 || iy >= d.in_h) continue;
+              for (std::int64_t kw = 0; kw < d.kernel_w; ++kw) {
+                const std::int64_t ix = x * d.stride + kw - d.pad;
+                if (ix < 0 || ix >= d.in_w) continue;
+                acc += in_n[(ic * d.in_h + iy) * d.in_w + ix] *
+                       w_f[(c * d.kernel_h + kh) * d.kernel_w + kw];
+              }
+            }
+          }
+          out[static_cast<std::size_t>(((n * d.out_channels + f) * oh + y) * ow +
+                                       x)] = acc + b;
+        }
+      }
+    }
+  }
+}
+
+void forward_im2col(const ExecContext& ctx, const Conv2dDims& d,
+                    std::span<const float> input,
+                    std::span<const float> weight, std::span<const float> bias,
+                    std::span<float> out) {
+  const std::int64_t cg = d.in_channels / d.groups;
+  const std::int64_t fg = d.out_channels / d.groups;
+  const std::int64_t oh = d.out_h(), ow = d.out_w();
+  const std::int64_t kdim = cg * d.kernel_h * d.kernel_w;
+  const std::int64_t in_sample = d.in_channels * d.in_h * d.in_w;
+  std::vector<float> cols(static_cast<std::size_t>(kdim * oh * ow));
+  for (std::int64_t n = 0; n < d.batch; ++n) {
+    std::span<const float> in_n(input.data() + n * in_sample,
+                                static_cast<std::size_t>(in_sample));
+    for (std::int64_t g = 0; g < d.groups; ++g) {
+      im2col(d, in_n, g, cols);
+      std::span<float> out_g(
+          out.data() + ((n * d.out_channels + g * fg) * oh * ow),
+          static_cast<std::size_t>(fg * oh * ow));
+      std::span<const float> w_g(weight.data() + g * fg * kdim,
+                                 static_cast<std::size_t>(fg * kdim));
+      gemm(ctx, fg, oh * ow, kdim, w_g, cols, out_g, false);
+      if (!bias.empty()) {
+        for (std::int64_t f = 0; f < fg; ++f) {
+          const float b = bias[static_cast<std::size_t>(g * fg + f)];
+          float* o = out_g.data() + f * oh * ow;
+          for (std::int64_t i = 0; i < oh * ow; ++i) o[i] += b;
+        }
+      }
+    }
+  }
+}
+
+void backward_direct(const Conv2dDims& d, std::span<const float> input,
+                     std::span<const float> weight,
+                     std::span<const float> grad_out,
+                     std::span<float> grad_input, std::span<float> grad_weight,
+                     std::span<float> grad_bias) {
+  const std::int64_t cg = d.in_channels / d.groups;
+  const std::int64_t fg = d.out_channels / d.groups;
+  const std::int64_t oh = d.out_h(), ow = d.out_w();
+  const std::int64_t in_sample = d.in_channels * d.in_h * d.in_w;
+  for (std::int64_t n = 0; n < d.batch; ++n) {
+    const float* in_n = input.data() + n * in_sample;
+    float* gin_n = grad_input.empty() ? nullptr : grad_input.data() + n * in_sample;
+    for (std::int64_t f = 0; f < d.out_channels; ++f) {
+      const std::int64_t g = f / fg;
+      const float* w_f = weight.data() + f * cg * d.kernel_h * d.kernel_w;
+      float* gw_f = grad_weight.empty()
+                        ? nullptr
+                        : grad_weight.data() + f * cg * d.kernel_h * d.kernel_w;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t x = 0; x < ow; ++x) {
+          const float go = grad_out[static_cast<std::size_t>(
+              ((n * d.out_channels + f) * oh + y) * ow + x)];
+          if (!grad_bias.empty()) grad_bias[static_cast<std::size_t>(f)] += go;
+          for (std::int64_t c = 0; c < cg; ++c) {
+            const std::int64_t ic = g * cg + c;
+            for (std::int64_t kh = 0; kh < d.kernel_h; ++kh) {
+              const std::int64_t iy = y * d.stride + kh - d.pad;
+              if (iy < 0 || iy >= d.in_h) continue;
+              for (std::int64_t kw = 0; kw < d.kernel_w; ++kw) {
+                const std::int64_t ix = x * d.stride + kw - d.pad;
+                if (ix < 0 || ix >= d.in_w) continue;
+                const std::int64_t wi = (c * d.kernel_h + kh) * d.kernel_w + kw;
+                const std::int64_t ii = (ic * d.in_h + iy) * d.in_w + ix;
+                if (gw_f) gw_f[wi] += go * in_n[ii];
+                if (gin_n) gin_n[ii] += go * w_f[wi];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void backward_im2col(const ExecContext& ctx, const Conv2dDims& d,
+                     std::span<const float> input,
+                     std::span<const float> weight,
+                     std::span<const float> grad_out,
+                     std::span<float> grad_input, std::span<float> grad_weight,
+                     std::span<float> grad_bias) {
+  const std::int64_t cg = d.in_channels / d.groups;
+  const std::int64_t fg = d.out_channels / d.groups;
+  const std::int64_t oh = d.out_h(), ow = d.out_w();
+  const std::int64_t kdim = cg * d.kernel_h * d.kernel_w;
+  const std::int64_t in_sample = d.in_channels * d.in_h * d.in_w;
+  std::vector<float> cols(static_cast<std::size_t>(kdim * oh * ow));
+  std::vector<float> cols_grad(static_cast<std::size_t>(kdim * oh * ow));
+  for (std::int64_t n = 0; n < d.batch; ++n) {
+    std::span<const float> in_n(input.data() + n * in_sample,
+                                static_cast<std::size_t>(in_sample));
+    for (std::int64_t g = 0; g < d.groups; ++g) {
+      im2col(d, in_n, g, cols);
+      std::span<const float> go_g(
+          grad_out.data() + ((n * d.out_channels + g * fg) * oh * ow),
+          static_cast<std::size_t>(fg * oh * ow));
+      if (!grad_weight.empty()) {
+        std::span<float> gw_g(grad_weight.data() + g * fg * kdim,
+                              static_cast<std::size_t>(fg * kdim));
+        // dW[fg, kdim] += dOut[fg, ohow] * cols^T[ohow, kdim]
+        gemm_nt(ctx, fg, kdim, oh * ow, go_g, cols, gw_g, true);
+      }
+      if (!grad_input.empty()) {
+        std::span<const float> w_g(weight.data() + g * fg * kdim,
+                                   static_cast<std::size_t>(fg * kdim));
+        // dcols[kdim, ohow] = W^T[kdim, fg] * dOut[fg, ohow]
+        gemm_tn(ctx, kdim, oh * ow, fg, w_g, go_g, cols_grad, false);
+        std::span<float> gin_n(grad_input.data() + n * in_sample,
+                               static_cast<std::size_t>(in_sample));
+        col2im(d, cols_grad, g, gin_n);
+      }
+    }
+    if (!grad_bias.empty()) {
+      for (std::int64_t f = 0; f < d.out_channels; ++f) {
+        std::span<const float> go_f(
+            grad_out.data() + ((n * d.out_channels + f) * oh * ow),
+            static_cast<std::size_t>(oh * ow));
+        grad_bias[static_cast<std::size_t>(f)] += reduce_sum(ctx, go_f);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void conv2d_forward(const ExecContext& ctx, const Conv2dDims& d,
+                    std::span<const float> input, std::span<const float> weight,
+                    std::span<const float> bias, std::span<float> out) {
+  check_dims(d);
+  if (select_conv_variant(ctx) == ConvVariant::kDirectCanonical) {
+    forward_direct(d, input, weight, bias, out);
+  } else {
+    forward_im2col(ctx, d, input, weight, bias, out);
+  }
+}
+
+void conv2d_backward(const ExecContext& ctx, const Conv2dDims& d,
+                     std::span<const float> input,
+                     std::span<const float> weight,
+                     std::span<const float> grad_out,
+                     std::span<float> grad_input, std::span<float> grad_weight,
+                     std::span<float> grad_bias) {
+  check_dims(d);
+  if (select_conv_variant(ctx) == ConvVariant::kDirectCanonical) {
+    backward_direct(d, input, weight, grad_out, grad_input, grad_weight,
+                    grad_bias);
+  } else {
+    backward_im2col(ctx, d, input, weight, grad_out, grad_input, grad_weight,
+                    grad_bias);
+  }
+}
+
+}  // namespace easyscale::kernels

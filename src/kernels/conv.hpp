@@ -1,0 +1,62 @@
+// 2-D convolution kernels.
+//
+// The vendor path (kIm2colNative) lowers to im2col plus the device's native
+// GEMM — fast, but its accumulation order is device-specific.  The
+// canonical path (kDirectCanonical) is a direct loop with one running
+// accumulator: bitwise identical on every device but markedly slower, which
+// reproduces the paper's Fig-12 finding that D2 costs real throughput on
+// conv-heavy models.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "kernels/exec_context.hpp"
+
+namespace easyscale::kernels {
+
+struct Conv2dDims {
+  std::int64_t batch;
+  std::int64_t in_channels;
+  std::int64_t in_h;
+  std::int64_t in_w;
+  std::int64_t out_channels;
+  std::int64_t kernel_h;
+  std::int64_t kernel_w;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+  std::int64_t groups = 1;
+
+  [[nodiscard]] std::int64_t out_h() const {
+    return (in_h + 2 * pad - kernel_h) / stride + 1;
+  }
+  [[nodiscard]] std::int64_t out_w() const {
+    return (in_w + 2 * pad - kernel_w) / stride + 1;
+  }
+};
+
+/// out[N, F, OH, OW] = conv(input[N, C, H, W], weight[F, C/groups, KH, KW])
+/// (+ bias[F] when provided).
+void conv2d_forward(const ExecContext& ctx, const Conv2dDims& d,
+                    std::span<const float> input, std::span<const float> weight,
+                    std::span<const float> bias, std::span<float> out);
+
+/// Gradients for input, weight and bias.  Any of the gradient outputs may be
+/// empty to skip it.  grad_weight/grad_bias are accumulated into.
+void conv2d_backward(const ExecContext& ctx, const Conv2dDims& d,
+                     std::span<const float> input,
+                     std::span<const float> weight,
+                     std::span<const float> grad_out,
+                     std::span<float> grad_input, std::span<float> grad_weight,
+                     std::span<float> grad_bias);
+
+/// im2col for one sample: cols[(C/groups)*KH*KW, OH*OW] for group g.
+void im2col(const Conv2dDims& d, std::span<const float> sample_input,
+            std::int64_t group, std::span<float> cols);
+
+/// Inverse of im2col (scatter back, sequential order).
+void col2im(const Conv2dDims& d, std::span<const float> cols,
+            std::int64_t group, std::span<float> sample_grad_input);
+
+}  // namespace easyscale::kernels

@@ -1,0 +1,66 @@
+#include "kernels/custom.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace easyscale::kernels {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::pair<std::string, CustomDotFn>> entries;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+int register_custom_gemm(std::string name, CustomDotFn fn) {
+  ES_CHECK(fn != nullptr, "custom kernel must be callable");
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.entries.emplace_back(std::move(name), std::move(fn));
+  return static_cast<int>(r.entries.size());  // handles are 1-based
+}
+
+const CustomDotFn& custom_gemm(int handle) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  ES_CHECK(handle >= 1 && handle <= static_cast<int>(r.entries.size()),
+           "unknown custom kernel handle " << handle);
+  return r.entries[static_cast<std::size_t>(handle - 1)].second;
+}
+
+const std::string& custom_gemm_name(int handle) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  ES_CHECK(handle >= 1 && handle <= static_cast<int>(r.entries.size()),
+           "unknown custom kernel handle " << handle);
+  return r.entries[static_cast<std::size_t>(handle - 1)].first;
+}
+
+int num_custom_gemms() {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return static_cast<int>(r.entries.size());
+}
+
+float kahan_dot(const float* x, const float* y, std::int64_t k) {
+  float sum = 0.0f;
+  float comp = 0.0f;  // running compensation for lost low-order bits
+  for (std::int64_t i = 0; i < k; ++i) {
+    const float term = x[i] * y[i] - comp;
+    const float next = sum + term;
+    comp = (next - sum) - term;
+    sum = next;
+  }
+  return sum;
+}
+
+}  // namespace easyscale::kernels

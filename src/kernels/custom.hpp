@@ -1,0 +1,39 @@
+// User-customizable D2 kernels — the paper's stated future work ("we will
+// allow the users to customize D2 kernels via Cutlass", §3.3).
+//
+// A custom GEMM kernel is a dot-product routine with a caller-chosen,
+// hardware-independent accumulation order.  Registering one returns a
+// handle; setting ExecContext::custom_gemm to that handle makes the
+// hardware-agnostic policy use it instead of the built-in pinned variant —
+// letting users trade speed for numerics (e.g. Kahan compensation) while
+// keeping bitwise D2 consistency across device types.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "kernels/exec_context.hpp"
+
+namespace easyscale::kernels {
+
+/// Dot product over k contiguous elements of x and y.
+using CustomDotFn =
+    std::function<float(const float* x, const float* y, std::int64_t k)>;
+
+/// Register a custom kernel; returns its handle (>= 1).  Registration is
+/// process-global and append-only (handles stay valid).
+[[nodiscard]] int register_custom_gemm(std::string name, CustomDotFn fn);
+
+/// Look up a registered kernel.  Throws for unknown handles.
+[[nodiscard]] const CustomDotFn& custom_gemm(int handle);
+[[nodiscard]] const std::string& custom_gemm_name(int handle);
+
+/// Number of registered custom kernels.
+[[nodiscard]] int num_custom_gemms();
+
+/// A ready-made example: Kahan-compensated summation — slower, but with
+/// far smaller accumulation error than any built-in variant.
+[[nodiscard]] float kahan_dot(const float* x, const float* y, std::int64_t k);
+
+}  // namespace easyscale::kernels

@@ -1,0 +1,30 @@
+#include "kernels/device.hpp"
+
+#include "common/error.hpp"
+
+namespace easyscale::kernels {
+
+namespace {
+// Capability ratios approximate the paper's cluster: V100 > P100 > T4 for
+// training throughput.
+constexpr DeviceSpec kSpecs[kNumDeviceTypes] = {
+    {"V100", 16.0, 1.00},
+    {"P100", 16.0, 0.45},
+    {"T4", 16.0, 0.30},
+};
+}  // namespace
+
+const DeviceSpec& device_spec(DeviceType type) {
+  return kSpecs[static_cast<int>(type)];
+}
+
+std::string device_name(DeviceType type) { return device_spec(type).name; }
+
+DeviceType parse_device(const std::string& name) {
+  for (int i = 0; i < kNumDeviceTypes; ++i) {
+    if (name == kSpecs[i].name) return static_cast<DeviceType>(i);
+  }
+  ES_THROW("unknown device type: " << name);
+}
+
+}  // namespace easyscale::kernels

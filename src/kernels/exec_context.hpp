@@ -1,0 +1,100 @@
+// Kernel selection policy — the D0 / D2 mechanism.
+//
+// §3.3 identifies two kernel-level nondeterminism sources:
+//  1. profiling-based re-selection (cudnn.benchmark-style autotuning), and
+//  2. hardware-specific kernel implementations per GPU type.
+//
+// ExecContext carries the device a worker "runs on" plus the policy that
+// decides which variant of each op executes:
+//  - kFastest:          native variant, optionally re-picked by a real
+//                       wall-clock autotuner (nondeterministic, like stock
+//                       frameworks);
+//  - kDeterministic:    fixed native variant for the device (paper D0) —
+//                       reproducible on a fixed device type, but different
+//                       device types still produce different bits;
+//  - kHardwareAgnostic: one canonical variant on every device (paper D2) —
+//                       bitwise identical across device types, slower for
+//                       conv-heavy models (Fig 12).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "kernels/device.hpp"
+
+namespace easyscale::kernels {
+
+enum class KernelPolicy : int {
+  kFastest = 0,
+  kDeterministic = 1,
+  kHardwareAgnostic = 2,
+};
+
+/// GEMM kernel variants.  The number of interleaved accumulators decides
+/// both the FP association order (bitwise-different results) and the
+/// vectorization the compiler can apply (wider = faster) — mirroring how
+/// real vendor kernels trade determinism for tuned throughput.
+enum class GemmVariant : int {
+  kSequential = 0,     // canonical single accumulator (D2 kernel; slow)
+  kInterleaved2 = 1,   // T4-native
+  kInterleaved4 = 2,   // P100-native
+  kInterleaved8 = 3,   // V100-native (widest vectorization)
+  kBlocked8 = 4,       // autotuner alternative: k-blocked partial sums
+};
+
+/// Reduction kernel variants, same idea for sum-reductions.
+enum class ReduceVariant : int {
+  kSequential = 0,
+  kPairwise64 = 1,   // V100-native tree reduction, leaf width 64
+  kPairwise128 = 2,  // P100-native
+  kPairwise256 = 3,  // T4-native
+};
+
+/// Convolution implementation.  The "vendor" path lowers to im2col + the
+/// device's native GEMM; the canonical path is a direct (slow) loop that is
+/// identical on every device — this speed gap is the Fig-12 D2 overhead.
+enum class ConvVariant : int {
+  kDirectCanonical = 0,
+  kIm2colNative = 1,
+};
+
+struct ExecContext {
+  DeviceType device = DeviceType::kV100;
+  KernelPolicy policy = KernelPolicy::kDeterministic;
+  /// Emulates torch.backends.cudnn.benchmark: with kFastest, re-pick the
+  /// gemm variant per problem shape by real wall-clock probing.
+  bool autotune = false;
+
+  /// Custom D2 GEMM kernel handle (kernels/custom.hpp); 0 = use the
+  /// built-in pinned variant.  Only honored under kHardwareAgnostic.
+  int custom_gemm = 0;
+
+  /// Autotuner cache: (m, n, k) -> chosen variant.  Mutable because kernel
+  /// calls are logically const with respect to training state.
+  mutable std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t>,
+                   GemmVariant>
+      gemm_cache;
+};
+
+/// Variant a given context uses for GEMM on a (m,n,k) problem.
+[[nodiscard]] GemmVariant select_gemm_variant(const ExecContext& ctx,
+                                              std::int64_t m, std::int64_t n,
+                                              std::int64_t k);
+
+/// Variant for sum reductions.
+[[nodiscard]] ReduceVariant select_reduce_variant(const ExecContext& ctx);
+
+/// Variant for convolutions.
+[[nodiscard]] ConvVariant select_conv_variant(const ExecContext& ctx);
+
+/// True when scatter-add must sort indices first (deterministic policies).
+[[nodiscard]] bool scatter_add_sorted(const ExecContext& ctx);
+
+/// Native (deterministic) gemm variant of a device type.
+[[nodiscard]] GemmVariant native_gemm_variant(DeviceType device);
+
+/// Native reduce variant of a device type.
+[[nodiscard]] ReduceVariant native_reduce_variant(DeviceType device);
+
+}  // namespace easyscale::kernels

@@ -1,0 +1,41 @@
+// GEMM kernels with controlled floating-point accumulation orders.
+//
+// C[m,n] (+)= A[m,k] * B[k,n].  The variant decides how the k-loop partial
+// products are associated; see kernels/exec_context.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "kernels/exec_context.hpp"
+
+namespace easyscale::kernels {
+
+/// General matrix multiply.  When `accumulate` is false C is overwritten,
+/// otherwise the product is added to C.  B is packed (transposed) internally
+/// for locality; packing does not change FP values, only the k-loop
+/// association chosen by the variant does.
+void gemm(const ExecContext& ctx, std::int64_t m, std::int64_t n,
+          std::int64_t k, std::span<const float> a, std::span<const float> b,
+          std::span<float> c, bool accumulate = false);
+
+/// Like gemm but with an explicit variant (used by tests and by the
+/// autotuner's probe path).
+void gemm_variant(GemmVariant variant, std::int64_t m, std::int64_t n,
+                  std::int64_t k, std::span<const float> a,
+                  std::span<const float> b, std::span<float> c,
+                  bool accumulate = false);
+
+/// C[m,n] (+)= A^T[k,m]^T... convenience wrappers used by backward passes:
+/// gemm_tn computes C = A^T * B with A stored [k,m];
+/// gemm_nt computes C = A * B^T with B stored [n,k].
+void gemm_tn(const ExecContext& ctx, std::int64_t m, std::int64_t n,
+             std::int64_t k, std::span<const float> a,
+             std::span<const float> b, std::span<float> c,
+             bool accumulate = false);
+void gemm_nt(const ExecContext& ctx, std::int64_t m, std::int64_t n,
+             std::int64_t k, std::span<const float> a,
+             std::span<const float> b, std::span<float> c,
+             bool accumulate = false);
+
+}  // namespace easyscale::kernels

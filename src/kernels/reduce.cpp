@@ -1,0 +1,74 @@
+#include "kernels/reduce.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace easyscale::kernels {
+
+namespace {
+
+float sum_sequential(std::span<const float> v) {
+  float acc = 0.0f;
+  for (float x : v) acc += x;
+  return acc;
+}
+
+/// Two-level reduction: leaves of `width` summed sequentially, leaf partials
+/// folded pairwise bottom-up — the shape of a GPU block reduction.
+float sum_pairwise(std::span<const float> v, std::int64_t width) {
+  std::vector<float> partials;
+  partials.reserve(v.size() / static_cast<std::size_t>(width) + 1);
+  for (std::size_t b0 = 0; b0 < v.size(); b0 += static_cast<std::size_t>(width)) {
+    const std::size_t b1 =
+        std::min(v.size(), b0 + static_cast<std::size_t>(width));
+    float part = 0.0f;
+    for (std::size_t i = b0; i < b1; ++i) part += v[i];
+    partials.push_back(part);
+  }
+  // Pairwise fold of the partials.
+  while (partials.size() > 1) {
+    std::vector<float> next;
+    next.reserve((partials.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < partials.size(); i += 2) {
+      next.push_back(partials[i] + partials[i + 1]);
+    }
+    if (partials.size() % 2) next.push_back(partials.back());
+    partials = std::move(next);
+  }
+  return partials.empty() ? 0.0f : partials[0];
+}
+
+}  // namespace
+
+float reduce_sum_variant(ReduceVariant variant, std::span<const float> v) {
+  switch (variant) {
+    case ReduceVariant::kSequential:
+      return sum_sequential(v);
+    case ReduceVariant::kPairwise64:
+      return sum_pairwise(v, 64);
+    case ReduceVariant::kPairwise128:
+      return sum_pairwise(v, 128);
+    case ReduceVariant::kPairwise256:
+      return sum_pairwise(v, 256);
+  }
+  ES_THROW("unreachable reduce variant");
+}
+
+float reduce_sum(const ExecContext& ctx, std::span<const float> values) {
+  return reduce_sum_variant(select_reduce_variant(ctx), values);
+}
+
+float reduce_sum_strided(const ExecContext& ctx, std::span<const float> values,
+                         std::int64_t offset, std::int64_t stride,
+                         std::int64_t count) {
+  ES_CHECK(stride > 0, "stride must be positive");
+  std::vector<float> gathered(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    gathered[static_cast<std::size_t>(i)] =
+        values[static_cast<std::size_t>(offset + i * stride)];
+  }
+  return reduce_sum(ctx, gathered);
+}
+
+}  // namespace easyscale::kernels

@@ -1,0 +1,31 @@
+// Sum reductions with controlled association order.
+//
+// Used by loss reduction, BatchNorm statistics and bias gradients — the
+// places where real GPU kernels use tree reductions whose shape is
+// hardware-specific.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "kernels/exec_context.hpp"
+
+namespace easyscale::kernels {
+
+/// Sum of `values` in the order chosen by the context's reduce variant.
+[[nodiscard]] float reduce_sum(const ExecContext& ctx,
+                               std::span<const float> values);
+
+/// Sum with an explicit variant (tests / probes).
+[[nodiscard]] float reduce_sum_variant(ReduceVariant variant,
+                                       std::span<const float> values);
+
+/// Strided sum: sum of values[offset + i*stride] for i in [0, count) —
+/// per-channel reductions use this.  Same association rules.
+[[nodiscard]] float reduce_sum_strided(const ExecContext& ctx,
+                                       std::span<const float> values,
+                                       std::int64_t offset,
+                                       std::int64_t stride,
+                                       std::int64_t count);
+
+}  // namespace easyscale::kernels

@@ -1,0 +1,54 @@
+#include "kernels/scatter.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace easyscale::kernels {
+
+namespace {
+std::atomic<std::uint64_t> g_atomic_order_counter{0};
+}
+
+void reset_atomic_emulation_counter() { g_atomic_order_counter.store(0); }
+
+void scatter_add(const ExecContext& ctx, std::span<const std::int64_t> indices,
+                 std::span<const float> src, std::int64_t width,
+                 std::span<float> out) {
+  const std::int64_t n = static_cast<std::int64_t>(indices.size());
+  ES_CHECK(static_cast<std::int64_t>(src.size()) == n * width,
+           "scatter_add: src size mismatch");
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), std::int64_t{0});
+  if (scatter_add_sorted(ctx)) {
+    // Deterministic: stable sort by destination row, then source position.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::int64_t a, std::int64_t b) {
+                       return indices[static_cast<std::size_t>(a)] <
+                              indices[static_cast<std::size_t>(b)];
+                     });
+  } else {
+    // Emulated atomics: rotate the processing order by a process-global
+    // counter so collision accumulation order varies call to call.
+    const std::uint64_t rot = g_atomic_order_counter.fetch_add(1);
+    if (n > 0) {
+      std::rotate(order.begin(),
+                  order.begin() + static_cast<std::int64_t>(rot % n),
+                  order.end());
+    }
+  }
+  for (std::int64_t oi : order) {
+    const std::int64_t row = indices[static_cast<std::size_t>(oi)];
+    ES_CHECK(row >= 0 &&
+                 (row + 1) * width <= static_cast<std::int64_t>(out.size()),
+             "scatter_add: row out of range");
+    const float* s = src.data() + oi * width;
+    float* d = out.data() + row * width;
+    for (std::int64_t c = 0; c < width; ++c) d[c] += s[c];
+  }
+}
+
+}  // namespace easyscale::kernels

@@ -1,0 +1,179 @@
+#include "models/blocks.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace easyscale::models {
+
+ResidualBlock::ResidualBlock(std::string name, std::int64_t in_ch,
+                             std::int64_t out_ch, std::int64_t stride)
+    : has_downsample_(stride != 1 || in_ch != out_ch),
+      conv1_(name + ".conv1", in_ch, out_ch, 3, stride, 1),
+      bn1_(name + ".bn1", out_ch),
+      conv2_(name + ".conv2", out_ch, out_ch, 3, 1, 1),
+      bn2_(name + ".bn2", out_ch),
+      down_conv_(name + ".down.conv", in_ch, out_ch, 1, stride, 0,
+                 /*groups=*/1, /*bias=*/false),
+      down_bn_(name + ".down.bn", out_ch) {}
+
+void ResidualBlock::register_parameters(ParameterStore& store) {
+  // Registration mirrors torchvision BasicBlock: main path first, then the
+  // downsample — backward produces the downsample gradients *between* the
+  // two conv layers, so ready-order differs from registration order.
+  conv1_.register_parameters(store);
+  bn1_.register_parameters(store);
+  conv2_.register_parameters(store);
+  bn2_.register_parameters(store);
+  if (has_downsample_) {
+    down_conv_.register_parameters(store);
+    down_bn_.register_parameters(store);
+  }
+}
+
+void ResidualBlock::collect_buffers(std::vector<Tensor*>& out) {
+  bn1_.collect_buffers(out);
+  bn2_.collect_buffers(out);
+  if (has_downsample_) down_bn_.collect_buffers(out);
+}
+
+void ResidualBlock::init_weights(rng::Philox& init) {
+  conv1_.init_weights(init);
+  bn1_.init_weights(init);
+  conv2_.init_weights(init);
+  bn2_.init_weights(init);
+  if (has_downsample_) {
+    down_conv_.init_weights(init);
+    down_bn_.init_weights(init);
+  }
+}
+
+Tensor ResidualBlock::forward(StepContext& ctx, const Tensor& x) {
+  Tensor main = conv1_.forward(ctx, x);
+  main = bn1_.forward(ctx, main);
+  main = relu1_.forward(ctx, main);
+  main = conv2_.forward(ctx, main);
+  main = bn2_.forward(ctx, main);
+  Tensor skip = x;
+  if (has_downsample_) {
+    skip = down_conv_.forward(ctx, x);
+    skip = down_bn_.forward(ctx, skip);
+  }
+  tensor::add_(main, skip);
+  return relu_out_.forward(ctx, main);
+}
+
+Tensor ResidualBlock::backward(StepContext& ctx, const Tensor& grad_out) {
+  Tensor g = relu_out_.backward(ctx, grad_out);
+  // Skip-path gradient (computed first: it feeds the downsample params
+  // whose ready order sits between the main-path convs in real DDP).
+  Tensor g_skip = g;
+  if (has_downsample_) {
+    g_skip = down_bn_.backward(ctx, g_skip);
+    g_skip = down_conv_.backward(ctx, g_skip);
+  }
+  Tensor g_main = bn2_.backward(ctx, g);
+  g_main = conv2_.backward(ctx, g_main);
+  g_main = relu1_.backward(ctx, g_main);
+  g_main = bn1_.backward(ctx, g_main);
+  g_main = conv1_.backward(ctx, g_main);
+  tensor::add_(g_main, g_skip);
+  return g_main;
+}
+
+Tensor ChannelShuffle::forward(StepContext& /*ctx*/, const Tensor& x) {
+  ES_CHECK(x.shape().rank() == 4, "ChannelShuffle expects NCHW");
+  const std::int64_t n = x.shape().dim(0), c = x.shape().dim(1),
+                     hw = x.shape().dim(2) * x.shape().dim(3);
+  ES_CHECK(c % groups_ == 0, "channels not divisible by shuffle groups");
+  cached_shape_ = x.shape();
+  const std::int64_t per = c / groups_;
+  Tensor out(x.shape());
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t g = 0; g < groups_; ++g) {
+      for (std::int64_t i = 0; i < per; ++i) {
+        const float* src = x.raw() + ((s * c) + g * per + i) * hw;
+        float* dst = out.raw() + ((s * c) + i * groups_ + g) * hw;
+        for (std::int64_t k = 0; k < hw; ++k) dst[k] = src[k];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor ChannelShuffle::backward(StepContext& /*ctx*/, const Tensor& grad_out) {
+  const std::int64_t n = cached_shape_.dim(0), c = cached_shape_.dim(1),
+                     hw = cached_shape_.dim(2) * cached_shape_.dim(3);
+  const std::int64_t per = c / groups_;
+  Tensor grad_in(cached_shape_);
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t g = 0; g < groups_; ++g) {
+      for (std::int64_t i = 0; i < per; ++i) {
+        const float* src = grad_out.raw() + ((s * c) + i * groups_ + g) * hw;
+        float* dst = grad_in.raw() + ((s * c) + g * per + i) * hw;
+        for (std::int64_t k = 0; k < hw; ++k) dst[k] = src[k];
+      }
+    }
+  }
+  return grad_in;
+}
+
+TransformerBlock::TransformerBlock(std::string name, std::int64_t dim,
+                                   std::int64_t heads, std::int64_t ff_dim,
+                                   float dropout_p)
+    : dim_(dim),
+      ln1_(name + ".ln1", dim),
+      attn_(name + ".attn", dim, heads),
+      ln2_(name + ".ln2", dim),
+      ff1_(name + ".ff1", dim, ff_dim),
+      drop_(dropout_p),
+      ff2_(name + ".ff2", ff_dim, dim) {}
+
+void TransformerBlock::register_parameters(ParameterStore& store) {
+  ln1_.register_parameters(store);
+  attn_.register_parameters(store);
+  ln2_.register_parameters(store);
+  ff1_.register_parameters(store);
+  ff2_.register_parameters(store);
+}
+
+void TransformerBlock::init_weights(rng::Philox& init) {
+  ln1_.init_weights(init);
+  attn_.init_weights(init);
+  ln2_.init_weights(init);
+  ff1_.init_weights(init);
+  ff2_.init_weights(init);
+}
+
+Tensor TransformerBlock::forward(StepContext& ctx, const Tensor& x) {
+  cached_shape_ = x.shape();
+  const std::int64_t n = x.shape().dim(0), t = x.shape().dim(1);
+  // x + attn(LN1(x))
+  Tensor h = ln1_.forward(ctx, x);
+  h = attn_.forward(ctx, h);
+  tensor::add_(h, x);
+  // h + FF(LN2(h))
+  Tensor f = ln2_.forward(ctx, h);
+  f = ff1_.forward(ctx, f.reshaped(Shape{n * t, dim_}));
+  f = gelu_.forward(ctx, f);
+  f = drop_.forward(ctx, f);
+  f = ff2_.forward(ctx, f).reshaped(cached_shape_);
+  tensor::add_(f, h);
+  return f;
+}
+
+Tensor TransformerBlock::backward(StepContext& ctx, const Tensor& grad_out) {
+  const std::int64_t n = cached_shape_.dim(0), t = cached_shape_.dim(1);
+  // Through the FF residual.
+  Tensor g_ff = ff2_.backward(ctx, grad_out.reshaped(Shape{n * t, dim_}));
+  g_ff = drop_.backward(ctx, g_ff);
+  g_ff = gelu_.backward(ctx, g_ff);
+  g_ff = ff1_.backward(ctx, g_ff);
+  Tensor g_h = ln2_.backward(ctx, g_ff.reshaped(cached_shape_));
+  tensor::add_(g_h, grad_out);  // residual branch
+  // Through the attention residual.
+  Tensor g_attn = attn_.backward(ctx, g_h);
+  Tensor g_x = ln1_.backward(ctx, g_attn);
+  tensor::add_(g_x, g_h);  // residual branch
+  return g_x;
+}
+
+}  // namespace easyscale::models

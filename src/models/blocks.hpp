@@ -1,0 +1,89 @@
+// Composite layers used by the model zoo: residual blocks (ResNet), channel
+// shuffle (ShuffleNetv2) and transformer encoder blocks (BERT / Electra /
+// Swin).  Their parameter registration order intentionally mirrors typical
+// PyTorch modules, where construction order differs from backward-ready
+// order — that gap is what makes DDP's bucket rebuild observable (§3.3).
+#pragma once
+
+#include "nn/activations.hpp"
+#include "nn/attention.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/layer.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/linear.hpp"
+
+namespace easyscale::models {
+
+using nn::Layer;
+using nn::ParameterStore;
+using nn::Shape;
+using nn::StepContext;
+using nn::Tensor;
+
+/// conv-bn-relu-conv-bn + identity (or 1x1-conv downsample) skip.
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(std::string name, std::int64_t in_ch, std::int64_t out_ch,
+                std::int64_t stride);
+
+  Tensor forward(StepContext& ctx, const Tensor& x) override;
+  Tensor backward(StepContext& ctx, const Tensor& grad_out) override;
+  void register_parameters(ParameterStore& store) override;
+  void collect_buffers(std::vector<Tensor*>& out) override;
+  void init_weights(rng::Philox& init) override;
+  [[nodiscard]] bool uses_vendor_tuned_kernels() const override { return true; }
+  [[nodiscard]] const char* kind() const override { return "ResidualBlock"; }
+
+ private:
+  bool has_downsample_;
+  nn::Conv2d conv1_;
+  nn::BatchNorm2d bn1_;
+  nn::ReLU relu1_;
+  nn::Conv2d conv2_;
+  nn::BatchNorm2d bn2_;
+  nn::Conv2d down_conv_;
+  nn::BatchNorm2d down_bn_;
+  nn::ReLU relu_out_;
+};
+
+/// ShuffleNet channel shuffle: regroups channels across `groups`.
+class ChannelShuffle : public Layer {
+ public:
+  explicit ChannelShuffle(std::int64_t groups) : groups_(groups) {}
+
+  Tensor forward(StepContext& ctx, const Tensor& x) override;
+  Tensor backward(StepContext& ctx, const Tensor& grad_out) override;
+  [[nodiscard]] const char* kind() const override { return "ChannelShuffle"; }
+
+ private:
+  std::int64_t groups_;
+  Shape cached_shape_;
+};
+
+/// Pre-norm transformer encoder block: x + attn(LN(x)); x + FF(LN(x)).
+class TransformerBlock : public Layer {
+ public:
+  TransformerBlock(std::string name, std::int64_t dim, std::int64_t heads,
+                   std::int64_t ff_dim, float dropout_p);
+
+  Tensor forward(StepContext& ctx, const Tensor& x) override;
+  Tensor backward(StepContext& ctx, const Tensor& grad_out) override;
+  void register_parameters(ParameterStore& store) override;
+  void init_weights(rng::Philox& init) override;
+  [[nodiscard]] const char* kind() const override { return "TransformerBlock"; }
+
+ private:
+  std::int64_t dim_;
+  nn::LayerNorm ln1_;
+  nn::MultiheadSelfAttention attn_;
+  nn::LayerNorm ln2_;
+  nn::Linear ff1_;
+  nn::GELU gelu_;
+  nn::Dropout drop_;
+  nn::Linear ff2_;
+  Shape cached_shape_;
+};
+
+}  // namespace easyscale::models

@@ -1,0 +1,111 @@
+#include "models/cv_models.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace easyscale::models {
+
+float ImageClassifier::train_step(autograd::StepContext& ctx,
+                                  const data::Batch& batch) {
+  ES_CHECK(batch.x.defined(), "image classifier needs image input");
+  Tensor logits = net_.forward(ctx, batch.x);
+  const float loss = loss_.forward(ctx, logits, batch.y);
+  net_.backward(ctx, loss_.backward());
+  return loss;
+}
+
+std::vector<std::int64_t> ImageClassifier::predict(autograd::StepContext& ctx,
+                                                   const data::Batch& batch) {
+  const bool was_training = ctx.training;
+  ctx.training = false;
+  Tensor logits = net_.forward(ctx, batch.x);
+  ctx.training = was_training;
+  return tensor::argmax_rows(logits);
+}
+
+void ImageClassifier::init(std::uint64_t seed) {
+  rng::Philox gen(rng::derive_stream_key(seed, 0, 41));
+  net_.init_weights(gen);
+}
+
+std::vector<tensor::Tensor*> ImageClassifier::buffers() {
+  std::vector<tensor::Tensor*> out;
+  net_.collect_buffers(out);
+  return out;
+}
+
+ShuffleNetV2Mini::ShuffleNetV2Mini() {
+  // Stem.
+  net_.emplace<nn::Conv2d>("stem.conv", 3, 8, 3, 1, 1);
+  net_.emplace<nn::BatchNorm2d>("stem.bn", 8);
+  net_.emplace<nn::ReLU>();
+  // Shuffle unit 1: grouped 1x1 -> shuffle -> depthwise 3x3 -> 1x1.
+  net_.emplace<nn::Conv2d>("u1.pw1", 8, 8, 1, 1, 0, /*groups=*/2);
+  net_.emplace<nn::BatchNorm2d>("u1.bn1", 8);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<ChannelShuffle>(2);
+  net_.emplace<nn::Conv2d>("u1.dw", 8, 8, 3, 1, 1, /*groups=*/8,
+                           /*bias=*/false);
+  net_.emplace<nn::BatchNorm2d>("u1.bn2", 8);
+  net_.emplace<nn::Conv2d>("u1.pw2", 8, 8, 1, 1, 0, /*groups=*/2);
+  net_.emplace<nn::BatchNorm2d>("u1.bn3", 8);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::MaxPool2d>(2);
+  // Shuffle unit 2 (widening).
+  net_.emplace<nn::Conv2d>("u2.pw1", 8, 16, 1, 1, 0, /*groups=*/2);
+  net_.emplace<nn::BatchNorm2d>("u2.bn1", 16);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<ChannelShuffle>(2);
+  net_.emplace<nn::Conv2d>("u2.dw", 16, 16, 3, 1, 1, /*groups=*/16,
+                           /*bias=*/false);
+  net_.emplace<nn::BatchNorm2d>("u2.bn2", 16);
+  net_.emplace<nn::Conv2d>("u2.pw2", 16, 16, 1, 1, 0, /*groups=*/2);
+  net_.emplace<nn::BatchNorm2d>("u2.bn3", 16);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::GlobalAvgPool>();
+  net_.emplace<nn::Linear>("fc", 16, 10);
+  finalize();
+}
+
+ResNet50Mini::ResNet50Mini() {
+  net_.emplace<nn::Conv2d>("stem.conv", 3, 8, 3, 1, 1);
+  net_.emplace<nn::BatchNorm2d>("stem.bn", 8);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<ResidualBlock>("layer1", 8, 8, 1);
+  net_.emplace<ResidualBlock>("layer2", 8, 16, 2);
+  net_.emplace<ResidualBlock>("layer3", 16, 16, 1);
+  net_.emplace<nn::GlobalAvgPool>();
+  net_.emplace<nn::Linear>("fc", 16, 10);
+  finalize();
+}
+
+ResNet18Mini::ResNet18Mini() {
+  net_.emplace<nn::Conv2d>("stem.conv", 3, 8, 3, 1, 1);
+  net_.emplace<nn::BatchNorm2d>("stem.bn", 8);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<ResidualBlock>("layer1", 8, 8, 1);
+  net_.emplace<ResidualBlock>("layer2", 8, 16, 2);
+  net_.emplace<nn::GlobalAvgPool>();
+  net_.emplace<nn::Linear>("fc", 16, 10);
+  finalize();
+}
+
+VGG19Mini::VGG19Mini() {
+  net_.emplace<nn::Conv2d>("conv1a", 3, 8, 3, 1, 1);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Conv2d>("conv1b", 8, 8, 3, 1, 1);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::MaxPool2d>(2);
+  net_.emplace<nn::Conv2d>("conv2a", 8, 16, 3, 1, 1);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Conv2d>("conv2b", 16, 16, 3, 1, 1);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::MaxPool2d>(2);
+  net_.emplace<nn::Flatten>();
+  net_.emplace<nn::Linear>("fc1", 16 * 2 * 2, 32);
+  net_.emplace<nn::ReLU>();
+  net_.emplace<nn::Dropout>(0.5f);
+  net_.emplace<nn::Linear>("fc2", 32, 10);
+  finalize();
+}
+
+}  // namespace easyscale::models

@@ -1,0 +1,63 @@
+// Image-classification workloads: ShuffleNetv2 / ResNet50 / VGG19 analogues
+// (Table 1), scaled to 8x8 synthetic CIFAR images so a CPU core can train
+// them, but with the same operator mix as the originals: grouped +
+// depthwise convs and channel shuffle; residual blocks with BN; plain conv
+// stacks with dropout in the classifier.
+#pragma once
+
+#include "models/blocks.hpp"
+#include "models/workload.hpp"
+#include "nn/losses.hpp"
+#include "nn/pooling.hpp"
+
+namespace easyscale::models {
+
+/// Shared scaffolding for Sequential image classifiers with a
+/// cross-entropy head.
+class ImageClassifier : public Workload {
+ public:
+  float train_step(autograd::StepContext& ctx,
+                   const data::Batch& batch) override;
+  std::vector<std::int64_t> predict(autograd::StepContext& ctx,
+                                    const data::Batch& batch) override;
+  void init(std::uint64_t seed) override;
+  std::vector<tensor::Tensor*> buffers() override;
+  [[nodiscard]] bool uses_vendor_tuned_kernels() const override {
+    return net_.uses_vendor_tuned_kernels();
+  }
+
+ protected:
+  /// Called once by subclasses after building `net_`.
+  void finalize() { net_.register_parameters(params_); }
+
+  nn::Sequential net_;
+  nn::SoftmaxCrossEntropy loss_;
+};
+
+class ShuffleNetV2Mini : public ImageClassifier {
+ public:
+  ShuffleNetV2Mini();
+  [[nodiscard]] std::string name() const override { return "ShuffleNetv2"; }
+};
+
+class ResNet50Mini : public ImageClassifier {
+ public:
+  ResNet50Mini();
+  [[nodiscard]] std::string name() const override { return "ResNet50"; }
+};
+
+/// Slightly smaller variant used by the Fig 2/3 accuracy experiments (the
+/// paper trains ResNet18 there).
+class ResNet18Mini : public ImageClassifier {
+ public:
+  ResNet18Mini();
+  [[nodiscard]] std::string name() const override { return "ResNet18"; }
+};
+
+class VGG19Mini : public ImageClassifier {
+ public:
+  VGG19Mini();
+  [[nodiscard]] std::string name() const override { return "VGG19"; }
+};
+
+}  // namespace easyscale::models

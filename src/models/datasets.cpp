@@ -1,0 +1,46 @@
+#include "models/datasets.hpp"
+
+#include "common/error.hpp"
+
+namespace easyscale::models {
+
+WorkloadData make_dataset_for(const std::string& workload,
+                              std::int64_t train_size, std::int64_t test_size,
+                              std::uint64_t seed) {
+  WorkloadData out;
+  const std::uint64_t test_seed = seed + 7919;
+  if (workload == "ShuffleNetv2" || workload == "ResNet50" ||
+      workload == "ResNet18" || workload == "VGG19" ||
+      workload == "SwinTransformer") {
+    out.train = std::make_unique<data::SyntheticImageDataset>(
+        train_size, 10, 3, 8, 8, seed, /*sample_salt=*/0);
+    // Same prototypes (same seed), disjoint sample noise: a learnable
+    // held-out split.
+    out.test = std::make_unique<data::SyntheticImageDataset>(
+        test_size, 10, 3, 8, 8, seed, /*sample_salt=*/1);
+    out.augment.enabled = true;
+    return out;
+  }
+  out.augment.enabled = false;
+  if (workload == "YOLOv3") {
+    out.train = std::make_unique<data::SyntheticDetectionDataset>(train_size,
+                                                                  8, 8, seed);
+    out.test = std::make_unique<data::SyntheticDetectionDataset>(
+        test_size, 8, 8, test_seed);
+  } else if (workload == "NeuMF") {
+    out.train =
+        std::make_unique<data::SyntheticRecDataset>(train_size, 64, 64, seed);
+    out.test = std::make_unique<data::SyntheticRecDataset>(test_size, 64, 64,
+                                                           test_seed);
+  } else if (workload == "Bert" || workload == "Electra") {
+    out.train =
+        std::make_unique<data::SyntheticQADataset>(train_size, 64, 16, seed);
+    out.test = std::make_unique<data::SyntheticQADataset>(test_size, 64, 16,
+                                                          test_seed);
+  } else {
+    ES_THROW("no dataset wiring for workload: " << workload);
+  }
+  return out;
+}
+
+}  // namespace easyscale::models

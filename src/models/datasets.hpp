@@ -1,0 +1,24 @@
+// Workload -> dataset wiring (the Table-1 pairs, with synthetic stand-ins).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "data/augment.hpp"
+#include "data/dataset.hpp"
+
+namespace easyscale::models {
+
+struct WorkloadData {
+  std::unique_ptr<data::Dataset> train;
+  std::unique_ptr<data::Dataset> test;
+  data::AugmentConfig augment;  // training-time augmentation policy
+};
+
+/// Datasets for `workload` with `train_size`/`test_size` samples.
+[[nodiscard]] WorkloadData make_dataset_for(const std::string& workload,
+                                            std::int64_t train_size,
+                                            std::int64_t test_size,
+                                            std::uint64_t seed);
+
+}  // namespace easyscale::models

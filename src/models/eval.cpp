@@ -1,0 +1,56 @@
+#include "models/eval.hpp"
+
+#include "data/sample.hpp"
+
+namespace easyscale::models {
+
+AccuracyReport evaluate(Workload& workload, const data::Dataset& test,
+                        std::int64_t batch_size, std::int64_t num_classes,
+                        kernels::DeviceType device) {
+  AccuracyReport report;
+  report.per_class.assign(static_cast<std::size_t>(num_classes), 0.0);
+  report.support.assign(static_cast<std::size_t>(num_classes), 0);
+  std::vector<double> correct(static_cast<std::size_t>(num_classes), 0.0);
+
+  kernels::ExecContext exec;
+  exec.device = device;
+  exec.policy = kernels::KernelPolicy::kDeterministic;
+  rng::StreamSet streams;
+  streams.seed_all(0, 0);
+  autograd::StepContext ctx;
+  ctx.exec = &exec;
+  ctx.rng = &streams;
+  ctx.training = false;
+
+  std::int64_t total = 0, total_correct = 0;
+  for (std::int64_t start = 0; start < test.size(); start += batch_size) {
+    const std::int64_t end = std::min(test.size(), start + batch_size);
+    std::vector<data::Sample> samples;
+    samples.reserve(static_cast<std::size_t>(end - start));
+    for (std::int64_t i = start; i < end; ++i) samples.push_back(test.get(i));
+    const data::Batch batch = data::collate(samples);
+    const auto preds = workload.predict(ctx, batch);
+    for (std::int64_t i = 0; i < end - start; ++i) {
+      const auto label = batch.y.at(i);
+      if (label < 0 || label >= num_classes) continue;
+      ++report.support[static_cast<std::size_t>(label)];
+      ++total;
+      if (preds[static_cast<std::size_t>(i)] == label) {
+        ++correct[static_cast<std::size_t>(label)];
+        ++total_correct;
+      }
+    }
+  }
+  report.overall = total > 0 ? static_cast<double>(total_correct) /
+                                   static_cast<double>(total)
+                             : 0.0;
+  for (std::size_t c = 0; c < correct.size(); ++c) {
+    report.per_class[c] =
+        report.support[c] > 0
+            ? correct[c] / static_cast<double>(report.support[c])
+            : 0.0;
+  }
+  return report;
+}
+
+}  // namespace easyscale::models

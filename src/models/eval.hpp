@@ -1,0 +1,27 @@
+// Accuracy evaluation helpers (overall and per-class, as in Figs 2-3).
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "kernels/exec_context.hpp"
+#include "models/workload.hpp"
+
+namespace easyscale::models {
+
+struct AccuracyReport {
+  double overall = 0.0;               // fraction correct
+  std::vector<double> per_class;      // fraction correct per label
+  std::vector<std::int64_t> support;  // samples per label
+};
+
+/// Evaluate `workload` on the whole test set (eval mode, deterministic
+/// kernels on the given device).
+[[nodiscard]] AccuracyReport evaluate(Workload& workload,
+                                      const data::Dataset& test,
+                                      std::int64_t batch_size,
+                                      std::int64_t num_classes,
+                                      kernels::DeviceType device =
+                                          kernels::DeviceType::kV100);
+
+}  // namespace easyscale::models

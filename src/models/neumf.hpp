@@ -1,0 +1,48 @@
+// NeuMF (He et al., WWW'17) analogue for implicit-feedback recommendation:
+// a GMF branch (elementwise product of user/item embeddings) fused with an
+// MLP branch, BCE loss.  Exercises the embedding + scatter-add path.
+#pragma once
+
+#include "models/workload.hpp"
+#include "nn/activations.hpp"
+#include "nn/embedding.hpp"
+#include "nn/linear.hpp"
+#include "nn/losses.hpp"
+
+namespace easyscale::models {
+
+class NeuMF : public Workload {
+ public:
+  NeuMF(std::int64_t num_users = 64, std::int64_t num_items = 64,
+        std::int64_t dim = 8);
+
+  [[nodiscard]] std::string name() const override { return "NeuMF"; }
+  void init(std::uint64_t seed) override;
+  float train_step(autograd::StepContext& ctx,
+                   const data::Batch& batch) override;
+  std::vector<std::int64_t> predict(autograd::StepContext& ctx,
+                                    const data::Batch& batch) override;
+  [[nodiscard]] bool uses_vendor_tuned_kernels() const override {
+    return false;  // embeddings + gemm only: D2-eligible with ~0 overhead
+  }
+
+ private:
+  struct ForwardCache {
+    tensor::LongTensor users, items;
+    tensor::Tensor gmf_u, gmf_i, mlp_u, mlp_i;
+    tensor::Tensor gmf_vec, mlp_hidden_in;
+  };
+
+  tensor::Tensor forward(autograd::StepContext& ctx, const data::Batch& batch,
+                         ForwardCache& cache);
+
+  std::int64_t dim_;
+  nn::Embedding gmf_user_, gmf_item_, mlp_user_, mlp_item_;
+  nn::Linear mlp_fc_;
+  nn::ReLU mlp_act_;
+  nn::Linear out_fc_;
+  nn::BCEWithLogits loss_;
+  ForwardCache cache_;
+};
+
+}  // namespace easyscale::models

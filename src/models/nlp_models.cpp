@@ -1,0 +1,288 @@
+#include "models/nlp_models.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace easyscale::models {
+
+using tensor::LongTensor;
+
+QATransformer::QATransformer(std::string model_name, std::int64_t vocab,
+                             std::int64_t seq_len, std::int64_t dim,
+                             std::int64_t heads, std::int64_t ff_dim,
+                             std::int64_t num_blocks, float dropout_p)
+    : model_name_(std::move(model_name)),
+      vocab_(vocab),
+      seq_len_(seq_len),
+      dim_(dim),
+      token_emb_(model_name_ + ".tok", vocab, dim),
+      pos_emb_(model_name_ + ".pos", Shape{seq_len, dim}),
+      emb_drop_(dropout_p),
+      span_head_(model_name_ + ".span", dim, 1) {
+  token_emb_.register_parameters(params_);
+  params_.register_parameter(&pos_emb_);
+  for (std::int64_t b = 0; b < num_blocks; ++b) {
+    blocks_.push_back(std::make_unique<TransformerBlock>(
+        model_name_ + ".block" + std::to_string(b), dim, heads, ff_dim,
+        dropout_p));
+    blocks_.back()->register_parameters(params_);
+  }
+  span_head_.register_parameters(params_);
+}
+
+void QATransformer::init(std::uint64_t seed) {
+  rng::Philox gen(rng::derive_stream_key(seed, 0, 41));
+  token_emb_.init_weights(gen);
+  nn::normal_init(gen, pos_emb_.value, 0.05f);
+  for (auto& b : blocks_) b->init_weights(gen);
+  span_head_.init_weights(gen);
+}
+
+Tensor QATransformer::encode(autograd::StepContext& ctx,
+                             const LongTensor& ids) {
+  const std::int64_t n = ids.shape().dim(0);
+  const std::int64_t t = ids.shape().dim(1);
+  ES_CHECK(t == seq_len_, "QA sequence length mismatch");
+  cached_flat_ids_ = LongTensor(
+      Shape{n * t}, std::vector<std::int64_t>(ids.data().begin(),
+                                              ids.data().end()));
+  Tensor h = token_emb_.forward(ctx, cached_flat_ids_);  // [N*T, D]
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t p = 0; p < t; ++p) {
+      float* row = h.raw() + (i * t + p) * dim_;
+      const float* pos = pos_emb_.value.raw() + p * dim_;
+      for (std::int64_t d = 0; d < dim_; ++d) row[d] += pos[d];
+    }
+  }
+  h = emb_drop_.forward(ctx, h).reshaped(Shape{n, t, dim_});
+  for (auto& b : blocks_) h = b->forward(ctx, h);
+  return h;
+}
+
+float QATransformer::train_step(autograd::StepContext& ctx,
+                                const data::Batch& batch) {
+  const std::int64_t n = batch.ids.shape().dim(0);
+  Tensor h = encode(ctx, batch.ids);  // [N, T, D]
+  Tensor logits =
+      span_head_.forward(ctx, h.reshaped(Shape{n * seq_len_, dim_}))
+          .reshaped(Shape{n, seq_len_});
+  const float loss = loss_.forward(ctx, logits, batch.y);
+  Tensor g = loss_.backward().reshaped(Shape{n * seq_len_, 1});
+  Tensor gh = span_head_.backward(ctx, g).reshaped(Shape{n, seq_len_, dim_});
+  for (auto it = blocks_.rbegin(); it != blocks_.rend(); ++it) {
+    gh = (*it)->backward(ctx, gh);
+  }
+  Tensor g_flat =
+      emb_drop_.backward(ctx, gh.reshaped(Shape{n * seq_len_, dim_}));
+  // Position embedding gradient: sum over batch rows.
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t p = 0; p < seq_len_; ++p) {
+      const float* row = g_flat.raw() + (i * seq_len_ + p) * dim_;
+      float* dst = pos_emb_.grad.raw() + p * dim_;
+      for (std::int64_t d = 0; d < dim_; ++d) dst[d] += row[d];
+    }
+  }
+  ctx.mark_ready(pos_emb_.id);
+  token_emb_.backward(ctx, cached_flat_ids_, g_flat);
+  return loss;
+}
+
+std::vector<std::int64_t> QATransformer::predict(autograd::StepContext& ctx,
+                                                 const data::Batch& batch) {
+  const bool was_training = ctx.training;
+  ctx.training = false;
+  const std::int64_t n = batch.ids.shape().dim(0);
+  Tensor h = encode(ctx, batch.ids);
+  Tensor logits =
+      span_head_.forward(ctx, h.reshaped(Shape{n * seq_len_, dim_}))
+          .reshaped(Shape{n, seq_len_});
+  ctx.training = was_training;
+  return tensor::argmax_rows(logits);
+}
+
+std::unique_ptr<QATransformer> make_bert_mini() {
+  return std::make_unique<QATransformer>("Bert", /*vocab=*/64, /*seq_len=*/16,
+                                         /*dim=*/32, /*heads=*/2,
+                                         /*ff_dim=*/64, /*num_blocks=*/2,
+                                         /*dropout_p=*/0.1f);
+}
+
+std::unique_ptr<QATransformer> make_electra_mini() {
+  return std::make_unique<QATransformer>("Electra", /*vocab=*/64,
+                                         /*seq_len=*/16, /*dim=*/16,
+                                         /*heads=*/2, /*ff_dim=*/32,
+                                         /*num_blocks=*/1,
+                                         /*dropout_p=*/0.1f);
+}
+
+namespace {
+
+constexpr std::int64_t kTokens = SwinMini::kGrid* SwinMini::kGrid;
+
+}  // namespace
+
+SwinMini::SwinMini()
+    : patch_embed_("swin.patch", 3 * kPatch * kPatch, kDim),
+      block_("swin.win", kDim, 2, 32, 0.1f),
+      block2_("swin.glob", kDim, 2, 32, 0.1f),
+      head_("swin.head", kDim, 10) {
+  patch_embed_.register_parameters(params_);
+  block_.register_parameters(params_);
+  block2_.register_parameters(params_);
+  head_.register_parameters(params_);
+}
+
+void SwinMini::init(std::uint64_t seed) {
+  rng::Philox gen(rng::derive_stream_key(seed, 0, 41));
+  patch_embed_.init_weights(gen);
+  block_.init_weights(gen);
+  block2_.init_weights(gen);
+  head_.init_weights(gen);
+}
+
+namespace {
+
+/// token grid (kGrid x kGrid) -> windows [N * nwin, wlen, D] mapping.
+struct WindowMap {
+  // For token index t (row-major in the grid), its (window, slot).
+  static void locate(std::int64_t tok, std::int64_t& win, std::int64_t& slot) {
+    const std::int64_t y = tok / SwinMini::kGrid;
+    const std::int64_t x = tok % SwinMini::kGrid;
+    const std::int64_t wside = SwinMini::kGrid / SwinMini::kWindow;
+    win = (y / SwinMini::kWindow) * wside + (x / SwinMini::kWindow);
+    slot = (y % SwinMini::kWindow) * SwinMini::kWindow +
+           (x % SwinMini::kWindow);
+  }
+};
+
+}  // namespace
+
+Tensor SwinMini::forward_logits(autograd::StepContext& ctx,
+                                const Tensor& images) {
+  const std::int64_t n = images.shape().dim(0);
+  cached_batch_ = n;
+  ES_CHECK(images.shape().dim(2) == kGrid * kPatch &&
+               images.shape().dim(3) == kGrid * kPatch,
+           "Swin expects " << kGrid * kPatch << "x" << kGrid * kPatch
+                           << " images");
+  // Extract patches -> [N*tokens, 3*patch*patch].
+  const std::int64_t pdim = 3 * kPatch * kPatch;
+  const std::int64_t side = kGrid * kPatch;
+  Tensor patches(Shape{n * kTokens, pdim});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t py = 0; py < kGrid; ++py) {
+      for (std::int64_t px = 0; px < kGrid; ++px) {
+        float* dst = patches.raw() + ((s * kTokens) + py * kGrid + px) * pdim;
+        std::int64_t o = 0;
+        for (std::int64_t c = 0; c < 3; ++c) {
+          for (std::int64_t dy = 0; dy < kPatch; ++dy) {
+            for (std::int64_t dx = 0; dx < kPatch; ++dx, ++o) {
+              dst[o] = images.at(((s * 3 + c) * side + py * kPatch + dy) *
+                                     side +
+                                 px * kPatch + dx);
+            }
+          }
+        }
+      }
+    }
+  }
+  Tensor tokens = patch_embed_.forward(ctx, patches);  // [N*tokens, D]
+  // Window partition -> [N*nwin, wlen, D].
+  const std::int64_t nwin = kTokens / (kWindow * kWindow);
+  const std::int64_t wlen = kWindow * kWindow;
+  Tensor windows(Shape{n * nwin, wlen, kDim});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t tok = 0; tok < kTokens; ++tok) {
+      std::int64_t win, slot;
+      WindowMap::locate(tok, win, slot);
+      const float* src = tokens.raw() + (s * kTokens + tok) * kDim;
+      float* dst = windows.raw() + ((s * nwin + win) * wlen + slot) * kDim;
+      for (std::int64_t d = 0; d < kDim; ++d) dst[d] = src[d];
+    }
+  }
+  windows = block_.forward(ctx, windows);
+  // Merge back to the full token sequence and run a global block.
+  Tensor merged(Shape{n, kTokens, kDim});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t tok = 0; tok < kTokens; ++tok) {
+      std::int64_t win, slot;
+      WindowMap::locate(tok, win, slot);
+      const float* src =
+          windows.raw() + ((s * nwin + win) * wlen + slot) * kDim;
+      float* dst = merged.raw() + (s * kTokens + tok) * kDim;
+      for (std::int64_t d = 0; d < kDim; ++d) dst[d] = src[d];
+    }
+  }
+  cached_tokens_ = block2_.forward(ctx, merged);  // [N, tokens, D]
+  // Mean-pool tokens.
+  Tensor pooled(Shape{n, kDim});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t d = 0; d < kDim; ++d) {
+      float acc = 0.0f;
+      for (std::int64_t tok = 0; tok < kTokens; ++tok) {
+        acc += cached_tokens_.at((s * kTokens + tok) * kDim + d);
+      }
+      pooled.at(s * kDim + d) = acc / static_cast<float>(kTokens);
+    }
+  }
+  return head_.forward(ctx, pooled);
+}
+
+Tensor SwinMini::backward_from_logits(autograd::StepContext& ctx,
+                                      const Tensor& grad_logits) {
+  const std::int64_t n = cached_batch_;
+  Tensor g_pooled = head_.backward(ctx, grad_logits);  // [N, D]
+  Tensor g_tokens(Shape{n, kTokens, kDim});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t tok = 0; tok < kTokens; ++tok) {
+      for (std::int64_t d = 0; d < kDim; ++d) {
+        g_tokens.at((s * kTokens + tok) * kDim + d) =
+            g_pooled.at(s * kDim + d) / static_cast<float>(kTokens);
+      }
+    }
+  }
+  Tensor g_merged = block2_.backward(ctx, g_tokens);
+  const std::int64_t nwin = kTokens / (kWindow * kWindow);
+  const std::int64_t wlen = kWindow * kWindow;
+  Tensor g_windows(Shape{n * nwin, wlen, kDim});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t tok = 0; tok < kTokens; ++tok) {
+      std::int64_t win, slot;
+      WindowMap::locate(tok, win, slot);
+      const float* src = g_merged.raw() + (s * kTokens + tok) * kDim;
+      float* dst = g_windows.raw() + ((s * nwin + win) * wlen + slot) * kDim;
+      for (std::int64_t d = 0; d < kDim; ++d) dst[d] = src[d];
+    }
+  }
+  Tensor g_win_in = block_.backward(ctx, g_windows);
+  Tensor g_flat(Shape{n * kTokens, kDim});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t tok = 0; tok < kTokens; ++tok) {
+      std::int64_t win, slot;
+      WindowMap::locate(tok, win, slot);
+      const float* src =
+          g_win_in.raw() + ((s * nwin + win) * wlen + slot) * kDim;
+      float* dst = g_flat.raw() + (s * kTokens + tok) * kDim;
+      for (std::int64_t d = 0; d < kDim; ++d) dst[d] = src[d];
+    }
+  }
+  return patch_embed_.backward(ctx, g_flat);
+}
+
+float SwinMini::train_step(autograd::StepContext& ctx,
+                           const data::Batch& batch) {
+  Tensor logits = forward_logits(ctx, batch.x);
+  const float loss = loss_.forward(ctx, logits, batch.y);
+  backward_from_logits(ctx, loss_.backward());
+  return loss;
+}
+
+std::vector<std::int64_t> SwinMini::predict(autograd::StepContext& ctx,
+                                            const data::Batch& batch) {
+  const bool was_training = ctx.training;
+  ctx.training = false;
+  Tensor logits = forward_logits(ctx, batch.x);
+  ctx.training = was_training;
+  return tensor::argmax_rows(logits);
+}
+
+}  // namespace easyscale::models

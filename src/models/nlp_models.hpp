@@ -1,0 +1,91 @@
+// Transformer workloads: BERT / Electra (QA span prediction over synthetic
+// SQuAD) and SwinTransformer (windowed attention image classifier).  These
+// are the paper's "first category" models for which D2 costs <1% because
+// they avoid vendor-tuned conv kernels (Fig 12) — Swin's patch embedding is
+// implemented as a Linear over flattened patches, as in timm's ViT.
+#pragma once
+
+#include "models/blocks.hpp"
+#include "models/workload.hpp"
+#include "nn/embedding.hpp"
+#include "nn/losses.hpp"
+
+namespace easyscale::models {
+
+/// Shared QA scaffolding: token + position embeddings, encoder blocks, a
+/// per-token span-start head, cross-entropy over positions.
+class QATransformer : public Workload {
+ public:
+  QATransformer(std::string model_name, std::int64_t vocab,
+                std::int64_t seq_len, std::int64_t dim, std::int64_t heads,
+                std::int64_t ff_dim, std::int64_t num_blocks, float dropout_p);
+
+  [[nodiscard]] std::string name() const override { return model_name_; }
+  void init(std::uint64_t seed) override;
+  float train_step(autograd::StepContext& ctx,
+                   const data::Batch& batch) override;
+  std::vector<std::int64_t> predict(autograd::StepContext& ctx,
+                                    const data::Batch& batch) override;
+  [[nodiscard]] bool uses_vendor_tuned_kernels() const override {
+    return false;
+  }
+
+  [[nodiscard]] std::int64_t seq_len() const { return seq_len_; }
+  [[nodiscard]] std::int64_t vocab() const { return vocab_; }
+
+ private:
+  tensor::Tensor encode(autograd::StepContext& ctx,
+                        const tensor::LongTensor& ids);
+
+  std::string model_name_;
+  std::int64_t vocab_, seq_len_, dim_;
+  nn::Embedding token_emb_;
+  autograd::Parameter pos_emb_;
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  nn::Dropout emb_drop_;
+  nn::Linear span_head_;
+  nn::SoftmaxCrossEntropy loss_;
+  tensor::LongTensor cached_flat_ids_;
+};
+
+[[nodiscard]] std::unique_ptr<QATransformer> make_bert_mini();
+[[nodiscard]] std::unique_ptr<QATransformer> make_electra_mini();
+
+/// Swin-style classifier: patch embedding, window-partitioned transformer
+/// blocks, mean-pool head.
+class SwinMini : public Workload {
+ public:
+  SwinMini();
+
+  [[nodiscard]] std::string name() const override { return "SwinTransformer"; }
+  void init(std::uint64_t seed) override;
+  float train_step(autograd::StepContext& ctx,
+                   const data::Batch& batch) override;
+  std::vector<std::int64_t> predict(autograd::StepContext& ctx,
+                                    const data::Batch& batch) override;
+  [[nodiscard]] bool uses_vendor_tuned_kernels() const override {
+    return false;
+  }
+
+  static constexpr std::int64_t kPatch = 2;   // 8x8 image -> 4x4 tokens
+  static constexpr std::int64_t kGrid = 4;    // tokens per side
+  static constexpr std::int64_t kWindow = 2;  // window side in tokens
+  static constexpr std::int64_t kDim = 16;
+
+ private:
+  tensor::Tensor forward_logits(autograd::StepContext& ctx,
+                                const tensor::Tensor& images);
+  tensor::Tensor backward_from_logits(autograd::StepContext& ctx,
+                                      const tensor::Tensor& grad_logits);
+
+  nn::Linear patch_embed_;
+  TransformerBlock block_;   // applied per 2x2 window
+  TransformerBlock block2_;  // applied globally (shifted-window stand-in)
+  nn::Linear head_;
+  nn::SoftmaxCrossEntropy loss_;
+  // Caches for the partition/merge reshuffles.
+  tensor::Tensor cached_tokens_;
+  std::int64_t cached_batch_ = 0;
+};
+
+}  // namespace easyscale::models

@@ -1,0 +1,50 @@
+#include "models/profile.hpp"
+
+#include "common/error.hpp"
+
+namespace easyscale::models {
+
+namespace {
+
+struct ProfileRow {
+  const char* name;
+  double v100_mbps;  // mini-batches per second on V100
+  double memory_gb;  // per-worker working set (excl. CUDA context)
+};
+
+// V100 throughputs loosely follow public benchmark ratios for the original
+// models; other devices scale by relative_capability with a mild
+// model-dependent skew (compute-bound conv models fall off faster on weak
+// GPUs than memory-bound embedding models).
+constexpr ProfileRow kRows[] = {
+    {"ShuffleNetv2", 24.0, 0.9},  {"ResNet50", 8.0, 3.2},
+    {"ResNet18", 16.0, 1.8},      {"VGG19", 4.5, 5.5},
+    {"YOLOv3", 5.0, 4.8},         {"NeuMF", 60.0, 0.6},
+    {"Bert", 6.0, 6.0},           {"Electra", 9.0, 3.5},
+    {"SwinTransformer", 5.5, 4.5},
+};
+
+const ProfileRow& row(const std::string& name) {
+  for (const auto& r : kRows) {
+    if (name == r.name) return r;
+  }
+  ES_THROW("no profile for workload: " << name);
+}
+
+}  // namespace
+
+double profiled_throughput(const std::string& workload,
+                           kernels::DeviceType device) {
+  const ProfileRow& r = row(workload);
+  const double cap = kernels::device_spec(device).relative_capability;
+  // Conv-heavy models (high memory, low mbps) are compute-bound: they track
+  // raw capability.  Small models keep a floor from fixed overheads.
+  const double skew = r.v100_mbps >= 20.0 ? 0.15 : 0.0;
+  return r.v100_mbps * (cap + skew * (1.0 - cap));
+}
+
+double profiled_memory_gb(const std::string& workload) {
+  return row(workload).memory_gb;
+}
+
+}  // namespace easyscale::models

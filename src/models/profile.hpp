@@ -1,0 +1,23 @@
+// Static throughput profile: mini-batches/second per (workload, device
+// type).  This is the companion module's performance database seed (§3.4):
+// the real system initializes it from historical profiling; here the values
+// follow the paper's cluster (V100 > P100 > T4, conv models relatively
+// better on V100, small models with lower per-device gaps).
+#pragma once
+
+#include <string>
+
+#include "kernels/device.hpp"
+
+namespace easyscale::models {
+
+/// Mini-batches per second for one worker/EST of `workload` on `device`.
+[[nodiscard]] double profiled_throughput(const std::string& workload,
+                                         kernels::DeviceType device);
+
+/// Per-worker GPU memory footprint (GB) of one training worker, excluding
+/// the CUDA context: parameters + optimizer + activations for the default
+/// batch size.  Drives the worker-packing memory model (Fig 10).
+[[nodiscard]] double profiled_memory_gb(const std::string& workload);
+
+}  // namespace easyscale::models

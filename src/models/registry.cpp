@@ -1,0 +1,29 @@
+#include "models/cv_models.hpp"
+#include "models/neumf.hpp"
+#include "models/nlp_models.hpp"
+#include "models/workload.hpp"
+#include "models/yolo.hpp"
+
+namespace easyscale::models {
+
+std::unique_ptr<Workload> make_workload(const std::string& name) {
+  if (name == "ShuffleNetv2") return std::make_unique<ShuffleNetV2Mini>();
+  if (name == "ResNet50") return std::make_unique<ResNet50Mini>();
+  if (name == "ResNet18") return std::make_unique<ResNet18Mini>();
+  if (name == "VGG19") return std::make_unique<VGG19Mini>();
+  if (name == "YOLOv3") return std::make_unique<YoloV3Mini>();
+  if (name == "NeuMF") return std::make_unique<NeuMF>();
+  if (name == "Bert") return make_bert_mini();
+  if (name == "Electra") return make_electra_mini();
+  if (name == "SwinTransformer") return std::make_unique<SwinMini>();
+  ES_THROW("unknown workload: " << name);
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> kNames = {
+      "ShuffleNetv2", "ResNet50", "VGG19",   "YOLOv3",
+      "NeuMF",        "Bert",     "Electra", "SwinTransformer"};
+  return kNames;
+}
+
+}  // namespace easyscale::models

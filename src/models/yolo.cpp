@@ -1,0 +1,80 @@
+#include "models/yolo.hpp"
+
+#include "nn/activations.hpp"
+
+namespace easyscale::models {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+YoloV3Mini::YoloV3Mini() {
+  backbone_.emplace<nn::Conv2d>("b1.conv", 3, 8, 3, 1, 1);
+  backbone_.emplace<nn::BatchNorm2d>("b1.bn", 8);
+  backbone_.emplace<nn::ReLU>();
+  backbone_.emplace<nn::MaxPool2d>(2);
+  backbone_.emplace<nn::Conv2d>("b2.conv", 8, 16, 3, 1, 1);
+  backbone_.emplace<nn::BatchNorm2d>("b2.bn", 16);
+  backbone_.emplace<nn::ReLU>();
+  backbone_.emplace<nn::GlobalAvgPool>();
+  backbone_.emplace<nn::Linear>("head", 16, 4);  // cx, cy, ext, obj-logit
+  backbone_.register_parameters(params_);
+}
+
+void YoloV3Mini::init(std::uint64_t seed) {
+  rng::Philox gen(rng::derive_stream_key(seed, 0, 41));
+  backbone_.init_weights(gen);
+}
+
+float YoloV3Mini::train_step(autograd::StepContext& ctx,
+                             const data::Batch& batch) {
+  ES_CHECK(batch.x.defined() && batch.target.defined(),
+           "yolo needs images + box targets");
+  Tensor out = backbone_.forward(ctx, batch.x);  // [N, 4]
+  const std::int64_t n = out.shape().dim(0);
+  // Split predictions into boxes [N,3] and objectness logits [N].
+  Tensor boxes(Shape{n, 3}), logits(Shape{n});
+  Tensor box_t(Shape{n, 3}), obj_t(Shape{n});
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      boxes.at(i * 3 + j) = out.at(i * 4 + j);
+      box_t.at(i * 3 + j) = batch.target.at(i * 4 + j);
+    }
+    logits.at(i) = out.at(i * 4 + 3);
+    obj_t.at(i) = batch.target.at(i * 4 + 3);
+  }
+  const float l_box = box_loss_.forward(ctx, boxes, box_t);
+  const float l_obj = obj_loss_.forward(ctx, logits, obj_t);
+  const Tensor g_box = box_loss_.backward();
+  const Tensor g_obj = obj_loss_.backward();
+  Tensor grad(out.shape());
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < 3; ++j) {
+      grad.at(i * 4 + j) = g_box.at(i * 3 + j);
+    }
+    grad.at(i * 4 + 3) = g_obj.at(i);
+  }
+  backbone_.backward(ctx, grad);
+  return l_box + l_obj;
+}
+
+std::vector<std::int64_t> YoloV3Mini::predict(autograd::StepContext& ctx,
+                                              const data::Batch& batch) {
+  const bool was_training = ctx.training;
+  ctx.training = false;
+  Tensor out = backbone_.forward(ctx, batch.x);
+  ctx.training = was_training;
+  const std::int64_t n = out.shape().dim(0);
+  std::vector<std::int64_t> detected(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    detected[static_cast<std::size_t>(i)] = out.at(i * 4 + 3) > 0.0f ? 1 : 0;
+  }
+  return detected;
+}
+
+std::vector<tensor::Tensor*> YoloV3Mini::buffers() {
+  std::vector<tensor::Tensor*> out;
+  backbone_.collect_buffers(out);
+  return out;
+}
+
+}  // namespace easyscale::models

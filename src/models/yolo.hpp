@@ -1,0 +1,37 @@
+// YOLOv3 analogue: conv backbone + a single-cell detection head predicting
+// (cx, cy, extent, objectness) for the synthetic-VOC dataset.  Loss is the
+// YOLO mix of box regression (MSE) and objectness (BCE).
+#pragma once
+
+#include "models/workload.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/layer.hpp"
+#include "nn/linear.hpp"
+#include "nn/losses.hpp"
+#include "nn/pooling.hpp"
+
+namespace easyscale::models {
+
+class YoloV3Mini : public Workload {
+ public:
+  YoloV3Mini();
+
+  [[nodiscard]] std::string name() const override { return "YOLOv3"; }
+  void init(std::uint64_t seed) override;
+  float train_step(autograd::StepContext& ctx,
+                   const data::Batch& batch) override;
+  std::vector<std::int64_t> predict(autograd::StepContext& ctx,
+                                    const data::Batch& batch) override;
+  std::vector<tensor::Tensor*> buffers() override;
+  [[nodiscard]] bool uses_vendor_tuned_kernels() const override {
+    return true;
+  }
+
+ private:
+  nn::Sequential backbone_;
+  nn::MSELoss box_loss_;
+  nn::BCEWithLogits obj_loss_;
+};
+
+}  // namespace easyscale::models

@@ -1,0 +1,139 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace easyscale::nn {
+
+MultiheadSelfAttention::MultiheadSelfAttention(std::string name,
+                                               std::int64_t dim,
+                                               std::int64_t heads)
+    : dim_(dim),
+      heads_(heads),
+      head_dim_(dim / heads),
+      wq_(name + ".q", dim, dim),
+      wk_(name + ".k", dim, dim),
+      wv_(name + ".v", dim, dim),
+      wo_(name + ".o", dim, dim) {
+  ES_CHECK(dim % heads == 0, "attention dim not divisible by heads");
+}
+
+void MultiheadSelfAttention::register_parameters(ParameterStore& store) {
+  wq_.register_parameters(store);
+  wk_.register_parameters(store);
+  wv_.register_parameters(store);
+  wo_.register_parameters(store);
+}
+
+void MultiheadSelfAttention::init_weights(rng::Philox& init) {
+  wq_.init_weights(init);
+  wk_.init_weights(init);
+  wv_.init_weights(init);
+  wo_.init_weights(init);
+}
+
+Tensor MultiheadSelfAttention::forward(StepContext& ctx, const Tensor& x) {
+  ES_CHECK(x.shape().rank() == 3 && x.shape().dim(2) == dim_,
+           "attention expects [N, T, D]");
+  const std::int64_t n = x.shape().dim(0), t = x.shape().dim(1);
+  cached_in_shape_ = x.shape();
+  const Tensor flat = x.reshaped(Shape{n * t, dim_});
+  cached_q_ = wq_.forward(ctx, flat);
+  cached_k_ = wk_.forward(ctx, flat);
+  cached_v_ = wv_.forward(ctx, flat);
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  cached_probs_ = Tensor(Shape{n, heads_, t, t});
+  Tensor ctx_out(Shape{n * t, dim_});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t off = h * head_dim_;
+      float* probs = cached_probs_.raw() + ((s * heads_ + h) * t * t);
+      for (std::int64_t i = 0; i < t; ++i) {
+        const float* qi = cached_q_.raw() + (s * t + i) * dim_ + off;
+        float row_max = -1e30f;
+        float* prow = probs + i * t;
+        for (std::int64_t j = 0; j < t; ++j) {
+          const float* kj = cached_k_.raw() + (s * t + j) * dim_ + off;
+          float acc = 0.0f;
+          for (std::int64_t d = 0; d < head_dim_; ++d) acc += qi[d] * kj[d];
+          prow[j] = acc * inv_sqrt;
+          row_max = std::max(row_max, prow[j]);
+        }
+        float denom = 0.0f;
+        for (std::int64_t j = 0; j < t; ++j) {
+          prow[j] = std::exp(prow[j] - row_max);
+          denom += prow[j];
+        }
+        for (std::int64_t j = 0; j < t; ++j) prow[j] /= denom;
+        float* out_i = ctx_out.raw() + (s * t + i) * dim_ + off;
+        for (std::int64_t d = 0; d < head_dim_; ++d) {
+          float acc = 0.0f;
+          for (std::int64_t j = 0; j < t; ++j) {
+            acc += prow[j] * cached_v_.at((s * t + j) * dim_ + off + d);
+          }
+          out_i[d] = acc;
+        }
+      }
+    }
+  }
+  Tensor out = wo_.forward(ctx, ctx_out);
+  return out.reshaped(Shape{n, t, dim_});
+}
+
+Tensor MultiheadSelfAttention::backward(StepContext& ctx,
+                                        const Tensor& grad_out) {
+  const std::int64_t n = cached_in_shape_.dim(0), t = cached_in_shape_.dim(1);
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  const Tensor g_flat = grad_out.reshaped(Shape{n * t, dim_});
+  const Tensor d_ctx = wo_.backward(ctx, g_flat);
+
+  Tensor dq(Shape{n * t, dim_}), dk(Shape{n * t, dim_}), dv(Shape{n * t, dim_});
+  std::vector<float> dprobs(static_cast<std::size_t>(t));
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      const std::int64_t off = h * head_dim_;
+      const float* probs = cached_probs_.raw() + ((s * heads_ + h) * t * t);
+      for (std::int64_t i = 0; i < t; ++i) {
+        const float* prow = probs + i * t;
+        const float* dci = d_ctx.raw() + (s * t + i) * dim_ + off;
+        // dprobs_ij = <d_ctx_i, v_j>, dv_j += p_ij * d_ctx_i
+        for (std::int64_t j = 0; j < t; ++j) {
+          const float* vj = cached_v_.raw() + (s * t + j) * dim_ + off;
+          float* dvj = dv.raw() + (s * t + j) * dim_ + off;
+          float acc = 0.0f;
+          for (std::int64_t d = 0; d < head_dim_; ++d) {
+            acc += dci[d] * vj[d];
+            dvj[d] += prow[j] * dci[d];
+          }
+          dprobs[static_cast<std::size_t>(j)] = acc;
+        }
+        // softmax backward
+        float dot = 0.0f;
+        for (std::int64_t j = 0; j < t; ++j) {
+          dot += prow[j] * dprobs[static_cast<std::size_t>(j)];
+        }
+        float* dqi = dq.raw() + (s * t + i) * dim_ + off;
+        for (std::int64_t j = 0; j < t; ++j) {
+          const float ds =
+              prow[j] * (dprobs[static_cast<std::size_t>(j)] - dot) * inv_sqrt;
+          const float* kj = cached_k_.raw() + (s * t + j) * dim_ + off;
+          const float* qi = cached_q_.raw() + (s * t + i) * dim_ + off;
+          float* dkj = dk.raw() + (s * t + j) * dim_ + off;
+          for (std::int64_t d = 0; d < head_dim_; ++d) {
+            dqi[d] += ds * kj[d];
+            dkj[d] += ds * qi[d];
+          }
+        }
+      }
+    }
+  }
+  // Backward through the projections; all three saw the same input.
+  Tensor dx = wv_.backward(ctx, dv);
+  tensor::add_(dx, wk_.backward(ctx, dk));
+  tensor::add_(dx, wq_.backward(ctx, dq));
+  return dx.reshaped(cached_in_shape_);
+}
+
+}  // namespace easyscale::nn

@@ -1,0 +1,40 @@
+// BatchNorm2d.  Its running mean/var are the canonical "implicit framework
+// state" of §3.3: they evolve with every forward pass of every (virtual)
+// worker and must therefore live in the EST context, not in the shared
+// model replica.  collect_buffers exposes them for exactly that purpose.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace easyscale::nn {
+
+class BatchNorm2d : public Layer {
+ public:
+  BatchNorm2d(std::string name, std::int64_t channels, float eps = 1e-5f,
+              float momentum = 0.1f);
+
+  Tensor forward(StepContext& ctx, const Tensor& x) override;
+  Tensor backward(StepContext& ctx, const Tensor& grad_out) override;
+  void register_parameters(ParameterStore& store) override;
+  void collect_buffers(std::vector<Tensor*>& out) override;
+  void init_weights(rng::Philox& init) override;
+  [[nodiscard]] const char* kind() const override { return "BatchNorm2d"; }
+
+  [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
+  [[nodiscard]] const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float eps_;
+  float momentum_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  // Per-mini-batch caches for backward.
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // [C]
+  Shape cached_shape_;
+};
+
+}  // namespace easyscale::nn

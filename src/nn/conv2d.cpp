@@ -1,0 +1,73 @@
+#include "nn/conv2d.hpp"
+
+#include "nn/init.hpp"
+
+namespace easyscale::nn {
+
+Conv2d::Conv2d(std::string name, std::int64_t in_channels,
+               std::int64_t out_channels, std::int64_t kernel,
+               std::int64_t stride, std::int64_t pad, std::int64_t groups,
+               bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      groups_(groups),
+      has_bias_(bias),
+      weight_(name + ".weight",
+              Shape{out_channels, in_channels / groups, kernel, kernel}),
+      bias_(name + ".bias", Shape{out_channels}) {
+  ES_CHECK(in_channels % groups == 0 && out_channels % groups == 0,
+           "Conv2d: channels not divisible by groups");
+}
+
+void Conv2d::register_parameters(ParameterStore& store) {
+  store.register_parameter(&weight_);
+  if (has_bias_) store.register_parameter(&bias_);
+}
+
+void Conv2d::init_weights(rng::Philox& init) {
+  kaiming_uniform(init, weight_.value,
+                  (in_channels_ / groups_) * kernel_ * kernel_);
+  if (has_bias_) bias_.value.zero();
+}
+
+Tensor Conv2d::forward(StepContext& ctx, const Tensor& x) {
+  ES_CHECK(x.shape().rank() == 4, "Conv2d expects NCHW input");
+  cached_input_ = x;
+  cached_dims_ = kernels::Conv2dDims{
+      .batch = x.shape().dim(0),
+      .in_channels = in_channels_,
+      .in_h = x.shape().dim(2),
+      .in_w = x.shape().dim(3),
+      .out_channels = out_channels_,
+      .kernel_h = kernel_,
+      .kernel_w = kernel_,
+      .stride = stride_,
+      .pad = pad_,
+      .groups = groups_,
+  };
+  ES_CHECK(x.shape().dim(1) == in_channels_, "Conv2d: channel mismatch");
+  Tensor out(Shape{cached_dims_.batch, out_channels_, cached_dims_.out_h(),
+                   cached_dims_.out_w()});
+  kernels::conv2d_forward(
+      ctx.ex(), cached_dims_, x.data(), weight_.value.data(),
+      has_bias_ ? std::span<const float>(bias_.value.data())
+                : std::span<const float>(),
+      out.data());
+  return out;
+}
+
+Tensor Conv2d::backward(StepContext& ctx, const Tensor& grad_out) {
+  Tensor grad_in(cached_input_.shape());
+  kernels::conv2d_backward(
+      ctx.ex(), cached_dims_, cached_input_.data(), weight_.value.data(),
+      grad_out.data(), grad_in.data(), weight_.grad.data(),
+      has_bias_ ? std::span<float>(bias_.grad.data()) : std::span<float>());
+  ctx.mark_ready(weight_.id);
+  if (has_bias_) ctx.mark_ready(bias_.id);
+  return grad_in;
+}
+
+}  // namespace easyscale::nn

@@ -1,0 +1,34 @@
+// Convolution layer over the kernels/conv substrate.  Marked as relying on
+// vendor-tuned kernels: the D2 scan (core/detscan) treats conv-bearing
+// models as heterogeneity-restricted unless the user accepts the canonical
+// kernel's slowdown.
+#pragma once
+
+#include "kernels/conv.hpp"
+#include "nn/layer.hpp"
+
+namespace easyscale::nn {
+
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::string name, std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel, std::int64_t stride = 1, std::int64_t pad = 0,
+         std::int64_t groups = 1, bool bias = true);
+
+  Tensor forward(StepContext& ctx, const Tensor& x) override;
+  Tensor backward(StepContext& ctx, const Tensor& grad_out) override;
+  void register_parameters(ParameterStore& store) override;
+  void init_weights(rng::Philox& init) override;
+  [[nodiscard]] bool uses_vendor_tuned_kernels() const override { return true; }
+  [[nodiscard]] const char* kind() const override { return "Conv2d"; }
+
+ private:
+  std::int64_t in_channels_, out_channels_, kernel_, stride_, pad_, groups_;
+  bool has_bias_;
+  Parameter weight_;
+  Parameter bias_;
+  Tensor cached_input_;
+  kernels::Conv2dDims cached_dims_{};
+};
+
+}  // namespace easyscale::nn

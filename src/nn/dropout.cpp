@@ -1,0 +1,31 @@
+#include "nn/dropout.hpp"
+
+namespace easyscale::nn {
+
+Tensor Dropout::forward(StepContext& ctx, const Tensor& x) {
+  if (!ctx.training || p_ == 0.0f) {
+    cached_mask_ = Tensor();
+    return x;
+  }
+  auto& gen = ctx.torch_rng();
+  const float scale = 1.0f / (1.0f - p_);
+  cached_mask_ = Tensor(x.shape());
+  Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float keep = gen.next_float() >= p_ ? scale : 0.0f;
+    cached_mask_.at(i) = keep;
+    out.at(i) = x.at(i) * keep;
+  }
+  return out;
+}
+
+Tensor Dropout::backward(StepContext& /*ctx*/, const Tensor& grad_out) {
+  if (!cached_mask_.defined()) return grad_out;
+  Tensor grad_in(grad_out.shape());
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in.at(i) = grad_out.at(i) * cached_mask_.at(i);
+  }
+  return grad_in;
+}
+
+}  // namespace easyscale::nn

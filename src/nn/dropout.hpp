@@ -1,0 +1,26 @@
+// Dropout — the op §3.3 singles out as depending on RNG state.  Masks are
+// drawn from the worker's torch stream, so a worker's dropout sequence is a
+// pure function of its (seed, virtual rank, draw count): exactly what the
+// EST context must capture for bitwise resumption.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace easyscale::nn {
+
+class Dropout : public Layer {
+ public:
+  explicit Dropout(float p) : p_(p) {
+    ES_CHECK(p >= 0.0f && p < 1.0f, "dropout p out of range");
+  }
+
+  Tensor forward(StepContext& ctx, const Tensor& x) override;
+  Tensor backward(StepContext& ctx, const Tensor& grad_out) override;
+  [[nodiscard]] const char* kind() const override { return "Dropout"; }
+
+ private:
+  float p_;
+  Tensor cached_mask_;  // scaled keep mask (0 or 1/(1-p))
+};
+
+}  // namespace easyscale::nn

@@ -1,0 +1,30 @@
+#include "nn/embedding.hpp"
+
+#include "kernels/scatter.hpp"
+
+namespace easyscale::nn {
+
+tensor::Tensor Embedding::forward(autograd::StepContext& /*ctx*/,
+                                  const tensor::LongTensor& ids) {
+  const std::int64_t n = ids.numel();
+  tensor::Tensor out(tensor::Shape{n, dim_});
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t row = ids.at(i);
+    ES_CHECK(row >= 0 && row < num_embeddings_,
+             "embedding id " << row << " out of range");
+    const float* src = weight_.value.raw() + row * dim_;
+    float* dst = out.raw() + i * dim_;
+    for (std::int64_t c = 0; c < dim_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+void Embedding::backward(autograd::StepContext& ctx,
+                         const tensor::LongTensor& ids,
+                         const tensor::Tensor& grad_out) {
+  kernels::scatter_add(ctx.ex(), ids.data(), grad_out.data(), dim_,
+                       weight_.grad.data());
+  ctx.mark_ready(weight_.id);
+}
+
+}  // namespace easyscale::nn

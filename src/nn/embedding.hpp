@@ -1,0 +1,47 @@
+// Embedding table.  Backward is a scatter-add — with atomics on real GPUs
+// it is the textbook nondeterministic op; deterministic policies route it
+// through the sorted scatter kernel.
+//
+// Takes integer ids, so it sits outside the Tensor->Tensor Layer chain and
+// is composed explicitly by models (NeuMF, BERT, Electra).
+#pragma once
+
+#include "autograd/parameter.hpp"
+#include "autograd/step_context.hpp"
+#include "nn/init.hpp"
+#include "tensor/tensor.hpp"
+
+namespace easyscale::nn {
+
+class Embedding {
+ public:
+  Embedding(std::string name, std::int64_t num_embeddings, std::int64_t dim)
+      : num_embeddings_(num_embeddings),
+        dim_(dim),
+        weight_(name + ".weight",
+                tensor::Shape{num_embeddings, dim}) {}
+
+  void register_parameters(autograd::ParameterStore& store) {
+    store.register_parameter(&weight_);
+  }
+
+  void init_weights(rng::Philox& init) { normal_init(init, weight_.value, 0.05f); }
+
+  /// Gather rows: ids [n] -> out [n, dim].
+  [[nodiscard]] tensor::Tensor forward(autograd::StepContext& ctx,
+                                       const tensor::LongTensor& ids);
+
+  /// Scatter gradients back into the table.
+  void backward(autograd::StepContext& ctx, const tensor::LongTensor& ids,
+                const tensor::Tensor& grad_out);
+
+  [[nodiscard]] autograd::Parameter& weight() { return weight_; }
+  [[nodiscard]] std::int64_t dim() const { return dim_; }
+
+ private:
+  std::int64_t num_embeddings_;
+  std::int64_t dim_;
+  autograd::Parameter weight_;
+};
+
+}  // namespace easyscale::nn

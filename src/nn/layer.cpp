@@ -1,0 +1,38 @@
+#include "nn/layer.hpp"
+
+namespace easyscale::nn {
+
+Tensor Sequential::forward(StepContext& ctx, const Tensor& x) {
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(ctx, cur);
+  return cur;
+}
+
+Tensor Sequential::backward(StepContext& ctx, const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    cur = (*it)->backward(ctx, cur);
+  }
+  return cur;
+}
+
+void Sequential::register_parameters(ParameterStore& store) {
+  for (auto& layer : layers_) layer->register_parameters(store);
+}
+
+void Sequential::collect_buffers(std::vector<Tensor*>& out) {
+  for (auto& layer : layers_) layer->collect_buffers(out);
+}
+
+void Sequential::init_weights(rng::Philox& init) {
+  for (auto& layer : layers_) layer->init_weights(init);
+}
+
+bool Sequential::uses_vendor_tuned_kernels() const {
+  for (const auto& layer : layers_) {
+    if (layer->uses_vendor_tuned_kernels()) return true;
+  }
+  return false;
+}
+
+}  // namespace easyscale::nn

@@ -1,0 +1,86 @@
+// Layer interface.
+//
+// Layers cache whatever activations their backward needs during forward
+// ("temporal tensors", §3.2) — those caches live for exactly one mini-batch
+// and are the state EasyScale does NOT need to swap at EST context switches.
+// Persistent per-worker state is split into:
+//   - parameters (shared across ESTs, registered via register_parameters);
+//   - buffers (e.g. BatchNorm running stats) which evolve per virtual
+//     worker and therefore belong to the EST context (collect_buffers).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "autograd/parameter.hpp"
+#include "autograd/step_context.hpp"
+#include "tensor/tensor.hpp"
+
+namespace easyscale::nn {
+
+using autograd::Parameter;
+using autograd::ParameterStore;
+using autograd::StepContext;
+using tensor::LongTensor;
+using tensor::Shape;
+using tensor::Tensor;
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass; caches activations needed by backward.
+  virtual Tensor forward(StepContext& ctx, const Tensor& x) = 0;
+
+  /// Backward pass: accumulates parameter gradients (marking them ready)
+  /// and returns the gradient w.r.t. the input of the last forward.
+  virtual Tensor backward(StepContext& ctx, const Tensor& grad_out) = 0;
+
+  /// Register trainable parameters (construction order defines bucket
+  /// "reverse topological" order).
+  virtual void register_parameters(ParameterStore& /*store*/) {}
+
+  /// Collect non-trainable per-worker state (BatchNorm running stats).
+  virtual void collect_buffers(std::vector<Tensor*>& /*out*/) {}
+
+  /// Deterministic weight init drawing from `init` only.
+  virtual void init_weights(rng::Philox& /*init*/) {}
+
+  /// True when the layer lowers to hardware-tuned vendor kernels on GPUs
+  /// (used by the D2 eligibility scan, §3.3).
+  [[nodiscard]] virtual bool uses_vendor_tuned_kernels() const { return false; }
+
+  [[nodiscard]] virtual const char* kind() const = 0;
+};
+
+/// A layer pipeline; forward applies layers in order, backward in reverse.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  template <typename L, typename... Args>
+  L* emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  void append(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor forward(StepContext& ctx, const Tensor& x) override;
+  Tensor backward(StepContext& ctx, const Tensor& grad_out) override;
+  void register_parameters(ParameterStore& store) override;
+  void collect_buffers(std::vector<Tensor*>& out) override;
+  void init_weights(rng::Philox& init) override;
+  [[nodiscard]] bool uses_vendor_tuned_kernels() const override;
+  [[nodiscard]] const char* kind() const override { return "Sequential"; }
+
+  [[nodiscard]] std::size_t size() const { return layers_.size(); }
+  [[nodiscard]] Layer& at(std::size_t i) { return *layers_[i]; }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace easyscale::nn

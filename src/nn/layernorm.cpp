@@ -1,0 +1,80 @@
+#include "nn/layernorm.hpp"
+
+#include <cmath>
+
+#include "kernels/reduce.hpp"
+
+namespace easyscale::nn {
+
+LayerNorm::LayerNorm(std::string name, std::int64_t dim, float eps)
+    : dim_(dim),
+      eps_(eps),
+      gamma_(name + ".weight", Shape{dim}),
+      beta_(name + ".bias", Shape{dim}) {}
+
+void LayerNorm::register_parameters(ParameterStore& store) {
+  store.register_parameter(&gamma_);
+  store.register_parameter(&beta_);
+}
+
+void LayerNorm::init_weights(rng::Philox& /*init*/) {
+  gamma_.value.fill(1.0f);
+  beta_.value.zero();
+}
+
+Tensor LayerNorm::forward(StepContext& ctx, const Tensor& x) {
+  const std::int64_t rows = x.numel() / dim_;
+  ES_CHECK(rows * dim_ == x.numel(), "LayerNorm: bad size");
+  cached_shape_ = x.shape();
+  cached_xhat_ = Tensor(x.shape());
+  cached_inv_std_ = Tensor(Shape{rows});
+  Tensor out(x.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::span<const float> row(x.raw() + r * dim_,
+                               static_cast<std::size_t>(dim_));
+    const float mean =
+        kernels::reduce_sum(ctx.ex(), row) / static_cast<float>(dim_);
+    float var = 0.0f;
+    for (std::int64_t i = 0; i < dim_; ++i) {
+      const float d = row[static_cast<std::size_t>(i)] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(dim_);
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    cached_inv_std_.at(r) = inv_std;
+    for (std::int64_t i = 0; i < dim_; ++i) {
+      const float xh = (row[static_cast<std::size_t>(i)] - mean) * inv_std;
+      cached_xhat_.at(r * dim_ + i) = xh;
+      out.at(r * dim_ + i) = gamma_.value.at(i) * xh + beta_.value.at(i);
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(StepContext& ctx, const Tensor& grad_out) {
+  const std::int64_t rows = grad_out.numel() / dim_;
+  Tensor grad_in(cached_shape_);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float sum_dy = 0.0f, sum_dyxh = 0.0f;
+    for (std::int64_t i = 0; i < dim_; ++i) {
+      const float dy = grad_out.at(r * dim_ + i) * gamma_.value.at(i);
+      sum_dy += dy;
+      sum_dyxh += dy * cached_xhat_.at(r * dim_ + i);
+    }
+    const float inv_std = cached_inv_std_.at(r);
+    const float m = static_cast<float>(dim_);
+    for (std::int64_t i = 0; i < dim_; ++i) {
+      const float dy = grad_out.at(r * dim_ + i) * gamma_.value.at(i);
+      const float xh = cached_xhat_.at(r * dim_ + i);
+      grad_in.at(r * dim_ + i) =
+          inv_std * (dy - sum_dy / m - xh * sum_dyxh / m);
+      gamma_.grad.at(i) += grad_out.at(r * dim_ + i) * xh;
+      beta_.grad.at(i) += grad_out.at(r * dim_ + i);
+    }
+  }
+  ctx.mark_ready(gamma_.id);
+  ctx.mark_ready(beta_.id);
+  return grad_in;
+}
+
+}  // namespace easyscale::nn

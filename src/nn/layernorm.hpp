@@ -1,0 +1,28 @@
+// LayerNorm over the last dimension.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace easyscale::nn {
+
+class LayerNorm : public Layer {
+ public:
+  LayerNorm(std::string name, std::int64_t dim, float eps = 1e-5f);
+
+  Tensor forward(StepContext& ctx, const Tensor& x) override;
+  Tensor backward(StepContext& ctx, const Tensor& grad_out) override;
+  void register_parameters(ParameterStore& store) override;
+  void init_weights(rng::Philox& init) override;
+  [[nodiscard]] const char* kind() const override { return "LayerNorm"; }
+
+ private:
+  std::int64_t dim_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // one per row
+  Shape cached_shape_;
+};
+
+}  // namespace easyscale::nn

@@ -1,0 +1,67 @@
+#include "nn/linear.hpp"
+
+#include "nn/init.hpp"
+
+#include "kernels/gemm.hpp"
+#include "kernels/reduce.hpp"
+
+namespace easyscale::nn {
+
+Linear::Linear(std::string name, std::int64_t in_features,
+               std::int64_t out_features, bool bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_(name + ".weight", Shape{out_features, in_features}),
+      bias_(name + ".bias", Shape{out_features}) {}
+
+void Linear::register_parameters(ParameterStore& store) {
+  store.register_parameter(&weight_);
+  if (has_bias_) store.register_parameter(&bias_);
+}
+
+void Linear::init_weights(rng::Philox& init) {
+  kaiming_uniform(init, weight_.value, in_features_);
+  if (has_bias_) bias_.value.zero();
+}
+
+Tensor Linear::forward(StepContext& ctx, const Tensor& x) {
+  const auto n = x.numel() / in_features_;
+  ES_CHECK(n * in_features_ == x.numel(), "Linear: bad input size");
+  cached_input_ = x;
+  Tensor out(Shape{n, out_features_});
+  // out[n, out] = x[n, in] * W^T[in, out]
+  kernels::gemm_nt(ctx.ex(), n, out_features_, in_features_, x.data(),
+                   weight_.value.data(), out.data(), false);
+  if (has_bias_) {
+    for (std::int64_t r = 0; r < n; ++r) {
+      float* row = out.raw() + r * out_features_;
+      for (std::int64_t c = 0; c < out_features_; ++c) {
+        row[c] += bias_.value.at(c);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(StepContext& ctx, const Tensor& grad_out) {
+  const auto n = grad_out.numel() / out_features_;
+  // dW[out, in] += dY^T[out, n] * X[n, in]
+  kernels::gemm_tn(ctx.ex(), out_features_, in_features_, n, grad_out.data(),
+                   cached_input_.data(), weight_.grad.data(), true);
+  ctx.mark_ready(weight_.id);
+  if (has_bias_) {
+    for (std::int64_t c = 0; c < out_features_; ++c) {
+      bias_.grad.at(c) += kernels::reduce_sum_strided(
+          ctx.ex(), grad_out.data(), c, out_features_, n);
+    }
+    ctx.mark_ready(bias_.id);
+  }
+  // dX[n, in] = dY[n, out] * W[out, in]
+  Tensor grad_in(cached_input_.shape());
+  kernels::gemm(ctx.ex(), n, in_features_, out_features_, grad_out.data(),
+                weight_.value.data(), grad_in.data(), false);
+  return grad_in;
+}
+
+}  // namespace easyscale::nn

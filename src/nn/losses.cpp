@@ -1,0 +1,103 @@
+#include "nn/losses.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace easyscale::nn {
+
+float SoftmaxCrossEntropy::forward(autograd::StepContext& /*ctx*/,
+                                   const tensor::Tensor& logits,
+                                   const tensor::LongTensor& labels) {
+  ES_CHECK(logits.shape().rank() == 2, "cross-entropy expects [N, C]");
+  const std::int64_t n = logits.shape().dim(0);
+  const std::int64_t c = logits.shape().dim(1);
+  ES_CHECK(labels.numel() == n, "label count mismatch");
+  probs_ = tensor::Tensor(logits.shape());
+  labels_ = labels;
+  float loss = 0.0f;
+  for (std::int64_t r = 0; r < n; ++r) {
+    const float* row = logits.raw() + r * c;
+    float row_max = row[0];
+    for (std::int64_t j = 1; j < c; ++j) row_max = std::max(row_max, row[j]);
+    float denom = 0.0f;
+    float* prow = probs_.raw() + r * c;
+    for (std::int64_t j = 0; j < c; ++j) {
+      prow[j] = std::exp(row[j] - row_max);
+      denom += prow[j];
+    }
+    for (std::int64_t j = 0; j < c; ++j) prow[j] /= denom;
+    const std::int64_t y = labels.at(r);
+    ES_CHECK(y >= 0 && y < c, "label out of range");
+    loss += -std::log(std::max(prow[y], 1e-12f));
+  }
+  return loss / static_cast<float>(n);
+}
+
+tensor::Tensor SoftmaxCrossEntropy::backward() const {
+  const std::int64_t n = probs_.shape().dim(0);
+  const std::int64_t c = probs_.shape().dim(1);
+  tensor::Tensor grad(probs_.shape());
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t r = 0; r < n; ++r) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float onehot = labels_.at(r) == j ? 1.0f : 0.0f;
+      grad.at(r * c + j) = (probs_.at(r * c + j) - onehot) * inv_n;
+    }
+  }
+  return grad;
+}
+
+float BCEWithLogits::forward(autograd::StepContext& /*ctx*/,
+                             const tensor::Tensor& logits,
+                             const tensor::Tensor& targets) {
+  ES_CHECK(logits.numel() == targets.numel(), "BCE size mismatch");
+  const std::int64_t n = logits.numel();
+  sigmoid_ = tensor::Tensor(logits.shape());
+  targets_ = targets;
+  float loss = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float x = logits.at(i);
+    const float s = 1.0f / (1.0f + std::exp(-x));
+    sigmoid_.at(i) = s;
+    // Numerically-stable form: max(x,0) - x*t + log(1+exp(-|x|)).
+    loss += std::max(x, 0.0f) - x * targets.at(i) +
+            std::log1p(std::exp(-std::abs(x)));
+  }
+  return loss / static_cast<float>(n);
+}
+
+tensor::Tensor BCEWithLogits::backward() const {
+  const std::int64_t n = sigmoid_.numel();
+  tensor::Tensor grad(sigmoid_.shape());
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    grad.at(i) = (sigmoid_.at(i) - targets_.at(i)) * inv_n;
+  }
+  return grad;
+}
+
+float MSELoss::forward(autograd::StepContext& /*ctx*/,
+                       const tensor::Tensor& pred,
+                       const tensor::Tensor& target) {
+  ES_CHECK(pred.numel() == target.numel(), "MSE size mismatch");
+  const std::int64_t n = pred.numel();
+  diff_ = tensor::Tensor(pred.shape());
+  float loss = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float d = pred.at(i) - target.at(i);
+    diff_.at(i) = d;
+    loss += d * d;
+  }
+  return loss / static_cast<float>(n);
+}
+
+tensor::Tensor MSELoss::backward() const {
+  const std::int64_t n = diff_.numel();
+  tensor::Tensor grad(diff_.shape());
+  const float scale = 2.0f / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) grad.at(i) = scale * diff_.at(i);
+  return grad;
+}
+
+}  // namespace easyscale::nn

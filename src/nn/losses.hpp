@@ -1,0 +1,52 @@
+// Loss heads.  Each returns a scalar loss (mean over the batch) and the
+// gradient of that loss w.r.t. its logits.  Batch-mean reductions use a
+// fixed sequential order — losses are tiny, so no kernel variants here.
+#pragma once
+
+#include "autograd/step_context.hpp"
+#include "tensor/tensor.hpp"
+
+namespace easyscale::nn {
+
+/// Softmax + negative log-likelihood over [N, C] logits.
+class SoftmaxCrossEntropy {
+ public:
+  /// Returns mean loss; caches softmax probabilities.
+  float forward(autograd::StepContext& ctx, const tensor::Tensor& logits,
+                const tensor::LongTensor& labels);
+
+  /// d(mean loss)/d(logits).
+  [[nodiscard]] tensor::Tensor backward() const;
+
+  [[nodiscard]] const tensor::Tensor& probs() const { return probs_; }
+
+ private:
+  tensor::Tensor probs_;
+  tensor::LongTensor labels_;
+};
+
+/// Binary cross-entropy on logits (NeuMF implicit feedback, YOLO
+/// objectness).  Targets are floats in [0, 1].
+class BCEWithLogits {
+ public:
+  float forward(autograd::StepContext& ctx, const tensor::Tensor& logits,
+                const tensor::Tensor& targets);
+  [[nodiscard]] tensor::Tensor backward() const;
+
+ private:
+  tensor::Tensor sigmoid_;
+  tensor::Tensor targets_;
+};
+
+/// Mean squared error (YOLO box regression).
+class MSELoss {
+ public:
+  float forward(autograd::StepContext& ctx, const tensor::Tensor& pred,
+                const tensor::Tensor& target);
+  [[nodiscard]] tensor::Tensor backward() const;
+
+ private:
+  tensor::Tensor diff_;
+};
+
+}  // namespace easyscale::nn

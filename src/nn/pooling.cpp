@@ -1,0 +1,94 @@
+#include "nn/pooling.hpp"
+
+#include "kernels/reduce.hpp"
+
+namespace easyscale::nn {
+
+Tensor MaxPool2d::forward(StepContext& /*ctx*/, const Tensor& x) {
+  ES_CHECK(x.shape().rank() == 4, "MaxPool2d expects NCHW");
+  const std::int64_t n = x.shape().dim(0), c = x.shape().dim(1),
+                     h = x.shape().dim(2), w = x.shape().dim(3);
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+  ES_CHECK(oh > 0 && ow > 0, "MaxPool2d: output would be empty");
+  cached_in_shape_ = x.shape();
+  Tensor out(Shape{n, c, oh, ow});
+  cached_argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  std::int64_t oi = 0;
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.raw() + (s * c + ch) * h * w;
+      for (std::int64_t y = 0; y < oh; ++y) {
+        for (std::int64_t xx = 0; xx < ow; ++xx, ++oi) {
+          float best = plane[(y * stride_) * w + xx * stride_];
+          std::int64_t best_idx = (y * stride_) * w + xx * stride_;
+          for (std::int64_t ky = 0; ky < kernel_; ++ky) {
+            for (std::int64_t kx = 0; kx < kernel_; ++kx) {
+              const std::int64_t idx =
+                  (y * stride_ + ky) * w + (xx * stride_ + kx);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out.at(oi) = best;
+          cached_argmax_[static_cast<std::size_t>(oi)] =
+              (s * c + ch) * h * w + best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(StepContext& /*ctx*/, const Tensor& grad_out) {
+  Tensor grad_in(cached_in_shape_);
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in.at(cached_argmax_[static_cast<std::size_t>(i)]) += grad_out.at(i);
+  }
+  return grad_in;
+}
+
+Tensor GlobalAvgPool::forward(StepContext& ctx, const Tensor& x) {
+  ES_CHECK(x.shape().rank() == 4, "GlobalAvgPool expects NCHW");
+  const std::int64_t n = x.shape().dim(0), c = x.shape().dim(1),
+                     hw = x.shape().dim(2) * x.shape().dim(3);
+  cached_in_shape_ = x.shape();
+  Tensor out(Shape{n, c});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      std::span<const float> plane(x.raw() + (s * c + ch) * hw,
+                                   static_cast<std::size_t>(hw));
+      out.at(s * c + ch) =
+          kernels::reduce_sum(ctx.ex(), plane) / static_cast<float>(hw);
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(StepContext& /*ctx*/, const Tensor& grad_out) {
+  const std::int64_t n = cached_in_shape_.dim(0), c = cached_in_shape_.dim(1),
+                     hw = cached_in_shape_.dim(2) * cached_in_shape_.dim(3);
+  Tensor grad_in(cached_in_shape_);
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out.at(s * c + ch) / static_cast<float>(hw);
+      float* plane = grad_in.raw() + (s * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) plane[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+Tensor Flatten::forward(StepContext& /*ctx*/, const Tensor& x) {
+  cached_in_shape_ = x.shape();
+  const std::int64_t n = x.shape().dim(0);
+  return x.reshaped(Shape{n, x.numel() / n});
+}
+
+Tensor Flatten::backward(StepContext& /*ctx*/, const Tensor& grad_out) {
+  return grad_out.reshaped(cached_in_shape_);
+}
+
+}  // namespace easyscale::nn

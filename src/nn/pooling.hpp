@@ -1,0 +1,47 @@
+// Pooling layers.  MaxPool2d resolves ties to the first (lowest) index so
+// the backward scatter is deterministic.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace easyscale::nn {
+
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(std::int64_t kernel, std::int64_t stride = -1)
+      : kernel_(kernel), stride_(stride < 0 ? kernel : stride) {}
+
+  Tensor forward(StepContext& ctx, const Tensor& x) override;
+  Tensor backward(StepContext& ctx, const Tensor& grad_out) override;
+  [[nodiscard]] const char* kind() const override { return "MaxPool2d"; }
+
+ private:
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  Shape cached_in_shape_;
+  std::vector<std::int64_t> cached_argmax_;
+};
+
+/// Global average pool: [N, C, H, W] -> [N, C].
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(StepContext& ctx, const Tensor& x) override;
+  Tensor backward(StepContext& ctx, const Tensor& grad_out) override;
+  [[nodiscard]] const char* kind() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+/// Flatten to [N, -1].
+class Flatten : public Layer {
+ public:
+  Tensor forward(StepContext& ctx, const Tensor& x) override;
+  Tensor backward(StepContext& ctx, const Tensor& grad_out) override;
+  [[nodiscard]] const char* kind() const override { return "Flatten"; }
+
+ private:
+  Shape cached_in_shape_;
+};
+
+}  // namespace easyscale::nn

@@ -1,0 +1,69 @@
+#include "optim/adam.hpp"
+
+#include <cmath>
+
+namespace easyscale::optim {
+
+Adam::Adam(autograd::ParameterStore& params, Options opts)
+    : params_(&params), opts_(opts) {
+  m_.reserve(params.size());
+  v_.reserve(params.size());
+  for (const auto* p : params.all()) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bc1 =
+      1.0f - std::pow(opts_.beta1, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0f - std::pow(opts_.beta2, static_cast<float>(step_count_));
+  const auto& all = params_->all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    autograd::Parameter& p = *all[i];
+    tensor::Tensor& m = m_[i];
+    tensor::Tensor& v = v_[i];
+    const std::int64_t n = p.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float g = p.grad.at(j);
+      m.at(j) = opts_.beta1 * m.at(j) + (1.0f - opts_.beta1) * g;
+      v.at(j) = opts_.beta2 * v.at(j) + (1.0f - opts_.beta2) * g * g;
+      const float mhat = m.at(j) / bc1;
+      const float vhat = v.at(j) / bc2;
+      float update = opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+      if (opts_.weight_decay != 0.0f) {
+        update += opts_.lr * opts_.weight_decay * p.value.at(j);
+      }
+      p.value.at(j) -= update;
+    }
+  }
+}
+
+void Adam::save(ByteWriter& w) const {
+  w.write(opts_.lr);
+  w.write(opts_.beta1);
+  w.write(opts_.beta2);
+  w.write(opts_.eps);
+  w.write(opts_.weight_decay);
+  w.write(step_count_);
+  w.write<std::uint64_t>(m_.size());
+  for (const auto& t : m_) t.save(w);
+  for (const auto& t : v_) t.save(w);
+}
+
+void Adam::load(ByteReader& r) {
+  opts_.lr = r.read<float>();
+  opts_.beta1 = r.read<float>();
+  opts_.beta2 = r.read<float>();
+  opts_.eps = r.read<float>();
+  opts_.weight_decay = r.read<float>();
+  step_count_ = r.read<std::int64_t>();
+  const auto n = r.read<std::uint64_t>();
+  ES_CHECK(n == m_.size(), "Adam state count mismatch");
+  for (auto& t : m_) t = tensor::Tensor::load(r);
+  for (auto& t : v_) t = tensor::Tensor::load(r);
+}
+
+}  // namespace easyscale::optim

@@ -1,0 +1,48 @@
+// Adam (Kingma & Ba) — the optimizer the paper's NLP workloads (BERT,
+// Electra) train with in practice.  Like SGD's momentum buffers, Adam's
+// moment estimates are identical on every replica (they are functions of
+// the synchronized gradients), so EasyScale shares one Adam state per
+// physical worker across all ESTs.
+#pragma once
+
+#include <vector>
+
+#include "autograd/parameter.hpp"
+#include "common/serialize.hpp"
+#include "optim/optimizer.hpp"
+
+namespace easyscale::optim {
+
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;  // decoupled (AdamW-style) when nonzero
+  };
+
+  Adam(autograd::ParameterStore& params, Options opts);
+
+  /// One update from the gradients currently in each parameter.
+  void step() override;
+
+  void zero_grad() override { params_->zero_grads(); }
+
+  [[nodiscard]] float lr() const override { return opts_.lr; }
+  void set_lr(float lr) override { opts_.lr = lr; }
+  [[nodiscard]] std::int64_t step_count() const { return step_count_; }
+
+  void save(ByteWriter& w) const override;
+  void load(ByteReader& r) override;
+
+ private:
+  autograd::ParameterStore* params_;
+  Options opts_;
+  std::int64_t step_count_ = 0;
+  std::vector<tensor::Tensor> m_;  // first moment per parameter
+  std::vector<tensor::Tensor> v_;  // second moment per parameter
+};
+
+}  // namespace easyscale::optim

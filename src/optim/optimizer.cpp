@@ -1,0 +1,28 @@
+#include "optim/optimizer.hpp"
+
+#include "common/error.hpp"
+#include "optim/adam.hpp"
+#include "optim/sgd.hpp"
+
+namespace easyscale::optim {
+
+std::unique_ptr<Optimizer> make_optimizer(autograd::ParameterStore& params,
+                                          const OptimizerConfig& config) {
+  switch (config.kind) {
+    case OptimizerConfig::Kind::kSGD:
+      return std::make_unique<SGD>(
+          params, SGD::Options{.lr = config.lr,
+                               .momentum = config.momentum,
+                               .weight_decay = config.weight_decay});
+    case OptimizerConfig::Kind::kAdam:
+      return std::make_unique<Adam>(
+          params, Adam::Options{.lr = config.lr,
+                                .beta1 = config.beta1,
+                                .beta2 = config.beta2,
+                                .eps = config.eps,
+                                .weight_decay = config.weight_decay});
+  }
+  ES_THROW("unknown optimizer kind");
+}
+
+}  // namespace easyscale::optim

@@ -1,0 +1,41 @@
+// Optimizer interface + configuration.  Trainers (ddp/, core/, baselines/)
+// are optimizer-agnostic: the config names the algorithm, and state
+// serialization flows through the common interface so checkpoints work for
+// any optimizer.
+#pragma once
+
+#include <memory>
+
+#include "autograd/parameter.hpp"
+#include "common/serialize.hpp"
+
+namespace easyscale::optim {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step() = 0;
+  virtual void zero_grad() = 0;
+  [[nodiscard]] virtual float lr() const = 0;
+  virtual void set_lr(float lr) = 0;
+  virtual void save(ByteWriter& w) const = 0;
+  virtual void load(ByteReader& r) = 0;
+};
+
+struct OptimizerConfig {
+  enum class Kind { kSGD, kAdam };
+  Kind kind = Kind::kSGD;
+  float lr = 0.1f;
+  float weight_decay = 0.0f;
+  // SGD
+  float momentum = 0.9f;
+  // Adam
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+};
+
+[[nodiscard]] std::unique_ptr<Optimizer> make_optimizer(
+    autograd::ParameterStore& params, const OptimizerConfig& config);
+
+}  // namespace easyscale::optim

@@ -1,0 +1,72 @@
+#include "optim/sgd.hpp"
+
+#include <cmath>
+
+namespace easyscale::optim {
+
+SGD::SGD(autograd::ParameterStore& params, Options opts)
+    : params_(&params), opts_(opts) {
+  momentum_.reserve(params.size());
+  for (const auto* p : params.all()) {
+    momentum_.emplace_back(p->value.shape());
+  }
+}
+
+void SGD::step() {
+  const auto& all = params_->all();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    autograd::Parameter& p = *all[i];
+    tensor::Tensor& m = momentum_[i];
+    const std::int64_t n = p.numel();
+    for (std::int64_t j = 0; j < n; ++j) {
+      float g = p.grad.at(j);
+      if (opts_.weight_decay != 0.0f) g += opts_.weight_decay * p.value.at(j);
+      if (opts_.momentum != 0.0f) {
+        m.at(j) = opts_.momentum * m.at(j) + g;
+        g = m.at(j);
+      }
+      p.value.at(j) -= opts_.lr * g;
+    }
+  }
+}
+
+void SGD::save(ByteWriter& w) const {
+  w.write(opts_.lr);
+  w.write(opts_.momentum);
+  w.write(opts_.weight_decay);
+  w.write<std::uint64_t>(momentum_.size());
+  for (const auto& m : momentum_) m.save(w);
+}
+
+void SGD::load(ByteReader& r) {
+  opts_.lr = r.read<float>();
+  opts_.momentum = r.read<float>();
+  opts_.weight_decay = r.read<float>();
+  const auto n = r.read<std::uint64_t>();
+  ES_CHECK(n == momentum_.size(), "optimizer state count mismatch");
+  for (auto& m : momentum_) m = tensor::Tensor::load(r);
+}
+
+void StepLR::set_epoch(std::int64_t epoch) {
+  last_epoch_ = epoch;
+  const auto decays = epoch / step_size_;
+  opt_->set_lr(base_lr_ *
+               std::pow(gamma_, static_cast<float>(decays)));
+}
+
+void StepLR::save(ByteWriter& w) const {
+  w.write(base_lr_);
+  w.write(step_size_);
+  w.write(gamma_);
+  w.write(last_epoch_);
+}
+
+void StepLR::load(ByteReader& r) {
+  base_lr_ = r.read<float>();
+  step_size_ = r.read<std::int64_t>();
+  gamma_ = r.read<float>();
+  last_epoch_ = r.read<std::int64_t>();
+  set_epoch(last_epoch_);
+}
+
+}  // namespace easyscale::optim

@@ -1,0 +1,66 @@
+// SGD with momentum and weight decay (the optimizer used by the paper's CV
+// workloads).  Optimizer state (momentum buffers) is identical on every
+// replica because updates are computed from synchronized gradients — which
+// is why EasyScale shares one optimizer replica per physical worker across
+// all ESTs (§3.2, context switching).
+#pragma once
+
+#include <vector>
+
+#include "autograd/parameter.hpp"
+#include "common/serialize.hpp"
+#include "optim/optimizer.hpp"
+
+namespace easyscale::optim {
+
+class SGD : public Optimizer {
+ public:
+  struct Options {
+    float lr = 0.1f;
+    float momentum = 0.9f;
+    float weight_decay = 0.0f;
+  };
+
+  SGD(autograd::ParameterStore& params, Options opts);
+
+  /// Apply one update from the gradients currently in each parameter.
+  void step() override;
+
+  void zero_grad() override { params_->zero_grads(); }
+
+  [[nodiscard]] float lr() const override { return opts_.lr; }
+  void set_lr(float lr) override { opts_.lr = lr; }
+
+  void save(ByteWriter& w) const override;
+  void load(ByteReader& r) override;
+
+ private:
+  autograd::ParameterStore* params_;
+  Options opts_;
+  std::vector<tensor::Tensor> momentum_;  // one buffer per parameter
+};
+
+/// StepLR schedule: lr = base_lr * gamma^(epoch / step_size).  `gamma` is
+/// the hyper-parameter swept in Fig 4.
+class StepLR {
+ public:
+  StepLR(Optimizer& opt, std::int64_t step_size, float gamma)
+      : opt_(&opt), base_lr_(opt.lr()), step_size_(step_size), gamma_(gamma) {}
+
+  /// Set the LR for the given epoch (idempotent — safe to call on resume).
+  void set_epoch(std::int64_t epoch);
+
+  [[nodiscard]] std::int64_t last_epoch() const { return last_epoch_; }
+
+  void save(ByteWriter& w) const;
+  void load(ByteReader& r);
+
+ private:
+  Optimizer* opt_;
+  float base_lr_;
+  std::int64_t step_size_;
+  float gamma_;
+  std::int64_t last_epoch_ = 0;
+};
+
+}  // namespace easyscale::optim

@@ -1,0 +1,72 @@
+// Philox4x32-10 counter-based random number generator.
+//
+// Counter-based RNGs are the standard choice for reproducible parallel
+// training (cuRAND and PyTorch's CUDA generators use Philox).  The state is
+// tiny (key + counter + a small output buffer) which is exactly why the
+// paper's EST contexts stay small: recording an RNG state costs a few
+// dozen bytes rather than re-recording consumed randomness.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/serialize.hpp"
+
+namespace easyscale::rng {
+
+/// Serializable Philox state.  `buffer` caches the most recent 4-word block
+/// so single-value draws do not waste generated words; `buffer_pos == 4`
+/// means the buffer is empty.
+struct PhiloxState {
+  std::uint64_t key = 0;
+  std::uint64_t counter = 0;
+  std::array<std::uint32_t, 4> buffer = {0, 0, 0, 0};
+  std::uint32_t buffer_pos = 4;
+  /// Spare normal value for Box-Muller pairs (valid when has_spare_normal).
+  double spare_normal = 0.0;
+  std::uint32_t has_spare_normal = 0;
+
+  void save(ByteWriter& w) const;
+  static PhiloxState load(ByteReader& r);
+
+  friend bool operator==(const PhiloxState&, const PhiloxState&) = default;
+};
+
+/// The generator itself.  Deterministic across platforms: only integer
+/// arithmetic and IEEE-754 double→float conversions.
+class Philox {
+ public:
+  Philox() = default;
+  explicit Philox(std::uint64_t seed) { reseed(seed); }
+
+  /// Reset to the beginning of the stream identified by `seed`.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 32-bit word.
+  std::uint32_t next_u32();
+
+  /// Next raw 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform float in [0, 1).
+  float next_float();
+
+  /// Uniform integer in [0, bound).  bound must be positive.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Standard normal via Box-Muller (deterministic pairing).
+  double next_normal();
+
+  [[nodiscard]] const PhiloxState& state() const { return state_; }
+  void set_state(const PhiloxState& s) { state_ = s; }
+
+ private:
+  void refill();
+
+  PhiloxState state_;
+};
+
+}  // namespace easyscale::rng

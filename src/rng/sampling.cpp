@@ -1,0 +1,33 @@
+#include "rng/sampling.hpp"
+
+#include <numeric>
+
+namespace easyscale::rng {
+
+std::vector<std::int64_t> permutation(Philox& gen, std::size_t n) {
+  std::vector<std::int64_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::int64_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(gen.next_below(i));
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+void fill_uniform(Philox& gen, std::span<float> out, float lo, float hi) {
+  for (auto& v : out) v = lo + (hi - lo) * gen.next_float();
+}
+
+void fill_normal(Philox& gen, std::span<float> out, float mean, float stddev) {
+  for (auto& v : out) {
+    v = mean + stddev * static_cast<float>(gen.next_normal());
+  }
+}
+
+void fill_randint(Philox& gen, std::span<std::int64_t> out, std::int64_t bound) {
+  for (auto& v : out) {
+    v = static_cast<std::int64_t>(gen.next_below(static_cast<std::uint64_t>(bound)));
+  }
+}
+
+}  // namespace easyscale::rng

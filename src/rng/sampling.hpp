@@ -1,0 +1,26 @@
+// Sampling utilities built on Philox: Fisher-Yates permutation and
+// convenience fills.  The distributed sampler (data/) derives per-epoch
+// permutations from these; they are bitwise reproducible given the stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rng/philox.hpp"
+
+namespace easyscale::rng {
+
+/// Identity permutation of size n shuffled in place with Fisher-Yates.
+[[nodiscard]] std::vector<std::int64_t> permutation(Philox& gen, std::size_t n);
+
+/// Fill with iid U[lo, hi) floats.
+void fill_uniform(Philox& gen, std::span<float> out, float lo, float hi);
+
+/// Fill with iid N(mean, stddev) floats.
+void fill_normal(Philox& gen, std::span<float> out, float mean, float stddev);
+
+/// Fill with iid integers in [0, bound).
+void fill_randint(Philox& gen, std::span<std::int64_t> out, std::int64_t bound);
+
+}  // namespace easyscale::rng

@@ -1,0 +1,30 @@
+#include "rng/stream_set.hpp"
+
+namespace easyscale::rng {
+
+std::uint64_t derive_stream_key(std::uint64_t seed, std::uint64_t rank,
+                                std::uint64_t kind) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (rank + 1) +
+                    0xBF58476D1CE4E5B9ull * (kind + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void StreamSet::seed_all(std::uint64_t seed, std::uint64_t rank) {
+  for (int k = 0; k < kNumStreamKinds; ++k) {
+    streams_[k].reseed(derive_stream_key(seed, rank, static_cast<std::uint64_t>(k)));
+  }
+}
+
+StreamSetState StreamSet::state() const {
+  StreamSetState st;
+  for (int k = 0; k < kNumStreamKinds; ++k) st.streams[k] = streams_[k].state();
+  return st;
+}
+
+void StreamSet::set_state(const StreamSetState& s) {
+  for (int k = 0; k < kNumStreamKinds; ++k) streams_[k].set_state(s.streams[k]);
+}
+
+}  // namespace easyscale::rng

@@ -1,0 +1,71 @@
+// The "RNG zoo" of a real training stack.
+//
+// §3.3 D0: "the data loader and data augmentation also depend on RNG states
+// from Python, NumPy, PyTorch, etc."  A worker therefore carries a *set* of
+// independent RNG streams, one per framework layer, and all of them are part
+// of the implicit framework state that must be captured in EST contexts and
+// checkpoints.  StreamSet reproduces that structure.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rng/philox.hpp"
+
+namespace easyscale::rng {
+
+/// Which framework layer a draw comes from.  Mirrors the layers the paper
+/// names as nondeterminism sources.
+enum class StreamKind : int {
+  kPython = 0,  // python `random` — used by user-level augmentation choices
+  kNumpy = 1,   // numpy — array-level augmentation (crops, noise)
+  kTorch = 2,   // framework ops — dropout masks, weight init
+  kCuda = 3,    // device-side generator — per-op GPU randomness
+};
+
+constexpr int kNumStreamKinds = 4;
+
+/// Serializable snapshot of all four streams.
+struct StreamSetState {
+  std::array<PhiloxState, kNumStreamKinds> streams;
+
+  void save(ByteWriter& w) const {
+    for (const auto& s : streams) s.save(w);
+  }
+  static StreamSetState load(ByteReader& r) {
+    StreamSetState st;
+    for (auto& s : st.streams) s = PhiloxState::load(r);
+    return st;
+  }
+  friend bool operator==(const StreamSetState&, const StreamSetState&) = default;
+};
+
+/// A bundle of independent Philox streams.  Seeding derives a distinct key
+/// per stream from (seed, rank, kind) so that virtual workers never share a
+/// stream — matching DDP's per-rank seeding discipline.
+class StreamSet {
+ public:
+  StreamSet() = default;
+
+  /// Seed all streams for virtual rank `rank`.
+  void seed_all(std::uint64_t seed, std::uint64_t rank);
+
+  Philox& stream(StreamKind kind) { return streams_[static_cast<int>(kind)]; }
+  const Philox& stream(StreamKind kind) const {
+    return streams_[static_cast<int>(kind)];
+  }
+
+  [[nodiscard]] StreamSetState state() const;
+  void set_state(const StreamSetState& s);
+
+ private:
+  std::array<Philox, kNumStreamKinds> streams_;
+};
+
+/// Mixes (seed, rank, kind) into a stream key.  SplitMix64 finalizer —
+/// avalanching so nearby ranks get unrelated streams.
+[[nodiscard]] std::uint64_t derive_stream_key(std::uint64_t seed,
+                                              std::uint64_t rank,
+                                              std::uint64_t kind);
+
+}  // namespace easyscale::rng

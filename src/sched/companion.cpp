@@ -1,0 +1,165 @@
+#include "sched/companion.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "models/profile.hpp"
+
+namespace easyscale::sched {
+
+Companion::Companion(std::string workload, std::int64_t max_p)
+    : workload_(std::move(workload)), max_p_(max_p) {
+  ES_CHECK(max_p_ > 0, "maxP must be positive");
+}
+
+double Companion::capability(DeviceType type) const {
+  return calibration_ * models::profiled_throughput(workload_, type);
+}
+
+Plan Companion::make_plan(const GpuVector& gpus) const {
+  Plan plan;
+  plan.gpus = gpus;
+  const std::int64_t n_gpus = total(gpus);
+  if (n_gpus == 0) return plan;
+  // Expand GPU list (grouped by type) with capabilities.
+  std::vector<double> caps;
+  for (int t = 0; t < kNumDeviceTypes; ++t) {
+    for (std::int64_t i = 0; i < gpus[static_cast<std::size_t>(t)]; ++i) {
+      caps.push_back(capability(static_cast<DeviceType>(t)));
+    }
+  }
+  plan.ests.assign(caps.size(), 0);
+  // Every GPU in the plan must host at least one EST (idle GPUs would be
+  // pure waste); refuse plans with more GPUs than ESTs.
+  if (n_gpus > max_p_) return Plan{};
+  // Greedy: place each EST on the GPU with the lowest resulting step time.
+  for (std::int64_t e = 0; e < max_p_; ++e) {
+    std::size_t best = 0;
+    double best_time = 1e300;
+    for (std::size_t g = 0; g < caps.size(); ++g) {
+      const double t = static_cast<double>(plan.ests[g] + 1) / caps[g];
+      if (t < best_time) {
+        best_time = t;
+        best = g;
+      }
+    }
+    ++plan.ests[best];
+  }
+  // Eq. (1b): the slowest GPU gates the global step.
+  plan.f_overload = 0.0;
+  for (std::size_t g = 0; g < caps.size(); ++g) {
+    plan.f_overload = std::max(
+        plan.f_overload, static_cast<double>(plan.ests[g]) / caps[g]);
+  }
+  // Eq. (1c): stranded capability.  nEST == maxP here (no over-provision
+  // term; EST count is fixed at model design time).
+  plan.waste = 0.0;
+  double agg = 0.0;
+  for (std::size_t g = 0; g < caps.size(); ++g) {
+    agg += caps[g];
+    plan.waste +=
+        caps[g] - static_cast<double>(plan.ests[g]) / plan.f_overload;
+  }
+  plan.throughput = agg - plan.waste;  // Eq. (1d)
+  plan.steps_per_second = 1.0 / plan.f_overload;
+  return plan;
+}
+
+Plan Companion::best_plan(const GpuVector& available, bool allow_heter) const {
+  Plan best;
+  if (!allow_heter) {
+    // Single-type plans: for each type, the best GPU count.
+    for (int t = 0; t < kNumDeviceTypes; ++t) {
+      const std::int64_t avail = available[static_cast<std::size_t>(t)];
+      const std::int64_t cap = std::min<std::int64_t>(avail, max_p_);
+      for (std::int64_t n = 1; n <= cap; ++n) {
+        GpuVector g{};
+        g[static_cast<std::size_t>(t)] = n;
+        const Plan p = make_plan(g);
+        if (p.valid() && p.throughput > best.throughput) best = p;
+      }
+    }
+    return best;
+  }
+  // Greedy constructive over mixed types.  Each round adds the single GPU
+  // whose plan evaluates best and keeps walking through throughput
+  // plateaus (e.g. 2 -> 3 V100 may not help but 4 does); the best plan
+  // seen anywhere along the walk is returned, ties resolved toward fewer
+  // GPUs / less waste.
+  GpuVector chosen{};
+  while (total(chosen) < std::min<std::int64_t>(max_p_, total(available))) {
+    Plan round_best;
+    int round_type = -1;
+    for (int t = 0; t < kNumDeviceTypes; ++t) {
+      if (chosen[static_cast<std::size_t>(t)] >=
+          available[static_cast<std::size_t>(t)]) {
+        continue;
+      }
+      GpuVector trial = chosen;
+      ++trial[static_cast<std::size_t>(t)];
+      const Plan p = make_plan(trial);
+      if (!p.valid()) continue;
+      if (round_type < 0 || p.throughput > round_best.throughput ||
+          (p.throughput == round_best.throughput &&
+           p.waste < round_best.waste)) {
+        round_best = p;
+        round_type = t;
+      }
+    }
+    if (round_type < 0) break;
+    ++chosen[static_cast<std::size_t>(round_type)];
+    if (!best.valid() || round_best.throughput > best.throughput) {
+      best = round_best;
+    }
+  }
+  return best;
+}
+
+std::vector<Companion::Proposal> Companion::proposals(
+    const Plan& current, const GpuVector& available, bool allow_heter,
+    std::size_t top_k) const {
+  std::vector<Proposal> out;
+  const double base_tp = current.valid() ? current.throughput : 0.0;
+  // Incremental options: +1 / +2 / +4 GPUs of each type (homogeneous
+  // increments, §3.4 "scale out with incremental homogeneous GPUs").
+  for (int t = 0; t < kNumDeviceTypes; ++t) {
+    if (!allow_heter && current.valid()) {
+      // Homo jobs may only grow in the type they already use.
+      bool uses_type = current.gpus[static_cast<std::size_t>(t)] > 0;
+      if (!uses_type && total(current.gpus) > 0) continue;
+    }
+    for (std::int64_t inc : {1, 2, 4}) {
+      if (available[static_cast<std::size_t>(t)] < inc) continue;
+      GpuVector trial = current.gpus;
+      trial[static_cast<std::size_t>(t)] += inc;
+      const Plan p = make_plan(trial);
+      if (!p.valid()) continue;
+      if (base_tp > 0.0 && p.throughput <= base_tp) continue;
+      Proposal prop;
+      prop.extra_gpus = GpuVector{};
+      prop.extra_gpus[static_cast<std::size_t>(t)] = inc;
+      prop.plan = p;
+      prop.speedup = base_tp > 0.0 ? p.throughput / base_tp : 1e9;
+      prop.gpu_count = inc;
+      out.push_back(prop);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Proposal& a, const Proposal& b) {
+    if (a.speedup_per_gpu() != b.speedup_per_gpu()) {
+      return a.speedup_per_gpu() > b.speedup_per_gpu();
+    }
+    return a.gpu_count > b.gpu_count;
+  });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+void Companion::report_throughput(const Plan& plan, double observed_mbps) {
+  if (!plan.valid() || plan.throughput <= 0.0) return;
+  const double ratio = observed_mbps / plan.throughput;
+  if (ratio < 0.8 || ratio > 1.2) {
+    calibration_ *= ratio;
+  }
+}
+
+}  // namespace easyscale::sched

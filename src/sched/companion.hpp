@@ -1,0 +1,95 @@
+// The companion module (§3.4): a per-job database of scheduling plans and
+// the analytical waste/throughput model of Equations (1a)-(1d).
+//
+// A plan maps a job's maxP ESTs onto a multiset of GPUs.  ESTs on one GPU
+// execute serially (time-slicing), so a GPU holding A ESTs of a workload
+// with capability C mini-batches/s needs A/C seconds per global step; the
+// slowest GPU (f_overload) gates the whole Sync-SGD job.  waste measures
+// the capability the plan strands, and estimated throughput is aggregate
+// capability minus waste.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/device.hpp"
+
+namespace easyscale::sched {
+
+using kernels::DeviceType;
+using kernels::kNumDeviceTypes;
+
+/// GPUs per device type (indexed by DeviceType).
+using GpuVector = std::array<std::int64_t, kNumDeviceTypes>;
+
+[[nodiscard]] inline std::int64_t total(const GpuVector& v) {
+  std::int64_t t = 0;
+  for (auto n : v) t += n;
+  return t;
+}
+
+/// A concrete EST-to-GPU mapping: ests[g] is the EST count on the g-th GPU
+/// of the plan (GPUs listed per type, in type order).
+struct Plan {
+  GpuVector gpus{};                 // N_i
+  std::vector<std::int64_t> ests;   // per-GPU EST count, grouped by type
+  double f_overload = 0.0;          // max_i A_i / C_i  (seconds per step)
+  double waste = 0.0;               // Eq. (1c)
+  double throughput = 0.0;          // Eq. (1d), mini-batches per second
+  double steps_per_second = 0.0;    // 1 / f_overload (global steps)
+
+  [[nodiscard]] bool valid() const { return f_overload > 0.0; }
+};
+
+class Companion {
+ public:
+  Companion(std::string workload, std::int64_t max_p);
+
+  /// Per-EST capability C_i of one GPU of `type` for this workload.
+  [[nodiscard]] double capability(DeviceType type) const;
+
+  /// Balance maxP ESTs over the given GPUs (greedy longest-processing-time)
+  /// and evaluate Eq. (1).  Returns an invalid plan when gpus is empty.
+  [[nodiscard]] Plan make_plan(const GpuVector& gpus) const;
+
+  /// Best plan under `available` GPUs.  Greedy-constructive: repeatedly add
+  /// the GPU that improves estimated throughput the most.  `allow_heter`
+  /// false restricts the plan to a single device type (EasyScale_homo, or a
+  /// D2-ineligible job).
+  [[nodiscard]] Plan best_plan(const GpuVector& available,
+                               bool allow_heter) const;
+
+  /// Role-2 resource proposals: top-K scale-out options from `current`
+  /// under `available` spare GPUs, with their estimated speedup.
+  struct Proposal {
+    GpuVector extra_gpus{};
+    Plan plan;
+    double speedup = 0.0;  // new throughput / current throughput
+    std::int64_t gpu_count = 0;
+    [[nodiscard]] double speedup_per_gpu() const {
+      return gpu_count > 0 ? (speedup - 1.0) / static_cast<double>(gpu_count)
+                           : 0.0;
+    }
+  };
+  [[nodiscard]] std::vector<Proposal> proposals(const Plan& current,
+                                                const GpuVector& available,
+                                                bool allow_heter,
+                                                std::size_t top_k = 3) const;
+
+  /// Report observed throughput; when the estimate drifts by more than 20%
+  /// the database recalibrates its capability scale (the "actively update"
+  /// behaviour of §3.4).
+  void report_throughput(const Plan& plan, double observed_mbps);
+
+  [[nodiscard]] std::int64_t max_p() const { return max_p_; }
+  [[nodiscard]] const std::string& workload() const { return workload_; }
+
+ private:
+  std::string workload_;
+  std::int64_t max_p_;
+  double calibration_ = 1.0;  // multiplicative correction from reports
+};
+
+}  // namespace easyscale::sched

@@ -1,0 +1,73 @@
+#include "sched/intra_job.hpp"
+
+#include "common/log.hpp"
+
+namespace easyscale::sched {
+
+IntraJobScheduler::IntraJobScheduler(core::EasyScaleEngine& engine,
+                                     Companion companion, bool allow_heter)
+    : engine_(&engine),
+      companion_(std::move(companion)),
+      allow_heter_(allow_heter) {}
+
+void IntraJobScheduler::reconfigure_engine(const Plan& plan) {
+  ES_CHECK(plan.valid(), "cannot apply an invalid plan");
+  std::vector<core::WorkerSpec> specs;
+  for (int t = 0; t < kNumDeviceTypes; ++t) {
+    for (std::int64_t i = 0; i < plan.gpus[static_cast<std::size_t>(t)];
+         ++i) {
+      specs.push_back(core::WorkerSpec{static_cast<DeviceType>(t)});
+    }
+  }
+  // EST ranks are dealt contiguously following the plan's per-GPU counts.
+  std::vector<std::vector<std::int64_t>> assignment(specs.size());
+  std::int64_t next = 0;
+  for (std::size_t g = 0; g < specs.size(); ++g) {
+    for (std::int64_t k = 0; k < plan.ests[g]; ++k) {
+      assignment[g].push_back(next++);
+    }
+  }
+  ES_CHECK(next == companion_.max_p(), "plan does not place every EST");
+  engine_->configure_workers(specs, assignment);
+}
+
+bool IntraJobScheduler::apply_best_plan(const GpuVector& available) {
+  const Plan plan = companion_.best_plan(available, allow_heter_);
+  if (!plan.valid()) return false;
+  apply_plan(plan);
+  return true;
+}
+
+std::vector<Companion::Proposal> IntraJobScheduler::make_proposals(
+    const GpuVector& spare, std::size_t top_k) const {
+  return companion_.proposals(current_, spare, allow_heter_, top_k);
+}
+
+void IntraJobScheduler::apply_plan(const Plan& plan) {
+  reconfigure_engine(plan);
+  previous_ = current_;
+  current_ = plan;
+  ES_LOG_DEBUG("intra-job scheduler applied plan with "
+               << total(plan.gpus) << " GPU(s), est tp " << plan.throughput);
+}
+
+bool IntraJobScheduler::report_throughput(double observed_mbps) {
+  companion_.report_throughput(current_, observed_mbps);
+  const bool scaled_out =
+      previous_.valid() && total(current_.gpus) > total(previous_.gpus);
+  if (scaled_out && previous_observed_ > 0.0 &&
+      observed_mbps < previous_observed_) {
+    // Role-3 fallback: more GPUs made things slower — release them.
+    ES_LOG_INFO("intra-job scheduler falling back after slowdown ("
+                << observed_mbps << " < " << previous_observed_ << " mb/s)");
+    const Plan back = previous_;
+    reconfigure_engine(back);
+    current_ = back;
+    previous_ = Plan{};
+    return true;
+  }
+  previous_observed_ = observed_mbps;
+  return false;
+}
+
+}  // namespace easyscale::sched

@@ -1,0 +1,61 @@
+// Live intra-job scheduler (§3.4, the AIMaster side): bridges the
+// companion module's plans to a running EasyScaleEngine.
+//
+//  Role-1: apply the best configuration available (apply_best_plan);
+//  Role-2: form scale-out resource proposals for the inter-job scheduler
+//          (make_proposals);
+//  Role-3: execute an approved plan immediately (apply_plan) and fall back
+//          to the previous plan if the observed throughput regressed
+//          (report_throughput).
+#pragma once
+
+#include "core/engine.hpp"
+#include "sched/companion.hpp"
+
+namespace easyscale::sched {
+
+class IntraJobScheduler {
+ public:
+  IntraJobScheduler(core::EasyScaleEngine& engine, Companion companion,
+                    bool allow_heter);
+
+  /// Role-1: pick and apply the best plan under `available` GPUs.  Returns
+  /// false (and leaves the engine untouched) when no valid plan exists.
+  bool apply_best_plan(const GpuVector& available);
+
+  /// Role-2: top-K scale-out proposals from the current plan.
+  [[nodiscard]] std::vector<Companion::Proposal> make_proposals(
+      const GpuVector& spare, std::size_t top_k = 3) const;
+
+  /// Role-3: reconfigure the engine onto `plan` (checkpoint + rescale).
+  void apply_plan(const Plan& plan);
+
+  /// Report measured throughput (mini-batches/s).  If the most recent
+  /// apply_plan was a scale-out and the observation regressed, the
+  /// scheduler reverts to the previous plan and returns true.
+  bool report_throughput(double observed_mbps);
+
+  /// Drop the current plan (the job pauses; GPUs return to the pool).  The
+  /// engine keeps its last worker set but the cluster stops stepping it.
+  void release() {
+    previous_ = Plan{};
+    current_ = Plan{};
+  }
+
+  [[nodiscard]] const Plan& current_plan() const { return current_; }
+  [[nodiscard]] const Companion& companion() const { return companion_; }
+  [[nodiscard]] bool allow_heter() const { return allow_heter_; }
+
+ private:
+  /// Translate a plan into (worker specs, EST assignment) for the engine.
+  void reconfigure_engine(const Plan& plan);
+
+  core::EasyScaleEngine* engine_;
+  Companion companion_;
+  bool allow_heter_;
+  Plan current_;
+  Plan previous_;
+  double previous_observed_ = 0.0;
+};
+
+}  // namespace easyscale::sched

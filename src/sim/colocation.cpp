@@ -1,0 +1,89 @@
+#include "sim/colocation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace easyscale::sim {
+
+namespace {
+
+ColocationPoint make_point(double t_min, std::int64_t serving,
+                           std::int64_t training,
+                           const ColocationConfig& cfg) {
+  ColocationPoint p;
+  p.t_min = t_min;
+  p.serving_gpus = serving;
+  p.training_gpus = training;
+  const double total = static_cast<double>(cfg.total_gpus);
+  p.alloc_ratio = static_cast<double>(serving + training) / total;
+  const double load_fraction = static_cast<double>(serving) / total;
+  const double serving_util =
+      cfg.serving_util_base + cfg.serving_util_slope * load_fraction;
+  p.sm_util = (static_cast<double>(serving) * serving_util +
+               static_cast<double>(training) * cfg.training_util) /
+              total;
+  return p;
+}
+
+}  // namespace
+
+ColocationResult simulate_colocation(
+    const std::vector<std::int64_t>& serving_demand,
+    const ColocationConfig& cfg) {
+  ES_CHECK(serving_demand.size() >= 2, "need a demand curve");
+  ES_CHECK(serving_demand.size() % 2 == 0, "demand must cover two days");
+  const std::size_t half = serving_demand.size() / 2;
+  ColocationResult result;
+
+  // Day 1: serving only.  The idle GPUs are simply stranded.
+  double alloc_sum = 0.0, util_sum = 0.0;
+  for (std::size_t m = 0; m < half; ++m) {
+    const auto p = make_point(static_cast<double>(m), serving_demand[m], 0,
+                              cfg);
+    result.day1.push_back(p);
+    alloc_sum += p.alloc_ratio;
+    util_sum += p.sm_util;
+  }
+  result.day1_alloc_ratio = alloc_sum / static_cast<double>(half);
+  result.day1_util = util_sum / static_cast<double>(half);
+
+  // Day 2: EasyScale training fills the idle pool.  Scale-in is immediate
+  // (within one tick); scale-out ramps at refill_per_tick.
+  const auto ticks_per_min =
+      static_cast<std::int64_t>(60.0 / cfg.tick_s + 0.5);
+  std::int64_t training = 0;
+  alloc_sum = util_sum = 0.0;
+  double training_sum = 0.0;
+  std::int64_t refill_deficit_ticks = 0;
+  for (std::size_t m = 0; m < half; ++m) {
+    const std::int64_t serving = serving_demand[half + m];
+    for (std::int64_t tick = 0; tick < ticks_per_min; ++tick) {
+      const std::int64_t idle_target =
+          std::min(cfg.max_training_gpus, cfg.total_gpus - serving);
+      if (training > idle_target) {
+        // Serving demand rose: release GPUs this tick (seconds-scale).
+        ++result.preemptions;
+        training = idle_target;
+      } else if (training < idle_target) {
+        training = std::min(idle_target, training + cfg.refill_per_tick);
+        if (training < idle_target) ++refill_deficit_ticks;
+      }
+    }
+    const auto p = make_point(static_cast<double>(m), serving, training, cfg);
+    result.day2.push_back(p);
+    alloc_sum += p.alloc_ratio;
+    util_sum += p.sm_util;
+    training_sum += static_cast<double>(training);
+  }
+  result.day2_alloc_ratio = alloc_sum / static_cast<double>(half);
+  result.day2_util = util_sum / static_cast<double>(half);
+  result.avg_training_gpus_day2 = training_sum / static_cast<double>(half);
+  result.max_refill_s =
+      static_cast<double>(refill_deficit_ticks) * cfg.tick_s /
+      std::max<std::size_t>(1, result.preemptions);
+  result.failed_jobs = 0;
+  return result;
+}
+
+}  // namespace easyscale::sim

@@ -1,0 +1,32 @@
+// Job model for the cluster simulations (§5.2, §5.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/device.hpp"
+
+namespace easyscale::sim {
+
+struct JobSpec {
+  std::int64_t id = 0;
+  std::string workload = "ResNet50";
+  std::int64_t max_p = 4;        // designed DoP (EST count)
+  double arrival_s = 0.0;
+  std::int64_t total_steps = 1000;  // global steps to completion
+  bool allow_heter = true;          // D2-eligible (core::d2_recommended)
+  /// Gang request for the YARN-CS baseline: max_p GPUs of this type.
+  kernels::DeviceType preferred_type = kernels::DeviceType::kV100;
+};
+
+struct JobOutcome {
+  std::int64_t id = 0;
+  double arrival_s = 0.0;
+  double start_s = -1.0;   // first GPU granted
+  double finish_s = -1.0;
+  [[nodiscard]] double jct() const { return finish_s - arrival_s; }
+  [[nodiscard]] double queueing() const { return start_s - arrival_s; }
+};
+
+}  // namespace easyscale::sim

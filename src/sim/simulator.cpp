@@ -1,0 +1,232 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace easyscale::sim {
+
+namespace {
+
+using sched::Companion;
+using sched::GpuVector;
+using sched::Plan;
+
+struct RunningJob {
+  const JobSpec* spec = nullptr;
+  std::unique_ptr<Companion> companion;
+  Plan plan;       // invalid => currently holds no GPUs
+  double progress = 0.0;  // completed global steps
+  JobOutcome outcome;
+  bool done = false;
+
+  [[nodiscard]] bool allow_heter(SchedulerPolicy policy) const {
+    return policy == SchedulerPolicy::kEasyScaleHeter && spec->allow_heter;
+  }
+};
+
+GpuVector free_pool(const GpuVector& cluster,
+                    const std::vector<std::unique_ptr<RunningJob>>& jobs) {
+  GpuVector free = cluster;
+  for (const auto& j : jobs) {
+    if (j->done || !j->plan.valid()) continue;
+    for (int t = 0; t < sched::kNumDeviceTypes; ++t) {
+      free[static_cast<std::size_t>(t)] -=
+          j->plan.gpus[static_cast<std::size_t>(t)];
+    }
+  }
+  return free;
+}
+
+std::int64_t allocated_count(
+    const std::vector<std::unique_ptr<RunningJob>>& jobs) {
+  std::int64_t n = 0;
+  for (const auto& j : jobs) {
+    if (!j->done && j->plan.valid()) n += sched::total(j->plan.gpus);
+  }
+  return n;
+}
+
+/// EasyScale rescheduling round: start GPU-less jobs FIFO, then grow
+/// running jobs via greedy proposal acceptance (§3.4 inter-job scheduler).
+void easyscale_reschedule(std::vector<std::unique_ptr<RunningJob>>& active,
+                          const GpuVector& cluster, SchedulerPolicy policy,
+                          double now) {
+  // Rebuild the allocation from scratch each round (EasyScale scale in/out
+  // is a seconds-scale checkpoint+restart, and the reschedule period is a
+  // minute): every job first gets a minimal start — its best single GPU —
+  // in FIFO order, then all growth goes through globally-ranked resource
+  // proposals.  Greedy marginal speedup-per-GPU is the inter-job policy of
+  // §3.4; rebuilding each round doubles as migration off slow GPU types.
+  GpuVector free = cluster;
+  for (auto& j : active) {
+    if (j->done) continue;
+    j->plan = Plan{};
+  }
+  for (auto& j : active) {
+    if (j->done) continue;
+    GpuVector one_each{};
+    for (int t = 0; t < sched::kNumDeviceTypes; ++t) {
+      one_each[static_cast<std::size_t>(t)] =
+          free[static_cast<std::size_t>(t)] > 0 ? 1 : 0;
+    }
+    // Best plan constrained to a single GPU.
+    Plan start;
+    for (int t = 0; t < sched::kNumDeviceTypes; ++t) {
+      if (!one_each[static_cast<std::size_t>(t)]) continue;
+      GpuVector g{};
+      g[static_cast<std::size_t>(t)] = 1;
+      const Plan p = j->companion->make_plan(g);
+      if (p.valid() && p.throughput > start.throughput) start = p;
+    }
+    if (start.valid()) {
+      j->plan = start;
+      if (j->outcome.start_s < 0) j->outcome.start_s = now;
+      for (int t = 0; t < sched::kNumDeviceTypes; ++t) {
+        free[static_cast<std::size_t>(t)] -=
+            start.gpus[static_cast<std::size_t>(t)];
+      }
+    }
+  }
+  // Role-2: collect proposals, accept greedily by speedup-per-GPU.
+  for (;;) {
+    struct Candidate {
+      RunningJob* job;
+      Companion::Proposal prop;
+    };
+    std::vector<Candidate> candidates;
+    for (auto& j : active) {
+      if (j->done || !j->plan.valid()) continue;
+      for (auto& prop :
+           j->companion->proposals(j->plan, free, j->allow_heter(policy))) {
+        candidates.push_back({j.get(), std::move(prop)});
+      }
+    }
+    if (candidates.empty()) break;
+    auto best = std::max_element(
+        candidates.begin(), candidates.end(),
+        [](const Candidate& a, const Candidate& b) {
+          if (a.prop.speedup_per_gpu() != b.prop.speedup_per_gpu()) {
+            return a.prop.speedup_per_gpu() < b.prop.speedup_per_gpu();
+          }
+          return a.prop.gpu_count < b.prop.gpu_count;
+        });
+    bool fits = true;
+    for (int t = 0; t < sched::kNumDeviceTypes; ++t) {
+      if (best->prop.extra_gpus[static_cast<std::size_t>(t)] >
+          free[static_cast<std::size_t>(t)]) {
+        fits = false;
+      }
+    }
+    if (!fits) break;
+    for (int t = 0; t < sched::kNumDeviceTypes; ++t) {
+      free[static_cast<std::size_t>(t)] -=
+          best->prop.extra_gpus[static_cast<std::size_t>(t)];
+    }
+    best->job->plan = best->prop.plan;
+  }
+}
+
+}  // namespace
+
+SimResult simulate_trace(const std::vector<JobSpec>& jobs,
+                         const SimConfig& config) {
+  ES_CHECK(!jobs.empty(), "empty trace");
+  std::vector<JobSpec> sorted = jobs;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const JobSpec& a, const JobSpec& b) {
+              return a.arrival_s < b.arrival_s;
+            });
+
+  std::vector<std::unique_ptr<RunningJob>> active;
+  std::deque<const JobSpec*> gang_queue;  // YARN-CS FIFO
+  std::size_t next_arrival = 0;
+  std::size_t finished = 0;
+  SimResult result;
+  double now = 0.0;
+  double last_resched = -1e18;
+
+  while (finished < sorted.size() && now < config.max_sim_s) {
+    // Arrivals.
+    while (next_arrival < sorted.size() &&
+           sorted[next_arrival].arrival_s <= now) {
+      const JobSpec* spec = &sorted[next_arrival];
+      auto job = std::make_unique<RunningJob>();
+      job->spec = spec;
+      job->companion = std::make_unique<Companion>(spec->workload, spec->max_p);
+      job->outcome.id = spec->id;
+      job->outcome.arrival_s = spec->arrival_s;
+      if (config.policy == SchedulerPolicy::kYarnCS) {
+        gang_queue.push_back(spec);
+      }
+      active.push_back(std::move(job));
+      ++next_arrival;
+    }
+
+    // Scheduling.
+    if (config.policy == SchedulerPolicy::kYarnCS) {
+      // Strict FIFO: only the head of the queue may be admitted.
+      while (!gang_queue.empty()) {
+        const JobSpec* spec = gang_queue.front();
+        GpuVector free = free_pool(config.cluster, active);
+        const auto type = static_cast<std::size_t>(spec->preferred_type);
+        // Users size gang requests to the partition: a job never demands
+        // more GPUs of its type than the cluster owns.
+        const std::int64_t want =
+            std::min(spec->max_p, config.cluster[type]);
+        if (free[type] < want) break;
+        GpuVector grant{};
+        grant[type] = want;
+        for (auto& j : active) {
+          if (j->spec == spec) {
+            j->plan = j->companion->make_plan(grant);
+            j->outcome.start_s = now;
+            break;
+          }
+        }
+        gang_queue.pop_front();
+      }
+    } else if (now - last_resched >= config.reschedule_period_s) {
+      easyscale_reschedule(active, config.cluster, config.policy, now);
+      last_resched = now;
+    }
+
+    // Progress + completions.
+    for (auto& j : active) {
+      if (j->done || !j->plan.valid()) continue;
+      j->progress += j->plan.steps_per_second * config.tick_s;
+      if (j->progress >= static_cast<double>(j->spec->total_steps)) {
+        j->done = true;
+        j->outcome.finish_s = now + config.tick_s;
+        j->plan = Plan{};
+        ++finished;
+        result.outcomes.push_back(j->outcome);
+        // Free GPUs become schedulable immediately (seconds-scale scaling).
+        if (config.policy != SchedulerPolicy::kYarnCS) {
+          last_resched = -1e18;
+        }
+      }
+    }
+
+    result.timeline.push_back({now, allocated_count(active)});
+    now += config.tick_s;
+  }
+  ES_CHECK(finished == sorted.size(),
+           "simulation hit the safety bound with " << sorted.size() - finished
+                                                   << " job(s) unfinished");
+  result.makespan = 0.0;
+  double jct_sum = 0.0;
+  for (const auto& o : result.outcomes) {
+    result.makespan = std::max(result.makespan, o.finish_s);
+    jct_sum += o.jct();
+  }
+  result.avg_jct = jct_sum / static_cast<double>(result.outcomes.size());
+  std::sort(result.outcomes.begin(), result.outcomes.end(),
+            [](const JobOutcome& a, const JobOutcome& b) { return a.id < b.id; });
+  return result;
+}
+
+}  // namespace easyscale::sim

@@ -1,0 +1,43 @@
+// Time-stepped cluster simulator for the trace experiment (Figs 14-15).
+//
+// Three policies over the same trace and 64-GPU heterogeneous cluster:
+//  - kYarnCS:         FIFO gang scheduling of fixed same-type GPU sets
+//                     (Philly's capacity scheduler baseline);
+//  - kEasyScaleHomo:  elastic jobs, intra-job plans restricted to one GPU
+//                     type, inter-job greedy proposal acceptance;
+//  - kEasyScaleHeter: same, but D2-eligible jobs may mix GPU types.
+#pragma once
+
+#include <vector>
+
+#include "sched/companion.hpp"
+#include "sim/job.hpp"
+
+namespace easyscale::sim {
+
+enum class SchedulerPolicy { kYarnCS, kEasyScaleHomo, kEasyScaleHeter };
+
+struct SimConfig {
+  sched::GpuVector cluster{};  // GPUs per device type
+  double tick_s = 10.0;
+  double reschedule_period_s = 60.0;
+  SchedulerPolicy policy = SchedulerPolicy::kEasyScaleHeter;
+  double max_sim_s = 4.0e6;  // safety bound
+};
+
+struct TimelinePoint {
+  double t = 0.0;
+  std::int64_t allocated_gpus = 0;
+};
+
+struct SimResult {
+  std::vector<JobOutcome> outcomes;
+  std::vector<TimelinePoint> timeline;
+  double makespan = 0.0;
+  double avg_jct = 0.0;
+};
+
+[[nodiscard]] SimResult simulate_trace(const std::vector<JobSpec>& jobs,
+                                       const SimConfig& config);
+
+}  // namespace easyscale::sim

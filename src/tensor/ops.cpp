@@ -1,0 +1,113 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+namespace easyscale::tensor {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b) {
+  ES_CHECK(a.shape() == b.shape(), "shape mismatch " << a.shape().to_string()
+                                                     << " vs "
+                                                     << b.shape().to_string());
+}
+}  // namespace
+
+void add(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_shape(a, b);
+  check_same_shape(a, out);
+  const auto n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) out.at(i) = a.at(i) + b.at(i);
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  const auto n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) a.at(i) += b.at(i);
+}
+
+void axpy_(Tensor& a, float alpha, const Tensor& b) {
+  check_same_shape(a, b);
+  const auto n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) a.at(i) += alpha * b.at(i);
+}
+
+void sub(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_shape(a, b);
+  check_same_shape(a, out);
+  const auto n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) out.at(i) = a.at(i) - b.at(i);
+}
+
+void mul(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_same_shape(a, b);
+  check_same_shape(a, out);
+  const auto n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) out.at(i) = a.at(i) * b.at(i);
+}
+
+void scale_(Tensor& a, float s) {
+  for (auto& v : a.data()) v *= s;
+}
+
+float sum_sequential(std::span<const float> values) {
+  float acc = 0.0f;
+  for (float v : values) acc += v;
+  return acc;
+}
+
+float max_value(const Tensor& a) {
+  ES_CHECK(a.numel() > 0, "max over empty tensor");
+  float m = a.at(0);
+  for (std::int64_t i = 1; i < a.numel(); ++i) m = std::max(m, a.at(i));
+  return m;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& a) {
+  ES_CHECK(a.shape().rank() == 2, "argmax_rows expects a 2-D tensor");
+  const auto rows = a.shape().dim(0);
+  const auto cols = a.shape().dim(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int64_t best = 0;
+    float best_v = a.at(r * cols);
+    for (std::int64_t c = 1; c < cols; ++c) {
+      const float v = a.at(r * cols + c);
+      if (v > best_v) {
+        best_v = v;
+        best = c;
+      }
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  ES_CHECK(a.shape().rank() == 2, "transpose2d expects a 2-D tensor");
+  const auto rows = a.shape().dim(0);
+  const auto cols = a.shape().dim(1);
+  Tensor out(Shape{cols, rows});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      out.at(c * rows + r) = a.at(r * cols + c);
+    }
+  }
+  return out;
+}
+
+float l2_norm(const Tensor& a) {
+  float acc = 0.0f;
+  for (float v : a.data()) acc += v * v;
+  return std::sqrt(acc);
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::abs(a.at(i) - b.at(i)));
+  }
+  return m;
+}
+
+}  // namespace easyscale::tensor

@@ -1,0 +1,41 @@
+// Elementwise and simple structural tensor ops.  All loops run in a fixed
+// ascending-index order, so results are bitwise stable on any host.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace easyscale::tensor {
+
+/// out[i] = a[i] + b[i]
+void add(const Tensor& a, const Tensor& b, Tensor& out);
+/// a[i] += b[i]
+void add_(Tensor& a, const Tensor& b);
+/// a[i] += alpha * b[i]
+void axpy_(Tensor& a, float alpha, const Tensor& b);
+/// out[i] = a[i] - b[i]
+void sub(const Tensor& a, const Tensor& b, Tensor& out);
+/// out[i] = a[i] * b[i]
+void mul(const Tensor& a, const Tensor& b, Tensor& out);
+/// a[i] *= s
+void scale_(Tensor& a, float s);
+
+/// Sequential left-to-right sum (the canonical deterministic order).
+[[nodiscard]] float sum_sequential(std::span<const float> values);
+
+/// Max over all elements (empty tensors throw).
+[[nodiscard]] float max_value(const Tensor& a);
+
+/// argmax along the last dimension of a 2-D tensor; returns one index
+/// per row.  Ties resolve to the lowest index (deterministic).
+[[nodiscard]] std::vector<std::int64_t> argmax_rows(const Tensor& a);
+
+/// 2-D transpose.
+[[nodiscard]] Tensor transpose2d(const Tensor& a);
+
+/// L2 norm with sequential accumulation.
+[[nodiscard]] float l2_norm(const Tensor& a);
+
+/// Max absolute elementwise difference between two equal-shaped tensors.
+[[nodiscard]] float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace easyscale::tensor

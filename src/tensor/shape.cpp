@@ -1,0 +1,18 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+namespace easyscale::tensor {
+
+std::string Shape::to_string() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) out << ", ";
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace easyscale::tensor

@@ -1,0 +1,49 @@
+// Dense row-major shapes.  All tensors in the engine are contiguous; views
+// are avoided on purpose: a single canonical memory layout removes a whole
+// class of accidental FP-order differences.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace easyscale::tensor {
+
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  [[nodiscard]] std::size_t rank() const { return dims_.size(); }
+  [[nodiscard]] std::int64_t dim(std::size_t i) const {
+    ES_CHECK(i < dims_.size(), "dim index " << i << " out of rank " << rank());
+    return dims_[i];
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  /// Total number of elements.
+  [[nodiscard]] std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (auto d : dims_) n *= d;
+    return n;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Shape&, const Shape&) = default;
+
+ private:
+  void validate() const {
+    for (auto d : dims_) ES_CHECK(d >= 0, "negative dimension in shape");
+  }
+
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace easyscale::tensor

@@ -1,0 +1,108 @@
+// The float32 tensor that underlies the whole training engine.
+//
+// Design rules (all in service of bitwise determinism):
+//  - always contiguous row-major storage;
+//  - no implicit broadcasting — shape mismatches throw;
+//  - every op that reduces floats documents (and fixes) its summation order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "tensor/shape.hpp"
+
+namespace easyscale::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    ES_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+             "data size " << data_.size() << " != numel " << shape_.numel());
+  }
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t numel() const { return shape_.numel(); }
+  [[nodiscard]] bool defined() const { return shape_.rank() > 0 || !data_.empty(); }
+
+  [[nodiscard]] std::span<float> data() { return data_; }
+  [[nodiscard]] std::span<const float> data() const { return data_; }
+  [[nodiscard]] float* raw() { return data_.data(); }
+  [[nodiscard]] const float* raw() const { return data_.data(); }
+
+  float& at(std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] float at(std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// Reinterpret as a new shape with the same number of elements.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const {
+    ES_CHECK(new_shape.numel() == shape_.numel(),
+             "reshape " << shape_.to_string() << " -> " << new_shape.to_string());
+    return Tensor(std::move(new_shape), data_);
+  }
+
+  void fill(float v) {
+    for (auto& x : data_) x = v;
+  }
+  void zero() { fill(0.0f); }
+
+  void save(ByteWriter& w) const {
+    w.write_vector(shape_.dims());
+    w.write_vector(data_);
+  }
+  static Tensor load(ByteReader& r) {
+    auto dims = r.read_vector<std::int64_t>();
+    auto data = r.read_vector<float>();
+    return Tensor(Shape(std::move(dims)), std::move(data));
+  }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Integer tensor used for labels / token ids / sample indices.
+class LongTensor {
+ public:
+  LongTensor() = default;
+  explicit LongTensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.numel()), 0) {}
+  LongTensor(Shape shape, std::vector<std::int64_t> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    ES_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.numel(),
+             "data size mismatch");
+  }
+
+  [[nodiscard]] const Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t numel() const { return shape_.numel(); }
+  [[nodiscard]] std::span<std::int64_t> data() { return data_; }
+  [[nodiscard]] std::span<const std::int64_t> data() const { return data_; }
+  std::int64_t& at(std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] std::int64_t at(std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  void save(ByteWriter& w) const {
+    w.write_vector(shape_.dims());
+    w.write_vector(data_);
+  }
+  static LongTensor load(ByteReader& r) {
+    auto dims = r.read_vector<std::int64_t>();
+    auto data = r.read_vector<std::int64_t>();
+    return LongTensor(Shape(std::move(dims)), std::move(data));
+  }
+
+ private:
+  Shape shape_;
+  std::vector<std::int64_t> data_;
+};
+
+}  // namespace easyscale::tensor

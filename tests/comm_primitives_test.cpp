@@ -1,0 +1,65 @@
+// Reduce-scatter / all-gather primitives and their composition into the
+// ring all-reduce.
+#include <gtest/gtest.h>
+
+#include "comm/ring.hpp"
+#include "common/digest.hpp"
+#include "rng/sampling.hpp"
+
+namespace easyscale::comm {
+namespace {
+
+TEST(ReduceScatter, ComposesIntoAllreduceBitwise) {
+  rng::Philox gen(31);
+  const std::size_t n = 101;
+  std::vector<std::vector<float>> parts(5, std::vector<float>(n));
+  for (auto& p : parts) rng::fill_normal(gen, p, 0.0f, 1.0f);
+  std::vector<std::span<const float>> views(parts.begin(), parts.end());
+
+  std::vector<float> allreduce(n);
+  ring_allreduce_sum(views, allreduce);
+
+  const auto chunks = ring_chunks(static_cast<std::int64_t>(n), 5);
+  std::vector<std::vector<float>> owned;
+  for (const auto& c : chunks) {
+    owned.emplace_back(static_cast<std::size_t>(c.length));
+  }
+  std::vector<std::span<float>> owned_views(owned.begin(), owned.end());
+  ring_reduce_scatter(views, owned_views);
+  std::vector<std::span<const float>> gathered(owned.begin(), owned.end());
+  std::vector<float> composed(n);
+  ring_all_gather(gathered, composed);
+  EXPECT_EQ(digest_floats(allreduce), digest_floats(composed));
+}
+
+TEST(ReduceScatter, ChunkSizeMismatchThrows) {
+  std::vector<float> a{1, 2, 3, 4};
+  std::vector<std::span<const float>> parts{a, a};
+  std::vector<float> c0(2), c1(1);  // wrong: chunk 1 should be 2
+  std::vector<std::span<float>> out{c0, c1};
+  EXPECT_THROW(ring_reduce_scatter(parts, out), Error);
+}
+
+TEST(AllGather, PreservesOrderAndRejectsBadSizes) {
+  std::vector<float> a{1, 2}, b{3}, c{4, 5, 6};
+  std::vector<std::span<const float>> chunks{a, b, c};
+  std::vector<float> out(6);
+  ring_all_gather(chunks, out);
+  EXPECT_EQ(out, (std::vector<float>{1, 2, 3, 4, 5, 6}));
+  std::vector<float> small(5);
+  EXPECT_THROW(ring_all_gather(chunks, small), Error);
+  std::vector<float> big(7);
+  EXPECT_THROW(ring_all_gather(chunks, big), Error);
+}
+
+TEST(ReduceScatter, SingleParticipantIsIdentity) {
+  std::vector<float> a{1.5f, -2.0f, 7.0f};
+  std::vector<std::span<const float>> parts{a};
+  std::vector<float> c0(3);
+  std::vector<std::span<float>> out{c0};
+  ring_reduce_scatter(parts, out);
+  EXPECT_EQ(c0, a);
+}
+
+}  // namespace
+}  // namespace easyscale::comm

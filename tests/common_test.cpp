@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "common/digest.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "common/thread_pool.hpp"
+
+namespace easyscale {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    ES_CHECK(1 == 2, "math broke: " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke: 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("common_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(ES_CHECK(true, "never"));
+}
+
+TEST(Serialize, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.write<std::int64_t>(-7);
+  w.write<double>(3.25);
+  w.write<std::uint8_t>(255);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read<std::int64_t>(), -7);
+  EXPECT_EQ(r.read<double>(), 3.25);
+  EXPECT_EQ(r.read<std::uint8_t>(), 255);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, StringAndVectorRoundTrip) {
+  ByteWriter w;
+  w.write_string("easy scale");
+  w.write_vector(std::vector<float>{1.5f, -2.0f, 0.0f});
+  w.write_vector(std::vector<std::int64_t>{});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.read_string(), "easy scale");
+  EXPECT_EQ(r.read_vector<float>(), (std::vector<float>{1.5f, -2.0f, 0.0f}));
+  EXPECT_TRUE(r.read_vector<std::int64_t>().empty());
+}
+
+TEST(Serialize, TruncatedStreamThrows) {
+  ByteWriter w;
+  w.write<std::int32_t>(5);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.read<std::int64_t>(), Error);
+}
+
+TEST(Digest, SensitiveToSingleBit) {
+  std::vector<float> a(100, 1.0f);
+  std::vector<float> b = a;
+  b[57] = std::nextafter(b[57], 2.0f);
+  EXPECT_NE(digest_floats(a), digest_floats(b));
+}
+
+TEST(Digest, OrderSensitive) {
+  std::vector<float> a{1.0f, 2.0f};
+  std::vector<float> b{2.0f, 1.0f};
+  EXPECT_NE(digest_floats(a), digest_floats(b));
+}
+
+TEST(Digest, StableAcrossCalls) {
+  std::vector<float> a{0.1f, -0.5f, 123.0f};
+  EXPECT_EQ(digest_floats(a), digest_floats(a));
+}
+
+TEST(Digest, HexFormatting) {
+  Digest d;
+  d.update_u64(1);
+  EXPECT_EQ(d.hex().size(), 16u);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+}
+
+TEST(ThreadPool, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+}  // namespace
+}  // namespace easyscale

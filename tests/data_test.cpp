@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/digest.hpp"
+#include "data/dataset.hpp"
+#include "data/loader.hpp"
+#include "data/pipeline.hpp"
+#include "data/sampler.hpp"
+#include "tensor/ops.hpp"
+
+namespace easyscale::data {
+namespace {
+
+std::uint64_t batch_digest(const Batch& b) {
+  Digest d;
+  if (b.x.defined()) d.update(b.x.data());
+  for (auto id : b.ids.data()) d.update_u64(static_cast<std::uint64_t>(id));
+  for (auto y : b.y.data()) d.update_u64(static_cast<std::uint64_t>(y));
+  if (b.target.defined()) d.update(b.target.data());
+  return d.value();
+}
+
+TEST(Datasets, ImageGetIsPureFunctionOfIndex) {
+  SyntheticImageDataset ds(64, 10, 3, 8, 8, 42);
+  const Sample a = ds.get(17);
+  const Sample b = ds.get(17);
+  EXPECT_EQ(tensor::max_abs_diff(a.x, b.x), 0.0f);
+  EXPECT_EQ(a.label, b.label);
+  const Sample c = ds.get(18);
+  EXPECT_GT(tensor::max_abs_diff(a.x, c.x), 0.0f);
+}
+
+TEST(Datasets, SampleSaltKeepsPrototypes) {
+  SyntheticImageDataset train(64, 10, 3, 8, 8, 42, 0);
+  SyntheticImageDataset test(64, 10, 3, 8, 8, 42, 1);
+  // Same index, same label, different sample noise.
+  const Sample a = train.get(0);
+  const Sample b = test.get(0);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_GT(tensor::max_abs_diff(a.x, b.x), 0.0f);
+}
+
+TEST(Datasets, DetectionTargetMatchesObject) {
+  SyntheticDetectionDataset ds(32, 8, 8, 7);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    const Sample s = ds.get(i);
+    ASSERT_EQ(s.target.size(), 4u);
+    EXPECT_GE(s.target[0], 0.0f);
+    EXPECT_LE(s.target[0], 1.0f);
+    EXPECT_EQ(s.target[3], 1.0f);  // objectness
+  }
+}
+
+TEST(Datasets, RecIdsWithinRange) {
+  SyntheticRecDataset ds(128, 64, 64, 3);
+  for (std::int64_t i = 0; i < 32; ++i) {
+    const Sample s = ds.get(i);
+    EXPECT_LT(s.ids[0], 64);
+    EXPECT_LT(s.ids[1], 64);
+    EXPECT_EQ(s.label, (i % 2) == 0 ? 1 : 0);
+  }
+}
+
+TEST(Datasets, QASpanIsPlanted) {
+  SyntheticQADataset ds(32, 64, 16, 5);
+  for (std::int64_t i = 0; i < 16; ++i) {
+    const Sample s = ds.get(i);
+    EXPECT_EQ(s.ids[static_cast<std::size_t>(s.label)], 63);
+  }
+}
+
+/// Property sweep over (world_size, batch_size).
+class SamplerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SamplerPropertyTest, ShardsPartitionTheEpoch) {
+  const auto [world, batch] = GetParam();
+  const std::int64_t n = 96;
+  std::multiset<std::int64_t> seen;
+  std::int64_t shard_len = -1;
+  for (int r = 0; r < world; ++r) {
+    DistributedSampler s(n, world, r, batch, 99);
+    std::vector<std::int64_t> shard;
+    for (std::int64_t step = 0; step < s.steps_per_epoch(); ++step) {
+      for (auto idx : s.batch_indices(step)) shard.push_back(idx);
+    }
+    if (shard_len < 0) shard_len = static_cast<std::int64_t>(shard.size());
+    EXPECT_EQ(static_cast<std::int64_t>(shard.size()), shard_len)
+        << "unequal shards";
+    seen.insert(shard.begin(), shard.end());
+  }
+  // Every index in range, near-uniform coverage (padding may duplicate).
+  for (auto idx : seen) {
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, n);
+  }
+  std::set<std::int64_t> unique(seen.begin(), seen.end());
+  EXPECT_GE(static_cast<std::int64_t>(unique.size()),
+            shard_len * world - world * batch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, SamplerPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(1, 4, 8)));
+
+TEST(Sampler, RanksAreDisjointWithinEpoch) {
+  const std::int64_t n = 64;  // divisible: no padding duplicates
+  std::set<std::int64_t> seen;
+  for (int r = 0; r < 4; ++r) {
+    DistributedSampler s(n, 4, r, 4, 1);
+    for (std::int64_t step = 0; step < s.steps_per_epoch(); ++step) {
+      for (auto idx : s.batch_indices(step)) {
+        EXPECT_TRUE(seen.insert(idx).second) << "index " << idx << " repeated";
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Sampler, EpochsReshuffle) {
+  DistributedSampler s(64, 2, 0, 4, 1);
+  const auto e0 = s.batch_indices(0);
+  s.set_epoch(1);
+  const auto e1 = s.batch_indices(0);
+  EXPECT_NE(e0, e1);
+  s.set_epoch(0);
+  EXPECT_EQ(s.batch_indices(0), e0);  // epochs are reproducible
+}
+
+TEST(Sampler, OversizedBatchThrows) {
+  EXPECT_THROW(DistributedSampler(16, 4, 0, 8, 1), Error);
+}
+
+TEST(Augment, AdvanceMatchesActualDraws) {
+  AugmentConfig cfg;
+  rng::StreamSet a, b;
+  a.seed_all(5, 0);
+  b.seed_all(5, 0);
+  SyntheticImageDataset ds(8, 10, 3, 8, 8, 1);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    Sample s = ds.get(i);
+    augment_image(cfg, a, s);
+  }
+  advance_augment_streams(cfg, b, 8);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(Augment, DisabledConsumesNothing) {
+  AugmentConfig cfg;
+  cfg.enabled = false;
+  rng::StreamSet a;
+  a.seed_all(5, 0);
+  const auto before = a.state();
+  advance_augment_streams(cfg, a, 100);
+  EXPECT_EQ(a.state(), before);
+}
+
+TEST(Pipeline, NextMatchesPoolProcessing) {
+  SyntheticImageDataset ds(64, 10, 3, 8, 8, 42);
+  AugmentConfig aug;
+  RankDataPipeline direct(ds, aug, 2, 0, 4, 42);
+  RankDataPipeline producer(ds, aug, 2, 0, 4, 42);
+  LoaderConfig lc;
+  lc.num_workers = 3;
+  lc.augment = aug;
+  SharedDataWorkerPool pool(ds, lc);
+  for (std::int64_t step = 0; step < 6; ++step) {
+    pool.enqueue(producer.make_item());
+  }
+  for (std::int64_t step = 0; step < 6; ++step) {
+    const Batch a = direct.next();
+    const Batch b = pool.get(0, step);
+    EXPECT_EQ(batch_digest(a), batch_digest(b)) << "step " << step;
+  }
+}
+
+TEST(Pipeline, StateRoundTripResumesExactly) {
+  SyntheticImageDataset ds(48, 10, 3, 8, 8, 7);
+  AugmentConfig aug;
+  RankDataPipeline p(ds, aug, 3, 1, 4, 7);
+  for (int i = 0; i < 5; ++i) (void)p.next();
+  ByteWriter w;
+  p.save(w);
+  const Batch expected = p.next();
+  RankDataPipeline q(ds, aug, 3, 1, 4, 7);
+  ByteReader r(w.bytes());
+  q.load(r);
+  EXPECT_EQ(batch_digest(q.next()), batch_digest(expected));
+}
+
+TEST(Pipeline, EpochRollsOverAutomatically) {
+  SyntheticImageDataset ds(16, 4, 3, 8, 8, 7);
+  AugmentConfig aug;
+  RankDataPipeline p(ds, aug, 2, 0, 4, 7);
+  // shard = 8, batch 4 => 2 steps/epoch; 10 nexts crosses 5 epochs.
+  for (int i = 0; i < 10; ++i) (void)p.next();
+  EXPECT_EQ(p.cursor(), 10);
+}
+
+TEST(Pool, PendingItemsFormTheQueuingBuffer) {
+  SyntheticImageDataset ds(64, 10, 3, 8, 8, 42);
+  AugmentConfig aug;
+  RankDataPipeline producer(ds, aug, 1, 0, 4, 42);
+  LoaderConfig lc;
+  lc.num_workers = 1;
+  lc.augment = aug;
+  SharedDataWorkerPool pool(ds, lc);
+  pool.enqueue(producer.make_item());
+  pool.enqueue(producer.make_item());
+  pool.drain();
+  EXPECT_EQ(pool.pending_items().size(), 2u);  // processed but unconsumed
+  (void)pool.get(0, 0);
+  EXPECT_EQ(pool.pending_items().size(), 1u);
+  // The remaining pending item can regenerate its batch bit-exactly.
+  const auto items = pool.pending_items();
+  const Batch live = pool.get(0, 1);
+  LoaderConfig lc2;
+  lc2.num_workers = 2;
+  lc2.augment = aug;
+  SharedDataWorkerPool pool2(ds, lc2);
+  pool2.enqueue(items[0]);
+  EXPECT_EQ(batch_digest(pool2.get(0, 1)), batch_digest(live));
+}
+
+TEST(Pool, OutOfOrderProductionDeliversInOrder) {
+  SyntheticImageDataset ds(64, 10, 3, 8, 8, 42);
+  AugmentConfig aug;
+  RankDataPipeline p0(ds, aug, 2, 0, 4, 42);
+  RankDataPipeline p1(ds, aug, 2, 1, 4, 42);
+  LoaderConfig lc;
+  lc.num_workers = 4;
+  lc.augment = aug;
+  SharedDataWorkerPool pool(ds, lc);
+  // Interleave producers; deliveries are keyed, not FIFO.
+  for (int s = 0; s < 4; ++s) {
+    pool.enqueue(p1.make_item());
+    pool.enqueue(p0.make_item());
+  }
+  RankDataPipeline ref0(ds, aug, 2, 0, 4, 42);
+  RankDataPipeline ref1(ds, aug, 2, 1, 4, 42);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(batch_digest(pool.get(0, s)), batch_digest(ref0.next()));
+    EXPECT_EQ(batch_digest(pool.get(1, s)), batch_digest(ref1.next()));
+  }
+}
+
+TEST(Collate, StacksAllFields) {
+  Sample a, b;
+  a.x = tensor::Tensor(tensor::Shape{2}, {1, 2});
+  b.x = tensor::Tensor(tensor::Shape{2}, {3, 4});
+  a.ids = {5, 6};
+  b.ids = {7, 8};
+  a.label = 1;
+  b.label = 0;
+  a.target = {0.5f};
+  b.target = {0.25f};
+  const Batch batch = collate({a, b});
+  EXPECT_EQ(batch.size, 2);
+  EXPECT_EQ(batch.x.at(3), 4.0f);
+  EXPECT_EQ(batch.ids.at(2), 7);
+  EXPECT_EQ(batch.y.at(0), 1);
+  EXPECT_EQ(batch.target.at(1), 0.25f);
+}
+
+TEST(Collate, EmptyThrows) {
+  EXPECT_THROW(collate({}), Error);
+}
+
+}  // namespace
+}  // namespace easyscale::data

@@ -1,0 +1,193 @@
+// Edge cases across modules that the mainline tests don't reach.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+#include "common/log.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+#include "core/engine.hpp"
+#include "ddp/trainer.hpp"
+#include "models/datasets.hpp"
+#include "nn/attention.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/layernorm.hpp"
+#include "nn/pooling.hpp"
+#include "rng/sampling.hpp"
+#include "tensor/ops.hpp"
+
+namespace easyscale {
+namespace {
+
+struct Env {
+  kernels::ExecContext exec;
+  rng::StreamSet streams;
+  autograd::StepContext ctx;
+  Env() {
+    streams.seed_all(3, 0);
+    ctx.exec = &exec;
+    ctx.rng = &streams;
+    ctx.training = true;
+  }
+};
+
+nn::Tensor random_tensor(rng::Philox& gen, tensor::Shape shape) {
+  nn::Tensor t(std::move(shape));
+  rng::fill_normal(gen, t.data(), 0.0f, 1.0f);
+  return t;
+}
+
+TEST(EdgeAttention, SingleHeadSingleToken) {
+  Env env;
+  rng::Philox gen(1);
+  nn::MultiheadSelfAttention attn("a", 4, 1);
+  attn.init_weights(gen);
+  const auto x = random_tensor(gen, tensor::Shape{1, 1, 4});
+  const auto out = attn.forward(env.ctx, x);
+  EXPECT_EQ(out.shape(), (tensor::Shape{1, 1, 4}));
+  // With one token the softmax weight is exactly 1 — output is Wo(Wv(x)).
+  const auto grad = attn.backward(env.ctx, out);
+  EXPECT_EQ(grad.shape(), x.shape());
+}
+
+TEST(EdgeAttention, DimNotDivisibleByHeadsThrows) {
+  EXPECT_THROW(nn::MultiheadSelfAttention("a", 6, 4), Error);
+}
+
+TEST(EdgeLayerNorm, DimOne) {
+  Env env;
+  rng::Philox gen(2);
+  nn::LayerNorm ln("ln", 1);
+  ln.init_weights(gen);
+  const auto x = random_tensor(gen, tensor::Shape{4, 1});
+  const auto out = ln.forward(env.ctx, x);
+  // With one element per row, x-hat is 0 everywhere: out == beta == 0.
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_EQ(out.at(i), 0.0f);
+  }
+}
+
+TEST(EdgeBatchNorm, SingleSpatialElement) {
+  Env env;
+  rng::Philox gen(3);
+  nn::BatchNorm2d bn("bn", 2);
+  bn.init_weights(gen);
+  const auto x = random_tensor(gen, tensor::Shape{4, 2, 1, 1});
+  const auto out = bn.forward(env.ctx, x);
+  // Batch statistics over N=4 single pixels: output mean per channel ~0.
+  for (std::int64_t c = 0; c < 2; ++c) {
+    float mean = 0.0f;
+    for (std::int64_t n = 0; n < 4; ++n) mean += out.at(n * 2 + c);
+    EXPECT_NEAR(mean / 4.0f, 0.0f, 1e-5f);
+  }
+}
+
+TEST(EdgeMaxPool, NonDivisibleInputDropsTail) {
+  Env env;
+  rng::Philox gen(4);
+  nn::MaxPool2d pool(2);
+  const auto x = random_tensor(gen, tensor::Shape{1, 1, 5, 5});
+  const auto out = pool.forward(env.ctx, x);
+  EXPECT_EQ(out.shape(), (tensor::Shape{1, 1, 2, 2}));
+}
+
+TEST(EdgeEngine, SingleESTSingleWorker) {
+  auto wd = models::make_dataset_for("NeuMF", 64, 16, 7);
+  core::EasyScaleConfig cfg;
+  cfg.workload = "NeuMF";
+  cfg.num_ests = 1;
+  cfg.batch_per_est = 4;
+  cfg.seed = 7;
+  core::EasyScaleEngine e(cfg, *wd.train, wd.augment);
+  e.configure_workers({core::WorkerSpec{}});
+  e.run_steps(3);
+  ddp::DDPConfig dcfg;
+  dcfg.workload = "NeuMF";
+  dcfg.world_size = 1;
+  dcfg.batch_per_worker = 4;
+  dcfg.seed = 7;
+  ddp::DDPTrainer ref(dcfg, *wd.train, wd.augment);
+  ref.run_steps(3);
+  EXPECT_EQ(e.params_digest(), ref.params_digest());
+}
+
+TEST(EdgeEngine, ParallelWorkersWithAsyncLoader) {
+  auto wd = models::make_dataset_for("ResNet18", 128, 16, 42);
+  core::EasyScaleConfig cfg;
+  cfg.workload = "ResNet18";
+  cfg.num_ests = 4;
+  cfg.batch_per_est = 4;
+  cfg.seed = 42;
+  cfg.parallel_workers = true;
+  cfg.use_async_loader = true;
+  cfg.loader.num_workers = 2;
+  cfg.loader.augment = wd.augment;
+  core::EasyScaleEngine e(cfg, *wd.train, wd.augment);
+  e.configure_workers(std::vector<core::WorkerSpec>(4));
+  e.run_steps(4);
+
+  core::EasyScaleConfig plain;
+  plain.workload = "ResNet18";
+  plain.num_ests = 4;
+  plain.batch_per_est = 4;
+  plain.seed = 42;
+  core::EasyScaleEngine ref(plain, *wd.train, wd.augment);
+  ref.configure_workers(std::vector<core::WorkerSpec>(2));
+  ref.run_steps(4);
+  EXPECT_EQ(e.params_digest(), ref.params_digest());
+}
+
+TEST(EdgeEngine, CheckpointBeforeAnyStep) {
+  auto wd = models::make_dataset_for("NeuMF", 64, 16, 7);
+  core::EasyScaleConfig cfg;
+  cfg.workload = "NeuMF";
+  cfg.num_ests = 2;
+  cfg.batch_per_est = 4;
+  cfg.seed = 7;
+  core::EasyScaleEngine a(cfg, *wd.train, wd.augment);
+  a.configure_workers({core::WorkerSpec{}});
+  const auto ckpt = a.checkpoint();  // step 0
+  a.run_steps(3);
+  core::EasyScaleEngine b(cfg, *wd.train, wd.augment);
+  b.configure_workers(std::vector<core::WorkerSpec>(2));
+  b.restore(ckpt);
+  b.run_steps(3);
+  EXPECT_EQ(a.params_digest(), b.params_digest());
+}
+
+TEST(EdgeLog, LevelsFilter) {
+  const auto before = log_level();
+  set_log_level(LogLevel::kOff);
+  ES_LOG_ERROR("this must not crash even when filtered");
+  set_log_level(LogLevel::kError);
+  ES_LOG_DEBUG("filtered");
+  set_log_level(before);
+}
+
+TEST(EdgeSampler, WorldOfOneSeesEverySample) {
+  data::DistributedSampler s(10, 1, 0, 2, 9);
+  std::set<std::int64_t> seen;
+  for (std::int64_t step = 0; step < s.steps_per_epoch(); ++step) {
+    for (auto i : s.batch_indices(step)) seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(EdgeSim, RescheduleFrequencyDoesNotBreakCompletion) {
+  trace::TraceConfig tcfg;
+  tcfg.num_jobs = 10;
+  const auto jobs = trace::philly_like_trace(tcfg);
+  for (double period : {10.0, 300.0}) {
+    sim::SimConfig scfg;
+    scfg.cluster = {8, 4, 4};
+    scfg.policy = sim::SchedulerPolicy::kEasyScaleHeter;
+    scfg.reschedule_period_s = period;
+    const auto r = sim::simulate_trace(jobs, scfg);
+    EXPECT_EQ(r.outcomes.size(), jobs.size());
+  }
+}
+
+}  // namespace
+}  // namespace easyscale

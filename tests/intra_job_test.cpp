@@ -1,0 +1,107 @@
+// Live intra-job scheduler: Eq.-1 plans applied to a running engine, with
+// bitwise-consistency preserved across scheduler-driven rescales and the
+// Role-3 slowdown fallback.
+#include <gtest/gtest.h>
+
+#include "ddp/trainer.hpp"
+#include "models/datasets.hpp"
+#include "sched/intra_job.hpp"
+
+namespace easyscale::sched {
+namespace {
+
+core::EasyScaleConfig engine_config() {
+  core::EasyScaleConfig cfg;
+  cfg.workload = "Bert";
+  cfg.num_ests = 4;
+  cfg.batch_per_est = 4;
+  cfg.seed = 42;
+  cfg.determinism.d2 = true;  // heterogeneous plans allowed
+  return cfg;
+}
+
+TEST(IntraJob, AppliesBestPlanAndMatchesWorkerCount) {
+  auto wd = models::make_dataset_for("Bert", 128, 16, 42);
+  core::EasyScaleEngine engine(engine_config(), *wd.train, wd.augment);
+  IntraJobScheduler sched(engine, Companion("Bert", 4), /*allow_heter=*/true);
+  ASSERT_TRUE(sched.apply_best_plan(GpuVector{2, 1, 0}));
+  EXPECT_EQ(engine.num_workers(), total(sched.current_plan().gpus));
+  engine.run_steps(2);
+}
+
+TEST(IntraJob, NoPlanOnEmptyPool) {
+  auto wd = models::make_dataset_for("Bert", 128, 16, 42);
+  core::EasyScaleEngine engine(engine_config(), *wd.train, wd.augment);
+  IntraJobScheduler sched(engine, Companion("Bert", 4), true);
+  EXPECT_FALSE(sched.apply_best_plan(GpuVector{0, 0, 0}));
+}
+
+TEST(IntraJob, SchedulerDrivenRescalesStayBitwiseConsistent) {
+  auto wd = models::make_dataset_for("Bert", 128, 16, 42);
+  ddp::DDPConfig dcfg;
+  dcfg.workload = "Bert";
+  dcfg.world_size = 4;
+  dcfg.batch_per_worker = 4;
+  dcfg.seed = 42;
+  dcfg.policy = kernels::KernelPolicy::kHardwareAgnostic;
+  ddp::DDPTrainer reference(dcfg, *wd.train, wd.augment);
+  reference.run_steps(6);
+
+  core::EasyScaleEngine engine(engine_config(), *wd.train, wd.augment);
+  IntraJobScheduler sched(engine, Companion("Bert", 4), true);
+  ASSERT_TRUE(sched.apply_best_plan(GpuVector{1, 0, 0}));
+  engine.run_steps(2);
+  ASSERT_TRUE(sched.apply_best_plan(GpuVector{2, 0, 2}));  // scale out, mixed
+  engine.run_steps(2);
+  ASSERT_TRUE(sched.apply_best_plan(GpuVector{0, 1, 0}));  // scale in, P100
+  engine.run_steps(2);
+  EXPECT_EQ(reference.params_digest(), engine.params_digest());
+}
+
+TEST(IntraJob, ProposalsComeFromCurrentPlan) {
+  auto wd = models::make_dataset_for("Bert", 128, 16, 42);
+  core::EasyScaleEngine engine(engine_config(), *wd.train, wd.augment);
+  IntraJobScheduler sched(engine, Companion("Bert", 4), true);
+  ASSERT_TRUE(sched.apply_best_plan(GpuVector{1, 0, 0}));
+  const auto props = sched.make_proposals(GpuVector{3, 0, 0});
+  ASSERT_FALSE(props.empty());
+  for (const auto& p : props) {
+    EXPECT_GT(p.plan.throughput, sched.current_plan().throughput);
+  }
+}
+
+TEST(IntraJob, SlowdownFallbackRevertsScaleOut) {
+  auto wd = models::make_dataset_for("Bert", 128, 16, 42);
+  core::EasyScaleEngine engine(engine_config(), *wd.train, wd.augment);
+  IntraJobScheduler sched(engine, Companion("Bert", 4), true);
+  ASSERT_TRUE(sched.apply_best_plan(GpuVector{2, 0, 0}));
+  sched.report_throughput(10.0);  // healthy baseline observation
+  const auto before = sched.current_plan();
+
+  const auto props = sched.make_proposals(GpuVector{2, 0, 0});
+  ASSERT_FALSE(props.empty());
+  sched.apply_plan(props[0].plan);
+  EXPECT_GT(total(sched.current_plan().gpus), total(before.gpus));
+  // Observed throughput regressed -> Role-3 fallback to the old plan.
+  EXPECT_TRUE(sched.report_throughput(5.0));
+  EXPECT_EQ(total(sched.current_plan().gpus), total(before.gpus));
+  EXPECT_EQ(engine.num_workers(), total(before.gpus));
+  // Training continues fine after the revert.
+  engine.run_steps(1);
+}
+
+TEST(IntraJob, HealthyScaleOutIsKept) {
+  auto wd = models::make_dataset_for("Bert", 128, 16, 42);
+  core::EasyScaleEngine engine(engine_config(), *wd.train, wd.augment);
+  IntraJobScheduler sched(engine, Companion("Bert", 4), true);
+  ASSERT_TRUE(sched.apply_best_plan(GpuVector{2, 0, 0}));
+  sched.report_throughput(10.0);
+  const auto props = sched.make_proposals(GpuVector{2, 0, 0});
+  ASSERT_FALSE(props.empty());
+  sched.apply_plan(props[0].plan);
+  EXPECT_FALSE(sched.report_throughput(19.0));  // faster: keep it
+  EXPECT_EQ(engine.num_workers(), total(props[0].plan.gpus));
+}
+
+}  // namespace
+}  // namespace easyscale::sched

@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/digest.hpp"
+#include "kernels/conv.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/reduce.hpp"
+#include "kernels/scatter.hpp"
+#include "rng/sampling.hpp"
+
+namespace easyscale::kernels {
+namespace {
+
+rng::Philox gen(1234);
+
+std::vector<float> random_vec(std::size_t n, float stddev = 1.0f) {
+  std::vector<float> v(n);
+  rng::fill_normal(gen, v, 0.0f, stddev);
+  return v;
+}
+
+/// Reference gemm in double precision.
+std::vector<float> gemm_reference(std::int64_t m, std::int64_t n,
+                                  std::int64_t k,
+                                  std::span<const float> a,
+                                  std::span<const float> b) {
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[static_cast<std::size_t>(i * k + kk)]) *
+               static_cast<double>(b[static_cast<std::size_t>(kk * n + j)]);
+      }
+      c[static_cast<std::size_t>(i * n + j)] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+class GemmVariantTest : public ::testing::TestWithParam<GemmVariant> {};
+
+TEST_P(GemmVariantTest, MatchesReferenceWithinTolerance) {
+  const std::int64_t m = 7, n = 9, k = 33;
+  const auto a = random_vec(static_cast<std::size_t>(m * k));
+  const auto b = random_vec(static_cast<std::size_t>(k * n));
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  gemm_variant(GetParam(), m, n, k, a, b, c, false);
+  const auto ref = gemm_reference(m, n, k, a, b);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4f * (1.0f + std::abs(ref[i])));
+  }
+}
+
+TEST_P(GemmVariantTest, AccumulateAddsToC) {
+  const std::int64_t m = 3, n = 3, k = 8;
+  const auto a = random_vec(static_cast<std::size_t>(m * k));
+  const auto b = random_vec(static_cast<std::size_t>(k * n));
+  std::vector<float> c0(static_cast<std::size_t>(m * n));
+  gemm_variant(GetParam(), m, n, k, a, b, c0, false);
+  std::vector<float> c1(static_cast<std::size_t>(m * n), 1.0f);
+  gemm_variant(GetParam(), m, n, k, a, b, c1, true);
+  for (std::size_t i = 0; i < c0.size(); ++i) {
+    EXPECT_FLOAT_EQ(c1[i], 1.0f + c0[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, GemmVariantTest,
+                         ::testing::Values(GemmVariant::kSequential,
+                                           GemmVariant::kInterleaved2,
+                                           GemmVariant::kInterleaved4,
+                                           GemmVariant::kInterleaved8,
+                                           GemmVariant::kBlocked8));
+
+TEST(Gemm, VariantsAreBitwiseDistinct) {
+  const std::int64_t m = 8, n = 32, k = 72;
+  const auto a = random_vec(static_cast<std::size_t>(m * k));
+  const auto b = random_vec(static_cast<std::size_t>(k * n));
+  const GemmVariant variants[] = {
+      GemmVariant::kSequential, GemmVariant::kInterleaved2,
+      GemmVariant::kInterleaved4, GemmVariant::kInterleaved8};
+  std::vector<std::uint64_t> digests;
+  for (auto v : variants) {
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    gemm_variant(v, m, n, k, a, b, c, false);
+    digests.push_back(digest_floats(c));
+  }
+  for (std::size_t i = 0; i < digests.size(); ++i) {
+    for (std::size_t j = i + 1; j < digests.size(); ++j) {
+      EXPECT_NE(digests[i], digests[j])
+          << "variants " << i << " and " << j << " collided";
+    }
+  }
+}
+
+TEST(Gemm, PolicySelection) {
+  ExecContext ctx;
+  ctx.policy = KernelPolicy::kHardwareAgnostic;
+  ctx.device = DeviceType::kT4;
+  EXPECT_EQ(select_gemm_variant(ctx, 4, 4, 4), GemmVariant::kInterleaved4);
+  ctx.policy = KernelPolicy::kDeterministic;
+  EXPECT_EQ(select_gemm_variant(ctx, 4, 4, 4), GemmVariant::kInterleaved2);
+  ctx.device = DeviceType::kV100;
+  EXPECT_EQ(select_gemm_variant(ctx, 4, 4, 4), GemmVariant::kInterleaved8);
+}
+
+TEST(Gemm, HardwareAgnosticIsDeviceIndependent) {
+  const std::int64_t m = 4, n = 4, k = 16;
+  const auto a = random_vec(static_cast<std::size_t>(m * k));
+  const auto b = random_vec(static_cast<std::size_t>(k * n));
+  std::vector<std::uint64_t> digests;
+  for (auto device : {DeviceType::kV100, DeviceType::kP100, DeviceType::kT4}) {
+    ExecContext ctx;
+    ctx.policy = KernelPolicy::kHardwareAgnostic;
+    ctx.device = device;
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    gemm(ctx, m, n, k, a, b, c, false);
+    digests.push_back(digest_floats(c));
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[1], digests[2]);
+}
+
+TEST(Gemm, TransposedWrappersMatchReference) {
+  const std::int64_t m = 5, n = 6, k = 7;
+  ExecContext ctx;
+  const auto a = random_vec(static_cast<std::size_t>(m * k));
+  const auto b = random_vec(static_cast<std::size_t>(k * n));
+  const auto ref = gemm_reference(m, n, k, a, b);
+  // gemm_tn: A passed as [k, m].
+  std::vector<float> at(static_cast<std::size_t>(k * m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      at[static_cast<std::size_t>(kk * m + i)] =
+          a[static_cast<std::size_t>(i * k + kk)];
+    }
+  }
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  gemm_tn(ctx, m, n, k, at, b, c, false);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4f * (1.0f + std::abs(ref[i])));
+  }
+  // gemm_nt: B passed as [n, k].
+  std::vector<float> bt(static_cast<std::size_t>(n * k));
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      bt[static_cast<std::size_t>(j * k + kk)] =
+          b[static_cast<std::size_t>(kk * n + j)];
+    }
+  }
+  gemm_nt(ctx, m, n, k, a, bt, c, false);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4f * (1.0f + std::abs(ref[i])));
+  }
+}
+
+TEST(Reduce, VariantsSumCorrectly) {
+  const auto v = random_vec(1000);
+  double ref = 0.0;
+  for (float x : v) ref += x;
+  for (auto variant :
+       {ReduceVariant::kSequential, ReduceVariant::kPairwise64,
+        ReduceVariant::kPairwise128, ReduceVariant::kPairwise256}) {
+    EXPECT_NEAR(reduce_sum_variant(variant, v), ref, 1e-3);
+  }
+}
+
+TEST(Reduce, VariantsAreBitwiseDistinct) {
+  // Mixed magnitudes make association differences round differently.
+  auto v = random_vec(4096);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] *= static_cast<float>(1 + (i % 7));
+  }
+  const float seq = reduce_sum_variant(ReduceVariant::kSequential, v);
+  const float p64 = reduce_sum_variant(ReduceVariant::kPairwise64, v);
+  const float p128 = reduce_sum_variant(ReduceVariant::kPairwise128, v);
+  EXPECT_NE(seq, p64);
+  EXPECT_NE(seq, p128);
+}
+
+TEST(Reduce, EmptyAndSingleton) {
+  EXPECT_EQ(reduce_sum_variant(ReduceVariant::kPairwise64,
+                               std::span<const float>()),
+            0.0f);
+  const float one[] = {3.5f};
+  EXPECT_EQ(reduce_sum_variant(ReduceVariant::kPairwise64, one), 3.5f);
+}
+
+TEST(Reduce, StridedMatchesGather) {
+  const auto v = random_vec(128);
+  ExecContext ctx;
+  std::vector<float> gathered;
+  for (std::size_t i = 3; i < v.size(); i += 4) gathered.push_back(v[i]);
+  EXPECT_EQ(reduce_sum_strided(ctx, v, 3, 4,
+                               static_cast<std::int64_t>(gathered.size())),
+            reduce_sum(ctx, gathered));
+}
+
+TEST(Scatter, DeterministicIsReproducible) {
+  ExecContext det;
+  det.policy = KernelPolicy::kDeterministic;
+  std::vector<std::int64_t> idx(200);
+  rng::fill_randint(gen, idx, 16);
+  const auto src = random_vec(200 * 3);
+  std::vector<float> a(16 * 3, 0.0f), b(16 * 3, 0.0f);
+  scatter_add(det, idx, src, 3, a);
+  scatter_add(det, idx, src, 3, b);
+  EXPECT_EQ(digest_floats(a), digest_floats(b));
+}
+
+TEST(Scatter, EmulatedAtomicsVaryAcrossCalls) {
+  ExecContext fast;
+  fast.policy = KernelPolicy::kFastest;
+  reset_atomic_emulation_counter();
+  std::vector<std::int64_t> idx(300);
+  rng::fill_randint(gen, idx, 4);  // heavy collisions
+  const auto src = random_vec(300);
+  std::vector<std::uint64_t> digests;
+  for (int run = 0; run < 4; ++run) {
+    std::vector<float> out(4, 0.0f);
+    scatter_add(fast, idx, src, 1, out);
+    digests.push_back(digest_floats(out));
+  }
+  bool any_diff = false;
+  for (std::size_t i = 1; i < digests.size(); ++i) {
+    if (digests[i] != digests[0]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "atomic emulation should vary run to run";
+}
+
+TEST(Scatter, OutOfRangeThrows) {
+  ExecContext det;
+  std::vector<std::int64_t> idx{5};
+  std::vector<float> src{1.0f};
+  std::vector<float> out(4, 0.0f);
+  EXPECT_THROW(scatter_add(det, idx, src, 1, out), Error);
+}
+
+TEST(Conv, Im2colMatchesDirectWithinTolerance) {
+  Conv2dDims d{.batch = 2,
+               .in_channels = 3,
+               .in_h = 8,
+               .in_w = 8,
+               .out_channels = 4,
+               .kernel_h = 3,
+               .kernel_w = 3,
+               .stride = 1,
+               .pad = 1,
+               .groups = 1};
+  const auto input = random_vec(static_cast<std::size_t>(
+      d.batch * d.in_channels * d.in_h * d.in_w));
+  const auto weight = random_vec(static_cast<std::size_t>(
+      d.out_channels * d.in_channels * d.kernel_h * d.kernel_w));
+  const auto bias = random_vec(static_cast<std::size_t>(d.out_channels));
+  const std::size_t out_n = static_cast<std::size_t>(
+      d.batch * d.out_channels * d.out_h() * d.out_w());
+  ExecContext vendor;
+  vendor.policy = KernelPolicy::kDeterministic;
+  ExecContext canonical;
+  canonical.policy = KernelPolicy::kHardwareAgnostic;
+  std::vector<float> out_v(out_n), out_c(out_n);
+  conv2d_forward(vendor, d, input, weight, bias, out_v);
+  conv2d_forward(canonical, d, input, weight, bias, out_c);
+  for (std::size_t i = 0; i < out_n; ++i) {
+    ASSERT_NEAR(out_v[i], out_c[i], 1e-4f * (1.0f + std::abs(out_c[i])));
+  }
+}
+
+TEST(Conv, GroupedConvPartitionsChannels) {
+  // With groups == in_channels == out_channels (depthwise), each output
+  // channel depends only on its own input channel.
+  Conv2dDims d{.batch = 1,
+               .in_channels = 2,
+               .in_h = 4,
+               .in_w = 4,
+               .out_channels = 2,
+               .kernel_h = 3,
+               .kernel_w = 3,
+               .stride = 1,
+               .pad = 1,
+               .groups = 2};
+  std::vector<float> input(2 * 16, 0.0f);
+  for (int i = 0; i < 16; ++i) input[static_cast<std::size_t>(i)] = 1.0f;
+  std::vector<float> weight(2 * 1 * 9, 1.0f);
+  ExecContext ctx;
+  std::vector<float> out(2 * 16);
+  conv2d_forward(ctx, d, input, weight, {}, out);
+  // Channel 1 of the input is zero, so output channel 1 must be all zeros.
+  for (int i = 16; i < 32; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], 0.0f);
+  }
+  // Channel 0 center pixels see all 9 ones.
+  EXPECT_EQ(out[5], 9.0f);
+}
+
+TEST(Conv, Im2colCol2imRoundTripAccumulates) {
+  Conv2dDims d{.batch = 1,
+               .in_channels = 1,
+               .in_h = 4,
+               .in_w = 4,
+               .out_channels = 1,
+               .kernel_h = 1,
+               .kernel_w = 1,
+               .stride = 1,
+               .pad = 0,
+               .groups = 1};
+  const auto input = random_vec(16);
+  std::vector<float> cols(16);
+  im2col(d, input, 0, cols);
+  std::vector<float> back(16, 0.0f);
+  col2im(d, cols, 0, back);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(back[i], input[i]);
+}
+
+}  // namespace
+}  // namespace easyscale::kernels

@@ -1,0 +1,174 @@
+// Workload-zoo tests, parameterized over all Table-1 models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/digest.hpp"
+#include "models/datasets.hpp"
+#include "models/eval.hpp"
+#include "models/profile.hpp"
+#include "models/workload.hpp"
+#include "optim/sgd.hpp"
+
+namespace easyscale::models {
+namespace {
+
+struct Env {
+  kernels::ExecContext exec;
+  rng::StreamSet streams;
+  autograd::StepContext ctx;
+
+  Env() {
+    streams.seed_all(9, 0);
+    ctx.exec = &exec;
+    ctx.rng = &streams;
+    ctx.training = true;
+  }
+};
+
+data::Batch first_batch(const data::Dataset& ds, std::int64_t n) {
+  std::vector<data::Sample> samples;
+  for (std::int64_t i = 0; i < n; ++i) samples.push_back(ds.get(i));
+  return data::collate(samples);
+}
+
+class WorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadTest, TrainStepProducesFiniteLossAndGradients) {
+  Env env;
+  auto workload = make_workload(GetParam());
+  workload->init(42);
+  auto wd = make_dataset_for(GetParam(), 64, 16, 42);
+  const auto batch = first_batch(*wd.train, 8);
+  workload->params().zero_grads();
+  const float loss = workload->train_step(env.ctx, batch);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0f);
+  // Some gradient must be nonzero.
+  float grad_norm = 0.0f;
+  for (const auto* p : workload->params().all()) {
+    for (float g : p->grad.data()) grad_norm += g * g;
+  }
+  EXPECT_GT(grad_norm, 0.0f);
+}
+
+TEST_P(WorkloadTest, InitIsDeterministicAcrossInstances) {
+  auto a = make_workload(GetParam());
+  auto b = make_workload(GetParam());
+  a->init(42);
+  b->init(42);
+  Digest da, db;
+  for (const auto* p : a->params().all()) da.update(p->value.data());
+  for (const auto* p : b->params().all()) db.update(p->value.data());
+  EXPECT_EQ(da.value(), db.value());
+  auto c = make_workload(GetParam());
+  c->init(43);
+  Digest dc;
+  for (const auto* p : c->params().all()) dc.update(p->value.data());
+  EXPECT_NE(da.value(), dc.value());
+}
+
+TEST_P(WorkloadTest, PredictReturnsOnePerSample) {
+  Env env;
+  auto workload = make_workload(GetParam());
+  workload->init(42);
+  auto wd = make_dataset_for(GetParam(), 64, 16, 42);
+  const auto batch = first_batch(*wd.train, 6);
+  const auto preds = workload->predict(env.ctx, batch);
+  EXPECT_EQ(preds.size(), 6u);
+}
+
+TEST_P(WorkloadTest, PredictDoesNotPerturbTraining) {
+  // Evaluation must not consume training RNG or touch parameters.
+  Env env;
+  auto workload = make_workload(GetParam());
+  workload->init(42);
+  auto wd = make_dataset_for(GetParam(), 64, 16, 42);
+  const auto batch = first_batch(*wd.train, 4);
+  const auto rng_before = env.streams.state();
+  Digest before;
+  for (const auto* p : workload->params().all()) before.update(p->value.data());
+  (void)workload->predict(env.ctx, batch);
+  Digest after;
+  for (const auto* p : workload->params().all()) after.update(p->value.data());
+  EXPECT_EQ(before.value(), after.value());
+  EXPECT_TRUE(env.streams.state() == rng_before ||
+              GetParam() == "VGG19" || GetParam() == "Bert" ||
+              GetParam() == "Electra" || GetParam() == "SwinTransformer")
+      << "dropout-free models must not draw RNG in eval";
+  EXPECT_TRUE(env.ctx.training);  // mode restored
+}
+
+TEST_P(WorkloadTest, ProfileHasPositiveThroughput) {
+  for (auto device : {kernels::DeviceType::kV100, kernels::DeviceType::kP100,
+                      kernels::DeviceType::kT4}) {
+    EXPECT_GT(profiled_throughput(GetParam(), device), 0.0);
+  }
+  EXPECT_GT(profiled_memory_gb(GetParam()), 0.0);
+  // Capability must be monotone in device class.
+  EXPECT_GT(profiled_throughput(GetParam(), kernels::DeviceType::kV100),
+            profiled_throughput(GetParam(), kernels::DeviceType::kT4));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadTest,
+                         ::testing::ValuesIn(workload_names()));
+
+TEST(WorkloadZoo, D2EligibilitySplitsConvFromAttention) {
+  EXPECT_TRUE(make_workload("ResNet50")->uses_vendor_tuned_kernels());
+  EXPECT_TRUE(make_workload("ShuffleNetv2")->uses_vendor_tuned_kernels());
+  EXPECT_TRUE(make_workload("VGG19")->uses_vendor_tuned_kernels());
+  EXPECT_TRUE(make_workload("YOLOv3")->uses_vendor_tuned_kernels());
+  EXPECT_FALSE(make_workload("NeuMF")->uses_vendor_tuned_kernels());
+  EXPECT_FALSE(make_workload("Bert")->uses_vendor_tuned_kernels());
+  EXPECT_FALSE(make_workload("Electra")->uses_vendor_tuned_kernels());
+  EXPECT_FALSE(make_workload("SwinTransformer")->uses_vendor_tuned_kernels());
+}
+
+TEST(WorkloadZoo, UnknownNameThrows) {
+  EXPECT_THROW(make_workload("AlexNet"), Error);
+}
+
+TEST(WorkloadZoo, BNModelsExposeBuffers) {
+  EXPECT_FALSE(make_workload("ResNet50")->buffers().empty());
+  EXPECT_FALSE(make_workload("ShuffleNetv2")->buffers().empty());
+  EXPECT_TRUE(make_workload("Bert")->buffers().empty());
+}
+
+TEST(WorkloadZoo, ShortTrainingReducesLoss) {
+  // ResNet18 on the synthetic data must show actual learning.
+  Env env;
+  auto workload = make_workload("ResNet18");
+  workload->init(42);
+  auto wd = make_dataset_for("ResNet18", 64, 32, 42);
+  optim::SGD opt(workload->params(), {.lr = 0.05f, .momentum = 0.9f,
+                                      .weight_decay = 0.0f});
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 40; ++step) {
+    const auto batch = first_batch(*wd.train, 16);
+    opt.zero_grad();
+    const float loss = workload->train_step(env.ctx, batch);
+    if (step == 0) first = loss;
+    last = loss;
+    opt.step();
+  }
+  EXPECT_LT(last, first * 0.5f) << "no learning signal";
+}
+
+TEST(Eval, PerClassAccuracySumsToOverall) {
+  Env env;
+  auto workload = make_workload("ResNet18");
+  workload->init(42);
+  auto wd = make_dataset_for("ResNet18", 64, 50, 42);
+  const auto report = evaluate(*workload, *wd.test, 16, 10);
+  double weighted = 0.0;
+  std::int64_t total = 0;
+  for (std::size_t c = 0; c < report.per_class.size(); ++c) {
+    weighted += report.per_class[c] * static_cast<double>(report.support[c]);
+    total += report.support[c];
+  }
+  EXPECT_EQ(total, 50);
+  EXPECT_NEAR(report.overall, weighted / static_cast<double>(total), 1e-9);
+}
+
+}  // namespace
+}  // namespace easyscale::models

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/parameter.hpp"
+#include "optim/sgd.hpp"
+
+namespace easyscale::optim {
+namespace {
+
+struct Fixture {
+  autograd::Parameter w{"w", tensor::Shape{3}};
+  autograd::ParameterStore store;
+
+  Fixture() {
+    store.register_parameter(&w);
+    w.value.fill(1.0f);
+  }
+};
+
+TEST(SGD, PlainStep) {
+  Fixture f;
+  SGD opt(f.store, {.lr = 0.5f, .momentum = 0.0f, .weight_decay = 0.0f});
+  f.w.grad.fill(2.0f);
+  opt.step();
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(f.w.value.at(i), 0.0f);
+}
+
+TEST(SGD, MomentumAccumulates) {
+  Fixture f;
+  SGD opt(f.store, {.lr = 1.0f, .momentum = 0.5f, .weight_decay = 0.0f});
+  f.w.grad.fill(1.0f);
+  opt.step();  // m=1, w=1-1=0
+  EXPECT_FLOAT_EQ(f.w.value.at(0), 0.0f);
+  opt.step();  // m=0.5*1+1=1.5, w=0-1.5=-1.5
+  EXPECT_FLOAT_EQ(f.w.value.at(0), -1.5f);
+}
+
+TEST(SGD, WeightDecayAddsToGradient) {
+  Fixture f;
+  SGD opt(f.store, {.lr = 1.0f, .momentum = 0.0f, .weight_decay = 0.1f});
+  f.w.grad.zero();
+  opt.step();  // g = 0 + 0.1*1 => w = 1 - 0.1
+  EXPECT_FLOAT_EQ(f.w.value.at(0), 0.9f);
+}
+
+TEST(SGD, ZeroGradClearsGradients) {
+  Fixture f;
+  SGD opt(f.store, {});
+  f.w.grad.fill(5.0f);
+  opt.zero_grad();
+  EXPECT_EQ(f.w.grad.at(0), 0.0f);
+}
+
+TEST(SGD, StateSerializationRoundTrip) {
+  Fixture f;
+  SGD opt(f.store, {.lr = 0.1f, .momentum = 0.9f, .weight_decay = 0.0f});
+  f.w.grad.fill(1.0f);
+  opt.step();
+  ByteWriter w;
+  opt.save(w);
+  // A fresh optimizer with restored state continues identically.
+  Fixture g;
+  g.w.value = f.w.value;
+  SGD opt2(g.store, {.lr = 0.1f, .momentum = 0.9f, .weight_decay = 0.0f});
+  ByteReader r(w.bytes());
+  opt2.load(r);
+  f.w.grad.fill(1.0f);
+  g.w.grad.fill(1.0f);
+  opt.step();
+  opt2.step();
+  for (std::int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(f.w.value.at(i), g.w.value.at(i));
+  }
+}
+
+TEST(StepLR, DecaysByGammaEveryStepEpochs) {
+  Fixture f;
+  SGD opt(f.store, {.lr = 0.1f, .momentum = 0.0f, .weight_decay = 0.0f});
+  StepLR sched(opt, /*step_size=*/5, /*gamma=*/0.1f);
+  sched.set_epoch(0);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.1f);
+  sched.set_epoch(4);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.1f);
+  sched.set_epoch(5);
+  EXPECT_FLOAT_EQ(opt.lr(), 0.01f);
+  sched.set_epoch(10);
+  EXPECT_NEAR(opt.lr(), 0.001f, 1e-9f);
+}
+
+TEST(StepLR, SetEpochIsIdempotent) {
+  Fixture f;
+  SGD opt(f.store, {.lr = 0.2f, .momentum = 0.0f, .weight_decay = 0.0f});
+  StepLR sched(opt, 3, 0.5f);
+  sched.set_epoch(7);
+  const float lr = opt.lr();
+  sched.set_epoch(7);
+  EXPECT_EQ(opt.lr(), lr);
+}
+
+TEST(StepLR, SerializationRestoresSchedule) {
+  Fixture f;
+  SGD opt(f.store, {.lr = 0.2f, .momentum = 0.0f, .weight_decay = 0.0f});
+  StepLR sched(opt, 3, 0.5f);
+  sched.set_epoch(6);
+  ByteWriter w;
+  sched.save(w);
+  Fixture g;
+  SGD opt2(g.store, {.lr = 0.2f, .momentum = 0.0f, .weight_decay = 0.0f});
+  StepLR sched2(opt2, 3, 0.5f);
+  ByteReader r(w.bytes());
+  sched2.load(r);
+  EXPECT_EQ(sched2.last_epoch(), 6);
+  EXPECT_FLOAT_EQ(opt2.lr(), opt.lr());
+}
+
+}  // namespace
+}  // namespace easyscale::optim

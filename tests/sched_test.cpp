@@ -1,0 +1,158 @@
+// Companion module: Eq. (1) waste/throughput model, plan construction,
+// proposals and the inter-job ranking rules.
+#include <gtest/gtest.h>
+
+#include "models/profile.hpp"
+#include "sched/companion.hpp"
+
+namespace easyscale::sched {
+namespace {
+
+TEST(Companion, CapabilityFollowsProfile) {
+  Companion c("ResNet50", 8);
+  EXPECT_DOUBLE_EQ(c.capability(DeviceType::kV100),
+                   models::profiled_throughput("ResNet50",
+                                               DeviceType::kV100));
+  EXPECT_GT(c.capability(DeviceType::kV100), c.capability(DeviceType::kT4));
+}
+
+TEST(Companion, SingleGpuPlan) {
+  Companion c("ResNet50", 4);
+  GpuVector g{1, 0, 0};
+  const Plan p = c.make_plan(g);
+  ASSERT_TRUE(p.valid());
+  // All 4 ESTs serialized on one V100: f = 4 / C.
+  const double cap = c.capability(DeviceType::kV100);
+  EXPECT_DOUBLE_EQ(p.f_overload, 4.0 / cap);
+  EXPECT_NEAR(p.throughput, cap, 1e-9);  // no waste on a single GPU
+  EXPECT_NEAR(p.waste, 0.0, 1e-9);
+}
+
+TEST(Companion, BalancedHomogeneousPlanHasNoWaste) {
+  Companion c("Bert", 8);
+  GpuVector g{4, 0, 0};
+  const Plan p = c.make_plan(g);
+  // 8 ESTs over 4 equal GPUs: 2 each, perfectly balanced.
+  for (auto ests : p.ests) EXPECT_EQ(ests, 2);
+  EXPECT_NEAR(p.waste, 0.0, 1e-9);
+  EXPECT_NEAR(p.throughput, 4.0 * c.capability(DeviceType::kV100), 1e-9);
+}
+
+TEST(Companion, ImbalancedPlanReportsWaste) {
+  Companion c("Bert", 3);
+  GpuVector g{2, 0, 0};
+  const Plan p = c.make_plan(g);
+  // 3 ESTs over 2 GPUs: 2+1; the 1-EST GPU idles half the step.
+  EXPECT_GT(p.waste, 0.0);
+  EXPECT_LT(p.throughput, 2.0 * c.capability(DeviceType::kV100));
+}
+
+TEST(Companion, HeterogeneousPlanLoadsBalanceByCapability) {
+  Companion c("Bert", 8);
+  GpuVector g{1, 0, 1};  // one V100 + one T4
+  const Plan p = c.make_plan(g);
+  // The V100 must take more ESTs than the T4.
+  EXPECT_GT(p.ests[0], p.ests[1]);
+  EXPECT_EQ(p.ests[0] + p.ests[1], 8);
+}
+
+TEST(Companion, MoreGpusThanEstsIsInvalid) {
+  Companion c("Bert", 2);
+  GpuVector g{4, 0, 0};
+  EXPECT_FALSE(c.make_plan(g).valid());
+}
+
+TEST(Companion, EmptyPlanInvalid) {
+  Companion c("Bert", 4);
+  EXPECT_FALSE(c.make_plan(GpuVector{}).valid());
+}
+
+TEST(Companion, BestPlanHomoUsesSingleType) {
+  Companion c("Bert", 8);
+  GpuVector avail{4, 16, 16};
+  const Plan p = c.best_plan(avail, /*allow_heter=*/false);
+  ASSERT_TRUE(p.valid());
+  int types_used = 0;
+  for (int t = 0; t < kNumDeviceTypes; ++t) {
+    if (p.gpus[static_cast<std::size_t>(t)] > 0) ++types_used;
+  }
+  EXPECT_EQ(types_used, 1);
+}
+
+TEST(Companion, BestPlanHeterBeatsHomoOnFragmentedPool) {
+  // Only 2 V100 free but plenty of weak GPUs: mixing must win.
+  Companion c("Bert", 16);
+  GpuVector avail{2, 4, 4};
+  const Plan homo = c.best_plan(avail, false);
+  const Plan heter = c.best_plan(avail, true);
+  ASSERT_TRUE(homo.valid());
+  ASSERT_TRUE(heter.valid());
+  EXPECT_GT(heter.throughput, homo.throughput);
+}
+
+TEST(Companion, BestPlanWalksThroughPlateaus) {
+  // maxP=4 on 4 available V100: the 2->3 GPU step is a plateau (assignment
+  // 2+1+1 has the same f_overload as 2+2) but 4 GPUs is strictly better.
+  Companion c("Bert", 4);
+  GpuVector avail{4, 0, 0};
+  const Plan p = c.best_plan(avail, true);
+  EXPECT_EQ(p.gpus[0], 4);
+}
+
+TEST(Companion, ProposalsAreRankedBySpeedupPerGpu) {
+  Companion c("Bert", 16);
+  const Plan current = c.make_plan(GpuVector{2, 0, 0});
+  GpuVector avail{8, 8, 8};
+  const auto props = c.proposals(current, avail, true, 10);
+  ASSERT_FALSE(props.empty());
+  for (std::size_t i = 1; i < props.size(); ++i) {
+    EXPECT_GE(props[i - 1].speedup_per_gpu(), props[i].speedup_per_gpu());
+  }
+  for (const auto& p : props) {
+    EXPECT_GT(p.speedup, 1.0);
+    EXPECT_GT(p.plan.throughput, current.throughput);
+  }
+}
+
+TEST(Companion, HomoProposalsStayInType) {
+  Companion c("Bert", 16);
+  const Plan current = c.make_plan(GpuVector{2, 0, 0});
+  GpuVector avail{8, 8, 8};
+  for (const auto& p : c.proposals(current, avail, /*allow_heter=*/false)) {
+    EXPECT_EQ(p.extra_gpus[1], 0);
+    EXPECT_EQ(p.extra_gpus[2], 0);
+  }
+}
+
+TEST(Companion, ProposalsRespectAvailability) {
+  Companion c("Bert", 16);
+  const Plan current = c.make_plan(GpuVector{2, 0, 0});
+  GpuVector avail{1, 0, 0};
+  for (const auto& p : c.proposals(current, avail, true)) {
+    EXPECT_LE(p.extra_gpus[0], 1);
+  }
+}
+
+TEST(Companion, ThroughputReportRecalibrates) {
+  Companion c("Bert", 8);
+  const Plan p = c.make_plan(GpuVector{2, 0, 0});
+  const double before = c.capability(DeviceType::kV100);
+  c.report_throughput(p, p.throughput * 2.0);  // estimate was 2x off
+  EXPECT_NEAR(c.capability(DeviceType::kV100), 2.0 * before, 1e-9);
+  // Small bias (within 20%) is ignored.
+  const Plan p2 = c.make_plan(GpuVector{2, 0, 0});
+  const double mid = c.capability(DeviceType::kV100);
+  c.report_throughput(p2, p2.throughput * 1.05);
+  EXPECT_NEAR(c.capability(DeviceType::kV100), mid, 1e-9);
+}
+
+TEST(Companion, ThroughputEqualsMaxPOverOverload) {
+  // Eq. (1d) reduces to nEST / f_overload when nEST == maxP.
+  Companion c("ResNet50", 6);
+  const Plan p = c.make_plan(GpuVector{2, 1, 0});
+  ASSERT_TRUE(p.valid());
+  EXPECT_NEAR(p.throughput, 6.0 / p.f_overload, 1e-9);
+}
+
+}  // namespace
+}  // namespace easyscale::sched

@@ -1,0 +1,84 @@
+// Serialization robustness: truncated or mangled checkpoint payloads must
+// be rejected (thrown), never silently mis-restored.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/engine.hpp"
+#include "models/datasets.hpp"
+#include "rng/philox.hpp"
+
+namespace easyscale::core {
+namespace {
+
+std::vector<std::uint8_t> make_checkpoint() {
+  static auto wd = models::make_dataset_for("NeuMF", 64, 16, 5);
+  EasyScaleConfig cfg;
+  cfg.workload = "NeuMF";
+  cfg.num_ests = 2;
+  cfg.batch_per_est = 4;
+  cfg.seed = 5;
+  EasyScaleEngine e(cfg, *wd.train, wd.augment);
+  e.configure_workers({WorkerSpec{}});
+  e.run_steps(1);
+  return e.checkpoint();
+}
+
+std::unique_ptr<EasyScaleEngine> make_engine() {
+  static auto wd = models::make_dataset_for("NeuMF", 64, 16, 5);
+  EasyScaleConfig cfg;
+  cfg.workload = "NeuMF";
+  cfg.num_ests = 2;
+  cfg.batch_per_est = 4;
+  cfg.seed = 5;
+  auto e = std::make_unique<EasyScaleEngine>(cfg, *wd.train, wd.augment);
+  e->configure_workers({WorkerSpec{}});
+  return e;
+}
+
+class TruncationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TruncationTest, TruncatedCheckpointThrows) {
+  const auto bytes = make_checkpoint();
+  const auto keep = static_cast<std::size_t>(
+      GetParam() * static_cast<double>(bytes.size()));
+  const std::vector<std::uint8_t> cut(bytes.begin(),
+                                      bytes.begin() + static_cast<long>(keep));
+  auto engine = make_engine();
+  EXPECT_THROW(engine->restore(cut), Error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, TruncationTest,
+                         ::testing::Values(0.0, 0.1, 0.35, 0.6, 0.9, 0.999));
+
+TEST(SerializationFuzz, WrongMagicRejected) {
+  auto bytes = make_checkpoint();
+  bytes[0] ^= 0xFF;  // corrupt the magic word
+  auto engine = make_engine();
+  EXPECT_THROW(engine->restore(bytes), Error);
+}
+
+TEST(SerializationFuzz, RestoreFromForeignConfigShapeThrows) {
+  // A checkpoint from a 2-EST NeuMF job must not load into a 4-EST
+  // ResNet18 engine (parameter-count mismatch is detected).
+  const auto bytes = make_checkpoint();
+  auto wd = models::make_dataset_for("ResNet18", 64, 16, 5);
+  EasyScaleConfig cfg;
+  cfg.workload = "ResNet18";
+  cfg.num_ests = 4;
+  cfg.batch_per_est = 4;
+  cfg.seed = 5;
+  EasyScaleEngine other(cfg, *wd.train, wd.augment);
+  other.configure_workers({WorkerSpec{}});
+  EXPECT_THROW(other.restore(bytes), Error);
+}
+
+TEST(SerializationFuzz, IntactCheckpointRestores) {
+  const auto bytes = make_checkpoint();
+  auto engine = make_engine();
+  EXPECT_NO_THROW(engine->restore(bytes));
+  EXPECT_EQ(engine->global_step(), 1);
+}
+
+}  // namespace
+}  // namespace easyscale::core

@@ -1,0 +1,151 @@
+// Cluster simulator invariants for the trace and co-location experiments.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/colocation.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+namespace easyscale::sim {
+namespace {
+
+std::vector<JobSpec> small_trace(std::int64_t n = 20) {
+  trace::TraceConfig cfg;
+  cfg.num_jobs = n;
+  cfg.mean_interarrival_s = 60.0;
+  return trace::philly_like_trace(cfg);
+}
+
+SimConfig sim_config(SchedulerPolicy policy) {
+  SimConfig cfg;
+  cfg.cluster = {8, 4, 4};
+  cfg.policy = policy;
+  return cfg;
+}
+
+class PolicyTest : public ::testing::TestWithParam<SchedulerPolicy> {};
+
+TEST_P(PolicyTest, AllJobsFinishWithValidTimestamps) {
+  const auto jobs = small_trace();
+  const auto r = simulate_trace(jobs, sim_config(GetParam()));
+  ASSERT_EQ(r.outcomes.size(), jobs.size());
+  for (const auto& o : r.outcomes) {
+    EXPECT_GE(o.start_s, o.arrival_s);
+    EXPECT_GT(o.finish_s, o.start_s);
+    EXPECT_LE(o.finish_s, r.makespan);
+  }
+  EXPECT_GT(r.avg_jct, 0.0);
+}
+
+TEST_P(PolicyTest, AllocationNeverExceedsCluster) {
+  const auto jobs = small_trace();
+  const auto cfg = sim_config(GetParam());
+  const auto r = simulate_trace(jobs, cfg);
+  const std::int64_t total = sched::total(cfg.cluster);
+  for (const auto& point : r.timeline) {
+    EXPECT_LE(point.allocated_gpus, total);
+    EXPECT_GE(point.allocated_gpus, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
+                         ::testing::Values(SchedulerPolicy::kYarnCS,
+                                           SchedulerPolicy::kEasyScaleHomo,
+                                           SchedulerPolicy::kEasyScaleHeter));
+
+TEST(Simulator, YarnIsFIFO) {
+  const auto jobs = small_trace();
+  const auto r = simulate_trace(jobs, sim_config(SchedulerPolicy::kYarnCS));
+  // Start order must follow arrival order (strict FIFO admission).
+  auto sorted = r.outcomes;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const JobOutcome& a, const JobOutcome& b) {
+              return a.arrival_s < b.arrival_s;
+            });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_GE(sorted[i].start_s, sorted[i - 1].start_s);
+  }
+}
+
+TEST(Simulator, ElasticBeatsGangSchedulingOnJctAndMakespan) {
+  const auto jobs = small_trace(30);
+  const auto yarn = simulate_trace(jobs, sim_config(SchedulerPolicy::kYarnCS));
+  const auto homo =
+      simulate_trace(jobs, sim_config(SchedulerPolicy::kEasyScaleHomo));
+  EXPECT_LT(homo.avg_jct, yarn.avg_jct);
+  EXPECT_LE(homo.makespan, yarn.makespan);
+}
+
+TEST(Simulator, HeterUsesAtLeastAsManyGpusAsHomo) {
+  const auto jobs = small_trace(30);
+  const auto homo =
+      simulate_trace(jobs, sim_config(SchedulerPolicy::kEasyScaleHomo));
+  const auto heter =
+      simulate_trace(jobs, sim_config(SchedulerPolicy::kEasyScaleHeter));
+  double homo_mean = 0.0, heter_mean = 0.0;
+  for (const auto& p : homo.timeline) homo_mean += static_cast<double>(p.allocated_gpus);
+  for (const auto& p : heter.timeline) heter_mean += static_cast<double>(p.allocated_gpus);
+  homo_mean /= static_cast<double>(homo.timeline.size());
+  heter_mean /= static_cast<double>(heter.timeline.size());
+  EXPECT_GE(heter_mean, homo_mean * 0.95);
+}
+
+TEST(Simulator, EmptyTraceThrows) {
+  EXPECT_THROW(simulate_trace({}, sim_config(SchedulerPolicy::kYarnCS)),
+               Error);
+}
+
+TEST(Colocation, ConservationAndBounds) {
+  trace::ServingLoadConfig lcfg;
+  lcfg.minutes = 2880;
+  lcfg.total_gpus = 1000;
+  const auto demand = trace::serving_load_curve(lcfg);
+  ColocationConfig cfg;
+  cfg.total_gpus = 1000;
+  cfg.max_training_gpus = 300;
+  const auto r = simulate_colocation(demand, cfg);
+  ASSERT_EQ(r.day2.size(), 1440u);
+  for (const auto& p : r.day2) {
+    EXPECT_LE(p.serving_gpus + p.training_gpus, cfg.total_gpus);
+    EXPECT_LE(p.training_gpus, cfg.max_training_gpus);
+    EXPECT_GE(p.training_gpus, 0);
+    EXPECT_GE(p.alloc_ratio, 0.0);
+    EXPECT_LE(p.alloc_ratio, 1.0);
+    EXPECT_LE(p.sm_util, 1.0);
+  }
+}
+
+TEST(Colocation, Day2ImprovesAllocationAndUtilization) {
+  trace::ServingLoadConfig lcfg;
+  const auto demand = trace::serving_load_curve(lcfg);
+  ColocationConfig cfg;
+  cfg.total_gpus = lcfg.total_gpus;
+  const auto r = simulate_colocation(demand, cfg);
+  EXPECT_GT(r.day2_alloc_ratio, r.day1_alloc_ratio);
+  EXPECT_GT(r.day2_util, r.day1_util);
+  EXPECT_GT(r.avg_training_gpus_day2, 0.0);
+  EXPECT_EQ(r.failed_jobs, 0);
+}
+
+TEST(Colocation, ScaleInIsImmediate) {
+  // A demand spike must be absorbed within the same minute.
+  std::vector<std::int64_t> demand(120, 100);  // 2 "days" of 60 min
+  for (std::size_t m = 90; m < 120; ++m) demand[m] = 900;  // day-2 spike
+  ColocationConfig cfg;
+  cfg.total_gpus = 1000;
+  cfg.max_training_gpus = 900;
+  const auto r = simulate_colocation(demand, cfg);
+  for (std::size_t m = 30; m < 60; ++m) {
+    EXPECT_LE(r.day2[m].serving_gpus + r.day2[m].training_gpus, 1000);
+  }
+  EXPECT_GT(r.preemptions, 0);
+}
+
+TEST(Colocation, OddSizedDemandThrows) {
+  std::vector<std::int64_t> demand(3, 10);
+  EXPECT_THROW(simulate_colocation(demand, ColocationConfig{}), Error);
+}
+
+}  // namespace
+}  // namespace easyscale::sim

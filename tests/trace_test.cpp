@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/generators.hpp"
+
+namespace easyscale::trace {
+namespace {
+
+TEST(Trace, DeterministicForSeed) {
+  TraceConfig cfg;
+  const auto a = philly_like_trace(cfg);
+  const auto b = philly_like_trace(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+    EXPECT_EQ(a[i].workload, b[i].workload);
+    EXPECT_EQ(a[i].total_steps, b[i].total_steps);
+  }
+  cfg.seed = 1234;
+  const auto c = philly_like_trace(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].arrival_s != c[i].arrival_s) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Trace, ArrivalsAreMonotoneAndBoundsHold) {
+  TraceConfig cfg;
+  cfg.num_jobs = 100;
+  const auto jobs = philly_like_trace(cfg);
+  ASSERT_EQ(jobs.size(), 100u);
+  double prev = -1.0;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.arrival_s, prev);
+    prev = j.arrival_s;
+    EXPECT_GE(j.total_steps, cfg.min_steps);
+    EXPECT_LE(j.total_steps, cfg.max_steps);
+    EXPECT_GT(j.max_p, 0);
+  }
+}
+
+TEST(Trace, ConvJobsAreHeterRestricted) {
+  TraceConfig cfg;
+  cfg.num_jobs = 200;
+  for (const auto& j : philly_like_trace(cfg)) {
+    const bool conv = j.workload == "ShuffleNetv2" || j.workload == "ResNet50" ||
+                      j.workload == "VGG19" || j.workload == "YOLOv3";
+    EXPECT_EQ(j.allow_heter, !conv) << j.workload;
+  }
+}
+
+TEST(ServingLoad, DiurnalShape) {
+  ServingLoadConfig cfg;
+  const auto demand = serving_load_curve(cfg);
+  ASSERT_EQ(demand.size(), 2880u);
+  const auto [lo, hi] = std::minmax_element(demand.begin(), demand.end());
+  EXPECT_GT(*hi - *lo, cfg.total_gpus / 3)
+      << "diurnal swing should be large (Fig 1: ~2000 GPUs)";
+  for (auto d : demand) {
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, cfg.total_gpus);
+  }
+  // The two days must have similar profiles (same phase).
+  double corr_num = 0.0;
+  for (std::size_t m = 0; m < 1440; ++m) {
+    corr_num += static_cast<double>(demand[m]) *
+                static_cast<double>(demand[m + 1440]);
+  }
+  EXPECT_GT(corr_num, 0.0);
+}
+
+TEST(ServingLoad, Deterministic) {
+  ServingLoadConfig cfg;
+  EXPECT_EQ(serving_load_curve(cfg), serving_load_curve(cfg));
+}
+
+}  // namespace
+}  // namespace easyscale::trace
