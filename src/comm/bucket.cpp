@@ -10,6 +10,10 @@ void BucketLayout::save(ByteWriter& w) const {
 BucketLayout BucketLayout::load(ByteReader& r) {
   BucketLayout layout;
   const auto n = r.read<std::uint64_t>();
+  // Each bucket serializes to >= 8 bytes (its length field): a count that
+  // exceeds the remaining payload is corruption, not a huge layout.
+  ES_CHECK(n <= r.remaining() / sizeof(std::uint64_t),
+           "bucket count " << n << " exceeds checkpoint payload");
   layout.buckets.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     layout.buckets.push_back(r.read_vector<int>());

@@ -59,6 +59,12 @@ class ByteWriter {
 };
 
 /// Sequential reader over a byte buffer produced by ByteWriter.
+///
+/// Every read validates against the bytes actually *remaining* (never
+/// `pos + n` arithmetic, which wraps for an adversarial length field), so
+/// a truncated, bit-flipped or oversized payload always surfaces as a
+/// structured easyscale::Error — never an out-of-bounds read or a
+/// multi-gigabyte allocation driven by corrupt data.
 class ByteReader {
  public:
   explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
@@ -67,7 +73,9 @@ class ByteReader {
     requires std::is_trivially_copyable_v<T>
   T read() {
     T value;
-    ES_CHECK(pos_ + sizeof(T) <= bytes_.size(), "checkpoint stream truncated");
+    ES_CHECK(sizeof(T) <= remaining(),
+             "checkpoint stream truncated: need " << sizeof(T) << " byte(s), "
+                                                  << remaining() << " left");
     std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
     return value;
@@ -75,9 +83,12 @@ class ByteReader {
 
   std::string read_string() {
     const auto n = read<std::uint64_t>();
-    ES_CHECK(pos_ + n <= bytes_.size(), "checkpoint stream truncated");
-    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
-    pos_ += n;
+    ES_CHECK(n <= remaining(), "checkpoint stream truncated: string of "
+                                   << n << " byte(s), " << remaining()
+                                   << " left");
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
     return s;
   }
 
@@ -85,15 +96,29 @@ class ByteReader {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> read_vector() {
     const auto n = read<std::uint64_t>();
-    ES_CHECK(pos_ + n * sizeof(T) <= bytes_.size(), "checkpoint stream truncated");
-    std::vector<T> v(n);
-    std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
-    pos_ += n * sizeof(T);
+    // Divide instead of multiplying: n * sizeof(T) could wrap.
+    ES_CHECK(n <= remaining() / sizeof(T),
+             "checkpoint stream truncated: vector of "
+                 << n << " element(s) of " << sizeof(T) << " byte(s), "
+                 << remaining() << " byte(s) left");
+    std::vector<T> v(static_cast<std::size_t>(n));
+    std::memcpy(v.data(), bytes_.data() + pos_,
+                static_cast<std::size_t>(n) * sizeof(T));
+    pos_ += static_cast<std::size_t>(n) * sizeof(T);
     return v;
+  }
+
+  /// Throw unless the stream was consumed exactly; call at the end of a
+  /// top-level load to reject oversized payloads (trailing bytes mean the
+  /// reader and writer disagreed about the format).
+  void require_exhausted(const char* what) const {
+    ES_CHECK(exhausted(), what << ": " << remaining()
+                               << " trailing byte(s) after the payload");
   }
 
   [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
   [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
 
  private:
   std::span<const std::uint8_t> bytes_;

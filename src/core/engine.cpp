@@ -340,6 +340,9 @@ void EasyScaleEngine::restore(std::span<const std::uint8_t> bytes) {
     pipelines_[static_cast<std::size_t>(e)].load(r);
   }
   const auto pending_count = r.read<std::uint64_t>();
+  ES_CHECK(pending_count <= r.remaining(),
+           "pending work-item count " << pending_count
+                                      << " exceeds checkpoint payload");
   std::vector<data::WorkItem> pending;
   pending.reserve(pending_count);
   for (std::uint64_t i = 0; i < pending_count; ++i) {
@@ -348,6 +351,7 @@ void EasyScaleEngine::restore(std::span<const std::uint8_t> bytes) {
   if (pool_) {
     for (auto& item : pending) pool_->enqueue(std::move(item));
   }
+  r.require_exhausted("EasyScale checkpoint");
 }
 
 }  // namespace easyscale::core

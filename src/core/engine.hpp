@@ -99,6 +99,7 @@ class EasyScaleEngine {
   [[nodiscard]] std::int64_t num_workers() const {
     return static_cast<std::int64_t>(workers_.size());
   }
+  [[nodiscard]] std::int64_t num_ests() const { return config_.num_ests; }
   [[nodiscard]] const SwitchStats& switch_stats() const { return stats_; }
   [[nodiscard]] const comm::BucketLayout& current_layout() const {
     return layout_;

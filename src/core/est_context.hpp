@@ -32,6 +32,10 @@ struct ESTContext {
     ctx.virtual_rank = r.read<std::int64_t>();
     ctx.model_streams = rng::StreamSetState::load(r);
     const auto n = r.read<std::uint64_t>();
+    // A corrupt count must fail the structural check, not the allocator
+    // (every serialized tensor occupies at least one byte).
+    ES_CHECK(n <= r.remaining(),
+             "BN buffer count " << n << " exceeds checkpoint payload");
     ctx.bn_buffers.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
       ctx.bn_buffers.push_back(tensor::Tensor::load(r));

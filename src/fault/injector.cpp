@@ -1,0 +1,143 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/digest.hpp"
+#include "common/error.hpp"
+#include "rng/philox.hpp"
+
+namespace easyscale::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kWorkerCrash:
+      return "worker_crash";
+    case FaultKind::kGpuRevocation:
+      return "gpu_revocation";
+    case FaultKind::kStraggler:
+      return "straggler";
+    case FaultKind::kTornCheckpoint:
+      return "torn_checkpoint";
+    case FaultKind::kCommDrop:
+      return "comm_drop";
+    default:
+      return "unknown";
+  }
+}
+
+void FaultEvent::save(ByteWriter& w) const {
+  w.write<std::uint8_t>(static_cast<std::uint8_t>(kind));
+  w.write(step);
+  w.write(worker);
+  w.write(grace_s);
+  w.write(slowdown);
+  w.write(payload_seed);
+}
+
+std::string FaultEvent::to_string() const {
+  std::ostringstream os;
+  os << fault::to_string(kind) << "@step" << step << "/worker" << worker;
+  return os.str();
+}
+
+FaultInjector::FaultInjector(std::vector<FaultEvent> schedule)
+    : schedule_(std::move(schedule)) {
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.step < b.step;
+                   });
+}
+
+FaultInjector FaultInjector::from_config(const FaultPlanConfig& cfg) {
+  ES_CHECK(cfg.num_workers > 0, "need at least one worker to injure");
+  ES_CHECK(cfg.horizon_steps >= 1, "fault horizon must be positive");
+  rng::Philox gen(cfg.seed);
+  std::vector<FaultEvent> events;
+  // One Bernoulli draw per (step, kind) in a fixed kind order keeps the
+  // stream consumption — and therefore the schedule — seed-deterministic.
+  const struct {
+    FaultKind kind;
+    double rate;
+  } kinds[] = {
+      {FaultKind::kWorkerCrash, cfg.crash_rate},
+      {FaultKind::kGpuRevocation, cfg.revocation_rate},
+      {FaultKind::kStraggler, cfg.straggler_rate},
+      {FaultKind::kTornCheckpoint, cfg.torn_checkpoint_rate},
+      {FaultKind::kCommDrop, cfg.comm_drop_rate},
+  };
+  for (std::int64_t step = 1; step < cfg.horizon_steps; ++step) {
+    for (const auto& k : kinds) {
+      const double u = gen.next_double();
+      const auto worker = static_cast<std::int64_t>(
+          gen.next_below(static_cast<std::uint64_t>(cfg.num_workers)));
+      const std::uint64_t sub_seed = gen.next_u64();
+      if (u >= k.rate) continue;
+      FaultEvent e;
+      e.kind = k.kind;
+      e.step = step;
+      e.worker = worker;
+      e.payload_seed = sub_seed;
+      if (k.kind == FaultKind::kGpuRevocation) e.grace_s = cfg.revocation_grace_s;
+      if (k.kind == FaultKind::kStraggler) e.slowdown = cfg.straggler_slowdown;
+      events.push_back(e);
+    }
+  }
+  return FaultInjector(std::move(events));
+}
+
+std::vector<FaultEvent> FaultInjector::take_due(std::int64_t step) {
+  std::vector<FaultEvent> due;
+  while (cursor_ < schedule_.size() && schedule_[cursor_].step <= step) {
+    due.push_back(schedule_[cursor_]);
+    fired_.push_back(schedule_[cursor_]);
+    ++cursor_;
+  }
+  return due;
+}
+
+std::uint64_t FaultInjector::schedule_digest() const {
+  ByteWriter w;
+  for (const auto& e : schedule_) e.save(w);
+  return digest_bytes(w.bytes());
+}
+
+void FaultInjector::tear_bytes(std::vector<std::uint8_t>& bytes,
+                               std::uint64_t seed) {
+  if (bytes.empty()) return;
+  rng::Philox gen(seed);
+  // A torn write leaves a prefix of garbage-sprinkled data: flip a handful
+  // of bits, then chop a seeded fraction off the tail.
+  const std::uint64_t flips = 1 + gen.next_below(8);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const auto pos = gen.next_below(bytes.size());
+    bytes[pos] ^= static_cast<std::uint8_t>(1u << gen.next_below(8));
+  }
+  const auto keep =
+      bytes.size() - gen.next_below(bytes.size() / 2 + 1);  // >= half kept
+  bytes.resize(keep);
+}
+
+bool FaultInjector::tear_file(const std::string& path, std::uint64_t seed) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return false;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(in);
+  tear_bytes(bytes, seed);
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  ES_CHECK(out != nullptr, "cannot rewrite torn checkpoint " << path);
+  if (!bytes.empty()) {
+    ES_CHECK(std::fwrite(bytes.data(), 1, bytes.size(), out) == bytes.size(),
+             "torn-checkpoint rewrite failed for " << path);
+  }
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace easyscale::fault

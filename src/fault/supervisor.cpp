@@ -1,0 +1,169 @@
+#include "fault/supervisor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace easyscale::fault {
+
+FaultSupervisor::FaultSupervisor(core::EasyScaleEngine& engine,
+                                 core::CheckpointManager& checkpoints,
+                                 FaultInjector injector,
+                                 SupervisorConfig config)
+    : engine_(&engine),
+      checkpoints_(&checkpoints),
+      injector_(std::move(injector)),
+      config_(std::move(config)) {
+  ES_CHECK(config_.checkpoint_every >= 1, "checkpoint interval must be >= 1");
+  ES_CHECK(config_.max_retries >= 1, "need at least one retry");
+}
+
+double FaultSupervisor::step_cost() const {
+  const std::int64_t ests = engine_->num_ests();
+  const std::int64_t per_worker = (ests + workers_ - 1) / workers_;
+  return config_.est_step_s * static_cast<double>(per_worker);
+}
+
+void FaultSupervisor::save_checkpoint() {
+  checkpoints_->save(engine_->checkpoint());
+  ++stats_.checkpoints_saved;
+  stats_.checkpoint_wall_s += config_.checkpoint_time_s;
+  stats_.total_wall_s += config_.checkpoint_time_s;
+}
+
+bool FaultSupervisor::recover(bool shrink_one, int consecutive_faults) {
+  ++stats_.recoveries;
+  const std::int64_t before = engine_->global_step();
+  const double cost_before = step_cost();
+  const auto bytes = checkpoints_->load_latest_valid();
+  if (!bytes.has_value()) {
+    ES_LOG_WARN("no valid checkpoint generation on disk; job lost");
+    return false;
+  }
+  if (config_.policy == RecoveryPolicy::kElasticScaleIn && shrink_one &&
+      workers_ > 1) {
+    --workers_;
+    ++stats_.scale_ins;
+  }
+  engine_->configure_workers(
+      std::vector<core::WorkerSpec>(static_cast<std::size_t>(workers_)));
+  engine_->restore(*bytes);
+  const std::int64_t lost = std::max<std::int64_t>(
+      0, before - engine_->global_step());
+  stats_.lost_steps += lost;
+  stats_.lost_wall_s += static_cast<double>(lost) * cost_before;
+  const int shift = std::min(consecutive_faults - 1, 6);
+  double wait = config_.restore_time_s +
+                config_.backoff_base_s * static_cast<double>(1 << shift);
+  if (config_.policy == RecoveryPolicy::kGangRestart) {
+    wait += config_.replacement_wait_s;  // block until the gang is whole
+  }
+  stats_.recovery_wall_s += wait;
+  stats_.total_wall_s += wait;
+  return true;
+}
+
+GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
+                                     std::int64_t initial_workers) {
+  ES_CHECK(initial_workers >= 1, "need at least one worker");
+  ES_CHECK(initial_workers <= engine_->num_ests(), "more workers than ESTs");
+  stats_ = GoodputStats{};
+  workers_ = initial_workers;
+  initial_workers_ = initial_workers;
+  engine_->configure_workers(
+      std::vector<core::WorkerSpec>(static_cast<std::size_t>(workers_)));
+  // Anchor generation: recovery is always possible, even when the very
+  // first steps are hit.
+  save_checkpoint();
+
+  int consecutive_faults = 0;
+  std::int64_t clean_steps = 0;
+  while (engine_->global_step() < target_step) {
+    const auto due = injector_.take_due(engine_->global_step());
+    bool fatal = false;        // roll back to the last valid checkpoint
+    bool lose_worker = false;  // a physical worker is gone for good
+    double slowdown = 1.0;
+    for (const auto& event : due) {
+      ++stats_.faults_seen;
+      switch (event.kind) {
+        case FaultKind::kStraggler:
+          slowdown = std::max(slowdown, event.slowdown);
+          break;
+        case FaultKind::kTornCheckpoint:
+          // Adversary mangles the newest on-disk generation; noticed only
+          // when a later recovery walks the generations.
+          FaultInjector::tear_file(checkpoints_->path_for(0),
+                                   event.payload_seed);
+          break;
+        case FaultKind::kGpuRevocation:
+          if (config_.policy == RecoveryPolicy::kElasticScaleIn) {
+            // Grace period: on-demand checkpoint, then shrink the worker
+            // set.  configure_workers carries the live state across, so
+            // nothing is lost and no rollback happens.
+            save_checkpoint();
+            if (workers_ > 1) {
+              --workers_;
+              engine_->configure_workers(std::vector<core::WorkerSpec>(
+                  static_cast<std::size_t>(workers_)));
+              ++stats_.scale_ins;
+              stats_.reconfig_wall_s += config_.reconfigure_time_s;
+              stats_.total_wall_s += config_.reconfigure_time_s;
+            }
+            clean_steps = 0;
+          } else {
+            // A gang job cannot run below strength: abort and restart.
+            fatal = true;
+            ++consecutive_faults;
+          }
+          break;
+        case FaultKind::kWorkerCrash:
+        case FaultKind::kCommDrop:
+          // No grace: the in-flight step is lost (a dropped all-reduce
+          // participant aborts the step for everyone).
+          fatal = true;
+          lose_worker = true;
+          ++consecutive_faults;
+          break;
+        default:
+          ES_THROW("unknown fault kind");
+      }
+    }
+    if (fatal) {
+      if (consecutive_faults > config_.max_retries ||
+          !recover(lose_worker, consecutive_faults)) {
+        stats_.failed = true;
+        break;
+      }
+      clean_steps = 0;
+      continue;  // re-check the schedule before stepping again
+    }
+
+    const double cost = step_cost() * slowdown;
+    engine_->run_steps(1);
+    ++stats_.steps_executed;
+    stats_.step_wall_s += cost;
+    stats_.total_wall_s += cost;
+    consecutive_faults = 0;
+    if (engine_->global_step() % config_.checkpoint_every == 0) {
+      save_checkpoint();
+    }
+    // Re-grow toward the designed worker count after a quiet period (the
+    // refill behaviour of §5.3); bitwise-neutral like any scale event.
+    if (config_.policy == RecoveryPolicy::kElasticScaleIn &&
+        config_.regrow_after_clean_steps > 0 && workers_ < initial_workers_ &&
+        ++clean_steps >= config_.regrow_after_clean_steps) {
+      ++workers_;
+      engine_->configure_workers(
+          std::vector<core::WorkerSpec>(static_cast<std::size_t>(workers_)));
+      ++stats_.scale_outs;
+      stats_.reconfig_wall_s += config_.reconfigure_time_s;
+      stats_.total_wall_s += config_.reconfigure_time_s;
+      clean_steps = 0;
+    }
+  }
+  stats_.steps_completed = engine_->global_step();
+  return stats_;
+}
+
+}  // namespace easyscale::fault

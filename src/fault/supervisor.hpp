@@ -1,0 +1,122 @@
+// Recovery orchestrator (§2.1 / §5.3): drives an EasyScaleEngine through a
+// fault schedule and keeps the training bitwise on-track.
+//
+// The supervisor owns the checkpoint cadence (periodic saves plus an
+// on-demand save inside every revocation grace period), catches injected
+// failures, walks CheckpointManager back to the newest valid generation,
+// remaps the ESTs onto the surviving workers via configure_workers(), and
+// retries with bounded exponential backoff.  Because everything that
+// affects training state round-trips through the D1 checkpoint, a run that
+// crashes and recovers any number of times ends with the SAME params
+// digest as an undisturbed run — the keystone property of the fault tests.
+//
+// Two recovery policies are modelled:
+//  - kElasticScaleIn (EasyScale): revocations scale the job in within the
+//    grace period (zero lost steps); crashes roll back to the latest valid
+//    checkpoint and continue on the survivors; freed capacity is re-grown
+//    after a quiet period.  Jobs never fail.
+//  - kGangRestart (the §2.1 baseline): the job can only run at its full
+//    worker set, so EVERY fault — including a graceful revocation — aborts
+//    the step, waits for a replacement worker, and replays from the last
+//    checkpoint.  Too many faults without progress fail the job.
+#pragma once
+
+#include <cstdint>
+
+#include "core/checkpoint_manager.hpp"
+#include "core/engine.hpp"
+#include "fault/injector.hpp"
+
+namespace easyscale::fault {
+
+enum class RecoveryPolicy {
+  kElasticScaleIn,  // EasyScale: checkpoint + remap ESTs onto survivors
+  kGangRestart,     // gang scheduling: all-or-nothing restart
+};
+
+struct SupervisorConfig {
+  RecoveryPolicy policy = RecoveryPolicy::kElasticScaleIn;
+  /// Periodic checkpoint interval in global steps.
+  std::int64_t checkpoint_every = 4;
+  /// Consecutive fatal faults without a completed step before giving up.
+  int max_retries = 8;
+  /// Elastic only: clean steps below the initial worker count before one
+  /// worker is re-added (models the ~minutes-scale refill of §5.3).
+  /// 0 disables re-growth.
+  std::int64_t regrow_after_clean_steps = 8;
+
+  // Simulated wall-clock model (seconds) for the goodput accounting.
+  double est_step_s = 0.25;         // one EST local step
+  double checkpoint_time_s = 0.5;   // one on-demand checkpoint save
+  double reconfigure_time_s = 1.0;  // scale in/out (checkpoint + remap)
+  double restore_time_s = 2.0;      // load checkpoint + rebuild workers
+  double backoff_base_s = 1.0;      // doubles per consecutive fault
+  double replacement_wait_s = 60.0;  // gang: reacquire a full worker set
+};
+
+/// Goodput accounting over one supervised run (the §2.1 comparison data).
+struct GoodputStats {
+  std::int64_t steps_completed = 0;  // engine's final global step
+  std::int64_t steps_executed = 0;   // including replayed steps
+  std::int64_t lost_steps = 0;       // rolled back by recoveries
+  std::int64_t recoveries = 0;
+  std::int64_t scale_ins = 0;
+  std::int64_t scale_outs = 0;
+  std::int64_t checkpoints_saved = 0;
+  std::int64_t faults_seen = 0;
+  bool failed = false;  // only kGangRestart can fail
+
+  double total_wall_s = 0.0;
+  double step_wall_s = 0.0;        // time inside surviving steps
+  double checkpoint_wall_s = 0.0;  // checkpoint-save overhead
+  double recovery_wall_s = 0.0;    // restore + backoff + replacement waits
+  double reconfig_wall_s = 0.0;    // graceful scale in/out
+  double lost_wall_s = 0.0;        // step time that was rolled back
+
+  /// Fraction of wall time spent on surviving training steps.
+  [[nodiscard]] double goodput_fraction() const {
+    return total_wall_s > 0.0 ? step_wall_s / total_wall_s : 1.0;
+  }
+  [[nodiscard]] double steps_per_second() const {
+    return total_wall_s > 0.0
+               ? static_cast<double>(steps_completed) / total_wall_s
+               : 0.0;
+  }
+};
+
+class FaultSupervisor {
+ public:
+  /// Neither the engine nor the checkpoint manager is owned.
+  FaultSupervisor(core::EasyScaleEngine& engine,
+                  core::CheckpointManager& checkpoints, FaultInjector injector,
+                  SupervisorConfig config);
+
+  /// Configure `initial_workers`, then drive the engine to `target_step`
+  /// global steps under the fault schedule.  Returns the goodput stats;
+  /// `stats().failed` is true when recovery was exhausted (gang restart
+  /// only, or when every checkpoint generation on disk is torn).
+  GoodputStats run_to(std::int64_t target_step, std::int64_t initial_workers);
+
+  [[nodiscard]] const GoodputStats& stats() const { return stats_; }
+  [[nodiscard]] const FaultInjector& injector() const { return injector_; }
+  [[nodiscard]] std::int64_t current_workers() const { return workers_; }
+
+ private:
+  /// Simulated wall-seconds of one global step at the current worker count
+  /// (ESTs on one worker run serially, §3.2).
+  [[nodiscard]] double step_cost() const;
+  void save_checkpoint();
+  /// Roll back to the newest valid generation; optionally drop one worker
+  /// (elastic crash path).  Returns false when recovery is impossible.
+  bool recover(bool shrink_one, int consecutive_faults);
+
+  core::EasyScaleEngine* engine_;
+  core::CheckpointManager* checkpoints_;
+  FaultInjector injector_;
+  SupervisorConfig config_;
+  GoodputStats stats_;
+  std::int64_t workers_ = 0;
+  std::int64_t initial_workers_ = 0;
+};
+
+}  // namespace easyscale::fault

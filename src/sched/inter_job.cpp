@@ -52,6 +52,15 @@ GpuVector InterJobScheduler::free_pool() const {
   return free;
 }
 
+int InterJobScheduler::revoke(const GpuVector& revoked) {
+  for (int t = 0; t < kNumDeviceTypes; ++t) {
+    const auto idx = static_cast<std::size_t>(t);
+    ES_CHECK(revoked[idx] >= 0, "negative revocation count");
+    capacity_[idx] = std::max<std::int64_t>(0, capacity_[idx] - revoked[idx]);
+  }
+  return reschedule();
+}
+
 int InterJobScheduler::reschedule() {
   int changes = 0;
   // Capacity shrink: any job whose plan no longer fits scales in first

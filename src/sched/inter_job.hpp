@@ -36,6 +36,12 @@ class InterJobScheduler {
   void set_capacity(const GpuVector& capacity) { capacity_ = capacity; }
   [[nodiscard]] const GpuVector& capacity() const { return capacity_; }
 
+  /// Spot-style revocation: remove `revoked` GPUs from the capacity and
+  /// reschedule immediately, so affected jobs scale in within the grace
+  /// period instead of failing (fault::FaultSupervisor's cluster-level
+  /// counterpart).  Returns the number of plan changes applied.
+  int revoke(const GpuVector& revoked);
+
   /// One scheduling round; returns the number of plan changes applied.
   int reschedule();
 

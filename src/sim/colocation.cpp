@@ -64,6 +64,11 @@ ColocationResult simulate_colocation(
       if (training > idle_target) {
         // Serving demand rose: release GPUs this tick (seconds-scale).
         ++result.preemptions;
+        if (!cfg.elastic) {
+          // Gang baseline: the reclaimed GPUs belonged to jobs that cannot
+          // shrink — each reclamation kills one of them (§2.1).
+          ++result.failed_jobs;
+        }
         training = idle_target;
       } else if (training < idle_target) {
         training = std::min(idle_target, training + cfg.refill_per_tick);
@@ -82,7 +87,6 @@ ColocationResult simulate_colocation(
   result.max_refill_s =
       static_cast<double>(refill_deficit_ticks) * cfg.tick_s /
       std::max<std::size_t>(1, result.preemptions);
-  result.failed_jobs = 0;
   return result;
 }
 

@@ -28,6 +28,11 @@ struct ColocationConfig {
   double serving_util_slope = 0.28;
   /// SM utilization of a GPU running EasyScale training.
   double training_util = 0.92;
+  /// Elastic training pool (EasyScale): serving spikes trigger scale-in
+  /// and never kill a job.  When false the pool is gang-scheduled: every
+  /// reclamation kills the affected training job (the §2.1 baseline) and
+  /// the killed job must restart, so failed_jobs grows with preemptions.
+  bool elastic = true;
 };
 
 struct ColocationPoint {
@@ -46,7 +51,7 @@ struct ColocationResult {
   double day1_util = 0.0;
   double day2_util = 0.0;
   std::int64_t preemptions = 0;       // scale-in events on day 2
-  std::int64_t failed_jobs = 0;       // always 0: scale-in, never kill
+  std::int64_t failed_jobs = 0;       // 0 when elastic; = kills when gang
   double avg_training_gpus_day2 = 0.0;
   double max_refill_s = 0.0;          // slowest refill after serving drop
 };

@@ -50,6 +50,30 @@ std::int64_t allocated_count(
   return n;
 }
 
+/// GPUs down (failed/revoked, inside their repair window) at time `now`.
+GpuVector down_at(const std::vector<ClusterFailureEvent>& failures,
+                  double now) {
+  GpuVector down{};
+  for (const auto& f : failures) {
+    ES_CHECK(f.device_type >= 0 && f.device_type < sched::kNumDeviceTypes,
+             "failure event device type out of range");
+    if (f.t_s <= now && now < f.t_s + f.repair_s) {
+      ++down[static_cast<std::size_t>(f.device_type)];
+    }
+  }
+  return down;
+}
+
+GpuVector subtract_clamped(const GpuVector& a, const GpuVector& b) {
+  GpuVector out{};
+  for (int t = 0; t < sched::kNumDeviceTypes; ++t) {
+    out[static_cast<std::size_t>(t)] =
+        std::max<std::int64_t>(0, a[static_cast<std::size_t>(t)] -
+                                      b[static_cast<std::size_t>(t)]);
+  }
+  return out;
+}
+
 /// EasyScale rescheduling round: start GPU-less jobs FIFO, then grow
 /// running jobs via greedy proposal acceptance (§3.4 inter-job scheduler).
 void easyscale_reschedule(std::vector<std::unique_ptr<RunningJob>>& active,
@@ -148,6 +172,7 @@ SimResult simulate_trace(const std::vector<JobSpec>& jobs,
   SimResult result;
   double now = 0.0;
   double last_resched = -1e18;
+  GpuVector prev_down{};
 
   while (finished < sorted.size() && now < config.max_sim_s) {
     // Arrivals.
@@ -166,12 +191,76 @@ SimResult simulate_trace(const std::vector<JobSpec>& jobs,
       ++next_arrival;
     }
 
+    // Revocations/failures: capacity drops while GPUs are in repair.
+    const GpuVector down = down_at(config.failures, now);
+    const GpuVector effective = subtract_clamped(config.cluster, down);
+    if (down != prev_down) {
+      // Count GPUs yanked out from under running jobs (not idle ones).
+      GpuVector in_use{};
+      for (const auto& j : active) {
+        if (j->done || !j->plan.valid()) continue;
+        for (int t = 0; t < sched::kNumDeviceTypes; ++t) {
+          in_use[static_cast<std::size_t>(t)] +=
+              j->plan.gpus[static_cast<std::size_t>(t)];
+        }
+      }
+      for (int t = 0; t < sched::kNumDeviceTypes; ++t) {
+        result.revocations += std::max<std::int64_t>(
+            0, in_use[static_cast<std::size_t>(t)] -
+                   effective[static_cast<std::size_t>(t)]);
+      }
+      if (config.policy != SchedulerPolicy::kYarnCS) {
+        // EasyScale reacts within the tick: scale the affected jobs in.
+        last_resched = -1e18;
+      }
+      prev_down = down;
+    }
+    if (config.policy == SchedulerPolicy::kYarnCS) {
+      // Gang scheduling cannot shrink a job: every job whose GPU type is
+      // over-subscribed after a revocation is killed and gang-restarted,
+      // losing its un-checkpointed progress (the §2.1 failure mode).
+      for (int t = 0; t < sched::kNumDeviceTypes; ++t) {
+        for (;;) {
+          std::int64_t used = 0;
+          for (const auto& j : active) {
+            if (j->done || !j->plan.valid()) continue;
+            used += j->plan.gpus[static_cast<std::size_t>(t)];
+          }
+          if (used <= effective[static_cast<std::size_t>(t)]) break;
+          // Deterministic victim: the most recently started gang using this
+          // type (ties toward the higher job id).
+          RunningJob* victim = nullptr;
+          for (auto& j : active) {
+            if (j->done || !j->plan.valid() ||
+                j->plan.gpus[static_cast<std::size_t>(t)] == 0) {
+              continue;
+            }
+            if (victim == nullptr ||
+                j->outcome.start_s > victim->outcome.start_s ||
+                (j->outcome.start_s == victim->outcome.start_s &&
+                 j->spec->id > victim->spec->id)) {
+              victim = j.get();
+            }
+          }
+          if (victim == nullptr) break;
+          const double kept =
+              victim->progress * config.gang_restart_progress_kept;
+          result.lost_progress +=
+              static_cast<std::int64_t>(victim->progress - kept);
+          victim->progress = kept;
+          victim->plan = Plan{};
+          ++result.failed_jobs;
+          gang_queue.push_front(victim->spec);  // restart at the queue head
+        }
+      }
+    }
+
     // Scheduling.
     if (config.policy == SchedulerPolicy::kYarnCS) {
       // Strict FIFO: only the head of the queue may be admitted.
       while (!gang_queue.empty()) {
         const JobSpec* spec = gang_queue.front();
-        GpuVector free = free_pool(config.cluster, active);
+        GpuVector free = free_pool(effective, active);
         const auto type = static_cast<std::size_t>(spec->preferred_type);
         // Users size gang requests to the partition: a job never demands
         // more GPUs of its type than the cluster owns.
@@ -190,7 +279,7 @@ SimResult simulate_trace(const std::vector<JobSpec>& jobs,
         gang_queue.pop_front();
       }
     } else if (now - last_resched >= config.reschedule_period_s) {
-      easyscale_reschedule(active, config.cluster, config.policy, now);
+      easyscale_reschedule(active, effective, config.policy, now);
       last_resched = now;
     }
 

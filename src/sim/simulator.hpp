@@ -17,12 +17,29 @@ namespace easyscale::sim {
 
 enum class SchedulerPolicy { kYarnCS, kEasyScaleHomo, kEasyScaleHeter };
 
+/// One GPU of `device_type` is revoked/broken at `t_s` and unavailable for
+/// `repair_s` seconds (spot reclamation or an MTBF failure process; see
+/// trace::gpu_failure_trace).
+struct ClusterFailureEvent {
+  double t_s = 0.0;
+  int device_type = 0;  // index into the GpuVector
+  double repair_s = 600.0;
+};
+
 struct SimConfig {
   sched::GpuVector cluster{};  // GPUs per device type
   double tick_s = 10.0;
   double reschedule_period_s = 60.0;
   SchedulerPolicy policy = SchedulerPolicy::kEasyScaleHeter;
   double max_sim_s = 4.0e6;  // safety bound
+  /// Per-GPU revocation/failure events applied to the cluster capacity.
+  /// EasyScale policies react with an immediate scale-in reschedule and
+  /// never fail a job; YARN-CS gang jobs hit by a revoked GPU are killed
+  /// and gang-restarted (the §2.1 baseline).
+  std::vector<ClusterFailureEvent> failures;
+  /// Fraction of a killed gang job's progress retained on restart (models
+  /// the job's own periodic checkpointing; 0 = restart from scratch).
+  double gang_restart_progress_kept = 0.0;
 };
 
 struct TimelinePoint {
@@ -35,6 +52,9 @@ struct SimResult {
   std::vector<TimelinePoint> timeline;
   double makespan = 0.0;
   double avg_jct = 0.0;
+  std::int64_t revocations = 0;   // GPUs taken away while in use
+  std::int64_t failed_jobs = 0;   // gang kill events (0 for EasyScale)
+  std::int64_t lost_progress = 0;  // global steps discarded by gang restarts
 };
 
 [[nodiscard]] SimResult simulate_trace(const std::vector<JobSpec>& jobs,

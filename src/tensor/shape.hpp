@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -40,7 +41,19 @@ class Shape {
 
  private:
   void validate() const {
-    for (auto d : dims_) ES_CHECK(d >= 0, "negative dimension in shape");
+    // Also prove the element count fits in int64 so numel() can never
+    // overflow — shapes arrive from untrusted checkpoint bytes.
+    std::int64_t n = 1;
+    for (auto d : dims_) {
+      ES_CHECK(d >= 0, "negative dimension in shape");
+      if (d == 0) {
+        n = 0;
+      } else {
+        ES_CHECK(n <= std::numeric_limits<std::int64_t>::max() / d,
+                 "shape element count overflows int64");
+        n *= d;
+      }
+    }
   }
 
   std::vector<std::int64_t> dims_;

@@ -53,6 +53,34 @@ std::vector<sim::JobSpec> philly_like_trace(const TraceConfig& cfg) {
   return jobs;
 }
 
+std::vector<sim::ClusterFailureEvent> gpu_failure_trace(
+    const FailureTraceConfig& cfg) {
+  ES_CHECK(cfg.mtbf_per_gpu_s > 0.0, "MTBF must be positive");
+  ES_CHECK(cfg.horizon_s > 0.0, "failure horizon must be positive");
+  rng::Philox gen(cfg.seed);
+  std::vector<sim::ClusterFailureEvent> events;
+  // One independent Poisson process per device type (rate = gpus / MTBF),
+  // sampled in fixed type order so the stream is seed-deterministic.
+  for (int t = 0; t < sched::kNumDeviceTypes; ++t) {
+    const auto gpus = cfg.cluster[static_cast<std::size_t>(t)];
+    if (gpus <= 0) continue;
+    const double rate = static_cast<double>(gpus) / cfg.mtbf_per_gpu_s;
+    double at = 0.0;
+    for (;;) {
+      at += -std::log(1.0 - gen.next_double()) / rate;
+      if (at >= cfg.horizon_s) break;
+      events.push_back({at, t, cfg.repair_s});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const sim::ClusterFailureEvent& a,
+               const sim::ClusterFailureEvent& b) {
+              if (a.t_s != b.t_s) return a.t_s < b.t_s;
+              return a.device_type < b.device_type;
+            });
+  return events;
+}
+
 std::vector<std::int64_t> serving_load_curve(const ServingLoadConfig& cfg) {
   rng::Philox gen(cfg.seed);
   std::vector<std::int64_t> demand;

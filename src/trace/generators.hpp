@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/job.hpp"
+#include "sim/simulator.hpp"
 
 namespace easyscale::trace {
 
@@ -38,5 +39,19 @@ struct ServingLoadConfig {
 /// Per-minute serving GPU demand with two diurnal peaks per day.
 [[nodiscard]] std::vector<std::int64_t> serving_load_curve(
     const ServingLoadConfig& config);
+
+struct FailureTraceConfig {
+  sched::GpuVector cluster{};     // GPUs per device type
+  double horizon_s = 2.0e5;       // failures sampled over [0, horizon)
+  double mtbf_per_gpu_s = 5.0e4;  // mean time between failures of ONE GPU
+  double repair_s = 600.0;        // out-of-service window per failure
+  std::uint64_t seed = 13;
+};
+
+/// Per-GPU MTBF revocation/failure process: each device type fails as a
+/// Poisson process with rate gpus/mtbf (exponential interarrivals), merged
+/// and sorted by time.  Deterministic for a seed; feeds SimConfig.failures.
+[[nodiscard]] std::vector<sim::ClusterFailureEvent> gpu_failure_trace(
+    const FailureTraceConfig& config);
 
 }  // namespace easyscale::trace

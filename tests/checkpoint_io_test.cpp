@@ -112,6 +112,29 @@ TEST(CheckpointManager, FallsBackPastCorruptNewest) {
   mgr.clear();
 }
 
+TEST(CheckpointManager, TornDigestFallsBackAndKeepsBothGenerations) {
+  // Torn-write model: the crash mangles the newest generation's stored
+  // digest (header bytes 16..23: magic(4) + version(4) + size(8) precede
+  // it).  The manager must fall back to the previous generation while
+  // still reporting both files on disk.
+  CheckpointManager mgr(temp_path("torn"), 3);
+  mgr.clear();
+  mgr.save({7, 7, 7});    // becomes generation 1 after the next save
+  mgr.save({9, 9, 9, 9});  // generation 0, about to be torn
+  {
+    std::fstream f(mgr.path_for(0),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(16);
+    const char junk[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    f.write(junk, sizeof(junk));
+  }
+  const auto bytes = mgr.load_latest_valid();
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(*bytes, (std::vector<std::uint8_t>{7, 7, 7}));
+  EXPECT_EQ(mgr.generations_on_disk(), 2);
+  mgr.clear();
+}
+
 TEST(CheckpointManager, EmptyWhenNothingOnDisk) {
   CheckpointManager mgr(temp_path("none"), 2);
   mgr.clear();

@@ -58,6 +58,26 @@ TEST(InterJob, CapacityShrinkForcesScaleIn) {
   EXPECT_EQ(total(cluster.allocation("bert")), 4);
 }
 
+TEST(InterJob, SpotRevocationScalesInWithinTheCall) {
+  // revoke() is the spot-reclamation entry point: capacity shrinks and the
+  // reschedule happens inside the call (grace-period semantics), without a
+  // separate set_capacity + reschedule round.
+  auto wd = models::make_dataset_for("Bert", 128, 16, 1);
+  core::EasyScaleEngine e(engine_config("Bert", 1), *wd.train, wd.augment);
+  InterJobScheduler cluster(GpuVector{4, 0, 0});
+  cluster.add_job("bert", e, Companion("Bert", 4), true);
+  cluster.reschedule();
+  EXPECT_EQ(total(cluster.allocation("bert")), 4);
+  EXPECT_GT(cluster.revoke(GpuVector{3, 0, 0}), 0);
+  EXPECT_EQ(cluster.capacity()[0], 1);
+  EXPECT_LE(total(cluster.allocation("bert")), 1);
+  e.run_steps(1);  // still training on the survivor
+  // Revoking more than remains clamps at zero instead of going negative.
+  cluster.revoke(GpuVector{5, 0, 0});
+  EXPECT_EQ(cluster.capacity()[0], 0);
+  EXPECT_EQ(total(cluster.allocation("bert")), 0);
+}
+
 TEST(InterJob, FullRevocationPausesInsteadOfFailing) {
   auto wd = models::make_dataset_for("Bert", 128, 16, 1);
   core::EasyScaleEngine e(engine_config("Bert", 1), *wd.train, wd.augment);

@@ -147,5 +147,103 @@ TEST(Colocation, OddSizedDemandThrows) {
   EXPECT_THROW(simulate_colocation(demand, ColocationConfig{}), Error);
 }
 
+TEST(Colocation, GangModeFailsJobsWhereElasticPreempts) {
+  // Same demand spike as ScaleInIsImmediate, but with gang-scheduled
+  // training jobs (§2.1 baseline): every reclamation kills a job.
+  std::vector<std::int64_t> demand(120, 100);
+  for (std::size_t m = 90; m < 120; ++m) demand[m] = 900;
+  ColocationConfig cfg;
+  cfg.total_gpus = 1000;
+  cfg.max_training_gpus = 900;
+  const auto elastic = simulate_colocation(demand, cfg);
+  cfg.elastic = false;
+  const auto gang = simulate_colocation(demand, cfg);
+  EXPECT_GT(elastic.preemptions, 0);
+  EXPECT_EQ(elastic.failed_jobs, 0);
+  EXPECT_EQ(gang.failed_jobs, gang.preemptions);
+  EXPECT_GT(gang.failed_jobs, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster failures / spot revocations in the trace simulator
+// ---------------------------------------------------------------------------
+
+std::vector<JobSpec> failure_trace_jobs() {
+  // Two gang-sized jobs sharing one V100 partition; a revocation while
+  // both run forces the gang baseline to kill one of them.
+  std::vector<JobSpec> jobs(2);
+  for (std::int64_t i = 0; i < 2; ++i) {
+    jobs[static_cast<std::size_t>(i)].id = i;
+    jobs[static_cast<std::size_t>(i)].workload = "ResNet50";
+    jobs[static_cast<std::size_t>(i)].max_p = 4;
+    jobs[static_cast<std::size_t>(i)].arrival_s = 0.0;
+    jobs[static_cast<std::size_t>(i)].total_steps = 5000;
+    jobs[static_cast<std::size_t>(i)].allow_heter = false;
+    jobs[static_cast<std::size_t>(i)].preferred_type =
+        kernels::DeviceType::kV100;
+  }
+  return jobs;
+}
+
+SimConfig failure_sim_config(SchedulerPolicy policy) {
+  SimConfig cfg;
+  cfg.cluster = {8, 0, 0};
+  cfg.policy = policy;
+  // Two V100s revoked at t=100s, repaired 500s later.
+  cfg.failures = {{100.0, 0, 500.0}, {100.0, 0, 500.0}};
+  return cfg;
+}
+
+TEST(SimulatorFailures, EasyScaleSurvivesRevocationsWithoutFailedJobs) {
+  const auto r = simulate_trace(failure_trace_jobs(),
+                                failure_sim_config(SchedulerPolicy::kEasyScaleHomo));
+  EXPECT_EQ(r.outcomes.size(), 2u);
+  EXPECT_GT(r.revocations, 0);
+  EXPECT_EQ(r.failed_jobs, 0) << "elastic jobs scale in instead of dying";
+  EXPECT_EQ(r.lost_progress, 0);
+}
+
+TEST(SimulatorFailures, GangBaselineKillsAndLosesProgress) {
+  const auto r = simulate_trace(failure_trace_jobs(),
+                                failure_sim_config(SchedulerPolicy::kYarnCS));
+  EXPECT_EQ(r.outcomes.size(), 2u);  // killed jobs restart and still finish
+  EXPECT_GT(r.revocations, 0);
+  EXPECT_GT(r.failed_jobs, 0) << "gang jobs cannot shrink below strength";
+  EXPECT_GT(r.lost_progress, 0) << "restart discards un-checkpointed steps";
+}
+
+TEST(SimulatorFailures, GangCheckpointKeepFractionBoundsLoss) {
+  auto cfg = failure_sim_config(SchedulerPolicy::kYarnCS);
+  cfg.gang_restart_progress_kept = 1.0;  // perfect per-step checkpointing
+  const auto r = simulate_trace(failure_trace_jobs(), cfg);
+  EXPECT_GT(r.failed_jobs, 0);
+  EXPECT_EQ(r.lost_progress, 0);
+}
+
+TEST(SimulatorFailures, FailureFreeConfigMatchesBaselineBehaviour) {
+  // With an empty failure list the new accounting fields stay zero and the
+  // simulation is unchanged from the pre-failure path.
+  const auto jobs = small_trace(10);
+  const auto r = simulate_trace(jobs, sim_config(SchedulerPolicy::kYarnCS));
+  EXPECT_EQ(r.revocations, 0);
+  EXPECT_EQ(r.failed_jobs, 0);
+  EXPECT_EQ(r.lost_progress, 0);
+}
+
+TEST(SimulatorFailures, MtbfTraceDrivenRunCompletes) {
+  // End-to-end: a generated MTBF failure process feeding the simulator.
+  const auto jobs = small_trace(10);
+  auto cfg = sim_config(SchedulerPolicy::kEasyScaleHeter);
+  trace::FailureTraceConfig fcfg;
+  fcfg.cluster = cfg.cluster;
+  fcfg.horizon_s = 1.0e5;
+  fcfg.mtbf_per_gpu_s = 2.0e4;  // aggressive so failures actually land
+  cfg.failures = trace::gpu_failure_trace(fcfg);
+  ASSERT_FALSE(cfg.failures.empty());
+  const auto r = simulate_trace(jobs, cfg);
+  EXPECT_EQ(r.outcomes.size(), jobs.size());
+  EXPECT_EQ(r.failed_jobs, 0);
+}
+
 }  // namespace
 }  // namespace easyscale::sim

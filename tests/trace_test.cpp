@@ -76,5 +76,50 @@ TEST(ServingLoad, Deterministic) {
   EXPECT_EQ(serving_load_curve(cfg), serving_load_curve(cfg));
 }
 
+TEST(FailureTrace, DeterministicForSeed) {
+  FailureTraceConfig cfg;
+  cfg.cluster = {8, 4, 4};
+  const auto a = gpu_failure_trace(cfg);
+  const auto b = gpu_failure_trace(cfg);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].t_s, b[i].t_s);
+    EXPECT_EQ(a[i].device_type, b[i].device_type);
+  }
+  cfg.seed = 14;
+  const auto c = gpu_failure_trace(cfg);
+  bool any_diff = c.size() != a.size();
+  for (std::size_t i = 0; i < std::min(a.size(), c.size()); ++i) {
+    if (a[i].t_s != c[i].t_s) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FailureTrace, SortedBoundedAndRateShaped) {
+  FailureTraceConfig cfg;
+  cfg.cluster = {16, 0, 0};
+  cfg.horizon_s = 1.0e5;
+  cfg.mtbf_per_gpu_s = 1.0e4;
+  const auto events = gpu_failure_trace(cfg);
+  double prev = 0.0;
+  for (const auto& e : events) {
+    EXPECT_GE(e.t_s, prev);
+    prev = e.t_s;
+    EXPECT_LT(e.t_s, cfg.horizon_s);
+    EXPECT_EQ(e.device_type, 0);  // only V100s exist in this cluster
+    EXPECT_EQ(e.repair_s, cfg.repair_s);
+  }
+  // Expected count = horizon * gpus / mtbf = 160; allow generous slack.
+  EXPECT_GT(events.size(), 100u);
+  EXPECT_LT(events.size(), 240u);
+}
+
+TEST(FailureTrace, EmptyClusterYieldsNoEvents) {
+  FailureTraceConfig cfg;
+  cfg.cluster = {0, 0, 0};
+  EXPECT_TRUE(gpu_failure_trace(cfg).empty());
+}
+
 }  // namespace
 }  // namespace easyscale::trace
