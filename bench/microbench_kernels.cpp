@@ -5,6 +5,7 @@
 
 #include "comm/ring.hpp"
 #include "core/engine.hpp"
+#include "kernels/conv.hpp"
 #include "kernels/gemm.hpp"
 #include "models/datasets.hpp"
 #include "rng/philox.hpp"
@@ -32,6 +33,76 @@ void BM_GemmVariant(benchmark::State& state) {
 BENCHMARK(BM_GemmVariant)
     ->ArgsProduct({{0, 1, 2, 3, 4}, {32, 64}})
     ->ArgNames({"variant", "n"});
+
+// Intra-op thread-count sweep over the native GEMM: same problem and
+// variant at every thread count, so any result difference would be a
+// determinism bug, and the throughput ratio is the parallel speedup.
+void BM_GemmNativeThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::int64_t n = state.range(1);
+  kernels::ExecContext ctx;
+  ctx.device = kernels::DeviceType::kV100;
+  ctx.policy = kernels::KernelPolicy::kDeterministic;
+  ctx.intra_op_threads = threads;
+  rng::Philox gen(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  rng::fill_normal(gen, a, 0.0f, 1.0f);
+  rng::fill_normal(gen, b, 0.0f, 1.0f);
+  for (auto _ : state) {
+    kernels::gemm(ctx, n, n, n, a, b, c, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmNativeThreads)
+    ->ArgsProduct({{1, 2, 4, 8}, {256, 1024}})
+    ->ArgNames({"threads", "n"})
+    ->Unit(benchmark::kMillisecond);
+
+// Thread sweep over the im2col conv path (forward + backward), the other
+// acceptance-gate kernel.
+void BM_ConvIm2colThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  kernels::ExecContext ctx;
+  ctx.device = kernels::DeviceType::kV100;
+  ctx.policy = kernels::KernelPolicy::kDeterministic;  // im2col + native gemm
+  ctx.intra_op_threads = threads;
+  const kernels::Conv2dDims d{.batch = 4,
+                              .in_channels = 32,
+                              .in_h = 32,
+                              .in_w = 32,
+                              .out_channels = 64,
+                              .kernel_h = 3,
+                              .kernel_w = 3,
+                              .stride = 1,
+                              .pad = 1,
+                              .groups = 1};
+  rng::Philox gen(4);
+  std::vector<float> input(static_cast<std::size_t>(d.batch * d.in_channels *
+                                                    d.in_h * d.in_w));
+  std::vector<float> weight(static_cast<std::size_t>(
+      d.out_channels * d.in_channels * d.kernel_h * d.kernel_w));
+  std::vector<float> bias(static_cast<std::size_t>(d.out_channels));
+  std::vector<float> out(static_cast<std::size_t>(d.batch * d.out_channels *
+                                                  d.out_h() * d.out_w()));
+  rng::fill_normal(gen, input, 0.0f, 1.0f);
+  rng::fill_normal(gen, weight, 0.0f, 0.1f);
+  rng::fill_normal(gen, bias, 0.0f, 0.1f);
+  for (auto _ : state) {
+    kernels::conv2d_forward(ctx, d, input, weight, bias, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_ConvIm2colThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_RingAllreduce(benchmark::State& state) {
   const std::int64_t world = state.range(0);

@@ -1,0 +1,138 @@
+#include "common/parallel_for.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace easyscale {
+
+namespace {
+thread_local int tls_parallel_depth = 0;
+}  // namespace
+
+/// Shared state of one parallel_for call.  Lives on the caller's stack
+/// inside a shared_ptr so helper tasks that wake after the caller has been
+/// released can still touch the bookkeeping safely; chunk bodies can never
+/// run after the caller returns because every chunk is claimed-and-finished
+/// before `done == chunks` becomes true.
+struct ComputePool::Job {
+  const ChunkFn* body = nullptr;
+  std::int64_t n = 0;
+  int chunks = 0;
+  std::mutex mutex;
+  std::condition_variable cv;
+  int next = 0;
+  int done = 0;
+  std::exception_ptr error;
+};
+
+ComputePool::ComputePool(std::size_t helpers) {
+  if (helpers > 0) pool_ = std::make_unique<ThreadPool>(helpers);
+}
+
+ComputePool::~ComputePool() = default;
+
+ComputePool& ComputePool::global() {
+  // Leaked on purpose: helper threads must outlive every static object
+  // that might issue a parallel_for during program teardown.
+  static ComputePool* pool = new ComputePool(
+      static_cast<std::size_t>(std::max(0, env_default_threads() - 1)));
+  return *pool;
+}
+
+int ComputePool::env_default_threads() {
+  static const int cached = [] {
+    const char* env = std::getenv("EASYSCALE_THREADS");
+    if (env == nullptr || *env == '\0') return 1;
+    const long v = std::strtol(env, nullptr, 10);
+    return static_cast<int>(std::clamp(v, 1L, 256L));
+  }();
+  return cached;
+}
+
+bool ComputePool::in_parallel_region() { return tls_parallel_depth > 0; }
+
+void ComputePool::ensure_helpers(std::size_t n) {
+  std::lock_guard<std::mutex> lock(grow_mutex_);
+  if (pool_ == nullptr) {
+    if (n > 0) pool_ = std::make_unique<ThreadPool>(n);
+    return;
+  }
+  const std::size_t have = pool_->size();
+  if (n > have) pool_->add_threads(n - have);
+}
+
+std::size_t ComputePool::helpers() const {
+  std::lock_guard<std::mutex> lock(grow_mutex_);
+  return pool_ == nullptr ? 0 : pool_->size();
+}
+
+void ComputePool::run_chunks(Job& job) {
+  // Balanced static split: the first (n % chunks) chunks get one extra
+  // element.  Boundaries depend only on (n, chunks).
+  const std::int64_t base = job.n / job.chunks;
+  const std::int64_t rem = job.n % job.chunks;
+  for (;;) {
+    int c;
+    {
+      std::lock_guard<std::mutex> lock(job.mutex);
+      if (job.next >= job.chunks) return;
+      c = job.next++;
+    }
+    const std::int64_t begin = c * base + std::min<std::int64_t>(c, rem);
+    const std::int64_t end = begin + base + (c < rem ? 1 : 0);
+    ++tls_parallel_depth;
+    try {
+      (*job.body)(c, begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.mutex);
+      if (!job.error) job.error = std::current_exception();
+    }
+    --tls_parallel_depth;
+    {
+      std::lock_guard<std::mutex> lock(job.mutex);
+      if (++job.done == job.chunks) job.cv.notify_all();
+    }
+  }
+}
+
+void ComputePool::parallel_for(int ways, std::int64_t n, std::int64_t grain,
+                               const ChunkFn& body) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t max_chunks = (n + grain - 1) / grain;
+  const int chunks = static_cast<int>(
+      std::min<std::int64_t>(std::max(ways, 1), max_chunks));
+  if (chunks <= 1 || in_parallel_region()) {
+    body(0, 0, n);
+    return;
+  }
+  ensure_helpers(static_cast<std::size_t>(chunks - 1));
+
+  auto job = std::make_shared<Job>();
+  job->body = &body;
+  job->n = n;
+  job->chunks = chunks;
+  {
+    std::lock_guard<std::mutex> lock(grow_mutex_);
+    if (pool_ != nullptr) {
+      const int tasks = static_cast<int>(
+          std::min<std::size_t>(static_cast<std::size_t>(chunks - 1),
+                                pool_->size()));
+      for (int t = 0; t < tasks; ++t) {
+        pool_->submit([job] { run_chunks(*job); });
+      }
+    }
+  }
+  // The caller claims chunks too, so progress never depends on helper
+  // availability (a zero-helper pool degrades to sequential execution).
+  run_chunks(*job);
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->cv.wait(lock, [&job] { return job->done == job->chunks; });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace easyscale

@@ -1,0 +1,77 @@
+// Deterministic intra-op parallelism: ComputePool + parallel_for.
+//
+// The partitioning contract that makes parallel execution bitwise-safe
+// (docs/PARALLELISM.md): parallel_for splits [0, n) into contiguous chunks
+// whose boundaries depend only on (n, ways, grain) — never on timing, the
+// pool size, or which thread claims which chunk.  Each output element is
+// owned by exactly one chunk and its accumulation order inside the chunk
+// body is the same order the sequential loop used, so the result is
+// bitwise identical for any thread count, including 1.  What *is*
+// scheduling-dependent — which OS thread runs a chunk, and in what wall
+// order — never feeds back into float values.
+//
+// One process-global pool is shared by every caller (all physical workers,
+// all kernels), so physical-worker threads and intra-op threads compose
+// without oversubscription: total OS threads = caller threads + pool
+// helpers, independent of how many parallel_for calls are in flight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+
+namespace easyscale {
+
+class ComputePool {
+ public:
+  /// body(chunk, begin, end): process elements [begin, end) of chunk
+  /// `chunk`.  Chunk indices are dense in [0, chunks) and deterministic.
+  using ChunkFn =
+      std::function<void(int chunk, std::int64_t begin, std::int64_t end)>;
+
+  /// A pool with `helpers` helper threads.  The calling thread always
+  /// participates, so `helpers = ways - 1` saturates `ways`-way execution.
+  /// Starting at 0 helpers just defers thread creation: parallel_for grows
+  /// the pool on demand to the largest `ways` any caller requests.
+  explicit ComputePool(std::size_t helpers);
+  ~ComputePool();
+
+  ComputePool(const ComputePool&) = delete;
+  ComputePool& operator=(const ComputePool&) = delete;
+
+  /// Process-global shared pool, sized from EASYSCALE_THREADS at first use
+  /// and grown lazily to the largest `ways` any caller requests.
+  static ComputePool& global();
+
+  /// EASYSCALE_THREADS env override (cached at first call), clamped to
+  /// [1, 256]; 1 when unset — the fully sequential default.
+  static int env_default_threads();
+
+  /// True while the current thread is executing a parallel_for chunk;
+  /// nested parallel_for calls run inline to stay deadlock-free.
+  static bool in_parallel_region();
+
+  /// Run body over a static partition of [0, n) with at most `ways` chunks
+  /// of at least `grain` elements each.  Blocks until every chunk is done;
+  /// the first exception a chunk throws is rethrown on the caller.  Safe to
+  /// call concurrently from many threads on one pool.
+  void parallel_for(int ways, std::int64_t n, std::int64_t grain,
+                    const ChunkFn& body);
+
+  /// Grow to at least `n` helper threads (never shrinks).
+  void ensure_helpers(std::size_t n);
+
+  [[nodiscard]] std::size_t helpers() const;
+
+ private:
+  struct Job;
+  static void run_chunks(Job& job);
+
+  mutable std::mutex grow_mutex_;
+  std::unique_ptr<ThreadPool> pool_;  // null until the first helper exists
+};
+
+}  // namespace easyscale

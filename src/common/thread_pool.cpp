@@ -21,6 +21,19 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+void ThreadPool::add_threads(std::size_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ES_CHECK(!stopping_, "add_threads on stopped pool");
+  for (std::size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+std::size_t ThreadPool::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return threads_.size();
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);

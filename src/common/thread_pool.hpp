@@ -30,14 +30,19 @@ class ThreadPool {
   /// Block until every submitted task has finished.
   void wait_idle();
 
-  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+  /// Grow the pool by `count` additional worker threads.  Safe to call
+  /// while tasks are in flight (the intra-op ComputePool grows lazily to
+  /// the largest thread count any ExecContext requests).
+  void add_threads(std::size_t count);
+
+  [[nodiscard]] std::size_t size() const;
 
  private:
   void worker_loop();
 
   std::vector<std::thread> threads_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;

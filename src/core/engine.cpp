@@ -111,6 +111,7 @@ void EasyScaleEngine::configure_workers(
     w.exec.device = specs[i].device;
     w.exec.policy = kernel_policy(config_.determinism);
     w.exec.custom_gemm = config_.custom_d2_gemm;
+    w.exec.intra_op_threads = config_.intra_op_threads;
     w.ests = plan[i];
     workers_.push_back(std::move(w));
   }

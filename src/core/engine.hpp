@@ -60,6 +60,11 @@ struct EasyScaleConfig {
   /// Bitwise identical either way: workers touch disjoint state between
   /// synchronization points.
   bool parallel_workers = false;
+  /// Intra-op compute threads per worker (0 = the EASYSCALE_THREADS process
+  /// default).  All workers share one bounded global pool, so this composes
+  /// with parallel_workers without oversubscription.  Bitwise identical for
+  /// every value — see docs/PARALLELISM.md.
+  int intra_op_threads = 0;
 };
 
 /// Swap-traffic counters for the context-switching experiments.
@@ -113,6 +118,12 @@ class EasyScaleEngine {
 
   /// Bitwise digest of the model parameters.
   [[nodiscard]] std::uint64_t params_digest() const;
+
+  /// Execution context of physical worker `i` (tests inspect its scratch
+  /// arena to assert allocations stop growing after warm-up).
+  [[nodiscard]] const kernels::ExecContext& worker_exec(std::int64_t i) const {
+    return workers_[static_cast<std::size_t>(i)].exec;
+  }
 
   /// Worker-0 replica with EST-`rank`'s context loaded (for evaluation).
   [[nodiscard]] models::Workload& model_for_eval(std::int64_t est_rank = 0);

@@ -33,6 +33,7 @@ DDPTrainer::DDPTrainer(DDPConfig config, const data::Dataset& train,
     rep.exec.device = config_.devices[static_cast<std::size_t>(r)];
     rep.exec.policy = config_.policy;
     rep.exec.custom_gemm = config_.custom_d2_gemm;
+    rep.exec.intra_op_threads = config_.intra_op_threads;
   }
   const data::DistributedSampler probe(train.size(), config_.world_size, 0,
                                        config_.batch_per_worker, config_.seed);

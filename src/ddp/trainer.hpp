@@ -39,6 +39,10 @@ struct DDPConfig {
   /// Run ranks on parallel threads within a step (bitwise identical to
   /// sequential; replicas are disjoint between synchronization points).
   bool parallel_workers = false;
+  /// Intra-op compute threads per rank (0 = the EASYSCALE_THREADS process
+  /// default); all ranks share one bounded global pool.  Bitwise identical
+  /// for every value.
+  int intra_op_threads = 0;
 };
 
 class DDPTrainer {

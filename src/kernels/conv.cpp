@@ -1,6 +1,6 @@
 #include "kernels/conv.hpp"
 
-#include <vector>
+#include <algorithm>
 
 #include "common/error.hpp"
 #include "kernels/gemm.hpp"
@@ -9,6 +9,15 @@
 namespace easyscale::kernels {
 
 namespace {
+
+/// Minimum per-chunk inner-loop work for the parallel splits below; purely
+/// size-derived, so chunking never depends on timing.
+constexpr std::int64_t kMinChunkWork = 16384;
+
+std::int64_t work_grain(std::int64_t per_item_work) {
+  return std::max<std::int64_t>(1,
+                                kMinChunkWork / std::max<std::int64_t>(1, per_item_work));
+}
 
 void check_dims(const Conv2dDims& d) {
   ES_CHECK(d.groups > 0 && d.in_channels % d.groups == 0 &&
@@ -19,98 +28,122 @@ void check_dims(const Conv2dDims& d) {
 
 }  // namespace
 
-void im2col(const Conv2dDims& d, std::span<const float> sample_input,
-            std::int64_t group, std::span<float> cols) {
+void im2col(const ExecContext& ctx, const Conv2dDims& d,
+            std::span<const float> sample_input, std::int64_t group,
+            std::span<float> cols) {
   const std::int64_t cg = d.in_channels / d.groups;
   const std::int64_t oh = d.out_h(), ow = d.out_w();
   ES_CHECK(static_cast<std::int64_t>(cols.size()) ==
                cg * d.kernel_h * d.kernel_w * oh * ow,
            "im2col: bad cols size");
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < cg; ++c) {
-    const std::int64_t ic = group * cg + c;
-    for (std::int64_t kh = 0; kh < d.kernel_h; ++kh) {
-      for (std::int64_t kw = 0; kw < d.kernel_w; ++kw, ++row) {
-        float* dst = cols.data() + row * oh * ow;
-        for (std::int64_t y = 0; y < oh; ++y) {
-          const std::int64_t iy = y * d.stride + kh - d.pad;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t ix = x * d.stride + kw - d.pad;
-            float v = 0.0f;
-            if (iy >= 0 && iy < d.in_h && ix >= 0 && ix < d.in_w) {
-              v = sample_input[static_cast<std::size_t>(
-                  (ic * d.in_h + iy) * d.in_w + ix)];
+  // Each input channel owns kernel_h*kernel_w disjoint rows of `cols`, so
+  // the channel loop parallelizes owner-computes; the copy never sums.
+  parallel_for(
+      ctx, cg, work_grain(d.kernel_h * d.kernel_w * oh * ow),
+      [&](int /*chunk*/, std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          const std::int64_t ic = group * cg + c;
+          std::int64_t row = c * d.kernel_h * d.kernel_w;
+          for (std::int64_t kh = 0; kh < d.kernel_h; ++kh) {
+            for (std::int64_t kw = 0; kw < d.kernel_w; ++kw, ++row) {
+              float* dst = cols.data() + row * oh * ow;
+              for (std::int64_t y = 0; y < oh; ++y) {
+                const std::int64_t iy = y * d.stride + kh - d.pad;
+                for (std::int64_t x = 0; x < ow; ++x) {
+                  const std::int64_t ix = x * d.stride + kw - d.pad;
+                  float v = 0.0f;
+                  if (iy >= 0 && iy < d.in_h && ix >= 0 && ix < d.in_w) {
+                    v = sample_input[static_cast<std::size_t>(
+                        (ic * d.in_h + iy) * d.in_w + ix)];
+                  }
+                  dst[y * ow + x] = v;
+                }
+              }
             }
-            dst[y * ow + x] = v;
           }
         }
-      }
-    }
-  }
+      });
 }
 
-void col2im(const Conv2dDims& d, std::span<const float> cols,
-            std::int64_t group, std::span<float> sample_grad_input) {
+void col2im(const ExecContext& ctx, const Conv2dDims& d,
+            std::span<const float> cols, std::int64_t group,
+            std::span<float> sample_grad_input) {
   const std::int64_t cg = d.in_channels / d.groups;
   const std::int64_t oh = d.out_h(), ow = d.out_w();
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < cg; ++c) {
-    const std::int64_t ic = group * cg + c;
-    for (std::int64_t kh = 0; kh < d.kernel_h; ++kh) {
-      for (std::int64_t kw = 0; kw < d.kernel_w; ++kw, ++row) {
-        const float* src = cols.data() + row * oh * ow;
-        for (std::int64_t y = 0; y < oh; ++y) {
-          const std::int64_t iy = y * d.stride + kh - d.pad;
-          if (iy < 0 || iy >= d.in_h) continue;
-          for (std::int64_t x = 0; x < ow; ++x) {
-            const std::int64_t ix = x * d.stride + kw - d.pad;
-            if (ix < 0 || ix >= d.in_w) continue;
-            sample_grad_input[static_cast<std::size_t>(
-                (ic * d.in_h + iy) * d.in_w + ix)] += src[y * ow + x];
+  // Channel c only accumulates into its own input-channel plane, and the
+  // (kh, kw, y, x) accumulation order within a channel is the sequential
+  // one — owner-computes over channels.
+  parallel_for(
+      ctx, cg, work_grain(d.kernel_h * d.kernel_w * oh * ow),
+      [&](int /*chunk*/, std::int64_t c0, std::int64_t c1) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          const std::int64_t ic = group * cg + c;
+          std::int64_t row = c * d.kernel_h * d.kernel_w;
+          for (std::int64_t kh = 0; kh < d.kernel_h; ++kh) {
+            for (std::int64_t kw = 0; kw < d.kernel_w; ++kw, ++row) {
+              const float* src = cols.data() + row * oh * ow;
+              for (std::int64_t y = 0; y < oh; ++y) {
+                const std::int64_t iy = y * d.stride + kh - d.pad;
+                if (iy < 0 || iy >= d.in_h) continue;
+                for (std::int64_t x = 0; x < ow; ++x) {
+                  const std::int64_t ix = x * d.stride + kw - d.pad;
+                  if (ix < 0 || ix >= d.in_w) continue;
+                  sample_grad_input[static_cast<std::size_t>(
+                      (ic * d.in_h + iy) * d.in_w + ix)] += src[y * ow + x];
+                }
+              }
+            }
           }
         }
-      }
-    }
-  }
+      });
 }
 
 namespace {
 
-void forward_direct(const Conv2dDims& d, std::span<const float> input,
+void forward_direct(const ExecContext& ctx, const Conv2dDims& d,
+                    std::span<const float> input,
                     std::span<const float> weight, std::span<const float> bias,
                     std::span<float> out) {
   const std::int64_t cg = d.in_channels / d.groups;
   const std::int64_t fg = d.out_channels / d.groups;
   const std::int64_t oh = d.out_h(), ow = d.out_w();
   const std::int64_t in_sample = d.in_channels * d.in_h * d.in_w;
-  for (std::int64_t n = 0; n < d.batch; ++n) {
-    const float* in_n = input.data() + n * in_sample;
-    for (std::int64_t f = 0; f < d.out_channels; ++f) {
-      const std::int64_t g = f / fg;
-      const float* w_f = weight.data() + f * cg * d.kernel_h * d.kernel_w;
-      const float b = bias.empty() ? 0.0f : bias[static_cast<std::size_t>(f)];
-      for (std::int64_t y = 0; y < oh; ++y) {
-        for (std::int64_t x = 0; x < ow; ++x) {
-          float acc = 0.0f;  // single running accumulator: canonical order
-          for (std::int64_t c = 0; c < cg; ++c) {
-            const std::int64_t ic = g * cg + c;
-            for (std::int64_t kh = 0; kh < d.kernel_h; ++kh) {
-              const std::int64_t iy = y * d.stride + kh - d.pad;
-              if (iy < 0 || iy >= d.in_h) continue;
-              for (std::int64_t kw = 0; kw < d.kernel_w; ++kw) {
-                const std::int64_t ix = x * d.stride + kw - d.pad;
-                if (ix < 0 || ix >= d.in_w) continue;
-                acc += in_n[(ic * d.in_h + iy) * d.in_w + ix] *
-                       w_f[(c * d.kernel_h + kh) * d.kernel_w + kw];
+  // Every (n, f) output plane is written by exactly one chunk, and each
+  // output element keeps its single running accumulator — canonical order.
+  parallel_for(
+      ctx, d.batch * d.out_channels,
+      work_grain(oh * ow * cg * d.kernel_h * d.kernel_w),
+      [&](int /*chunk*/, std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const std::int64_t n = p / d.out_channels;
+          const std::int64_t f = p % d.out_channels;
+          const float* in_n = input.data() + n * in_sample;
+          const std::int64_t g = f / fg;
+          const float* w_f = weight.data() + f * cg * d.kernel_h * d.kernel_w;
+          const float b =
+              bias.empty() ? 0.0f : bias[static_cast<std::size_t>(f)];
+          for (std::int64_t y = 0; y < oh; ++y) {
+            for (std::int64_t x = 0; x < ow; ++x) {
+              float acc = 0.0f;  // single running accumulator: canonical order
+              for (std::int64_t c = 0; c < cg; ++c) {
+                const std::int64_t ic = g * cg + c;
+                for (std::int64_t kh = 0; kh < d.kernel_h; ++kh) {
+                  const std::int64_t iy = y * d.stride + kh - d.pad;
+                  if (iy < 0 || iy >= d.in_h) continue;
+                  for (std::int64_t kw = 0; kw < d.kernel_w; ++kw) {
+                    const std::int64_t ix = x * d.stride + kw - d.pad;
+                    if (ix < 0 || ix >= d.in_w) continue;
+                    acc += in_n[(ic * d.in_h + iy) * d.in_w + ix] *
+                           w_f[(c * d.kernel_h + kh) * d.kernel_w + kw];
+                  }
+                }
               }
+              out[static_cast<std::size_t>(
+                  ((n * d.out_channels + f) * oh + y) * ow + x)] = acc + b;
             }
           }
-          out[static_cast<std::size_t>(((n * d.out_channels + f) * oh + y) * ow +
-                                       x)] = acc + b;
         }
-      }
-    }
-  }
+      });
 }
 
 void forward_im2col(const ExecContext& ctx, const Conv2dDims& d,
@@ -122,12 +155,13 @@ void forward_im2col(const ExecContext& ctx, const Conv2dDims& d,
   const std::int64_t oh = d.out_h(), ow = d.out_w();
   const std::int64_t kdim = cg * d.kernel_h * d.kernel_w;
   const std::int64_t in_sample = d.in_channels * d.in_h * d.in_w;
-  std::vector<float> cols(static_cast<std::size_t>(kdim * oh * ow));
+  std::span<float> cols = ctx.scratch.borrow(
+      ScratchArena::kConvCols, static_cast<std::size_t>(kdim * oh * ow));
   for (std::int64_t n = 0; n < d.batch; ++n) {
     std::span<const float> in_n(input.data() + n * in_sample,
                                 static_cast<std::size_t>(in_sample));
     for (std::int64_t g = 0; g < d.groups; ++g) {
-      im2col(d, in_n, g, cols);
+      im2col(ctx, d, in_n, g, cols);
       std::span<float> out_g(
           out.data() + ((n * d.out_channels + g * fg) * oh * ow),
           static_cast<std::size_t>(fg * oh * ow));
@@ -135,17 +169,22 @@ void forward_im2col(const ExecContext& ctx, const Conv2dDims& d,
                                  static_cast<std::size_t>(fg * kdim));
       gemm(ctx, fg, oh * ow, kdim, w_g, cols, out_g, false);
       if (!bias.empty()) {
-        for (std::int64_t f = 0; f < fg; ++f) {
-          const float b = bias[static_cast<std::size_t>(g * fg + f)];
-          float* o = out_g.data() + f * oh * ow;
-          for (std::int64_t i = 0; i < oh * ow; ++i) o[i] += b;
-        }
+        parallel_for(ctx, fg, work_grain(oh * ow),
+                     [&](int /*chunk*/, std::int64_t f0, std::int64_t f1) {
+                       for (std::int64_t f = f0; f < f1; ++f) {
+                         const float b =
+                             bias[static_cast<std::size_t>(g * fg + f)];
+                         float* o = out_g.data() + f * oh * ow;
+                         for (std::int64_t i = 0; i < oh * ow; ++i) o[i] += b;
+                       }
+                     });
       }
     }
   }
 }
 
-void backward_direct(const Conv2dDims& d, std::span<const float> input,
+void backward_direct(const ExecContext& ctx, const Conv2dDims& d,
+                     std::span<const float> input,
                      std::span<const float> weight,
                      std::span<const float> grad_out,
                      std::span<float> grad_input, std::span<float> grad_weight,
@@ -154,38 +193,88 @@ void backward_direct(const Conv2dDims& d, std::span<const float> input,
   const std::int64_t fg = d.out_channels / d.groups;
   const std::int64_t oh = d.out_h(), ow = d.out_w();
   const std::int64_t in_sample = d.in_channels * d.in_h * d.in_w;
-  for (std::int64_t n = 0; n < d.batch; ++n) {
-    const float* in_n = input.data() + n * in_sample;
-    float* gin_n = grad_input.empty() ? nullptr : grad_input.data() + n * in_sample;
-    for (std::int64_t f = 0; f < d.out_channels; ++f) {
-      const std::int64_t g = f / fg;
-      const float* w_f = weight.data() + f * cg * d.kernel_h * d.kernel_w;
-      float* gw_f = grad_weight.empty()
-                        ? nullptr
-                        : grad_weight.data() + f * cg * d.kernel_h * d.kernel_w;
-      for (std::int64_t y = 0; y < oh; ++y) {
-        for (std::int64_t x = 0; x < ow; ++x) {
-          const float go = grad_out[static_cast<std::size_t>(
-              ((n * d.out_channels + f) * oh + y) * ow + x)];
-          if (!grad_bias.empty()) grad_bias[static_cast<std::size_t>(f)] += go;
-          for (std::int64_t c = 0; c < cg; ++c) {
-            const std::int64_t ic = g * cg + c;
-            for (std::int64_t kh = 0; kh < d.kernel_h; ++kh) {
-              const std::int64_t iy = y * d.stride + kh - d.pad;
-              if (iy < 0 || iy >= d.in_h) continue;
-              for (std::int64_t kw = 0; kw < d.kernel_w; ++kw) {
-                const std::int64_t ix = x * d.stride + kw - d.pad;
-                if (ix < 0 || ix >= d.in_w) continue;
-                const std::int64_t wi = (c * d.kernel_h + kh) * d.kernel_w + kw;
-                const std::int64_t ii = (ic * d.in_h + iy) * d.in_w + ix;
-                if (gw_f) gw_f[wi] += go * in_n[ii];
-                if (gin_n) gin_n[ii] += go * w_f[wi];
+  // Two owner-computes passes.  Pass 1 owns the per-filter outputs
+  // (grad_weight row f, grad_bias[f]); pass 2 owns the per-(sample, input
+  // channel) grad_input planes.  Within each owned element the (n, y, x,
+  // kh, kw) accumulation order is exactly the old single loop nest's.
+  if (!grad_weight.empty() || !grad_bias.empty()) {
+    parallel_for(
+        ctx, d.out_channels,
+        work_grain(d.batch * oh * ow * cg * d.kernel_h * d.kernel_w),
+        [&](int /*chunk*/, std::int64_t f0, std::int64_t f1) {
+          for (std::int64_t f = f0; f < f1; ++f) {
+            const std::int64_t g = f / fg;
+            float* gw_f = grad_weight.empty()
+                              ? nullptr
+                              : grad_weight.data() +
+                                    f * cg * d.kernel_h * d.kernel_w;
+            for (std::int64_t n = 0; n < d.batch; ++n) {
+              const float* in_n = input.data() + n * in_sample;
+              for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t x = 0; x < ow; ++x) {
+                  const float go = grad_out[static_cast<std::size_t>(
+                      ((n * d.out_channels + f) * oh + y) * ow + x)];
+                  if (!grad_bias.empty()) {
+                    grad_bias[static_cast<std::size_t>(f)] += go;
+                  }
+                  if (gw_f == nullptr) continue;
+                  for (std::int64_t c = 0; c < cg; ++c) {
+                    const std::int64_t ic = g * cg + c;
+                    for (std::int64_t kh = 0; kh < d.kernel_h; ++kh) {
+                      const std::int64_t iy = y * d.stride + kh - d.pad;
+                      if (iy < 0 || iy >= d.in_h) continue;
+                      for (std::int64_t kw = 0; kw < d.kernel_w; ++kw) {
+                        const std::int64_t ix = x * d.stride + kw - d.pad;
+                        if (ix < 0 || ix >= d.in_w) continue;
+                        const std::int64_t wi =
+                            (c * d.kernel_h + kh) * d.kernel_w + kw;
+                        const std::int64_t ii =
+                            (ic * d.in_h + iy) * d.in_w + ix;
+                        gw_f[wi] += go * in_n[ii];
+                      }
+                    }
+                  }
+                }
               }
             }
           }
-        }
-      }
-    }
+        });
+  }
+  if (!grad_input.empty()) {
+    parallel_for(
+        ctx, d.batch * d.in_channels,
+        work_grain(fg * oh * ow * d.kernel_h * d.kernel_w),
+        [&](int /*chunk*/, std::int64_t p0, std::int64_t p1) {
+          for (std::int64_t p = p0; p < p1; ++p) {
+            const std::int64_t n = p / d.in_channels;
+            const std::int64_t ic = p % d.in_channels;
+            const std::int64_t g = ic / cg;
+            const std::int64_t c = ic % cg;
+            float* gin_n = grad_input.data() + n * in_sample;
+            for (std::int64_t f = g * fg; f < (g + 1) * fg; ++f) {
+              const float* w_f =
+                  weight.data() + f * cg * d.kernel_h * d.kernel_w;
+              for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t x = 0; x < ow; ++x) {
+                  const float go = grad_out[static_cast<std::size_t>(
+                      ((n * d.out_channels + f) * oh + y) * ow + x)];
+                  for (std::int64_t kh = 0; kh < d.kernel_h; ++kh) {
+                    const std::int64_t iy = y * d.stride + kh - d.pad;
+                    if (iy < 0 || iy >= d.in_h) continue;
+                    for (std::int64_t kw = 0; kw < d.kernel_w; ++kw) {
+                      const std::int64_t ix = x * d.stride + kw - d.pad;
+                      if (ix < 0 || ix >= d.in_w) continue;
+                      const std::int64_t wi =
+                          (c * d.kernel_h + kh) * d.kernel_w + kw;
+                      const std::int64_t ii = (ic * d.in_h + iy) * d.in_w + ix;
+                      gin_n[ii] += go * w_f[wi];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        });
   }
 }
 
@@ -200,13 +289,15 @@ void backward_im2col(const ExecContext& ctx, const Conv2dDims& d,
   const std::int64_t oh = d.out_h(), ow = d.out_w();
   const std::int64_t kdim = cg * d.kernel_h * d.kernel_w;
   const std::int64_t in_sample = d.in_channels * d.in_h * d.in_w;
-  std::vector<float> cols(static_cast<std::size_t>(kdim * oh * ow));
-  std::vector<float> cols_grad(static_cast<std::size_t>(kdim * oh * ow));
+  std::span<float> cols = ctx.scratch.borrow(
+      ScratchArena::kConvCols, static_cast<std::size_t>(kdim * oh * ow));
+  std::span<float> cols_grad = ctx.scratch.borrow(
+      ScratchArena::kConvColsGrad, static_cast<std::size_t>(kdim * oh * ow));
   for (std::int64_t n = 0; n < d.batch; ++n) {
     std::span<const float> in_n(input.data() + n * in_sample,
                                 static_cast<std::size_t>(in_sample));
     for (std::int64_t g = 0; g < d.groups; ++g) {
-      im2col(d, in_n, g, cols);
+      im2col(ctx, d, in_n, g, cols);
       std::span<const float> go_g(
           grad_out.data() + ((n * d.out_channels + g * fg) * oh * ow),
           static_cast<std::size_t>(fg * oh * ow));
@@ -223,17 +314,27 @@ void backward_im2col(const ExecContext& ctx, const Conv2dDims& d,
         gemm_tn(ctx, kdim, oh * ow, fg, w_g, go_g, cols_grad, false);
         std::span<float> gin_n(grad_input.data() + n * in_sample,
                                static_cast<std::size_t>(in_sample));
-        col2im(d, cols_grad, g, gin_n);
+        col2im(ctx, d, cols_grad, g, gin_n);
       }
     }
-    if (!grad_bias.empty()) {
-      for (std::int64_t f = 0; f < d.out_channels; ++f) {
-        std::span<const float> go_f(
-            grad_out.data() + ((n * d.out_channels + f) * oh * ow),
-            static_cast<std::size_t>(oh * ow));
-        grad_bias[static_cast<std::size_t>(f)] += reduce_sum(ctx, go_f);
-      }
-    }
+  }
+  if (!grad_bias.empty()) {
+    // Each filter's bias gradient is independent; within a filter the
+    // samples are reduced in ascending n with the per-slot tree order the
+    // sequential code used.
+    parallel_for(ctx, d.out_channels, work_grain(d.batch * oh * ow),
+                 [&](int /*chunk*/, std::int64_t f0, std::int64_t f1) {
+                   for (std::int64_t f = f0; f < f1; ++f) {
+                     for (std::int64_t n = 0; n < d.batch; ++n) {
+                       std::span<const float> go_f(
+                           grad_out.data() +
+                               ((n * d.out_channels + f) * oh * ow),
+                           static_cast<std::size_t>(oh * ow));
+                       grad_bias[static_cast<std::size_t>(f)] +=
+                           reduce_sum(ctx, go_f);
+                     }
+                   }
+                 });
   }
 }
 
@@ -244,7 +345,7 @@ void conv2d_forward(const ExecContext& ctx, const Conv2dDims& d,
                     std::span<const float> bias, std::span<float> out) {
   check_dims(d);
   if (select_conv_variant(ctx) == ConvVariant::kDirectCanonical) {
-    forward_direct(d, input, weight, bias, out);
+    forward_direct(ctx, d, input, weight, bias, out);
   } else {
     forward_im2col(ctx, d, input, weight, bias, out);
   }
@@ -258,7 +359,7 @@ void conv2d_backward(const ExecContext& ctx, const Conv2dDims& d,
                      std::span<float> grad_bias) {
   check_dims(d);
   if (select_conv_variant(ctx) == ConvVariant::kDirectCanonical) {
-    backward_direct(d, input, weight, grad_out, grad_input, grad_weight,
+    backward_direct(ctx, d, input, weight, grad_out, grad_input, grad_weight,
                     grad_bias);
   } else {
     backward_im2col(ctx, d, input, weight, grad_out, grad_input, grad_weight,

@@ -52,11 +52,15 @@ void conv2d_backward(const ExecContext& ctx, const Conv2dDims& d,
                      std::span<float> grad_bias);
 
 /// im2col for one sample: cols[(C/groups)*KH*KW, OH*OW] for group g.
-void im2col(const Conv2dDims& d, std::span<const float> sample_input,
-            std::int64_t group, std::span<float> cols);
+/// Parallelizes over input channels (disjoint row blocks of `cols`).
+void im2col(const ExecContext& ctx, const Conv2dDims& d,
+            std::span<const float> sample_input, std::int64_t group,
+            std::span<float> cols);
 
-/// Inverse of im2col (scatter back, sequential order).
-void col2im(const Conv2dDims& d, std::span<const float> cols,
-            std::int64_t group, std::span<float> sample_grad_input);
+/// Inverse of im2col (scatter back).  Parallelizes over input channels;
+/// within a channel the accumulation order is the sequential one.
+void col2im(const ExecContext& ctx, const Conv2dDims& d,
+            std::span<const float> cols, std::int64_t group,
+            std::span<float> sample_grad_input);
 
 }  // namespace easyscale::kernels

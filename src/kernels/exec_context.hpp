@@ -21,7 +21,9 @@
 #include <map>
 #include <tuple>
 
+#include "common/parallel_for.hpp"
 #include "kernels/device.hpp"
+#include "kernels/scratch_arena.hpp"
 
 namespace easyscale::kernels {
 
@@ -70,12 +72,53 @@ struct ExecContext {
   /// built-in pinned variant.  Only honored under kHardwareAgnostic.
   int custom_gemm = 0;
 
+  /// Intra-op parallelism ways for every kernel and op running under this
+  /// context.  0 = follow the EASYSCALE_THREADS process default.  Results
+  /// are bitwise identical for every value (owner-computes partitioning,
+  /// docs/PARALLELISM.md); only throughput changes.
+  int intra_op_threads = 0;
+
+  /// Compute pool override (tests); null = the process-global shared pool,
+  /// which all workers use so intra-op threads stay bounded.
+  ComputePool* pool = nullptr;
+
+  /// Reusable kernel temporaries (B-packs, im2col columns).  Mutable for
+  /// the same reason as gemm_cache; owned by this context's worker thread.
+  mutable ScratchArena scratch;
+
   /// Autotuner cache: (m, n, k) -> chosen variant.  Mutable because kernel
   /// calls are logically const with respect to training state.
   mutable std::map<std::tuple<std::int64_t, std::int64_t, std::int64_t>,
                    GemmVariant>
       gemm_cache;
+
+  [[nodiscard]] int intra_op_ways() const {
+    return intra_op_threads > 0 ? intra_op_threads
+                                : ComputePool::env_default_threads();
+  }
+  [[nodiscard]] ComputePool& compute_pool() const {
+    return pool != nullptr ? *pool : ComputePool::global();
+  }
 };
+
+/// Run body(chunk, begin, end) over a static partition of [0, n) using the
+/// context's pool and ways.  Inline (zero dispatch cost) when the context
+/// is sequential, the range is below `grain`, or we are already inside a
+/// parallel region.  Bitwise-safe whenever each index in [0, n) owns a
+/// disjoint set of outputs whose per-element accumulation order the body
+/// preserves.
+template <typename Body>
+void parallel_for(const ExecContext& ctx, std::int64_t n, std::int64_t grain,
+                  Body&& body) {
+  const int ways = ctx.intra_op_ways();
+  if (ways <= 1 || n <= (grain < 1 ? 1 : grain) ||
+      ComputePool::in_parallel_region()) {
+    if (n > 0) body(0, std::int64_t{0}, n);
+    return;
+  }
+  ctx.compute_pool().parallel_for(ways, n, grain,
+                                  ComputePool::ChunkFn(std::forward<Body>(body)));
+}
 
 /// Variant a given context uses for GEMM on a (m,n,k) problem.
 [[nodiscard]] GemmVariant select_gemm_variant(const ExecContext& ctx,

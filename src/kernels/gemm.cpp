@@ -52,17 +52,32 @@ bool scatter_add_sorted(const ExecContext& ctx) {
 
 namespace {
 
+/// Chunks target at least this many k-loop MACs so tiny problems stay
+/// inline (the cutoff is size-derived, so it cannot affect bits).
+constexpr std::int64_t kMinChunkWork = 16384;
+
 /// Pack B[k,n] into Bt[n,k] so the inner product walks contiguous memory.
-std::vector<float> pack_bt(std::int64_t n, std::int64_t k,
-                           std::span<const float> b) {
-  std::vector<float> bt(static_cast<std::size_t>(n * k));
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    for (std::int64_t j = 0; j < n; ++j) {
-      bt[static_cast<std::size_t>(j * k + kk)] =
-          b[static_cast<std::size_t>(kk * n + j)];
+/// Destination rows are disjoint per j, so the pack parallelizes as an
+/// owner-computes loop; the pack moves values and never re-associates.
+void pack_bt(const ExecContext* ctx, std::int64_t n, std::int64_t k,
+             std::span<const float> b, std::span<float> bt) {
+  auto pack_range = [&](std::int64_t j0, std::int64_t j1) {
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      for (std::int64_t j = j0; j < j1; ++j) {
+        bt[static_cast<std::size_t>(j * k + kk)] =
+            b[static_cast<std::size_t>(kk * n + j)];
+      }
     }
+  };
+  if (ctx == nullptr) {
+    pack_range(0, n);
+    return;
   }
-  return bt;
+  const std::int64_t grain = std::max<std::int64_t>(1, kMinChunkWork / std::max<std::int64_t>(1, k));
+  parallel_for(*ctx, n, grain,
+               [&](int /*chunk*/, std::int64_t j0, std::int64_t j1) {
+                 pack_range(j0, j1);
+               });
 }
 
 /// Dot product with a single running accumulator (canonical order).
@@ -120,6 +135,54 @@ inline float dot_with_variant(GemmVariant variant, const float* x,
   ES_THROW("unreachable gemm variant");
 }
 
+/// The one GEMM loop.  Every output element c[i,j] is one dot product with
+/// a fixed association (the variant's or the custom kernel's), so
+/// partitioning the flattened [0, m*n) output space is owner-computes:
+/// thread count can never change bits.  With ctx == nullptr (autotuner
+/// probes, the legacy explicit-variant entry point) it runs sequentially
+/// and allocates its own pack buffer.
+void gemm_impl(const ExecContext* ctx, GemmVariant variant,
+               const CustomDotFn* custom, std::int64_t m, std::int64_t n,
+               std::int64_t k, std::span<const float> a,
+               std::span<const float> b, std::span<float> c,
+               bool accumulate) {
+  ES_CHECK(static_cast<std::int64_t>(a.size()) == m * k, "gemm: bad A size");
+  ES_CHECK(static_cast<std::int64_t>(b.size()) == k * n, "gemm: bad B size");
+  ES_CHECK(static_cast<std::int64_t>(c.size()) == m * n, "gemm: bad C size");
+  std::vector<float> local_bt;
+  std::span<float> bt;
+  if (ctx != nullptr) {
+    bt = ctx->scratch.borrow(ScratchArena::kGemmPackB,
+                             static_cast<std::size_t>(n * k));
+  } else {
+    local_bt.resize(static_cast<std::size_t>(n * k));
+    bt = local_bt;
+  }
+  pack_bt(ctx, n, k, b, bt);
+  auto dot_range = [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t idx = i0; idx < i1; ++idx) {
+      const std::int64_t i = idx / n;
+      const std::int64_t j = idx % n;
+      const float* arow = a.data() + i * k;
+      const float v = custom != nullptr
+                          ? (*custom)(arow, bt.data() + j * k, k)
+                          : dot_with_variant(variant, arow,
+                                             bt.data() + j * k, k);
+      float& out = c[static_cast<std::size_t>(idx)];
+      out = accumulate ? out + v : v;
+    }
+  };
+  if (ctx == nullptr) {
+    dot_range(0, m * n);
+    return;
+  }
+  const std::int64_t grain = std::max<std::int64_t>(1, kMinChunkWork / std::max<std::int64_t>(1, k));
+  parallel_for(*ctx, m * n, grain,
+               [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                 dot_range(i0, i1);
+               });
+}
+
 /// Wall-clock probe of one variant on the real problem (the autotuner's
 /// measurement, deliberately subject to timing noise like cudnn.benchmark).
 double probe_variant(GemmVariant variant, std::int64_t m, std::int64_t n,
@@ -174,19 +237,14 @@ void gemm_variant(GemmVariant variant, std::int64_t m, std::int64_t n,
                   std::int64_t k, std::span<const float> a,
                   std::span<const float> b, std::span<float> c,
                   bool accumulate) {
-  ES_CHECK(static_cast<std::int64_t>(a.size()) == m * k, "gemm: bad A size");
-  ES_CHECK(static_cast<std::int64_t>(b.size()) == k * n, "gemm: bad B size");
-  ES_CHECK(static_cast<std::int64_t>(c.size()) == m * n, "gemm: bad C size");
-  const std::vector<float> bt = pack_bt(n, k, b);
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float v =
-          dot_with_variant(variant, arow, bt.data() + j * k, k);
-      float& out = c[static_cast<std::size_t>(i * n + j)];
-      out = accumulate ? out + v : v;
-    }
-  }
+  gemm_impl(nullptr, variant, nullptr, m, n, k, a, b, c, accumulate);
+}
+
+void gemm_variant(const ExecContext& ctx, GemmVariant variant, std::int64_t m,
+                  std::int64_t n, std::int64_t k, std::span<const float> a,
+                  std::span<const float> b, std::span<float> c,
+                  bool accumulate) {
+  gemm_impl(&ctx, variant, nullptr, m, n, k, a, b, c, accumulate);
 }
 
 void gemm(const ExecContext& ctx, std::int64_t m, std::int64_t n,
@@ -195,51 +253,51 @@ void gemm(const ExecContext& ctx, std::int64_t m, std::int64_t n,
   if (ctx.policy == KernelPolicy::kHardwareAgnostic && ctx.custom_gemm != 0) {
     // User-registered D2 kernel (§3.3 future work): identical on every
     // device by construction, accumulation order chosen by the user.
-    ES_CHECK(static_cast<std::int64_t>(a.size()) == m * k, "gemm: bad A size");
-    ES_CHECK(static_cast<std::int64_t>(b.size()) == k * n, "gemm: bad B size");
-    ES_CHECK(static_cast<std::int64_t>(c.size()) == m * n, "gemm: bad C size");
     const CustomDotFn& dot = custom_gemm(ctx.custom_gemm);
-    const std::vector<float> bt = pack_bt(n, k, b);
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float* arow = a.data() + i * k;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float v = dot(arow, bt.data() + j * k, k);
-        float& out = c[static_cast<std::size_t>(i * n + j)];
-        out = accumulate ? out + v : v;
-      }
-    }
+    gemm_impl(&ctx, GemmVariant::kSequential, &dot, m, n, k, a, b, c,
+              accumulate);
     return;
   }
-  gemm_variant(select_gemm_variant(ctx, m, n, k), m, n, k, a, b, c,
-               accumulate);
+  gemm_impl(&ctx, select_gemm_variant(ctx, m, n, k), nullptr, m, n, k, a, b,
+            c, accumulate);
 }
 
 void gemm_tn(const ExecContext& ctx, std::int64_t m, std::int64_t n,
              std::int64_t k, std::span<const float> a,
              std::span<const float> b, std::span<float> c, bool accumulate) {
   // A is stored [k, m]; materialize A^T then multiply (transposition moves
-  // values, never re-associates sums).
-  std::vector<float> at(static_cast<std::size_t>(m * k));
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    for (std::int64_t i = 0; i < m; ++i) {
-      at[static_cast<std::size_t>(i * k + kk)] =
-          a[static_cast<std::size_t>(kk * m + i)];
-    }
-  }
+  // values, never re-associates sums).  Rows of A^T are disjoint per i.
+  std::span<float> at = ctx.scratch.borrow(ScratchArena::kGemmTranspose,
+                                           static_cast<std::size_t>(m * k));
+  parallel_for(ctx, m,
+               std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, k)),
+               [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                 for (std::int64_t kk = 0; kk < k; ++kk) {
+                   for (std::int64_t i = i0; i < i1; ++i) {
+                     at[static_cast<std::size_t>(i * k + kk)] =
+                         a[static_cast<std::size_t>(kk * m + i)];
+                   }
+                 }
+               });
   gemm(ctx, m, n, k, at, b, c, accumulate);
 }
 
 void gemm_nt(const ExecContext& ctx, std::int64_t m, std::int64_t n,
              std::int64_t k, std::span<const float> a,
              std::span<const float> b, std::span<float> c, bool accumulate) {
-  // B is stored [n, k]; materialize B^T.
-  std::vector<float> bt(static_cast<std::size_t>(k * n));
-  for (std::int64_t j = 0; j < n; ++j) {
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      bt[static_cast<std::size_t>(kk * n + j)] =
-          b[static_cast<std::size_t>(j * k + kk)];
-    }
-  }
+  // B is stored [n, k]; materialize B^T.  Columns of B^T are disjoint per j.
+  std::span<float> bt = ctx.scratch.borrow(ScratchArena::kGemmTranspose,
+                                           static_cast<std::size_t>(k * n));
+  parallel_for(ctx, n,
+               std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, k)),
+               [&](int /*chunk*/, std::int64_t j0, std::int64_t j1) {
+                 for (std::int64_t j = j0; j < j1; ++j) {
+                   for (std::int64_t kk = 0; kk < k; ++kk) {
+                     bt[static_cast<std::size_t>(kk * n + j)] =
+                         b[static_cast<std::size_t>(j * k + kk)];
+                   }
+                 }
+               });
   gemm(ctx, m, n, k, a, bt, c, accumulate);
 }
 

@@ -20,9 +20,18 @@ void gemm(const ExecContext& ctx, std::int64_t m, std::int64_t n,
           std::span<float> c, bool accumulate = false);
 
 /// Like gemm but with an explicit variant (used by tests and by the
-/// autotuner's probe path).
+/// autotuner's probe path).  This overload runs sequentially and allocates
+/// its own pack buffer — it needs no context.
 void gemm_variant(GemmVariant variant, std::int64_t m, std::int64_t n,
                   std::int64_t k, std::span<const float> a,
+                  std::span<const float> b, std::span<float> c,
+                  bool accumulate = false);
+
+/// Explicit variant with a context: uses the context's intra-op pool and
+/// scratch arena.  Bitwise identical to the sequential overload above for
+/// every thread count.
+void gemm_variant(const ExecContext& ctx, GemmVariant variant, std::int64_t m,
+                  std::int64_t n, std::int64_t k, std::span<const float> a,
                   std::span<const float> b, std::span<float> c,
                   bool accumulate = false);
 

@@ -1,5 +1,6 @@
 #include "kernels/reduce.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/error.hpp"
@@ -69,6 +70,30 @@ float reduce_sum_strided(const ExecContext& ctx, std::span<const float> values,
         values[static_cast<std::size_t>(offset + i * stride)];
   }
   return reduce_sum(ctx, gathered);
+}
+
+void reduce_sum_strided_batch(const ExecContext& ctx,
+                              std::span<const float> values,
+                              std::int64_t stride, std::int64_t count,
+                              std::span<float> out) {
+  ES_CHECK(stride > 0, "stride must be positive");
+  const ReduceVariant variant = select_reduce_variant(ctx);
+  // Output slots are disjoint (owner-computes); each chunk gathers into its
+  // own buffer so chunks never share mutable state.
+  parallel_for(
+      ctx, static_cast<std::int64_t>(out.size()),
+      std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, count)),
+      [&](int /*chunk*/, std::int64_t s0, std::int64_t s1) {
+        std::vector<float> gathered(static_cast<std::size_t>(count));
+        for (std::int64_t s = s0; s < s1; ++s) {
+          for (std::int64_t i = 0; i < count; ++i) {
+            gathered[static_cast<std::size_t>(i)] =
+                values[static_cast<std::size_t>(s + i * stride)];
+          }
+          out[static_cast<std::size_t>(s)] +=
+              reduce_sum_variant(variant, gathered);
+        }
+      });
 }
 
 }  // namespace easyscale::kernels

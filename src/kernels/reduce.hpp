@@ -28,4 +28,13 @@ namespace easyscale::kernels {
                                        std::int64_t stride,
                                        std::int64_t count);
 
+/// Batched strided sum: out[s] += sum of values[s + i*stride] for i in
+/// [0, count), for every s in [0, out.size()).  Output slots are
+/// independent, so the batch parallelizes across the context's intra-op
+/// pool; each slot's reduction tree is exactly reduce_sum_strided's.
+void reduce_sum_strided_batch(const ExecContext& ctx,
+                              std::span<const float> values,
+                              std::int64_t stride, std::int64_t count,
+                              std::span<float> out);
+
 }  // namespace easyscale::kernels

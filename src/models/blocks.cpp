@@ -57,7 +57,7 @@ Tensor ResidualBlock::forward(StepContext& ctx, const Tensor& x) {
     skip = down_conv_.forward(ctx, x);
     skip = down_bn_.forward(ctx, skip);
   }
-  tensor::add_(main, skip);
+  tensor::add_(ctx.ex(), main, skip);
   return relu_out_.forward(ctx, main);
 }
 
@@ -75,7 +75,7 @@ Tensor ResidualBlock::backward(StepContext& ctx, const Tensor& grad_out) {
   g_main = relu1_.backward(ctx, g_main);
   g_main = bn1_.backward(ctx, g_main);
   g_main = conv1_.backward(ctx, g_main);
-  tensor::add_(g_main, g_skip);
+  tensor::add_(ctx.ex(), g_main, g_skip);
   return g_main;
 }
 
@@ -149,14 +149,14 @@ Tensor TransformerBlock::forward(StepContext& ctx, const Tensor& x) {
   // x + attn(LN1(x))
   Tensor h = ln1_.forward(ctx, x);
   h = attn_.forward(ctx, h);
-  tensor::add_(h, x);
+  tensor::add_(ctx.ex(), h, x);
   // h + FF(LN2(h))
   Tensor f = ln2_.forward(ctx, h);
   f = ff1_.forward(ctx, f.reshaped(Shape{n * t, dim_}));
   f = gelu_.forward(ctx, f);
   f = drop_.forward(ctx, f);
   f = ff2_.forward(ctx, f).reshaped(cached_shape_);
-  tensor::add_(f, h);
+  tensor::add_(ctx.ex(), f, h);
   return f;
 }
 
@@ -168,11 +168,11 @@ Tensor TransformerBlock::backward(StepContext& ctx, const Tensor& grad_out) {
   g_ff = gelu_.backward(ctx, g_ff);
   g_ff = ff1_.backward(ctx, g_ff);
   Tensor g_h = ln2_.backward(ctx, g_ff.reshaped(cached_shape_));
-  tensor::add_(g_h, grad_out);  // residual branch
+  tensor::add_(ctx.ex(), g_h, grad_out);  // residual branch
   // Through the attention residual.
   Tensor g_attn = attn_.backward(ctx, g_h);
   Tensor g_x = ln1_.backward(ctx, g_attn);
-  tensor::add_(g_x, g_h);  // residual branch
+  tensor::add_(ctx.ex(), g_x, g_h);  // residual branch
   return g_x;
 }
 

@@ -50,7 +50,7 @@ tensor::Tensor NeuMF::forward(autograd::StepContext& ctx,
   cache.mlp_i = mlp_item_.forward(ctx, cache.items);
   // GMF: elementwise product.
   cache.gmf_vec = tensor::Tensor(Shape{n, dim_});
-  tensor::mul(cache.gmf_u, cache.gmf_i, cache.gmf_vec);
+  tensor::mul(ctx.ex(), cache.gmf_u, cache.gmf_i, cache.gmf_vec);
   // MLP: concat -> fc -> relu.
   cache.mlp_hidden_in = tensor::Tensor(Shape{n, 2 * dim_});
   for (std::int64_t i = 0; i < n; ++i) {
@@ -102,8 +102,8 @@ float NeuMF::train_step(autograd::StepContext& ctx, const data::Batch& batch) {
   mlp_item_.backward(ctx, cache_.items, g_mlp_i);
   // GMF branch: d(u*i)/du = i, /di = u.
   Tensor g_gmf_u(Shape{n, dim_}), g_gmf_i(Shape{n, dim_});
-  tensor::mul(g_gmf, cache_.gmf_i, g_gmf_u);
-  tensor::mul(g_gmf, cache_.gmf_u, g_gmf_i);
+  tensor::mul(ctx.ex(), g_gmf, cache_.gmf_i, g_gmf_u);
+  tensor::mul(ctx.ex(), g_gmf, cache_.gmf_u, g_gmf_i);
   gmf_user_.backward(ctx, cache_.users, g_gmf_u);
   gmf_item_.backward(ctx, cache_.items, g_gmf_i);
   return loss;

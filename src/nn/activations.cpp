@@ -2,22 +2,39 @@
 
 #include <cmath>
 
+#include "kernels/exec_context.hpp"
+
 namespace easyscale::nn {
 
-Tensor ReLU::forward(StepContext& /*ctx*/, const Tensor& x) {
+namespace {
+/// Elementwise activations are pure per-index maps — owner-computes with no
+/// accumulation at all, so any split is bitwise-safe.
+constexpr std::int64_t kActGrain = 4096;
+/// tanh/exp-heavy maps amortize dispatch sooner.
+constexpr std::int64_t kTranscendentalGrain = 1024;
+}  // namespace
+
+Tensor ReLU::forward(StepContext& ctx, const Tensor& x) {
   cached_input_ = x;
   Tensor out(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    out.at(i) = x.at(i) > 0.0f ? x.at(i) : 0.0f;
-  }
+  kernels::parallel_for(ctx.ex(), x.numel(), kActGrain,
+                        [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            out.at(i) = x.at(i) > 0.0f ? x.at(i) : 0.0f;
+                          }
+                        });
   return out;
 }
 
-Tensor ReLU::backward(StepContext& /*ctx*/, const Tensor& grad_out) {
+Tensor ReLU::backward(StepContext& ctx, const Tensor& grad_out) {
   Tensor grad_in(grad_out.shape());
-  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
-    grad_in.at(i) = cached_input_.at(i) > 0.0f ? grad_out.at(i) : 0.0f;
-  }
+  kernels::parallel_for(
+      ctx.ex(), grad_out.numel(), kActGrain,
+      [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          grad_in.at(i) = cached_input_.at(i) > 0.0f ? grad_out.at(i) : 0.0f;
+        }
+      });
   return grad_in;
 }
 
@@ -26,45 +43,60 @@ constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 constexpr float kGeluA = 0.044715f;
 }  // namespace
 
-Tensor GELU::forward(StepContext& /*ctx*/, const Tensor& x) {
+Tensor GELU::forward(StepContext& ctx, const Tensor& x) {
   cached_input_ = x;
   Tensor out(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    const float v = x.at(i);
-    const float t = std::tanh(kGeluC * (v + kGeluA * v * v * v));
-    out.at(i) = 0.5f * v * (1.0f + t);
-  }
+  kernels::parallel_for(ctx.ex(), x.numel(), kTranscendentalGrain,
+                        [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            const float v = x.at(i);
+                            const float t =
+                                std::tanh(kGeluC * (v + kGeluA * v * v * v));
+                            out.at(i) = 0.5f * v * (1.0f + t);
+                          }
+                        });
   return out;
 }
 
-Tensor GELU::backward(StepContext& /*ctx*/, const Tensor& grad_out) {
+Tensor GELU::backward(StepContext& ctx, const Tensor& grad_out) {
   Tensor grad_in(grad_out.shape());
-  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
-    const float v = cached_input_.at(i);
-    const float u = kGeluC * (v + kGeluA * v * v * v);
-    const float t = std::tanh(u);
-    const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
-    const float d = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
-    grad_in.at(i) = grad_out.at(i) * d;
-  }
+  kernels::parallel_for(
+      ctx.ex(), grad_out.numel(), kTranscendentalGrain,
+      [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float v = cached_input_.at(i);
+          const float u = kGeluC * (v + kGeluA * v * v * v);
+          const float t = std::tanh(u);
+          const float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+          const float d = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+          grad_in.at(i) = grad_out.at(i) * d;
+        }
+      });
   return grad_in;
 }
 
-Tensor Sigmoid::forward(StepContext& /*ctx*/, const Tensor& x) {
+Tensor Sigmoid::forward(StepContext& ctx, const Tensor& x) {
   Tensor out(x.shape());
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    out.at(i) = 1.0f / (1.0f + std::exp(-x.at(i)));
-  }
+  kernels::parallel_for(ctx.ex(), x.numel(), kTranscendentalGrain,
+                        [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            out.at(i) = 1.0f / (1.0f + std::exp(-x.at(i)));
+                          }
+                        });
   cached_output_ = out;
   return out;
 }
 
-Tensor Sigmoid::backward(StepContext& /*ctx*/, const Tensor& grad_out) {
+Tensor Sigmoid::backward(StepContext& ctx, const Tensor& grad_out) {
   Tensor grad_in(grad_out.shape());
-  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
-    const float s = cached_output_.at(i);
-    grad_in.at(i) = grad_out.at(i) * s * (1.0f - s);
-  }
+  kernels::parallel_for(
+      ctx.ex(), grad_out.numel(), kActGrain,
+      [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float s = cached_output_.at(i);
+          grad_in.at(i) = grad_out.at(i) * s * (1.0f - s);
+        }
+      });
   return grad_in;
 }
 

@@ -1,6 +1,8 @@
 #include "nn/attention.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "tensor/ops.hpp"
 
@@ -46,38 +48,48 @@ Tensor MultiheadSelfAttention::forward(StepContext& ctx, const Tensor& x) {
 
   cached_probs_ = Tensor(Shape{n, heads_, t, t});
   Tensor ctx_out(Shape{n * t, dim_});
-  for (std::int64_t s = 0; s < n; ++s) {
-    for (std::int64_t h = 0; h < heads_; ++h) {
-      const std::int64_t off = h * head_dim_;
-      float* probs = cached_probs_.raw() + ((s * heads_ + h) * t * t);
-      for (std::int64_t i = 0; i < t; ++i) {
-        const float* qi = cached_q_.raw() + (s * t + i) * dim_ + off;
-        float row_max = -1e30f;
-        float* prow = probs + i * t;
-        for (std::int64_t j = 0; j < t; ++j) {
-          const float* kj = cached_k_.raw() + (s * t + j) * dim_ + off;
-          float acc = 0.0f;
-          for (std::int64_t d = 0; d < head_dim_; ++d) acc += qi[d] * kj[d];
-          prow[j] = acc * inv_sqrt;
-          row_max = std::max(row_max, prow[j]);
-        }
-        float denom = 0.0f;
-        for (std::int64_t j = 0; j < t; ++j) {
-          prow[j] = std::exp(prow[j] - row_max);
-          denom += prow[j];
-        }
-        for (std::int64_t j = 0; j < t; ++j) prow[j] /= denom;
-        float* out_i = ctx_out.raw() + (s * t + i) * dim_ + off;
-        for (std::int64_t d = 0; d < head_dim_; ++d) {
-          float acc = 0.0f;
-          for (std::int64_t j = 0; j < t; ++j) {
-            acc += prow[j] * cached_v_.at((s * t + j) * dim_ + off + d);
+  // Each (sample, head) pair writes only its own probs plane and its own
+  // head-offset column slice of ctx_out — owner-computes over n*heads.
+  kernels::parallel_for(
+      ctx.ex(), n * heads_,
+      std::max<std::int64_t>(
+          1, 16384 / std::max<std::int64_t>(1, t * t * head_dim_)),
+      [&](int /*chunk*/, std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const std::int64_t s = p / heads_;
+          const std::int64_t h = p % heads_;
+          const std::int64_t off = h * head_dim_;
+          float* probs = cached_probs_.raw() + ((s * heads_ + h) * t * t);
+          for (std::int64_t i = 0; i < t; ++i) {
+            const float* qi = cached_q_.raw() + (s * t + i) * dim_ + off;
+            float row_max = -1e30f;
+            float* prow = probs + i * t;
+            for (std::int64_t j = 0; j < t; ++j) {
+              const float* kj = cached_k_.raw() + (s * t + j) * dim_ + off;
+              float acc = 0.0f;
+              for (std::int64_t d = 0; d < head_dim_; ++d) {
+                acc += qi[d] * kj[d];
+              }
+              prow[j] = acc * inv_sqrt;
+              row_max = std::max(row_max, prow[j]);
+            }
+            float denom = 0.0f;
+            for (std::int64_t j = 0; j < t; ++j) {
+              prow[j] = std::exp(prow[j] - row_max);
+              denom += prow[j];
+            }
+            for (std::int64_t j = 0; j < t; ++j) prow[j] /= denom;
+            float* out_i = ctx_out.raw() + (s * t + i) * dim_ + off;
+            for (std::int64_t d = 0; d < head_dim_; ++d) {
+              float acc = 0.0f;
+              for (std::int64_t j = 0; j < t; ++j) {
+                acc += prow[j] * cached_v_.at((s * t + j) * dim_ + off + d);
+              }
+              out_i[d] = acc;
+            }
           }
-          out_i[d] = acc;
         }
-      }
-    }
-  }
+      });
   Tensor out = wo_.forward(ctx, ctx_out);
   return out.reshaped(Shape{n, t, dim_});
 }
@@ -90,49 +102,60 @@ Tensor MultiheadSelfAttention::backward(StepContext& ctx,
   const Tensor d_ctx = wo_.backward(ctx, g_flat);
 
   Tensor dq(Shape{n * t, dim_}), dk(Shape{n * t, dim_}), dv(Shape{n * t, dim_});
-  std::vector<float> dprobs(static_cast<std::size_t>(t));
-  for (std::int64_t s = 0; s < n; ++s) {
-    for (std::int64_t h = 0; h < heads_; ++h) {
-      const std::int64_t off = h * head_dim_;
-      const float* probs = cached_probs_.raw() + ((s * heads_ + h) * t * t);
-      for (std::int64_t i = 0; i < t; ++i) {
-        const float* prow = probs + i * t;
-        const float* dci = d_ctx.raw() + (s * t + i) * dim_ + off;
-        // dprobs_ij = <d_ctx_i, v_j>, dv_j += p_ij * d_ctx_i
-        for (std::int64_t j = 0; j < t; ++j) {
-          const float* vj = cached_v_.raw() + (s * t + j) * dim_ + off;
-          float* dvj = dv.raw() + (s * t + j) * dim_ + off;
-          float acc = 0.0f;
-          for (std::int64_t d = 0; d < head_dim_; ++d) {
-            acc += dci[d] * vj[d];
-            dvj[d] += prow[j] * dci[d];
+  // dq/dk/dv writes for a (sample, head) pair stay inside that pair's
+  // head-offset column slice, and within a slice the accumulation order is
+  // i-ascending exactly as the sequential loop — owner-computes over
+  // n*heads with a chunk-local dprobs buffer.
+  kernels::parallel_for(
+      ctx.ex(), n * heads_,
+      std::max<std::int64_t>(
+          1, 16384 / std::max<std::int64_t>(1, t * t * head_dim_)),
+      [&](int /*chunk*/, std::int64_t p0, std::int64_t p1) {
+        std::vector<float> dprobs(static_cast<std::size_t>(t));
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const std::int64_t s = p / heads_;
+          const std::int64_t h = p % heads_;
+          const std::int64_t off = h * head_dim_;
+          const float* probs = cached_probs_.raw() + ((s * heads_ + h) * t * t);
+          for (std::int64_t i = 0; i < t; ++i) {
+            const float* prow = probs + i * t;
+            const float* dci = d_ctx.raw() + (s * t + i) * dim_ + off;
+            // dprobs_ij = <d_ctx_i, v_j>, dv_j += p_ij * d_ctx_i
+            for (std::int64_t j = 0; j < t; ++j) {
+              const float* vj = cached_v_.raw() + (s * t + j) * dim_ + off;
+              float* dvj = dv.raw() + (s * t + j) * dim_ + off;
+              float acc = 0.0f;
+              for (std::int64_t d = 0; d < head_dim_; ++d) {
+                acc += dci[d] * vj[d];
+                dvj[d] += prow[j] * dci[d];
+              }
+              dprobs[static_cast<std::size_t>(j)] = acc;
+            }
+            // softmax backward
+            float dot = 0.0f;
+            for (std::int64_t j = 0; j < t; ++j) {
+              dot += prow[j] * dprobs[static_cast<std::size_t>(j)];
+            }
+            float* dqi = dq.raw() + (s * t + i) * dim_ + off;
+            for (std::int64_t j = 0; j < t; ++j) {
+              const float ds = prow[j] *
+                               (dprobs[static_cast<std::size_t>(j)] - dot) *
+                               inv_sqrt;
+              const float* kj = cached_k_.raw() + (s * t + j) * dim_ + off;
+              const float* qi = cached_q_.raw() + (s * t + i) * dim_ + off;
+              float* dkj = dk.raw() + (s * t + j) * dim_ + off;
+              for (std::int64_t d = 0; d < head_dim_; ++d) {
+                dqi[d] += ds * kj[d];
+                dkj[d] += ds * qi[d];
+              }
+            }
           }
-          dprobs[static_cast<std::size_t>(j)] = acc;
         }
-        // softmax backward
-        float dot = 0.0f;
-        for (std::int64_t j = 0; j < t; ++j) {
-          dot += prow[j] * dprobs[static_cast<std::size_t>(j)];
-        }
-        float* dqi = dq.raw() + (s * t + i) * dim_ + off;
-        for (std::int64_t j = 0; j < t; ++j) {
-          const float ds =
-              prow[j] * (dprobs[static_cast<std::size_t>(j)] - dot) * inv_sqrt;
-          const float* kj = cached_k_.raw() + (s * t + j) * dim_ + off;
-          const float* qi = cached_q_.raw() + (s * t + i) * dim_ + off;
-          float* dkj = dk.raw() + (s * t + j) * dim_ + off;
-          for (std::int64_t d = 0; d < head_dim_; ++d) {
-            dqi[d] += ds * kj[d];
-            dkj[d] += ds * qi[d];
-          }
-        }
-      }
-    }
-  }
+      });
   // Backward through the projections; all three saw the same input.
   Tensor dx = wv_.backward(ctx, dv);
-  tensor::add_(dx, wk_.backward(ctx, dk));
-  tensor::add_(dx, wq_.backward(ctx, dq));
+  tensor::add_(ctx.ex(), dx, wk_.backward(ctx, dk));
+  tensor::add_(ctx.ex(), dx, wq_.backward(ctx, dq));
   return dx.reshaped(cached_in_shape_);
 }
 

@@ -1,5 +1,6 @@
 #include "nn/batchnorm.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -48,53 +49,63 @@ Tensor BatchNorm2d::forward(StepContext& ctx, const Tensor& x) {
   cached_inv_std_ = Tensor(Shape{channels_});
   Tensor out(x.shape());
 
-  std::vector<float> gathered(static_cast<std::size_t>(per_channel));
-  for (std::int64_t c = 0; c < channels_; ++c) {
-    // Gather channel c values in (n, h, w) order; the reduce kernel decides
-    // the summation association (device-native tree vs canonical).
-    std::size_t gi = 0;
-    for (std::int64_t s = 0; s < n; ++s) {
-      const float* base = x.raw() + ((s * channels_ + c) * h * w);
-      for (std::int64_t i = 0; i < h * w; ++i) gathered[gi++] = base[i];
-    }
-    float mean, var;
-    if (ctx.training) {
-      mean = kernels::reduce_sum(ctx.ex(), gathered) /
-             static_cast<float>(per_channel);
-      std::vector<float> sq(gathered.size());
-      for (std::size_t i = 0; i < gathered.size(); ++i) {
-        const float d = gathered[i] - mean;
-        sq[i] = d * d;
-      }
-      var = kernels::reduce_sum(ctx.ex(), sq) / static_cast<float>(per_channel);
-      // Running stats use the unbiased variance, matching torch.
-      const float unbiased =
-          per_channel > 1
-              ? var * static_cast<float>(per_channel) /
-                    static_cast<float>(per_channel - 1)
-              : var;
-      running_mean_.at(c) =
-          (1.0f - momentum_) * running_mean_.at(c) + momentum_ * mean;
-      running_var_.at(c) =
-          (1.0f - momentum_) * running_var_.at(c) + momentum_ * unbiased;
-    } else {
-      mean = running_mean_.at(c);
-      var = running_var_.at(c);
-    }
-    const float inv_std = 1.0f / std::sqrt(var + eps_);
-    cached_inv_std_.at(c) = inv_std;
-    const float g = gamma_.value.at(c);
-    const float b = beta_.value.at(c);
-    for (std::int64_t s = 0; s < n; ++s) {
-      const float* src = x.raw() + ((s * channels_ + c) * h * w);
-      float* xh = cached_xhat_.raw() + ((s * channels_ + c) * h * w);
-      float* dst = out.raw() + ((s * channels_ + c) * h * w);
-      for (std::int64_t i = 0; i < h * w; ++i) {
-        xh[i] = (src[i] - mean) * inv_std;
-        dst[i] = g * xh[i] + b;
-      }
-    }
-  }
+  // Channels are fully independent (statistics, running buffers and output
+  // planes are all per-channel), so the channel loop is owner-computes.
+  // Gather buffers are chunk-local; chunks never share mutable state.
+  kernels::parallel_for(
+      ctx.ex(), channels_,
+      std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, per_channel)),
+      [&](int /*chunk*/, std::int64_t c0, std::int64_t c1) {
+        std::vector<float> gathered(static_cast<std::size_t>(per_channel));
+        for (std::int64_t c = c0; c < c1; ++c) {
+          // Gather channel c values in (n, h, w) order; the reduce kernel
+          // decides the summation association (device-native tree vs
+          // canonical).
+          std::size_t gi = 0;
+          for (std::int64_t s = 0; s < n; ++s) {
+            const float* base = x.raw() + ((s * channels_ + c) * h * w);
+            for (std::int64_t i = 0; i < h * w; ++i) gathered[gi++] = base[i];
+          }
+          float mean, var;
+          if (ctx.training) {
+            mean = kernels::reduce_sum(ctx.ex(), gathered) /
+                   static_cast<float>(per_channel);
+            std::vector<float> sq(gathered.size());
+            for (std::size_t i = 0; i < gathered.size(); ++i) {
+              const float d = gathered[i] - mean;
+              sq[i] = d * d;
+            }
+            var = kernels::reduce_sum(ctx.ex(), sq) /
+                  static_cast<float>(per_channel);
+            // Running stats use the unbiased variance, matching torch.
+            const float unbiased =
+                per_channel > 1
+                    ? var * static_cast<float>(per_channel) /
+                          static_cast<float>(per_channel - 1)
+                    : var;
+            running_mean_.at(c) =
+                (1.0f - momentum_) * running_mean_.at(c) + momentum_ * mean;
+            running_var_.at(c) =
+                (1.0f - momentum_) * running_var_.at(c) + momentum_ * unbiased;
+          } else {
+            mean = running_mean_.at(c);
+            var = running_var_.at(c);
+          }
+          const float inv_std = 1.0f / std::sqrt(var + eps_);
+          cached_inv_std_.at(c) = inv_std;
+          const float g = gamma_.value.at(c);
+          const float b = beta_.value.at(c);
+          for (std::int64_t s = 0; s < n; ++s) {
+            const float* src = x.raw() + ((s * channels_ + c) * h * w);
+            float* xh = cached_xhat_.raw() + ((s * channels_ + c) * h * w);
+            float* dst = out.raw() + ((s * channels_ + c) * h * w);
+            for (std::int64_t i = 0; i < h * w; ++i) {
+              xh[i] = (src[i] - mean) * inv_std;
+              dst[i] = g * xh[i] + b;
+            }
+          }
+        }
+      });
   return out;
 }
 
@@ -105,35 +116,42 @@ Tensor BatchNorm2d::backward(StepContext& ctx, const Tensor& grad_out) {
   const std::int64_t per_channel = n * h * w;
   Tensor grad_in(cached_shape_);
 
-  std::vector<float> dy(static_cast<std::size_t>(per_channel));
-  std::vector<float> dyxh(static_cast<std::size_t>(per_channel));
-  for (std::int64_t c = 0; c < channels_; ++c) {
-    std::size_t gi = 0;
-    for (std::int64_t s = 0; s < n; ++s) {
-      const float* gsrc = grad_out.raw() + ((s * channels_ + c) * h * w);
-      const float* xh = cached_xhat_.raw() + ((s * channels_ + c) * h * w);
-      for (std::int64_t i = 0; i < h * w; ++i, ++gi) {
-        dy[gi] = gsrc[i];
-        dyxh[gi] = gsrc[i] * xh[i];
-      }
-    }
-    const float sum_dy = kernels::reduce_sum(ctx.ex(), dy);
-    const float sum_dyxh = kernels::reduce_sum(ctx.ex(), dyxh);
-    gamma_.grad.at(c) += sum_dyxh;
-    beta_.grad.at(c) += sum_dy;
-    const float g = gamma_.value.at(c);
-    const float inv_std = cached_inv_std_.at(c);
-    const float m = static_cast<float>(per_channel);
-    for (std::int64_t s = 0; s < n; ++s) {
-      const float* gsrc = grad_out.raw() + ((s * channels_ + c) * h * w);
-      const float* xh = cached_xhat_.raw() + ((s * channels_ + c) * h * w);
-      float* gdst = grad_in.raw() + ((s * channels_ + c) * h * w);
-      for (std::int64_t i = 0; i < h * w; ++i) {
-        gdst[i] =
-            g * inv_std * (gsrc[i] - sum_dy / m - xh[i] * sum_dyxh / m);
-      }
-    }
-  }
+  kernels::parallel_for(
+      ctx.ex(), channels_,
+      std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, per_channel)),
+      [&](int /*chunk*/, std::int64_t c0, std::int64_t c1) {
+        std::vector<float> dy(static_cast<std::size_t>(per_channel));
+        std::vector<float> dyxh(static_cast<std::size_t>(per_channel));
+        for (std::int64_t c = c0; c < c1; ++c) {
+          std::size_t gi = 0;
+          for (std::int64_t s = 0; s < n; ++s) {
+            const float* gsrc = grad_out.raw() + ((s * channels_ + c) * h * w);
+            const float* xh =
+                cached_xhat_.raw() + ((s * channels_ + c) * h * w);
+            for (std::int64_t i = 0; i < h * w; ++i, ++gi) {
+              dy[gi] = gsrc[i];
+              dyxh[gi] = gsrc[i] * xh[i];
+            }
+          }
+          const float sum_dy = kernels::reduce_sum(ctx.ex(), dy);
+          const float sum_dyxh = kernels::reduce_sum(ctx.ex(), dyxh);
+          gamma_.grad.at(c) += sum_dyxh;
+          beta_.grad.at(c) += sum_dy;
+          const float g = gamma_.value.at(c);
+          const float inv_std = cached_inv_std_.at(c);
+          const float m = static_cast<float>(per_channel);
+          for (std::int64_t s = 0; s < n; ++s) {
+            const float* gsrc = grad_out.raw() + ((s * channels_ + c) * h * w);
+            const float* xh =
+                cached_xhat_.raw() + ((s * channels_ + c) * h * w);
+            float* gdst = grad_in.raw() + ((s * channels_ + c) * h * w);
+            for (std::int64_t i = 0; i < h * w; ++i) {
+              gdst[i] =
+                  g * inv_std * (gsrc[i] - sum_dy / m - xh[i] * sum_dyxh / m);
+            }
+          }
+        }
+      });
   ctx.mark_ready(gamma_.id);
   ctx.mark_ready(beta_.id);
   return grad_in;

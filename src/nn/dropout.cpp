@@ -1,5 +1,7 @@
 #include "nn/dropout.hpp"
 
+#include "kernels/exec_context.hpp"
+
 namespace easyscale::nn {
 
 Tensor Dropout::forward(StepContext& ctx, const Tensor& x) {
@@ -11,6 +13,9 @@ Tensor Dropout::forward(StepContext& ctx, const Tensor& x) {
   const float scale = 1.0f / (1.0f - p_);
   cached_mask_ = Tensor(x.shape());
   Tensor out(x.shape());
+  // Deliberately sequential: each element consumes one draw from the
+  // shared RNG stream, so the draw order IS the mask.  Splitting this loop
+  // would permute draws across threads and change training trajectories.
   for (std::int64_t i = 0; i < x.numel(); ++i) {
     const float keep = gen.next_float() >= p_ ? scale : 0.0f;
     cached_mask_.at(i) = keep;
@@ -19,12 +24,16 @@ Tensor Dropout::forward(StepContext& ctx, const Tensor& x) {
   return out;
 }
 
-Tensor Dropout::backward(StepContext& /*ctx*/, const Tensor& grad_out) {
+Tensor Dropout::backward(StepContext& ctx, const Tensor& grad_out) {
   if (!cached_mask_.defined()) return grad_out;
   Tensor grad_in(grad_out.shape());
-  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
-    grad_in.at(i) = grad_out.at(i) * cached_mask_.at(i);
-  }
+  kernels::parallel_for(
+      ctx.ex(), grad_out.numel(), 4096,
+      [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          grad_in.at(i) = grad_out.at(i) * cached_mask_.at(i);
+        }
+      });
   return grad_in;
 }
 

@@ -1,5 +1,6 @@
 #include "nn/layernorm.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "kernels/reduce.hpp"
@@ -29,49 +30,74 @@ Tensor LayerNorm::forward(StepContext& ctx, const Tensor& x) {
   cached_xhat_ = Tensor(x.shape());
   cached_inv_std_ = Tensor(Shape{rows});
   Tensor out(x.shape());
-  for (std::int64_t r = 0; r < rows; ++r) {
-    std::span<const float> row(x.raw() + r * dim_,
-                               static_cast<std::size_t>(dim_));
-    const float mean =
-        kernels::reduce_sum(ctx.ex(), row) / static_cast<float>(dim_);
-    float var = 0.0f;
-    for (std::int64_t i = 0; i < dim_; ++i) {
-      const float d = row[static_cast<std::size_t>(i)] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(dim_);
-    const float inv_std = 1.0f / std::sqrt(var + eps_);
-    cached_inv_std_.at(r) = inv_std;
-    for (std::int64_t i = 0; i < dim_; ++i) {
-      const float xh = (row[static_cast<std::size_t>(i)] - mean) * inv_std;
-      cached_xhat_.at(r * dim_ + i) = xh;
-      out.at(r * dim_ + i) = gamma_.value.at(i) * xh + beta_.value.at(i);
-    }
-  }
+  // Rows normalize independently — owner-computes over rows.
+  kernels::parallel_for(
+      ctx.ex(), rows,
+      std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, dim_)),
+      [&](int /*chunk*/, std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          std::span<const float> row(x.raw() + r * dim_,
+                                     static_cast<std::size_t>(dim_));
+          const float mean =
+              kernels::reduce_sum(ctx.ex(), row) / static_cast<float>(dim_);
+          float var = 0.0f;
+          for (std::int64_t i = 0; i < dim_; ++i) {
+            const float d = row[static_cast<std::size_t>(i)] - mean;
+            var += d * d;
+          }
+          var /= static_cast<float>(dim_);
+          const float inv_std = 1.0f / std::sqrt(var + eps_);
+          cached_inv_std_.at(r) = inv_std;
+          for (std::int64_t i = 0; i < dim_; ++i) {
+            const float xh =
+                (row[static_cast<std::size_t>(i)] - mean) * inv_std;
+            cached_xhat_.at(r * dim_ + i) = xh;
+            out.at(r * dim_ + i) = gamma_.value.at(i) * xh + beta_.value.at(i);
+          }
+        }
+      });
   return out;
 }
 
 Tensor LayerNorm::backward(StepContext& ctx, const Tensor& grad_out) {
   const std::int64_t rows = grad_out.numel() / dim_;
   Tensor grad_in(cached_shape_);
-  for (std::int64_t r = 0; r < rows; ++r) {
-    float sum_dy = 0.0f, sum_dyxh = 0.0f;
-    for (std::int64_t i = 0; i < dim_; ++i) {
-      const float dy = grad_out.at(r * dim_ + i) * gamma_.value.at(i);
-      sum_dy += dy;
-      sum_dyxh += dy * cached_xhat_.at(r * dim_ + i);
-    }
-    const float inv_std = cached_inv_std_.at(r);
-    const float m = static_cast<float>(dim_);
-    for (std::int64_t i = 0; i < dim_; ++i) {
-      const float dy = grad_out.at(r * dim_ + i) * gamma_.value.at(i);
-      const float xh = cached_xhat_.at(r * dim_ + i);
-      grad_in.at(r * dim_ + i) =
-          inv_std * (dy - sum_dy / m - xh * sum_dyxh / m);
-      gamma_.grad.at(i) += grad_out.at(r * dim_ + i) * xh;
-      beta_.grad.at(i) += grad_out.at(r * dim_ + i);
-    }
-  }
+  // Two owner-computes passes: grad_in rows are independent; gamma/beta
+  // gradients accumulate per column in ascending-row order, exactly as the
+  // single sequential loop did.
+  kernels::parallel_for(
+      ctx.ex(), rows,
+      std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, dim_)),
+      [&](int /*chunk*/, std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          float sum_dy = 0.0f, sum_dyxh = 0.0f;
+          for (std::int64_t i = 0; i < dim_; ++i) {
+            const float dy = grad_out.at(r * dim_ + i) * gamma_.value.at(i);
+            sum_dy += dy;
+            sum_dyxh += dy * cached_xhat_.at(r * dim_ + i);
+          }
+          const float inv_std = cached_inv_std_.at(r);
+          const float m = static_cast<float>(dim_);
+          for (std::int64_t i = 0; i < dim_; ++i) {
+            const float dy = grad_out.at(r * dim_ + i) * gamma_.value.at(i);
+            const float xh = cached_xhat_.at(r * dim_ + i);
+            grad_in.at(r * dim_ + i) =
+                inv_std * (dy - sum_dy / m - xh * sum_dyxh / m);
+          }
+        }
+      });
+  kernels::parallel_for(
+      ctx.ex(), dim_,
+      std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, rows)),
+      [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          for (std::int64_t r = 0; r < rows; ++r) {
+            const float xh = cached_xhat_.at(r * dim_ + i);
+            gamma_.grad.at(i) += grad_out.at(r * dim_ + i) * xh;
+            beta_.grad.at(i) += grad_out.at(r * dim_ + i);
+          }
+        }
+      });
   ctx.mark_ready(gamma_.id);
   ctx.mark_ready(beta_.id);
   return grad_in;

@@ -1,5 +1,7 @@
 #include "nn/linear.hpp"
 
+#include <algorithm>
+
 #include "nn/init.hpp"
 
 #include "kernels/gemm.hpp"
@@ -34,12 +36,17 @@ Tensor Linear::forward(StepContext& ctx, const Tensor& x) {
   kernels::gemm_nt(ctx.ex(), n, out_features_, in_features_, x.data(),
                    weight_.value.data(), out.data(), false);
   if (has_bias_) {
-    for (std::int64_t r = 0; r < n; ++r) {
-      float* row = out.raw() + r * out_features_;
-      for (std::int64_t c = 0; c < out_features_; ++c) {
-        row[c] += bias_.value.at(c);
-      }
-    }
+    kernels::parallel_for(
+        ctx.ex(), n,
+        std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, out_features_)),
+        [&](int /*chunk*/, std::int64_t r0, std::int64_t r1) {
+          for (std::int64_t r = r0; r < r1; ++r) {
+            float* row = out.raw() + r * out_features_;
+            for (std::int64_t c = 0; c < out_features_; ++c) {
+              row[c] += bias_.value.at(c);
+            }
+          }
+        });
   }
   return out;
 }
@@ -51,10 +58,11 @@ Tensor Linear::backward(StepContext& ctx, const Tensor& grad_out) {
                    cached_input_.data(), weight_.grad.data(), true);
   ctx.mark_ready(weight_.id);
   if (has_bias_) {
-    for (std::int64_t c = 0; c < out_features_; ++c) {
-      bias_.grad.at(c) += kernels::reduce_sum_strided(
-          ctx.ex(), grad_out.data(), c, out_features_, n);
-    }
+    // Each output feature's bias gradient reduces an independent stride;
+    // the batched form parallelizes across features with the same per-slot
+    // reduction tree.
+    kernels::reduce_sum_strided_batch(ctx.ex(), grad_out.data(),
+                                      out_features_, n, bias_.grad.data());
     ctx.mark_ready(bias_.id);
   }
   // dX[n, in] = dY[n, out] * W[out, in]

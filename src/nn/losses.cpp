@@ -1,12 +1,20 @@
 #include "nn/losses.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
+#include "kernels/exec_context.hpp"
 
 namespace easyscale::nn {
 
-float SoftmaxCrossEntropy::forward(autograd::StepContext& /*ctx*/,
+// The loss forwards below parallelize the expensive per-row / per-element
+// term computation into an indexed buffer, then fold the buffer
+// sequentially in ascending index order — the exact association the old
+// single loop used, so the scalar loss is bitwise thread-invariant.
+
+float SoftmaxCrossEntropy::forward(autograd::StepContext& ctx,
                                    const tensor::Tensor& logits,
                                    const tensor::LongTensor& labels) {
   ES_CHECK(logits.shape().rank() == 2, "cross-entropy expects [N, C]");
@@ -15,21 +23,33 @@ float SoftmaxCrossEntropy::forward(autograd::StepContext& /*ctx*/,
   ES_CHECK(labels.numel() == n, "label count mismatch");
   probs_ = tensor::Tensor(logits.shape());
   labels_ = labels;
+  std::vector<float> row_loss(static_cast<std::size_t>(n));
+  kernels::parallel_for(
+      ctx.ex(), n,
+      std::max<std::int64_t>(1, 1024 / std::max<std::int64_t>(1, c)),
+      [&](int /*chunk*/, std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* row = logits.raw() + r * c;
+          float row_max = row[0];
+          for (std::int64_t j = 1; j < c; ++j) {
+            row_max = std::max(row_max, row[j]);
+          }
+          float denom = 0.0f;
+          float* prow = probs_.raw() + r * c;
+          for (std::int64_t j = 0; j < c; ++j) {
+            prow[j] = std::exp(row[j] - row_max);
+            denom += prow[j];
+          }
+          for (std::int64_t j = 0; j < c; ++j) prow[j] /= denom;
+          const std::int64_t y = labels.at(r);
+          ES_CHECK(y >= 0 && y < c, "label out of range");
+          row_loss[static_cast<std::size_t>(r)] =
+              -std::log(std::max(prow[y], 1e-12f));
+        }
+      });
   float loss = 0.0f;
   for (std::int64_t r = 0; r < n; ++r) {
-    const float* row = logits.raw() + r * c;
-    float row_max = row[0];
-    for (std::int64_t j = 1; j < c; ++j) row_max = std::max(row_max, row[j]);
-    float denom = 0.0f;
-    float* prow = probs_.raw() + r * c;
-    for (std::int64_t j = 0; j < c; ++j) {
-      prow[j] = std::exp(row[j] - row_max);
-      denom += prow[j];
-    }
-    for (std::int64_t j = 0; j < c; ++j) prow[j] /= denom;
-    const std::int64_t y = labels.at(r);
-    ES_CHECK(y >= 0 && y < c, "label out of range");
-    loss += -std::log(std::max(prow[y], 1e-12f));
+    loss += row_loss[static_cast<std::size_t>(r)];
   }
   return loss / static_cast<float>(n);
 }
@@ -48,21 +68,30 @@ tensor::Tensor SoftmaxCrossEntropy::backward() const {
   return grad;
 }
 
-float BCEWithLogits::forward(autograd::StepContext& /*ctx*/,
+float BCEWithLogits::forward(autograd::StepContext& ctx,
                              const tensor::Tensor& logits,
                              const tensor::Tensor& targets) {
   ES_CHECK(logits.numel() == targets.numel(), "BCE size mismatch");
   const std::int64_t n = logits.numel();
   sigmoid_ = tensor::Tensor(logits.shape());
   targets_ = targets;
+  std::vector<float> terms(static_cast<std::size_t>(n));
+  kernels::parallel_for(
+      ctx.ex(), n, 1024,
+      [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float x = logits.at(i);
+          const float s = 1.0f / (1.0f + std::exp(-x));
+          sigmoid_.at(i) = s;
+          // Numerically-stable form: max(x,0) - x*t + log(1+exp(-|x|)).
+          terms[static_cast<std::size_t>(i)] =
+              std::max(x, 0.0f) - x * targets.at(i) +
+              std::log1p(std::exp(-std::abs(x)));
+        }
+      });
   float loss = 0.0f;
   for (std::int64_t i = 0; i < n; ++i) {
-    const float x = logits.at(i);
-    const float s = 1.0f / (1.0f + std::exp(-x));
-    sigmoid_.at(i) = s;
-    // Numerically-stable form: max(x,0) - x*t + log(1+exp(-|x|)).
-    loss += std::max(x, 0.0f) - x * targets.at(i) +
-            std::log1p(std::exp(-std::abs(x)));
+    loss += terms[static_cast<std::size_t>(i)];
   }
   return loss / static_cast<float>(n);
 }
@@ -77,17 +106,23 @@ tensor::Tensor BCEWithLogits::backward() const {
   return grad;
 }
 
-float MSELoss::forward(autograd::StepContext& /*ctx*/,
-                       const tensor::Tensor& pred,
+float MSELoss::forward(autograd::StepContext& ctx, const tensor::Tensor& pred,
                        const tensor::Tensor& target) {
   ES_CHECK(pred.numel() == target.numel(), "MSE size mismatch");
   const std::int64_t n = pred.numel();
   diff_ = tensor::Tensor(pred.shape());
+  std::vector<float> terms(static_cast<std::size_t>(n));
+  kernels::parallel_for(ctx.ex(), n, 4096,
+                        [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            const float d = pred.at(i) - target.at(i);
+                            diff_.at(i) = d;
+                            terms[static_cast<std::size_t>(i)] = d * d;
+                          }
+                        });
   float loss = 0.0f;
   for (std::int64_t i = 0; i < n; ++i) {
-    const float d = pred.at(i) - target.at(i);
-    diff_.at(i) = d;
-    loss += d * d;
+    loss += terms[static_cast<std::size_t>(i)];
   }
   return loss / static_cast<float>(n);
 }

@@ -5,11 +5,16 @@
 namespace easyscale::tensor {
 
 namespace {
+
+/// Elementwise grain: chunks below this are not worth a dispatch.
+constexpr std::int64_t kElementwiseGrain = 4096;
+
 void check_same_shape(const Tensor& a, const Tensor& b) {
   ES_CHECK(a.shape() == b.shape(), "shape mismatch " << a.shape().to_string()
                                                      << " vs "
                                                      << b.shape().to_string());
 }
+
 }  // namespace
 
 void add(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -47,6 +52,73 @@ void mul(const Tensor& a, const Tensor& b, Tensor& out) {
 
 void scale_(Tensor& a, float s) {
   for (auto& v : a.data()) v *= s;
+}
+
+void add(const kernels::ExecContext& ctx, const Tensor& a, const Tensor& b,
+         Tensor& out) {
+  check_same_shape(a, b);
+  check_same_shape(a, out);
+  kernels::parallel_for(ctx, a.numel(), kElementwiseGrain,
+                        [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            out.at(i) = a.at(i) + b.at(i);
+                          }
+                        });
+}
+
+void add_(const kernels::ExecContext& ctx, Tensor& a, const Tensor& b) {
+  check_same_shape(a, b);
+  kernels::parallel_for(ctx, a.numel(), kElementwiseGrain,
+                        [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            a.at(i) += b.at(i);
+                          }
+                        });
+}
+
+void axpy_(const kernels::ExecContext& ctx, Tensor& a, float alpha,
+           const Tensor& b) {
+  check_same_shape(a, b);
+  kernels::parallel_for(ctx, a.numel(), kElementwiseGrain,
+                        [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            a.at(i) += alpha * b.at(i);
+                          }
+                        });
+}
+
+void sub(const kernels::ExecContext& ctx, const Tensor& a, const Tensor& b,
+         Tensor& out) {
+  check_same_shape(a, b);
+  check_same_shape(a, out);
+  kernels::parallel_for(ctx, a.numel(), kElementwiseGrain,
+                        [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            out.at(i) = a.at(i) - b.at(i);
+                          }
+                        });
+}
+
+void mul(const kernels::ExecContext& ctx, const Tensor& a, const Tensor& b,
+         Tensor& out) {
+  check_same_shape(a, b);
+  check_same_shape(a, out);
+  kernels::parallel_for(ctx, a.numel(), kElementwiseGrain,
+                        [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            out.at(i) = a.at(i) * b.at(i);
+                          }
+                        });
+}
+
+void scale_(const kernels::ExecContext& ctx, Tensor& a, float s) {
+  std::span<float> data = a.data();
+  kernels::parallel_for(ctx, a.numel(), kElementwiseGrain,
+                        [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                          for (std::int64_t i = i0; i < i1; ++i) {
+                            data[static_cast<std::size_t>(i)] *= s;
+                          }
+                        });
 }
 
 float sum_sequential(std::span<const float> values) {

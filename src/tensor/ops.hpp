@@ -1,23 +1,39 @@
 // Elementwise and simple structural tensor ops.  All loops run in a fixed
 // ascending-index order, so results are bitwise stable on any host.
+//
+// The context-taking overloads split the index range across the context's
+// intra-op pool; every output element is written by exactly one chunk with
+// no cross-element accumulation, so they are bitwise identical to the
+// sequential overloads for any thread count.
 #pragma once
 
+#include "kernels/exec_context.hpp"
 #include "tensor/tensor.hpp"
 
 namespace easyscale::tensor {
 
 /// out[i] = a[i] + b[i]
 void add(const Tensor& a, const Tensor& b, Tensor& out);
+void add(const kernels::ExecContext& ctx, const Tensor& a, const Tensor& b,
+         Tensor& out);
 /// a[i] += b[i]
 void add_(Tensor& a, const Tensor& b);
+void add_(const kernels::ExecContext& ctx, Tensor& a, const Tensor& b);
 /// a[i] += alpha * b[i]
 void axpy_(Tensor& a, float alpha, const Tensor& b);
+void axpy_(const kernels::ExecContext& ctx, Tensor& a, float alpha,
+           const Tensor& b);
 /// out[i] = a[i] - b[i]
 void sub(const Tensor& a, const Tensor& b, Tensor& out);
+void sub(const kernels::ExecContext& ctx, const Tensor& a, const Tensor& b,
+         Tensor& out);
 /// out[i] = a[i] * b[i]
 void mul(const Tensor& a, const Tensor& b, Tensor& out);
+void mul(const kernels::ExecContext& ctx, const Tensor& a, const Tensor& b,
+         Tensor& out);
 /// a[i] *= s
 void scale_(Tensor& a, float s);
+void scale_(const kernels::ExecContext& ctx, Tensor& a, float s);
 
 /// Sequential left-to-right sum (the canonical deterministic order).
 [[nodiscard]] float sum_sequential(std::span<const float> values);

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "core/checkpoint_io.hpp"
 #include "core/checkpoint_manager.hpp"
@@ -199,7 +200,10 @@ TEST_P(CrashRecoveryTest, DiskRestoreIsBitwiseExact) {
   reference.configure_workers(std::vector<WorkerSpec>(2));
   reference.run_steps(total_steps);
 
-  const auto path = temp_path("crash.ckpt");
+  // Unique per crash point: ctest runs the instances as concurrent
+  // processes sharing one temp dir.
+  const auto path =
+      temp_path(("crash_" + std::to_string(crash_step) + ".ckpt").c_str());
   {
     EasyScaleEngine victim(cfg, *wd.train, wd.augment);
     victim.configure_workers(std::vector<WorkerSpec>(2));

@@ -307,9 +307,10 @@ TEST(Conv, Im2colCol2imRoundTripAccumulates) {
                .groups = 1};
   const auto input = random_vec(16);
   std::vector<float> cols(16);
-  im2col(d, input, 0, cols);
+  ExecContext ctx;
+  im2col(ctx, d, input, 0, cols);
   std::vector<float> back(16, 0.0f);
-  col2im(d, cols, 0, back);
+  col2im(ctx, d, cols, 0, back);
   for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(back[i], input[i]);
 }
 

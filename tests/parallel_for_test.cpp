@@ -1,0 +1,203 @@
+// ComputePool / parallel_for contract: static size-derived partitioning,
+// exception propagation, nested-inline behavior, lazy growth, and safety
+// under concurrent callers (the engine's parallel_workers composition).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/digest.hpp"
+#include "common/parallel_for.hpp"
+
+namespace easyscale {
+namespace {
+
+TEST(ParallelFor, PartitionCoversRangeExactlyOnce) {
+  ComputePool pool(3);
+  for (const std::int64_t n : {0L, 1L, 7L, 64L, 1000L, 1023L}) {
+    for (const int ways : {1, 2, 3, 4, 8}) {
+      for (const std::int64_t grain : {1L, 5L, 100L}) {
+        std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+        pool.parallel_for(ways, n, grain,
+                          [&](int /*chunk*/, std::int64_t b, std::int64_t e) {
+                            for (std::int64_t i = b; i < e; ++i) {
+                              hits[static_cast<std::size_t>(i)].fetch_add(1);
+                            }
+                          });
+        for (std::int64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+              << "n=" << n << " ways=" << ways << " grain=" << grain
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, ChunkBoundariesAreSizeDerived) {
+  // The same (n, ways, grain) must produce the same chunk set no matter how
+  // many helpers exist or which run we observe.
+  auto boundaries = [](ComputePool& pool, int ways, std::int64_t n,
+                       std::int64_t grain) {
+    std::mutex m;
+    std::vector<std::pair<std::int64_t, std::int64_t>> out;
+    pool.parallel_for(ways, n, grain,
+                      [&](int /*chunk*/, std::int64_t b, std::int64_t e) {
+                        std::lock_guard<std::mutex> lock(m);
+                        out.emplace_back(b, e);
+                      });
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  ComputePool small(1);
+  ComputePool large(7);
+  for (const std::int64_t n : {10L, 100L, 999L}) {
+    EXPECT_EQ(boundaries(small, 4, n, 1), boundaries(large, 4, n, 1));
+    EXPECT_EQ(boundaries(small, 8, n, 16), boundaries(large, 8, n, 16));
+  }
+}
+
+TEST(ParallelFor, ZeroHelperPoolGrowsOnDemand) {
+  // A pool constructed empty defers thread creation; the first multi-way
+  // call grows it to ways-1 helpers and still covers the range exactly.
+  ComputePool pool(0);
+  EXPECT_EQ(pool.helpers(), 0u);
+  std::atomic<std::int64_t> covered{0};
+  pool.parallel_for(4, 100, 1,
+                    [&](int /*chunk*/, std::int64_t b, std::int64_t e) {
+                      covered += e - b;
+                    });
+  EXPECT_EQ(covered.load(), 100);
+  EXPECT_EQ(pool.helpers(), 3u);
+}
+
+TEST(ParallelFor, SingleWayRunsOnCallerWithoutGrowth) {
+  ComputePool pool(0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> off_thread{false};
+  std::atomic<std::int64_t> covered{0};
+  pool.parallel_for(1, 100, 1,
+                    [&](int /*chunk*/, std::int64_t b, std::int64_t e) {
+                      if (std::this_thread::get_id() != caller) {
+                        off_thread = true;
+                      }
+                      covered += e - b;
+                    });
+  EXPECT_FALSE(off_thread.load());
+  EXPECT_EQ(covered.load(), 100);
+  EXPECT_EQ(pool.helpers(), 0u);  // single-way never spawns threads
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  ComputePool pool(3);
+  std::atomic<int> outer_chunks{0};
+  std::atomic<std::int64_t> inner_total{0};
+  pool.parallel_for(4, 8, 1,
+                    [&](int /*chunk*/, std::int64_t b, std::int64_t e) {
+                      EXPECT_TRUE(ComputePool::in_parallel_region());
+                      ++outer_chunks;
+                      // A nested call must not deadlock and must still cover
+                      // its range (inline, single chunk).
+                      pool.parallel_for(
+                          4, 10, 1,
+                          [&](int chunk, std::int64_t ib, std::int64_t ie) {
+                            EXPECT_EQ(chunk, 0);
+                            inner_total += ie - ib;
+                          });
+                      (void)b;
+                      (void)e;
+                    });
+  EXPECT_FALSE(ComputePool::in_parallel_region());
+  // Each outer chunk's nested call covers the full inner range inline.
+  EXPECT_EQ(inner_total.load(), outer_chunks.load() * 10);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  ComputePool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(4, 100, 1,
+                        [&](int /*chunk*/, std::int64_t b, std::int64_t /*e*/) {
+                          if (b == 0) throw std::runtime_error("chunk failure");
+                        }),
+      std::runtime_error);
+  // The pool must remain usable after an exception.
+  std::atomic<std::int64_t> covered{0};
+  pool.parallel_for(4, 50, 1,
+                    [&](int /*chunk*/, std::int64_t b, std::int64_t e) {
+                      covered += e - b;
+                    });
+  EXPECT_EQ(covered.load(), 50);
+}
+
+TEST(ParallelFor, EnsureHelpersGrowsNeverShrinks) {
+  ComputePool pool(1);
+  EXPECT_EQ(pool.helpers(), 1u);
+  pool.ensure_helpers(3);
+  EXPECT_EQ(pool.helpers(), 3u);
+  pool.ensure_helpers(2);  // no shrink
+  EXPECT_EQ(pool.helpers(), 3u);
+}
+
+TEST(ParallelFor, ResultsBitwiseEqualAcrossWays) {
+  // Owner-computes float work: out[i] = f(i) with a per-element sequential
+  // accumulation.  Must be bitwise identical for every ways value.
+  auto run = [](ComputePool& pool, int ways) {
+    const std::int64_t n = 4096;
+    std::vector<float> out(static_cast<std::size_t>(n));
+    pool.parallel_for(ways, n, 64,
+                      [&](int /*chunk*/, std::int64_t b, std::int64_t e) {
+                        for (std::int64_t i = b; i < e; ++i) {
+                          float acc = 0.0f;
+                          for (int j = 1; j <= 32; ++j) {
+                            acc += 1.0f / static_cast<float>(i + j);
+                          }
+                          out[static_cast<std::size_t>(i)] = acc;
+                        }
+                      });
+    return digest_floats(out);
+  };
+  ComputePool pool(7);
+  const auto d1 = run(pool, 1);
+  EXPECT_EQ(d1, run(pool, 2));
+  EXPECT_EQ(d1, run(pool, 4));
+  EXPECT_EQ(d1, run(pool, 8));
+}
+
+TEST(ParallelFor, ConcurrentCallersShareOnePool) {
+  // Two caller threads issuing parallel_for on the same pool concurrently —
+  // the engine's parallel_workers + intra-op composition.  Completion of one
+  // call must never depend on or consume the other's chunks.
+  ComputePool pool(4);
+  auto work = [&pool](std::vector<float>& out) {
+    const std::int64_t n = static_cast<std::int64_t>(out.size());
+    for (int rep = 0; rep < 50; ++rep) {
+      pool.parallel_for(4, n, 16,
+                        [&](int /*chunk*/, std::int64_t b, std::int64_t e) {
+                          for (std::int64_t i = b; i < e; ++i) {
+                            out[static_cast<std::size_t>(i)] += 1.0f;
+                          }
+                        });
+    }
+  };
+  std::vector<float> a(1000, 0.0f), b(1000, 0.0f);
+  std::thread ta([&] { work(a); });
+  std::thread tb([&] { work(b); });
+  ta.join();
+  tb.join();
+  for (float v : a) ASSERT_EQ(v, 50.0f);
+  for (float v : b) ASSERT_EQ(v, 50.0f);
+}
+
+TEST(ParallelFor, EnvDefaultIsCachedAndClamped) {
+  const int v = ComputePool::env_default_threads();
+  EXPECT_GE(v, 1);
+  EXPECT_LE(v, 256);
+  EXPECT_EQ(v, ComputePool::env_default_threads());
+}
+
+}  // namespace
+}  // namespace easyscale
