@@ -55,9 +55,40 @@ std::int64_t gradient_bytes(const GradientSet& set) {
   return bytes;
 }
 
+void validate_allreduce_inputs(const BucketLayout& layout,
+                               const std::vector<GradientSet*>& parts) {
+  ES_CHECK(!parts.empty(), "allreduce over zero participants");
+  for (std::size_t r = 0; r < parts.size(); ++r) {
+    ES_CHECK(parts[r] != nullptr, "allreduce part " << r << " is null");
+    ES_CHECK(parts[r]->grads.size() == parts[0]->grads.size(),
+             "allreduce part " << r << " has " << parts[r]->grads.size()
+                               << " gradients, part 0 has "
+                               << parts[0]->grads.size());
+  }
+  const auto num_grads = static_cast<std::int64_t>(parts[0]->grads.size());
+  std::vector<bool> seen(parts[0]->grads.size(), false);
+  for (std::size_t b = 0; b < layout.buckets.size(); ++b) {
+    for (int id : layout.buckets[b]) {
+      ES_CHECK(id >= 0 && id < num_grads,
+               "bucket " << b << " references gradient " << id
+                         << " outside [0, " << num_grads << ")");
+      ES_CHECK(!seen[static_cast<std::size_t>(id)],
+               "gradient " << id << " appears in two buckets");
+      seen[static_cast<std::size_t>(id)] = true;
+      for (std::size_t r = 1; r < parts.size(); ++r) {
+        ES_CHECK(parts[r]->grads[static_cast<std::size_t>(id)].numel() ==
+                     parts[0]->grads[static_cast<std::size_t>(id)].numel(),
+                 "gradient " << id << " shape disagrees between part 0 and "
+                             << "part " << r
+                             << " (bucket layout cannot apply)");
+      }
+    }
+  }
+}
+
 void allreduce_average(const BucketLayout& layout,
                        std::vector<GradientSet*>& parts) {
-  ES_CHECK(!parts.empty(), "allreduce over zero participants");
+  validate_allreduce_inputs(layout, parts);
   const float inv_world = 1.0f / static_cast<float>(parts.size());
   for (const auto& bucket : layout.buckets) {
     std::int64_t flat_len = 0;

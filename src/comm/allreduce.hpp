@@ -39,6 +39,13 @@ struct GradientSet {
   static GradientSet load(ByteReader& r);
 };
 
+/// Reject malformed collective inputs with a structured Error instead of
+/// UB: empty `parts`, null part pointers, ragged gradient counts, bucket
+/// ids outside the gradient range or referenced twice, and parts whose
+/// per-parameter gradient shapes disagree across participants.
+void validate_allreduce_inputs(const BucketLayout& layout,
+                               const std::vector<GradientSet*>& parts);
+
 /// In-place bucketed ring all-reduce + average over all parts.
 void allreduce_average(const BucketLayout& layout,
                        std::vector<GradientSet*>& parts);

@@ -1,0 +1,293 @@
+#include "comm/transport.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "rng/philox.hpp"
+
+namespace easyscale::comm {
+
+const char* to_string(LinkFaultKind kind) {
+  switch (kind) {
+    case LinkFaultKind::kDropChunk:
+      return "drop_chunk";
+    case LinkFaultKind::kStallLink:
+      return "stall_link";
+    case LinkFaultKind::kCorruptChunk:
+      return "corrupt_chunk";
+    case LinkFaultKind::kRankDeath:
+      return "rank_death";
+    default:
+      return "unknown";
+  }
+}
+
+void CommFaultEvent::save(ByteWriter& w) const {
+  w.write<std::uint8_t>(static_cast<std::uint8_t>(kind));
+  w.write(collective);
+  w.write<std::int64_t>(rank);
+  w.write(stall_s);
+  w.write(payload_seed);
+}
+
+std::string CommFaultEvent::to_string() const {
+  std::ostringstream os;
+  os << comm::to_string(kind) << "@op" << collective << "/rank" << rank;
+  return os.str();
+}
+
+std::vector<CommFaultEvent> sample_comm_faults(const CommFaultPlanConfig& cfg) {
+  ES_CHECK(cfg.world > 0, "comm fault plan needs at least one rank");
+  ES_CHECK(cfg.horizon_collectives >= 1, "comm fault horizon must be positive");
+  rng::Philox gen(cfg.seed);
+  // One Bernoulli draw per (collective, kind) in a fixed kind order, so the
+  // stream consumption — and the schedule — is seed-deterministic (the same
+  // discipline as fault::FaultInjector::from_config).
+  const struct {
+    LinkFaultKind kind;
+    double rate;
+  } kinds[] = {
+      {LinkFaultKind::kDropChunk, cfg.drop_rate},
+      {LinkFaultKind::kStallLink, cfg.stall_rate},
+      {LinkFaultKind::kCorruptChunk, cfg.corrupt_rate},
+      {LinkFaultKind::kRankDeath, cfg.death_rate},
+  };
+  std::vector<CommFaultEvent> events;
+  for (std::int64_t op = 0; op < cfg.horizon_collectives; ++op) {
+    for (const auto& k : kinds) {
+      const double u = gen.next_double();
+      const auto rank = static_cast<int>(
+          gen.next_below(static_cast<std::uint64_t>(cfg.world)));
+      const std::uint64_t sub_seed = gen.next_u64();
+      if (u >= k.rate) continue;
+      CommFaultEvent e;
+      e.kind = k.kind;
+      e.collective = op;
+      e.rank = rank;
+      e.payload_seed = sub_seed;
+      if (k.kind == LinkFaultKind::kStallLink) e.stall_s = cfg.stall_s;
+      events.push_back(e);
+    }
+  }
+  return events;
+}
+
+SimTransport::SimTransport(int world, TransportConfig cfg,
+                           std::vector<CommFaultEvent> schedule)
+    : cfg_(cfg), schedule_(std::move(schedule)) {
+  ES_CHECK(world > 0, "transport world must be positive");
+  ES_CHECK(cfg_.link_bandwidth_bps > 0.0, "link bandwidth must be positive");
+  ES_CHECK(cfg_.recv_deadline_s > 0.0, "receive deadline must be positive");
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const CommFaultEvent& a, const CommFaultEvent& b) {
+                     return a.collective < b.collective;
+                   });
+  reset_membership(world);
+}
+
+bool SimTransport::alive(int rank) const {
+  ES_CHECK(rank >= 0 && rank < world_, "rank " << rank << " out of range");
+  return alive_[static_cast<std::size_t>(rank)] != 0;
+}
+
+void SimTransport::begin_collective() {
+  ++collective_;
+  ++stats_.collectives;
+  // Arm every scheduled event due at this collective; deaths apply
+  // immediately (the rank goes silent before the first transfer).
+  while (cursor_ < schedule_.size() &&
+         schedule_[cursor_].collective <= collective_) {
+    armed_.push_back(schedule_[cursor_]);
+    ++cursor_;
+  }
+  for (auto it = armed_.begin(); it != armed_.end();) {
+    if (it->kind == LinkFaultKind::kRankDeath) {
+      kill(it->rank);
+      it = armed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Delivery SimTransport::send(int src, int dst, std::int64_t bytes) {
+  ES_CHECK(src >= 0 && src < world_, "send src " << src << " out of range");
+  ES_CHECK(dst >= 0 && dst < world_, "send dst " << dst << " out of range");
+  ES_CHECK(bytes >= 0, "negative message size");
+  ++stats_.messages_sent;
+  if (!alive(src)) {
+    // A dead sender never transmits: the receiver waits out the deadline.
+    ++stats_.timeouts;
+    return {DeliveryStatus::kTimedOut, cfg_.recv_deadline_s};
+  }
+  double elapsed = cfg_.link_latency_s +
+                   static_cast<double>(bytes) / cfg_.link_bandwidth_bps;
+  // Consume at most one armed transient event targeting this sender.
+  for (auto it = armed_.begin(); it != armed_.end(); ++it) {
+    if (it->rank != src) continue;
+    const CommFaultEvent e = *it;
+    armed_.erase(it);
+    switch (e.kind) {
+      case LinkFaultKind::kDropChunk:
+        ++stats_.drops;
+        ++stats_.timeouts;
+        return {DeliveryStatus::kTimedOut, cfg_.recv_deadline_s};
+      case LinkFaultKind::kStallLink:
+        ++stats_.stalls;
+        stall_s_[static_cast<std::size_t>(src)] += e.stall_s;
+        elapsed += e.stall_s;
+        if (elapsed > cfg_.recv_deadline_s) {
+          ++stats_.timeouts;
+          return {DeliveryStatus::kTimedOut, cfg_.recv_deadline_s};
+        }
+        break;  // slow but within deadline: delivered
+      case LinkFaultKind::kCorruptChunk:
+        ++stats_.corruptions;
+        stats_.bytes_sent += bytes;
+        return {DeliveryStatus::kCorrupt, elapsed};
+      default:
+        ES_THROW("unexpected armed fault " << e.to_string());
+    }
+    break;
+  }
+  stats_.bytes_sent += bytes;
+  return {DeliveryStatus::kDelivered, elapsed};
+}
+
+void SimTransport::advance(double seconds) {
+  ES_CHECK(seconds >= 0.0, "cannot advance the clock backwards");
+  stats_.virtual_time_s += seconds;
+}
+
+void SimTransport::kill(int rank) {
+  ES_CHECK(rank >= 0 && rank < world_, "kill rank " << rank << " out of range");
+  if (alive_[static_cast<std::size_t>(rank)] != 0) {
+    alive_[static_cast<std::size_t>(rank)] = 0;
+    ++stats_.deaths;
+  }
+}
+
+void SimTransport::inject(CommFaultEvent event) {
+  if (event.collective < 0) event.collective = collective_ + 1;
+  ES_CHECK(event.collective > collective_,
+           "cannot inject into already-opened collective "
+               << event.collective);
+  ES_CHECK(event.rank >= 0 && event.rank < world_,
+           "inject rank " << event.rank << " out of range");
+  // Keep the schedule sorted so cursor-based arming stays correct.
+  auto pos = std::upper_bound(
+      schedule_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+      schedule_.end(), event,
+      [](const CommFaultEvent& a, const CommFaultEvent& b) {
+        return a.collective < b.collective;
+      });
+  schedule_.insert(pos, event);
+}
+
+double SimTransport::stall_seconds(int rank) const {
+  ES_CHECK(rank >= 0 && rank < world_, "rank " << rank << " out of range");
+  return stall_s_[static_cast<std::size_t>(rank)];
+}
+
+void SimTransport::reset_membership(int world) {
+  ES_CHECK(world > 0, "transport world must be positive");
+  world_ = world;
+  alive_.assign(static_cast<std::size_t>(world), 1);
+  stall_s_.assign(static_cast<std::size_t>(world), 0.0);
+}
+
+double BackoffPolicy::delay_s(int attempt, bool* capped) const {
+  ES_CHECK(attempt >= 1, "backoff attempt is 1-based");
+  ES_CHECK(base_s > 0.0 && max_s >= base_s,
+           "backoff needs 0 < base_s <= max_s");
+  const int shift = std::min(attempt - 1, 62);
+  double raw = base_s;
+  for (int i = 0; i < shift && raw < max_s; ++i) raw *= 2.0;
+  const bool hit_cap = raw >= max_s;
+  if (capped != nullptr) *capped = hit_cap;
+  const double exp_term = hit_cap ? max_s : raw;
+  // Deterministic jitter: same (seed, attempt) => same delay, but distinct
+  // attempts decorrelate so a fleet of retries does not stampede in phase.
+  rng::Philox gen(jitter_seed ^ (0x9E3779B97F4A7C15ull *
+                                 static_cast<std::uint64_t>(attempt)));
+  return exp_term + gen.next_double() * 0.1 * base_s;
+}
+
+MembershipMonitor::MembershipMonitor(int world, TransportConfig cfg)
+    : cfg_(cfg) {
+  reset(world);
+}
+
+void MembershipMonitor::record_heartbeat(int rank, double now_s) {
+  ES_CHECK(rank >= 0 && rank < static_cast<int>(alive_.size()),
+           "heartbeat rank out of range");
+  last_heartbeat_s_[static_cast<std::size_t>(rank)] = now_s;
+}
+
+bool MembershipMonitor::heartbeat_overdue(int rank, double now_s) const {
+  ES_CHECK(rank >= 0 && rank < static_cast<int>(alive_.size()),
+           "rank out of range");
+  return now_s - last_heartbeat_s_[static_cast<std::size_t>(rank)] >
+         cfg_.heartbeat_deadline_s;
+}
+
+void MembershipMonitor::note_timeout(int rank) {
+  ES_CHECK(rank >= 0 && rank < static_cast<int>(alive_.size()),
+           "rank out of range");
+  ++timeouts_[static_cast<std::size_t>(rank)];
+}
+
+void MembershipMonitor::clear_timeouts(int rank) {
+  ES_CHECK(rank >= 0 && rank < static_cast<int>(alive_.size()),
+           "rank out of range");
+  timeouts_[static_cast<std::size_t>(rank)] = 0;
+}
+
+int MembershipMonitor::consecutive_timeouts(int rank) const {
+  ES_CHECK(rank >= 0 && rank < static_cast<int>(alive_.size()),
+           "rank out of range");
+  return timeouts_[static_cast<std::size_t>(rank)];
+}
+
+bool MembershipMonitor::should_condemn(int rank, double now_s) const {
+  if (!alive(rank)) return false;  // already condemned
+  const int t = consecutive_timeouts(rank);
+  if (t >= 1 && heartbeat_overdue(rank, now_s)) return true;
+  return t >= cfg_.suspect_after_timeouts;
+}
+
+void MembershipMonitor::declare_dead(int rank) {
+  ES_CHECK(rank >= 0 && rank < static_cast<int>(alive_.size()),
+           "rank out of range");
+  alive_[static_cast<std::size_t>(rank)] = 0;
+}
+
+bool MembershipMonitor::alive(int rank) const {
+  ES_CHECK(rank >= 0 && rank < static_cast<int>(alive_.size()),
+           "rank out of range");
+  return alive_[static_cast<std::size_t>(rank)] != 0;
+}
+
+int MembershipMonitor::num_live() const {
+  int n = 0;
+  for (auto a : alive_) n += a != 0 ? 1 : 0;
+  return n;
+}
+
+std::vector<int> MembershipMonitor::live_ranks() const {
+  std::vector<int> live;
+  for (std::size_t r = 0; r < alive_.size(); ++r) {
+    if (alive_[r] != 0) live.push_back(static_cast<int>(r));
+  }
+  return live;
+}
+
+void MembershipMonitor::reset(int world) {
+  ES_CHECK(world > 0, "monitor world must be positive");
+  alive_.assign(static_cast<std::size_t>(world), 1);
+  last_heartbeat_s_.assign(static_cast<std::size_t>(world), 0.0);
+  timeouts_.assign(static_cast<std::size_t>(world), 0);
+}
+
+}  // namespace easyscale::comm

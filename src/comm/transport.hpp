@@ -1,0 +1,232 @@
+// Failure-aware communication substrate: a deterministic simulated fabric.
+//
+// The plain ring all-reduce (comm/ring.hpp) is a pure infallible function —
+// it can express WHAT a collective computes but not what happens when a
+// participant dies mid-operation, a link stalls, or a chunk is dropped or
+// corrupted in flight (§2.1, §5.3).  This module supplies the missing
+// runtime half: a `Transport` abstraction whose simulated implementation
+// models per-link latency/bandwidth and replays a Philox-seeded schedule of
+// typed link faults, plus a heartbeat-based `MembershipMonitor` that turns
+// receive timeouts and heartbeat silence into deterministic membership
+// decisions.  comm/resilient.hpp builds the failure-aware collective on
+// top; the engine, the DDP trainer and fault::FaultSupervisor wire it into
+// training.
+//
+// Everything here is bit-for-bit reproducible: same seed, same fault
+// schedule, same virtual-time trajectory, same membership decisions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+
+namespace easyscale::comm {
+
+/// Comm-level fault kinds the simulated fabric can inject (the in-flight
+/// counterparts of fault::FaultKind's step-boundary events).
+enum class LinkFaultKind : std::uint8_t {
+  kDropChunk = 0,     // one in-flight message vanishes; receiver times out
+  kStallLink = 1,     // one message is delayed by `stall_s` on its link
+  kCorruptChunk = 2,  // payload arrives damaged; the chunk checksum catches it
+  kRankDeath = 3,     // a rank dies silently; its heartbeats and sends stop
+  kNumKinds = 4,
+};
+
+[[nodiscard]] const char* to_string(LinkFaultKind kind);
+
+/// One scheduled comm fault, pinned to a reproducible (collective index,
+/// victim rank) coordinate.  `collective < 0` means "the next collective"
+/// (used by the supervisor to arm a fault right before a step).
+struct CommFaultEvent {
+  LinkFaultKind kind = LinkFaultKind::kDropChunk;
+  std::int64_t collective = -1;  // fires during this collective op index
+  int rank = 0;                  // victim rank (the sender side of the link)
+  double stall_s = 0.0;          // kStallLink: extra in-flight delay
+  std::uint64_t payload_seed = 0;  // kCorruptChunk: corruption sub-seed
+
+  void save(ByteWriter& w) const;
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const CommFaultEvent&, const CommFaultEvent&) =
+      default;
+};
+
+/// Per-collective Bernoulli fault rates over a bounded horizon, sampled
+/// from a Philox stream exactly like fault::FaultPlanConfig.
+struct CommFaultPlanConfig {
+  std::uint64_t seed = 0xC011EC7;
+  std::int64_t horizon_collectives = 64;  // events fire in [0, horizon)
+  int world = 4;                          // victim ranks drawn below this
+  double drop_rate = 0.0;
+  double stall_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double death_rate = 0.0;
+  double stall_s = 0.75;  // injected delay per kStallLink event
+};
+
+/// Deterministically sample a comm-fault schedule (sorted by collective).
+[[nodiscard]] std::vector<CommFaultEvent> sample_comm_faults(
+    const CommFaultPlanConfig& cfg);
+
+/// Link model + failure-detection deadlines of the simulated fabric.
+struct TransportConfig {
+  double link_latency_s = 25e-6;        // per-message fixed cost
+  double link_bandwidth_bps = 12.5e9;   // bytes per second per link
+  double recv_deadline_s = 0.5;         // receive timeout => fault detected
+  double heartbeat_period_s = 0.05;     // ranks heartbeat this often
+  double heartbeat_deadline_s = 0.25;   // silence beyond this => overdue
+  int suspect_after_timeouts = 2;       // consecutive timeouts => condemn
+};
+
+/// Cumulative fabric counters (monotone across collectives).
+struct TransportStats {
+  std::int64_t collectives = 0;
+  std::int64_t messages_sent = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t drops = 0;
+  std::int64_t stalls = 0;
+  std::int64_t corruptions = 0;
+  std::int64_t deaths = 0;
+  std::int64_t timeouts = 0;
+  double virtual_time_s = 0.0;  // simulated fabric clock
+};
+
+enum class DeliveryStatus : std::uint8_t {
+  kDelivered = 0,  // arrived intact within the deadline
+  kTimedOut = 1,   // receiver waited out recv_deadline_s
+  kCorrupt = 2,    // arrived but the chunk checksum failed
+};
+
+/// Outcome of one simulated message: status plus the virtual time the
+/// receiver spent on it (the full deadline for timeouts).
+struct Delivery {
+  DeliveryStatus status = DeliveryStatus::kDelivered;
+  double elapsed_s = 0.0;
+};
+
+/// Abstract fabric the resilient collective runs over.  A real deployment
+/// would back this with NCCL/UCX; here SimTransport is the only concrete
+/// implementation and the tests' deterministic adversary.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual int world() const = 0;
+  [[nodiscard]] virtual bool alive(int rank) const = 0;
+  [[nodiscard]] virtual const TransportConfig& config() const = 0;
+  [[nodiscard]] virtual const TransportStats& stats() const = 0;
+
+  /// Open the next collective operation (activates due fault events).
+  virtual void begin_collective() = 0;
+
+  /// Simulate shipping `bytes` from rank `src` to rank `dst`.
+  virtual Delivery send(int src, int dst, std::int64_t bytes) = 0;
+
+  /// Advance the fabric's virtual clock (backoff waits, compute phases).
+  virtual void advance(double seconds) = 0;
+
+  /// Mark a rank dead (its sends stop arriving, its heartbeats stop).
+  virtual void kill(int rank) = 0;
+};
+
+/// Deterministic simulated fabric: consumes a CommFaultEvent schedule, one
+/// collective at a time.  A transient event (drop/stall/corrupt) fires on
+/// the victim's first matching send of that collective and is then spent —
+/// a re-execution of the same collective no longer hits it, which is what
+/// makes bounded retries converge.  kRankDeath events are applied when
+/// their collective opens and persist until reset_membership().
+class SimTransport : public Transport {
+ public:
+  SimTransport(int world, TransportConfig cfg,
+               std::vector<CommFaultEvent> schedule = {});
+
+  [[nodiscard]] int world() const override { return world_; }
+  [[nodiscard]] bool alive(int rank) const override;
+  [[nodiscard]] const TransportConfig& config() const override {
+    return cfg_;
+  }
+  [[nodiscard]] const TransportStats& stats() const override {
+    return stats_;
+  }
+
+  void begin_collective() override;
+  Delivery send(int src, int dst, std::int64_t bytes) override;
+  void advance(double seconds) override;
+  void kill(int rank) override;
+
+  /// Arm an additional fault event; `collective < 0` targets the next
+  /// collective (the one a following begin_collective() opens).
+  void inject(CommFaultEvent event);
+
+  /// Index of the collective currently open (-1 before the first).
+  [[nodiscard]] std::int64_t collective_index() const { return collective_; }
+
+  /// Cumulative injected stall seconds charged to `rank` — the straggler
+  /// signal sched/intra_job re-balances on.
+  [[nodiscard]] double stall_seconds(int rank) const;
+
+  /// All ranks alive again with `world` members (reconfiguration after a
+  /// scale event rebuilds the group).  Stats and the clock are kept.
+  void reset_membership(int world);
+
+ private:
+  TransportConfig cfg_;
+  int world_ = 0;
+  std::vector<std::uint8_t> alive_;
+  std::vector<CommFaultEvent> schedule_;  // sorted by collective index
+  std::size_t cursor_ = 0;                // next schedule entry to arm
+  std::vector<CommFaultEvent> armed_;     // active for the open collective
+  std::vector<double> stall_s_;           // per-rank cumulative stall
+  std::int64_t collective_ = -1;
+  TransportStats stats_;
+};
+
+/// Bounded exponential backoff with deterministic seeded jitter:
+/// delay(attempt) = min(base * 2^(attempt-1), max) + jitter, where jitter
+/// is a Philox draw in [0, 0.1*base) keyed by (jitter_seed, attempt).
+struct BackoffPolicy {
+  double base_s = 0.05;
+  double max_s = 1.0;
+  std::uint64_t jitter_seed = 0xB0FF;
+
+  /// `attempt` is 1-based; `capped` (optional) reports whether the
+  /// exponential term hit `max_s`.
+  [[nodiscard]] double delay_s(int attempt, bool* capped = nullptr) const;
+};
+
+/// Heartbeat bookkeeping and the deterministic condemnation rule.  A rank
+/// is condemned — removed from the group — when a receive from it timed out
+/// AND its heartbeat is overdue, or when it times out
+/// `suspect_after_timeouts` consecutive times (a silent drop-out that still
+/// heartbeats).  Live ranks that suffer one transient fault always recover.
+class MembershipMonitor {
+ public:
+  MembershipMonitor(int world, TransportConfig cfg);
+
+  void record_heartbeat(int rank, double now_s);
+  [[nodiscard]] bool heartbeat_overdue(int rank, double now_s) const;
+
+  void note_timeout(int rank);
+  void clear_timeouts(int rank);
+  [[nodiscard]] int consecutive_timeouts(int rank) const;
+
+  /// The condemnation decision for a rank whose message just timed out.
+  [[nodiscard]] bool should_condemn(int rank, double now_s) const;
+
+  void declare_dead(int rank);
+  [[nodiscard]] bool alive(int rank) const;
+  [[nodiscard]] int num_live() const;
+  [[nodiscard]] std::vector<int> live_ranks() const;
+
+  /// Fresh membership of `world` ranks (after a reconfiguration).
+  void reset(int world);
+
+ private:
+  TransportConfig cfg_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<double> last_heartbeat_s_;
+  std::vector<int> timeouts_;
+};
+
+}  // namespace easyscale::comm

@@ -116,6 +116,15 @@ void EasyScaleEngine::configure_workers(
     workers_.push_back(std::move(w));
   }
   rebuild_loader();
+  if (config_.resilient_comm) {
+    // Fresh membership epoch: a reconfiguration rebuilds the group, so the
+    // fabric and the monitor start clean at the new world size.
+    transport_ = std::make_unique<comm::SimTransport>(
+        static_cast<int>(workers_.size()), config_.transport);
+    monitor_ = std::make_unique<comm::MembershipMonitor>(
+        static_cast<int>(workers_.size()), config_.transport);
+    last_comm_report_.reset();
+  }
   if (had_workers) restore(snapshot);
   ES_LOG_INFO("EasyScale reconfigured onto " << workers_.size()
                                              << " worker(s)");
@@ -222,7 +231,23 @@ void EasyScaleEngine::one_step() {
   std::vector<comm::GradientSet*> parts;
   parts.reserve(grad_buffers_.size());
   for (auto& g : grad_buffers_) parts.push_back(&g);
-  comm::allreduce_average(layout_, parts);
+  if (config_.resilient_comm) {
+    // Virtual participants ride their physical worker's links; co-hosted
+    // ESTs exchange chunks locally.  A condemned worker aborts the step
+    // (kAbort) — its ESTs' gradients are unrecoverable without a rollback.
+    std::vector<int> host_of_part(grad_buffers_.size(), 0);
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      for (std::int64_t est : workers_[w].ests) {
+        host_of_part[static_cast<std::size_t>(est)] = static_cast<int>(w);
+      }
+    }
+    comm::ResilientConfig rcfg = config_.resilient;
+    rcfg.on_death = comm::DeathPolicy::kAbort;
+    last_comm_report_ = comm::resilient_allreduce_average(
+        layout_, parts, *transport_, *monitor_, rcfg, &host_of_part);
+  } else {
+    comm::allreduce_average(layout_, parts);
+  }
   for (auto& worker : workers_) {
     grad_buffers_[0].to_store(worker.replica->params());
     worker.optimizer->step();
@@ -248,6 +273,43 @@ void EasyScaleEngine::run_epochs(std::int64_t n) {
     for (auto& worker : workers_) worker.scheduler->set_epoch(epoch);
     run_steps(steps_per_epoch_);
   }
+}
+
+void EasyScaleEngine::inject_comm_fault(const comm::CommFaultEvent& event) {
+  ES_CHECK(config_.resilient_comm,
+           "inject_comm_fault requires resilient_comm = true");
+  ES_CHECK(transport_ != nullptr, "configure_workers before injecting");
+  transport_->inject(event);
+}
+
+const comm::TransportStats& EasyScaleEngine::transport_stats() const {
+  ES_CHECK(transport_ != nullptr, "resilient comm not configured");
+  return transport_->stats();
+}
+
+std::vector<double> EasyScaleEngine::comm_stall_per_worker() const {
+  std::vector<double> stalls;
+  if (transport_ == nullptr) return stalls;
+  stalls.reserve(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    stalls.push_back(transport_->stall_seconds(static_cast<int>(w)));
+  }
+  return stalls;
+}
+
+std::vector<std::vector<std::int64_t>> EasyScaleEngine::current_assignment()
+    const {
+  std::vector<std::vector<std::int64_t>> plan;
+  plan.reserve(workers_.size());
+  for (const auto& w : workers_) plan.push_back(w.ests);
+  return plan;
+}
+
+std::vector<WorkerSpec> EasyScaleEngine::current_worker_specs() const {
+  std::vector<WorkerSpec> specs;
+  specs.reserve(workers_.size());
+  for (const auto& w : workers_) specs.push_back(w.spec);
+  return specs;
 }
 
 std::uint64_t EasyScaleEngine::params_digest() const {

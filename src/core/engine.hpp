@@ -21,6 +21,7 @@
 
 #include "comm/allreduce.hpp"
 #include "comm/bucket.hpp"
+#include "comm/resilient.hpp"
 #include "core/determinism.hpp"
 #include "core/est_context.hpp"
 #include "data/loader.hpp"
@@ -65,6 +66,18 @@ struct EasyScaleConfig {
   /// with parallel_workers without oversubscription.  Bitwise identical for
   /// every value — see docs/PARALLELISM.md.
   int intra_op_threads = 0;
+  /// Route the virtual-rank all-reduce through the failure-aware comm
+  /// substrate (comm/resilient.hpp): a simulated Transport with per-link
+  /// latency/bandwidth, heartbeat membership, and deadline-based detection.
+  /// Bitwise identical to the plain path — the success path executes the
+  /// exact same bucketed ring — but faults injected on the transport
+  /// surface as retries, stalls, or a RankDeathError out of run_steps().
+  bool resilient_comm = false;
+  comm::TransportConfig transport;
+  /// Retry/backoff policy for the resilient collective.  `on_death` is
+  /// forced to kAbort: a dead worker's ESTs lose their gradients, so the
+  /// step must roll back (FaultSupervisor recovers via checkpoint).
+  comm::ResilientConfig resilient;
 };
 
 /// Swap-traffic counters for the context-switching experiments.
@@ -136,6 +149,37 @@ class EasyScaleEngine {
   /// before).
   void restore(std::span<const std::uint8_t> bytes);
 
+  // --- Failure-aware comm surface (resilient_comm = true only) ---
+
+  [[nodiscard]] bool resilient_comm_enabled() const {
+    return config_.resilient_comm;
+  }
+
+  /// Arm a comm fault on the transport; `collective < 0` targets the next
+  /// all-reduce (i.e. the next global step's synchronization).
+  void inject_comm_fault(const comm::CommFaultEvent& event);
+
+  /// Report of the most recent resilient all-reduce (empty before the
+  /// first step, and after configure_workers resets the fabric).
+  [[nodiscard]] const std::optional<comm::CollectiveReport>&
+  last_comm_report() const {
+    return last_comm_report_;
+  }
+
+  /// Cumulative fabric counters (zeroed by configure_workers).
+  [[nodiscard]] const comm::TransportStats& transport_stats() const;
+
+  /// Per-physical-worker cumulative injected stall seconds — the straggler
+  /// signal sched/intra_job re-balances ESTs on.  Empty when disabled.
+  [[nodiscard]] std::vector<double> comm_stall_per_worker() const;
+
+  /// Current worker -> EST-ranks mapping (for EST re-balancing).
+  [[nodiscard]] std::vector<std::vector<std::int64_t>> current_assignment()
+      const;
+
+  /// Specs of the current worker set (for re-applying a modified mapping).
+  [[nodiscard]] std::vector<WorkerSpec> current_worker_specs() const;
+
  private:
   struct Worker {
     WorkerSpec spec;
@@ -162,6 +206,10 @@ class EasyScaleEngine {
   std::vector<comm::GradientSet> grad_buffers_;    // one per EST
   std::vector<Worker> workers_;
   std::unique_ptr<data::SharedDataWorkerPool> pool_;
+
+  std::unique_ptr<comm::SimTransport> transport_;
+  std::unique_ptr<comm::MembershipMonitor> monitor_;
+  std::optional<comm::CollectiveReport> last_comm_report_;
 
   comm::BucketLayout layout_;
   bool rebuilt_ = false;

@@ -41,6 +41,24 @@ DDPTrainer::DDPTrainer(DDPConfig config, const data::Dataset& train,
   comm::BucketManager mgr(replicas_[0].workload->params(),
                           config_.bucket_cap_bytes);
   layout_ = mgr.initial_layout();
+  if (config_.resilient_comm) {
+    transport_ = std::make_unique<comm::SimTransport>(
+        static_cast<int>(config_.world_size), config_.transport,
+        config_.comm_faults);
+    monitor_ = std::make_unique<comm::MembershipMonitor>(
+        static_cast<int>(config_.world_size), config_.transport);
+  }
+}
+
+void DDPTrainer::inject_comm_fault(const comm::CommFaultEvent& event) {
+  ES_CHECK(config_.resilient_comm,
+           "inject_comm_fault requires resilient_comm = true");
+  transport_->inject(event);
+}
+
+const comm::TransportStats& DDPTrainer::transport_stats() const {
+  ES_CHECK(transport_ != nullptr, "resilient comm not configured");
+  return transport_->stats();
 }
 
 void DDPTrainer::one_step() {
@@ -83,7 +101,16 @@ void DDPTrainer::one_step() {
   std::vector<comm::GradientSet*> parts;
   parts.reserve(sets.size());
   for (auto& s : sets) parts.push_back(&s);
-  comm::allreduce_average(layout_, parts);
+  if (config_.resilient_comm) {
+    // Identity mapping: one transport rank per physical rank.  Fixed-DoP
+    // DDP cannot shrink, so a condemned rank aborts training (kAbort).
+    comm::ResilientConfig rcfg = config_.resilient;
+    rcfg.on_death = comm::DeathPolicy::kAbort;
+    last_comm_report_ = comm::resilient_allreduce_average(
+        layout_, parts, *transport_, *monitor_, rcfg);
+  } else {
+    comm::allreduce_average(layout_, parts);
+  }
   for (std::size_t r = 0; r < replicas_.size(); ++r) {
     sets[r].to_store(replicas_[r].workload->params());
     replicas_[r].optimizer->step();

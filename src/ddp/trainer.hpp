@@ -10,10 +10,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "comm/allreduce.hpp"
 #include "comm/bucket.hpp"
+#include "comm/resilient.hpp"
 #include "data/pipeline.hpp"
 #include "kernels/exec_context.hpp"
 #include "models/workload.hpp"
@@ -43,6 +45,15 @@ struct DDPConfig {
   /// default); all ranks share one bounded global pool.  Bitwise identical
   /// for every value.
   int intra_op_threads = 0;
+  /// Route gradient sync through the failure-aware fabric (one transport
+  /// rank per physical DDP rank, identity mapping).  Bitwise identical to
+  /// the plain path when no fault fires; a condemned rank throws
+  /// comm::RankDeathError out of run_steps (fixed-DoP DDP cannot shrink).
+  bool resilient_comm = false;
+  comm::TransportConfig transport;
+  comm::ResilientConfig resilient;  // on_death is forced to kAbort
+  /// Pre-sampled comm fault schedule replayed by the transport.
+  std::vector<comm::CommFaultEvent> comm_faults;
 };
 
 class DDPTrainer {
@@ -87,6 +98,23 @@ class DDPTrainer {
 
   [[nodiscard]] std::int64_t world_size() const { return config_.world_size; }
 
+  // --- Failure-aware comm surface (resilient_comm = true only) ---
+
+  [[nodiscard]] bool resilient_comm_enabled() const {
+    return config_.resilient_comm;
+  }
+
+  /// Arm a comm fault; `collective < 0` targets the next step's sync.
+  void inject_comm_fault(const comm::CommFaultEvent& event);
+
+  /// Report of the most recent resilient gradient sync.
+  [[nodiscard]] const std::optional<comm::CollectiveReport>&
+  last_comm_report() const {
+    return last_comm_report_;
+  }
+
+  [[nodiscard]] const comm::TransportStats& transport_stats() const;
+
  private:
   struct Replica {
     std::unique_ptr<models::Workload> workload;
@@ -101,6 +129,9 @@ class DDPTrainer {
 
   DDPConfig config_;
   std::vector<Replica> replicas_;
+  std::unique_ptr<comm::SimTransport> transport_;
+  std::unique_ptr<comm::MembershipMonitor> monitor_;
+  std::optional<comm::CollectiveReport> last_comm_report_;
   comm::BucketLayout layout_;
   bool rebuilt_ = false;
   std::int64_t global_step_ = 0;

@@ -22,6 +22,12 @@ const char* to_string(FaultKind kind) {
       return "torn_checkpoint";
     case FaultKind::kCommDrop:
       return "comm_drop";
+    case FaultKind::kCommChunkDrop:
+      return "comm_chunk_drop";
+    case FaultKind::kCommStalledLink:
+      return "comm_stalled_link";
+    case FaultKind::kCommRankDeath:
+      return "comm_rank_death";
     default:
       return "unknown";
   }
@@ -33,6 +39,7 @@ void FaultEvent::save(ByteWriter& w) const {
   w.write(worker);
   w.write(grace_s);
   w.write(slowdown);
+  w.write(stall_s);
   w.write(payload_seed);
 }
 
@@ -81,6 +88,35 @@ FaultInjector FaultInjector::from_config(const FaultPlanConfig& cfg) {
       e.payload_seed = sub_seed;
       if (k.kind == FaultKind::kGpuRevocation) e.grace_s = cfg.revocation_grace_s;
       if (k.kind == FaultKind::kStraggler) e.slowdown = cfg.straggler_slowdown;
+      events.push_back(e);
+    }
+  }
+  // Comm-level kinds draw from a salted second stream so a pre-existing
+  // seed's classic schedule is bitwise unchanged when these rates are zero
+  // (zero-rate draws below never consume from `gen`).
+  constexpr std::uint64_t kCommStreamSalt = 0xC0117EC71DEAD5ull;
+  rng::Philox comm_gen(cfg.seed ^ kCommStreamSalt);
+  const struct {
+    FaultKind kind;
+    double rate;
+  } comm_kinds[] = {
+      {FaultKind::kCommChunkDrop, cfg.chunk_drop_rate},
+      {FaultKind::kCommStalledLink, cfg.stalled_link_rate},
+      {FaultKind::kCommRankDeath, cfg.rank_death_rate},
+  };
+  for (std::int64_t step = 1; step < cfg.horizon_steps; ++step) {
+    for (const auto& k : comm_kinds) {
+      const double u = comm_gen.next_double();
+      const auto worker = static_cast<std::int64_t>(
+          comm_gen.next_below(static_cast<std::uint64_t>(cfg.num_workers)));
+      const std::uint64_t sub_seed = comm_gen.next_u64();
+      if (u >= k.rate) continue;
+      FaultEvent e;
+      e.kind = k.kind;
+      e.step = step;
+      e.worker = worker;
+      e.payload_seed = sub_seed;
+      if (k.kind == FaultKind::kCommStalledLink) e.stall_s = cfg.link_stall_s;
       events.push_back(e);
     }
   }

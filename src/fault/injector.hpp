@@ -24,7 +24,10 @@ enum class FaultKind : std::uint8_t {
   kStraggler = 2,       // one worker slows down for one global step
   kTornCheckpoint = 3,  // newest on-disk checkpoint generation is mangled
   kCommDrop = 4,        // a participant drops out of the gradient all-reduce
-  kNumKinds = 5,
+  kCommChunkDrop = 5,   // one ring chunk is lost in flight (transient)
+  kCommStalledLink = 6,  // one link slows down for one collective
+  kCommRankDeath = 7,   // a rank goes silent mid-collective (fatal)
+  kNumKinds = 8,
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -35,6 +38,7 @@ struct FaultEvent {
   std::int64_t worker = 0;  // victim worker index (modulo live workers)
   double grace_s = 0.0;     // kGpuRevocation: notice before the GPU is gone
   double slowdown = 1.0;    // kStraggler: multiplier on the victim step time
+  double stall_s = 0.0;     // kCommStalledLink: extra latency on the link
   std::uint64_t payload_seed = 0;  // kTornCheckpoint: corruption sub-seed
 
   void save(ByteWriter& w) const;
@@ -55,6 +59,14 @@ struct FaultPlanConfig {
   double comm_drop_rate = 0.0;
   double revocation_grace_s = 30.0;
   double straggler_slowdown = 4.0;
+  // Comm-level (in-collective) fault rates.  These are sampled from a
+  // SEPARATE Philox stream (seed ^ kCommStreamSalt) appended after the
+  // classic kinds, so enabling them never perturbs the schedule an existing
+  // seed produces for crashes/revocations/stragglers/tears/drops.
+  double chunk_drop_rate = 0.0;
+  double stalled_link_rate = 0.0;
+  double rank_death_rate = 0.0;
+  double link_stall_s = 0.75;
 };
 
 /// A fixed schedule of fault events plus a consume cursor.  Events fire at

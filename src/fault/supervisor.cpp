@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "comm/resilient.hpp"
+#include "comm/transport.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 
@@ -53,9 +55,17 @@ bool FaultSupervisor::recover(bool shrink_one, int consecutive_faults) {
       0, before - engine_->global_step());
   stats_.lost_steps += lost;
   stats_.lost_wall_s += static_cast<double>(lost) * cost_before;
-  const int shift = std::min(consecutive_faults - 1, 6);
+  // Bounded, jittered exponential backoff: the delay doubles per
+  // consecutive fault but never beyond backoff_max_s, and the deterministic
+  // jitter keeps a fleet of recovering jobs out of phase.
+  comm::BackoffPolicy backoff;
+  backoff.base_s = config_.backoff_base_s;
+  backoff.max_s = std::max(config_.backoff_base_s, config_.backoff_max_s);
+  backoff.jitter_seed = config_.backoff_jitter_seed;
+  bool capped = false;
   double wait = config_.restore_time_s +
-                config_.backoff_base_s * static_cast<double>(1 << shift);
+                backoff.delay_s(consecutive_faults, &capped);
+  if (capped) ++stats_.capped_backoffs;
   if (config_.policy == RecoveryPolicy::kGangRestart) {
     wait += config_.replacement_wait_s;  // block until the gang is whole
   }
@@ -125,6 +135,53 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
           lose_worker = true;
           ++consecutive_faults;
           break;
+        case FaultKind::kCommChunkDrop:
+        case FaultKind::kCommStalledLink:
+          // Transient link faults.  With the resilient substrate the
+          // collective absorbs them (abort + bounded backoff + bitwise
+          // re-execution); a gang job aborts the step like any sync fault.
+          ++stats_.comm_faults;
+          if (event.kind == FaultKind::kCommStalledLink) {
+            ++stats_.straggler_reports;
+          }
+          if (config_.policy == RecoveryPolicy::kGangRestart) {
+            fatal = true;
+            ++consecutive_faults;
+          } else if (engine_->resilient_comm_enabled() && workers_ > 1) {
+            comm::CommFaultEvent ce;
+            ce.kind = event.kind == FaultKind::kCommChunkDrop
+                          ? comm::LinkFaultKind::kDropChunk
+                          : comm::LinkFaultKind::kStallLink;
+            ce.rank = static_cast<int>(event.worker % workers_);
+            ce.stall_s = event.stall_s;
+            ce.payload_seed = event.payload_seed;
+            engine_->inject_comm_fault(ce);
+          } else {
+            // No failure-aware fabric: the sync layer still retransmits,
+            // costing one detection window of wall time.
+            ++stats_.comm_retries;
+            stats_.comm_wall_s += config_.comm_detect_s;
+            stats_.total_wall_s += config_.comm_detect_s;
+          }
+          break;
+        case FaultKind::kCommRankDeath:
+          // A rank goes silent mid-collective.  The resilient collective
+          // condemns it via deadlines + heartbeat silence and aborts the
+          // step (RankDeathError below); without the substrate — or for a
+          // gang job — it degenerates to a worker crash.
+          ++stats_.comm_faults;
+          if (config_.policy == RecoveryPolicy::kElasticScaleIn &&
+              engine_->resilient_comm_enabled() && workers_ > 1) {
+            comm::CommFaultEvent ce;
+            ce.kind = comm::LinkFaultKind::kRankDeath;
+            ce.rank = static_cast<int>(event.worker % workers_);
+            engine_->inject_comm_fault(ce);
+          } else {
+            fatal = true;
+            lose_worker = true;
+            ++consecutive_faults;
+          }
+          break;
         default:
           ES_THROW("unknown fault kind");
       }
@@ -140,7 +197,35 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
     }
 
     const double cost = step_cost() * slowdown;
-    engine_->run_steps(1);
+    if (engine_->resilient_comm_enabled()) {
+      try {
+        engine_->run_steps(1);
+      } catch (const comm::RankDeathError& e) {
+        // Condemned mid-collective: the in-flight all-reduce was aborted,
+        // nothing was published.  Charge the detection window and roll back
+        // to the last valid checkpoint on the survivors.
+        ES_LOG_WARN("rank " << e.rank() << " condemned mid-collective");
+        ++consecutive_faults;
+        stats_.recovery_wall_s += config_.comm_detect_s;
+        stats_.total_wall_s += config_.comm_detect_s;
+        if (consecutive_faults > config_.max_retries ||
+            !recover(/*shrink_one=*/true, consecutive_faults)) {
+          stats_.failed = true;
+          break;
+        }
+        clean_steps = 0;
+        continue;
+      }
+      if (engine_->last_comm_report().has_value()) {
+        const auto& rep = *engine_->last_comm_report();
+        stats_.comm_retries += rep.attempts - 1;
+        stats_.capped_backoffs += rep.capped_backoffs;
+        stats_.comm_wall_s += rep.virtual_time_s;
+        stats_.total_wall_s += rep.virtual_time_s;
+      }
+    } else {
+      engine_->run_steps(1);
+    }
     ++stats_.steps_executed;
     stats_.step_wall_s += cost;
     stats_.total_wall_s += cost;

@@ -50,8 +50,13 @@ struct SupervisorConfig {
   double checkpoint_time_s = 0.5;   // one on-demand checkpoint save
   double reconfigure_time_s = 1.0;  // scale in/out (checkpoint + remap)
   double restore_time_s = 2.0;      // load checkpoint + rebuild workers
-  double backoff_base_s = 1.0;      // doubles per consecutive fault
+  double backoff_base_s = 1.0;      // doubles per consecutive fault ...
+  double backoff_max_s = 30.0;      // ... but never beyond this cap
+  std::uint64_t backoff_jitter_seed = 0xB0FF;  // decorrelates retry fleets
   double replacement_wait_s = 60.0;  // gang: reacquire a full worker set
+  /// Wall cost of condemning a silent rank mid-collective (receive
+  /// deadline + heartbeat silence before the membership decision).
+  double comm_detect_s = 1.0;
 };
 
 /// Goodput accounting over one supervised run (the §2.1 comparison data).
@@ -64,6 +69,10 @@ struct GoodputStats {
   std::int64_t scale_outs = 0;
   std::int64_t checkpoints_saved = 0;
   std::int64_t faults_seen = 0;
+  std::int64_t comm_faults = 0;       // comm-level events (drop/stall/death)
+  std::int64_t comm_retries = 0;      // collective re-executions
+  std::int64_t capped_backoffs = 0;   // backoff waits clipped at the cap
+  std::int64_t straggler_reports = 0;  // stalled-link events observed
   bool failed = false;  // only kGangRestart can fail
 
   double total_wall_s = 0.0;
@@ -72,6 +81,7 @@ struct GoodputStats {
   double recovery_wall_s = 0.0;    // restore + backoff + replacement waits
   double reconfig_wall_s = 0.0;    // graceful scale in/out
   double lost_wall_s = 0.0;        // step time that was rolled back
+  double comm_wall_s = 0.0;        // fabric time: transfers, retries, waits
 
   /// Fraction of wall time spent on surviving training steps.
   [[nodiscard]] double goodput_fraction() const {

@@ -70,4 +70,33 @@ bool IntraJobScheduler::report_throughput(double observed_mbps) {
   return false;
 }
 
+bool IntraJobScheduler::rebalance_stragglers(double threshold_s) {
+  const auto stalls = engine_->comm_stall_per_worker();
+  if (stalls.size() < 2) return false;  // nothing to move between
+  auto assignment = engine_->current_assignment();
+  std::size_t best = 0;
+  std::size_t worst = stalls.size();  // sentinel: none above threshold
+  for (std::size_t w = 0; w < stalls.size(); ++w) {
+    if (stalls[w] < stalls[best]) best = w;  // ties keep the lowest index
+    if (stalls[w] > threshold_s && assignment[w].size() > 1 &&
+        (worst == stalls.size() || stalls[w] > stalls[worst])) {
+      worst = w;
+    }
+  }
+  if (worst == stalls.size() || worst == best) return false;
+  const std::int64_t est = assignment[worst].back();
+  assignment[worst].pop_back();
+  assignment[best].push_back(est);
+  ES_LOG_INFO("rebalancing EST " << est << " off stalled worker " << worst
+                                 << " (" << stalls[worst] << "s stall) onto "
+                                 << best);
+  engine_->configure_workers(engine_->current_worker_specs(),
+                             std::move(assignment));
+  if (current_.valid() && current_.ests.size() == stalls.size()) {
+    --current_.ests[worst];
+    ++current_.ests[best];
+  }
+  return true;
+}
+
 }  // namespace easyscale::sched

@@ -35,6 +35,14 @@ class IntraJobScheduler {
   /// scheduler reverts to the previous plan and returns true.
   bool report_throughput(double observed_mbps);
 
+  /// EST re-balancing on the comm straggler signal: when the worst-stalled
+  /// worker's cumulative link-stall time (engine.comm_stall_per_worker)
+  /// exceeds `threshold_s`, move one of its ESTs to the least-stalled
+  /// worker and reconfigure — the EasyScale answer to a persistently slow
+  /// link (bitwise neutral, like every remap).  Returns whether a move
+  /// happened; requires the engine's resilient comm substrate.
+  bool rebalance_stragglers(double threshold_s);
+
   /// Drop the current plan (the job pauses; GPUs return to the pool).  The
   /// engine keeps its last worker set but the cluster stops stepping it.
   void release() {

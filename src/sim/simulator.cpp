@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "rng/philox.hpp"
 
 namespace easyscale::sim {
 
@@ -284,9 +285,29 @@ SimResult simulate_trace(const std::vector<JobSpec>& jobs,
     }
 
     // Progress + completions.
+    const auto tick_index =
+        static_cast<std::uint64_t>(now / config.tick_s + 0.5);
     for (auto& j : active) {
       if (j->done || !j->plan.valid()) continue;
-      j->progress += j->plan.steps_per_second * config.tick_s;
+      double step_time = config.tick_s;
+      if (config.comm_fault_rate > 0.0 && sched::total(j->plan.gpus) > 1) {
+        // One seeded Bernoulli per (job, tick): does this job's gradient
+        // sync hit a link fault during the tick?
+        rng::Philox gen(config.comm_fault_seed ^
+                        (0x9E3779B97F4A7C15ull *
+                         static_cast<std::uint64_t>(j->spec->id + 1)) ^
+                        (0xD1B54A32D192ED03ull * (tick_index + 1)));
+        if (gen.next_double() < config.comm_fault_rate) {
+          ++result.comm_faults;
+          const double lost = config.policy == SchedulerPolicy::kYarnCS
+                                  ? config.comm_gang_restart_s
+                                  : config.comm_recover_s;
+          const double charged = std::min(lost, step_time);
+          step_time -= charged;
+          result.comm_degraded_s += charged;
+        }
+      }
+      j->progress += j->plan.steps_per_second * step_time;
       if (j->progress >= static_cast<double>(j->spec->total_steps)) {
         j->done = true;
         j->outcome.finish_s = now + config.tick_s;

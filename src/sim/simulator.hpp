@@ -40,6 +40,16 @@ struct SimConfig {
   /// Fraction of a killed gang job's progress retained on restart (models
   /// the job's own periodic checkpointing; 0 = restart from scratch).
   double gang_restart_progress_kept = 0.0;
+  /// Comm-level degradation model: per running job per tick, probability
+  /// that its gradient sync hits a link fault (drop/stall/silent rank).
+  /// EasyScale's failure-aware collective absorbs it in `comm_recover_s`
+  /// (abort + backoff + bitwise re-execution); a gang job must tear down
+  /// and restart the ring, stalling for `comm_gang_restart_s`.  Draws are
+  /// Philox-seeded on (seed, job id, tick), so runs replay exactly.
+  double comm_fault_rate = 0.0;
+  std::uint64_t comm_fault_seed = 0xC0FF;
+  double comm_recover_s = 0.5;
+  double comm_gang_restart_s = 60.0;
 };
 
 struct TimelinePoint {
@@ -55,6 +65,8 @@ struct SimResult {
   std::int64_t revocations = 0;   // GPUs taken away while in use
   std::int64_t failed_jobs = 0;   // gang kill events (0 for EasyScale)
   std::int64_t lost_progress = 0;  // global steps discarded by gang restarts
+  std::int64_t comm_faults = 0;    // link faults hit by running jobs
+  double comm_degraded_s = 0.0;    // job-time lost to comm recovery
 };
 
 [[nodiscard]] SimResult simulate_trace(const std::vector<JobSpec>& jobs,

@@ -69,6 +69,51 @@ TEST(CheckpointIO, TruncatedFileDetected) {
   std::remove(path.c_str());
 }
 
+/// Crash-point sweep: kill the checkpoint writer at EVERY byte offset of
+/// the newest generation.  A torn write of generation B must never be
+/// accepted — recovery walks back to the previous valid generation A; only
+/// the complete file yields B.  This is the torn-write contract the
+/// supervisor's recovery path depends on.
+TEST(CheckpointManager, WriterKilledAtEveryByteOffsetRecoversPreviousGen) {
+  const auto prefix = temp_path("crashpoint");
+  CheckpointManager mgr(prefix, 3);
+  mgr.clear();
+  const std::vector<std::uint8_t> gen_a = {0xA1, 0xA2, 0xA3, 0xA4, 0xA5};
+  const std::vector<std::uint8_t> gen_b = {0xB1, 0xB2, 0xB3};
+  mgr.save(gen_a);  // lands at .1 after the next save
+  mgr.save(gen_b);  // newest, at .0
+  ASSERT_EQ(mgr.generations_on_disk(), 2);
+  const auto newest = mgr.path_for(0);
+
+  // The intact bytes of .0, to restore between crash points.
+  std::ifstream in(newest, std::ios::binary);
+  const std::vector<char> full((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(full.size(), gen_b.size());  // framing header is on disk too
+
+  for (std::size_t k = 0; k < full.size(); ++k) {
+    // The writer died after flushing exactly k bytes of the new generation.
+    {
+      std::ofstream out(newest, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(k));
+    }
+    const auto recovered = mgr.load_latest_valid();
+    ASSERT_TRUE(recovered.has_value()) << "crash point " << k;
+    EXPECT_EQ(*recovered, gen_a)
+        << "torn generation accepted at crash point " << k;
+  }
+  // The complete file is the newest generation again.
+  {
+    std::ofstream out(newest, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(full.size()));
+  }
+  const auto recovered = mgr.load_latest_valid();
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, gen_b);
+  mgr.clear();
+}
+
 TEST(CheckpointIO, NotACheckpointDetected) {
   const auto path = temp_path("garbage.ckpt");
   {

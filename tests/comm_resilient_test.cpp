@@ -1,0 +1,394 @@
+// Failure-aware collective tests: for EVERY comm fault kind, a run that
+// hits the fault mid-collective and recovers must produce the SAME BITS as
+// a failure-free allreduce_average over the surviving participants — the
+// determinism witness of the resilient substrate.
+#include <gtest/gtest.h>
+
+#include "autograd/parameter.hpp"
+#include "comm/resilient.hpp"
+#include "comm/transport.hpp"
+#include "common/digest.hpp"
+#include "rng/sampling.hpp"
+
+namespace easyscale::comm {
+namespace {
+
+rng::Philox gen(4242);
+
+autograd::ParameterStore make_store(std::vector<autograd::Parameter>& params) {
+  autograd::ParameterStore store;
+  for (auto& p : params) store.register_parameter(&p);
+  return store;
+}
+
+/// A small two-bucket workload shared by most tests.
+struct Fixture {
+  std::vector<autograd::Parameter> params;
+  autograd::ParameterStore store;
+  BucketLayout layout;
+  std::vector<GradientSet> sets;
+
+  explicit Fixture(int world) {
+    params.emplace_back("w", tensor::Shape{37});
+    params.emplace_back("b", tensor::Shape{5});
+    params.emplace_back("v", tensor::Shape{16});
+    store = make_store(params);
+    layout = BucketManager(store, /*cap_bytes=*/96).initial_layout();
+    for (int r = 0; r < world; ++r) {
+      auto s = GradientSet::zeros_like(store);
+      for (auto& g : s.grads) rng::fill_normal(gen, g.data(), 0.0f, 1.0f);
+      sets.push_back(std::move(s));
+    }
+  }
+
+  [[nodiscard]] std::vector<GradientSet*> parts() {
+    std::vector<GradientSet*> p;
+    for (auto& s : sets) p.push_back(&s);
+    return p;
+  }
+
+  /// Digest of participant 0 after a plain allreduce over `who` (pristine
+  /// copies) — the failure-free reference at that DoP.
+  [[nodiscard]] std::uint64_t reference_digest(
+      const std::vector<int>& who) const {
+    std::vector<GradientSet> copies;
+    for (int i : who) copies.push_back(sets[static_cast<std::size_t>(i)]);
+    std::vector<GradientSet*> p;
+    for (auto& c : copies) p.push_back(&c);
+    allreduce_average(layout, p);
+    Digest d;
+    for (const auto& g : copies[0].grads) d.update(g.data());
+    return d.value();
+  }
+
+  [[nodiscard]] std::uint64_t digest_of(int part) const {
+    Digest d;
+    for (const auto& g : sets[static_cast<std::size_t>(part)].grads) {
+      d.update(g.data());
+    }
+    return d.value();
+  }
+};
+
+CommFaultEvent event_for(LinkFaultKind kind, int rank, double stall_s = 0.0) {
+  CommFaultEvent e;
+  e.kind = kind;
+  e.collective = 0;
+  e.rank = rank;
+  e.stall_s = stall_s;
+  return e;
+}
+
+TEST(CommFaultSchedule, SameSeedSameSchedule) {
+  CommFaultPlanConfig cfg;
+  cfg.drop_rate = 0.2;
+  cfg.stall_rate = 0.15;
+  cfg.corrupt_rate = 0.1;
+  cfg.death_rate = 0.05;
+  const auto a = sample_comm_faults(cfg);
+  const auto b = sample_comm_faults(cfg);
+  EXPECT_EQ(a, b);
+  cfg.seed ^= 1;
+  EXPECT_NE(sample_comm_faults(cfg), a);
+}
+
+TEST(ResilientAllreduce, CleanRunMatchesPlainBitwise) {
+  Fixture fx(4);
+  const auto expected = fx.reference_digest({0, 1, 2, 3});
+  SimTransport transport(4, TransportConfig{});
+  MembershipMonitor monitor(4, TransportConfig{});
+  auto parts = fx.parts();
+  const auto report =
+      resilient_allreduce_average(fx.layout, parts, transport, monitor);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_TRUE(report.condemned.empty());
+  EXPECT_EQ(report.survivors, (std::vector<int>{0, 1, 2, 3}));
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(fx.digest_of(r), expected);
+  EXPECT_GT(transport.stats().messages_sent, 0);
+  EXPECT_EQ(transport.stats().timeouts, 0);
+}
+
+TEST(ResilientAllreduce, DroppedChunkRecoversBitwise) {
+  Fixture fx(4);
+  const auto expected = fx.reference_digest({0, 1, 2, 3});
+  SimTransport transport(
+      4, TransportConfig{},
+      {event_for(LinkFaultKind::kDropChunk, /*rank=*/1)});
+  MembershipMonitor monitor(4, TransportConfig{});
+  auto parts = fx.parts();
+  const auto report =
+      resilient_allreduce_average(fx.layout, parts, transport, monitor);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.attempts, 2);  // one abort, one clean re-execution
+  EXPECT_TRUE(report.condemned.empty());  // single transient: stays live
+  ASSERT_FALSE(report.incidents.empty());
+  EXPECT_EQ(report.incidents[0].kind, LinkFaultKind::kDropChunk);
+  EXPECT_EQ(report.incidents[0].rank, 1);
+  EXPECT_GT(report.backoff_wait_s, 0.0);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(fx.digest_of(r), expected);
+}
+
+TEST(ResilientAllreduce, StallWithinDeadlineJustSlowsDown) {
+  Fixture fx(3);
+  const auto expected = fx.reference_digest({0, 1, 2});
+  TransportConfig tcfg;  // recv_deadline_s = 0.5
+  SimTransport transport(
+      3, tcfg, {event_for(LinkFaultKind::kStallLink, 2, /*stall_s=*/0.1)});
+  MembershipMonitor monitor(3, tcfg);
+  auto parts = fx.parts();
+  const auto report =
+      resilient_allreduce_average(fx.layout, parts, transport, monitor);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.attempts, 1);  // delivered late, not aborted
+  EXPECT_DOUBLE_EQ(transport.stall_seconds(2), 0.1);
+  EXPECT_GT(report.virtual_time_s, 0.1);  // the stall is on the clock
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(fx.digest_of(r), expected);
+}
+
+TEST(ResilientAllreduce, StallBeyondDeadlineRetriesBitwise) {
+  Fixture fx(3);
+  const auto expected = fx.reference_digest({0, 1, 2});
+  TransportConfig tcfg;
+  SimTransport transport(
+      3, tcfg, {event_for(LinkFaultKind::kStallLink, 0, /*stall_s=*/10.0)});
+  MembershipMonitor monitor(3, tcfg);
+  auto parts = fx.parts();
+  const auto report =
+      resilient_allreduce_average(fx.layout, parts, transport, monitor);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_TRUE(report.condemned.empty());
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(fx.digest_of(r), expected);
+}
+
+TEST(ResilientAllreduce, CorruptChunkRetriesBitwise) {
+  Fixture fx(4);
+  const auto expected = fx.reference_digest({0, 1, 2, 3});
+  SimTransport transport(4, TransportConfig{},
+                         {event_for(LinkFaultKind::kCorruptChunk, 3)});
+  MembershipMonitor monitor(4, TransportConfig{});
+  auto parts = fx.parts();
+  const auto report =
+      resilient_allreduce_average(fx.layout, parts, transport, monitor);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.attempts, 2);
+  ASSERT_FALSE(report.incidents.empty());
+  EXPECT_EQ(report.incidents[0].kind, LinkFaultKind::kCorruptChunk);
+  EXPECT_EQ(transport.stats().corruptions, 1);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(fx.digest_of(r), expected);
+}
+
+TEST(ResilientAllreduce, RankDeathShrinksToSurvivorsBitwise) {
+  // Rank 2 dies before the collective.  The group must condemn it via the
+  // receive deadline + heartbeat silence, shrink, and produce exactly the
+  // bits of a failure-free run over the three survivors.
+  Fixture fx(4);
+  const auto expected = fx.reference_digest({0, 1, 3});
+  SimTransport transport(4, TransportConfig{},
+                         {event_for(LinkFaultKind::kRankDeath, 2)});
+  MembershipMonitor monitor(4, TransportConfig{});
+  auto parts = fx.parts();
+  const auto report =
+      resilient_allreduce_average(fx.layout, parts, transport, monitor);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.condemned, (std::vector<int>{2}));
+  EXPECT_EQ(report.survivors, (std::vector<int>{0, 1, 3}));
+  EXPECT_FALSE(monitor.alive(2));
+  EXPECT_EQ(monitor.num_live(), 3);
+  for (int r : {0, 1, 3}) EXPECT_EQ(fx.digest_of(r), expected);
+  // The dead rank's gradients are left untouched (never published into).
+  EXPECT_NE(fx.digest_of(2), expected);
+}
+
+TEST(ResilientAllreduce, DeathPolicyAbortThrowsRankDeathError) {
+  Fixture fx(4);
+  SimTransport transport(4, TransportConfig{},
+                         {event_for(LinkFaultKind::kRankDeath, 1)});
+  MembershipMonitor monitor(4, TransportConfig{});
+  ResilientConfig cfg;
+  cfg.on_death = DeathPolicy::kAbort;
+  auto parts = fx.parts();
+  try {
+    resilient_allreduce_average(fx.layout, parts, transport, monitor, cfg);
+    FAIL() << "expected RankDeathError";
+  } catch (const RankDeathError& e) {
+    EXPECT_EQ(e.rank(), 1);
+  }
+}
+
+TEST(ResilientAllreduce, ConsecutiveTimeoutsCondemnSilentDropper) {
+  // A rank that still heartbeats but times out `suspect_after_timeouts`
+  // consecutive attempts is condemned anyway (a silent drop-out).
+  Fixture fx(4);
+  const auto expected = fx.reference_digest({0, 2, 3});
+  SimTransport transport(4, TransportConfig{},
+                         {event_for(LinkFaultKind::kDropChunk, 1),
+                          event_for(LinkFaultKind::kDropChunk, 1)});
+  MembershipMonitor monitor(4, TransportConfig{});
+  auto parts = fx.parts();
+  const auto report =
+      resilient_allreduce_average(fx.layout, parts, transport, monitor);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.condemned, (std::vector<int>{1}));
+  EXPECT_EQ(report.survivors, (std::vector<int>{0, 2, 3}));
+  for (int r : {0, 2, 3}) EXPECT_EQ(fx.digest_of(r), expected);
+}
+
+TEST(ResilientAllreduce, ExhaustedRetriesThrow) {
+  Fixture fx(2);
+  SimTransport transport(2, TransportConfig{},
+                         {event_for(LinkFaultKind::kCorruptChunk, 0)});
+  MembershipMonitor monitor(2, TransportConfig{});
+  ResilientConfig cfg;
+  cfg.max_attempts = 1;  // the single attempt hits the corruption
+  auto parts = fx.parts();
+  EXPECT_THROW(
+      resilient_allreduce_average(fx.layout, parts, transport, monitor, cfg),
+      CollectiveAbortedError);
+}
+
+TEST(ResilientAllreduce, CoHostedPartsBypassTheFabric) {
+  // All four virtual participants on one physical host: no chunk ever
+  // rides a link, so even a scheduled fault cannot fire — and the result
+  // is still the full 4-part average.
+  Fixture fx(4);
+  const auto expected = fx.reference_digest({0, 1, 2, 3});
+  SimTransport transport(1, TransportConfig{},
+                         {event_for(LinkFaultKind::kDropChunk, 0)});
+  MembershipMonitor monitor(1, TransportConfig{});
+  const std::vector<int> hosts{0, 0, 0, 0};
+  auto parts = fx.parts();
+  const auto report = resilient_allreduce_average(
+      fx.layout, parts, transport, monitor, {}, &hosts);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(transport.stats().messages_sent, 0);
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(fx.digest_of(r), expected);
+}
+
+TEST(ResilientAllreduce, VirtualRanksShareHostLinks) {
+  // 4 virtual parts on 2 hosts with a dead host: both of its parts drop
+  // out; survivors reduce to exactly the 2-part reference.
+  Fixture fx(4);
+  const auto expected = fx.reference_digest({0, 1});
+  SimTransport transport(2, TransportConfig{},
+                         {event_for(LinkFaultKind::kRankDeath, 1)});
+  MembershipMonitor monitor(2, TransportConfig{});
+  const std::vector<int> hosts{0, 0, 1, 1};
+  auto parts = fx.parts();
+  const auto report = resilient_allreduce_average(
+      fx.layout, parts, transport, monitor, {}, &hosts);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.condemned, (std::vector<int>{1}));
+  EXPECT_EQ(report.survivors, (std::vector<int>{0, 1}));
+  for (int r : {0, 1}) EXPECT_EQ(fx.digest_of(r), expected);
+}
+
+TEST(ResilientAllreduce, RecoveredRunMatchesUndisturbedRunExactly) {
+  // The keystone witness, stated end to end: run A hits a drop + retry;
+  // run B (fresh fixture, same inputs) sees no fault.  Same bits.
+  Fixture fx_faulted(3);
+  Fixture fx_clean(3);
+  // Fixtures draw from the shared generator in sequence, so copy A's
+  // gradients into B to make the inputs identical.
+  fx_clean.sets = fx_faulted.sets;
+  SimTransport faulty(3, TransportConfig{},
+                      {event_for(LinkFaultKind::kDropChunk, 2)});
+  MembershipMonitor m1(3, TransportConfig{});
+  auto parts_a = fx_faulted.parts();
+  resilient_allreduce_average(fx_faulted.layout, parts_a, faulty, m1);
+  SimTransport clean(3, TransportConfig{});
+  MembershipMonitor m2(3, TransportConfig{});
+  auto parts_b = fx_clean.parts();
+  resilient_allreduce_average(fx_clean.layout, parts_b, clean, m2);
+  EXPECT_EQ(fx_faulted.digest_of(0), fx_clean.digest_of(0));
+}
+
+TEST(BackoffPolicy, DoublesThenCaps) {
+  BackoffPolicy policy;
+  policy.base_s = 0.1;
+  policy.max_s = 0.4;
+  bool capped = false;
+  const double d1 = policy.delay_s(1, &capped);
+  EXPECT_FALSE(capped);
+  EXPECT_GE(d1, 0.1);
+  EXPECT_LT(d1, 0.1 + 0.1 * policy.base_s);
+  const double d2 = policy.delay_s(2, &capped);
+  EXPECT_FALSE(capped);
+  EXPECT_GE(d2, 0.2);
+  const double d3 = policy.delay_s(3, &capped);
+  EXPECT_TRUE(capped);
+  EXPECT_GE(d3, 0.4);
+  const double d9 = policy.delay_s(9, &capped);
+  EXPECT_TRUE(capped);
+  EXPECT_LT(d9, 0.4 + 0.1 * policy.base_s);  // capped, jitter aside
+}
+
+TEST(BackoffPolicy, JitterIsDeterministicPerAttempt) {
+  BackoffPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.delay_s(3), policy.delay_s(3));
+  EXPECT_NE(policy.delay_s(3), policy.delay_s(4));
+  BackoffPolicy other = policy;
+  other.jitter_seed ^= 0x5EED;
+  // Same exponential term, different jitter stream.
+  EXPECT_NE(policy.delay_s(2), other.delay_s(2));
+}
+
+TEST(MembershipMonitor, OneTimeoutWithFreshHeartbeatStaysLive) {
+  TransportConfig cfg;
+  MembershipMonitor monitor(2, cfg);
+  monitor.record_heartbeat(1, /*now_s=*/1.0);
+  monitor.note_timeout(1);
+  EXPECT_FALSE(monitor.should_condemn(1, /*now_s=*/1.1));
+  monitor.clear_timeouts(1);
+  EXPECT_EQ(monitor.consecutive_timeouts(1), 0);
+}
+
+TEST(MembershipMonitor, TimeoutPlusOverdueHeartbeatCondemns) {
+  TransportConfig cfg;  // heartbeat_deadline_s = 0.25
+  MembershipMonitor monitor(2, cfg);
+  monitor.record_heartbeat(1, 1.0);
+  monitor.note_timeout(1);
+  EXPECT_TRUE(monitor.should_condemn(1, 1.0 + cfg.heartbeat_deadline_s + 0.01));
+  monitor.declare_dead(1);
+  EXPECT_FALSE(monitor.alive(1));
+  EXPECT_EQ(monitor.live_ranks(), (std::vector<int>{0}));
+  // Condemning is idempotent; a dead rank is never re-condemned.
+  EXPECT_FALSE(monitor.should_condemn(1, 100.0));
+  monitor.reset(3);
+  EXPECT_EQ(monitor.num_live(), 3);
+}
+
+TEST(SimTransport, InjectTargetsTheNextCollective) {
+  SimTransport transport(2, TransportConfig{});
+  transport.begin_collective();  // collective 0, clean
+  EXPECT_EQ(transport.send(0, 1, 64).status, DeliveryStatus::kDelivered);
+  CommFaultEvent e;
+  e.kind = LinkFaultKind::kDropChunk;
+  e.collective = -1;  // "next"
+  e.rank = 0;
+  transport.inject(e);
+  transport.begin_collective();  // collective 1: the drop is armed
+  EXPECT_EQ(transport.send(0, 1, 64).status, DeliveryStatus::kTimedOut);
+  // Spent events do not re-fire.
+  EXPECT_EQ(transport.send(0, 1, 64).status, DeliveryStatus::kDelivered);
+  // Arming into an already-open collective is rejected.
+  e.collective = transport.collective_index();
+  EXPECT_THROW(transport.inject(e), Error);
+}
+
+TEST(SimTransport, LinkModelChargesLatencyPlusBandwidth) {
+  TransportConfig cfg;
+  cfg.link_latency_s = 1e-3;
+  cfg.link_bandwidth_bps = 1e6;
+  SimTransport transport(2, cfg);
+  transport.begin_collective();
+  const Delivery d = transport.send(0, 1, /*bytes=*/500);
+  EXPECT_EQ(d.status, DeliveryStatus::kDelivered);
+  EXPECT_DOUBLE_EQ(d.elapsed_s, 1e-3 + 500.0 / 1e6);
+  EXPECT_EQ(transport.stats().bytes_sent, 500);
+}
+
+}  // namespace
+}  // namespace easyscale::comm

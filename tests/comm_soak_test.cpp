@@ -1,0 +1,122 @@
+// Randomized fault-schedule soak for the resilient collective.
+//
+// Each seed samples a fresh Philox comm-fault schedule (drops, stalls,
+// corruptions, rare deaths) and drives a sequence of collectives over it
+// under DeathPolicy::kShrink.  After every collective the result digest is
+// checked against a plain `allreduce_average` over pristine copies of the
+// surviving participants — the bitwise-consistency witness of the whole
+// substrate, exercised across many schedules instead of one hand-picked
+// fault.  CI sweeps many seeds via EASYSCALE_SOAK_SEEDS (ctest -L soak);
+// the default stays small so a local `ctest` run is quick.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "autograd/parameter.hpp"
+#include "comm/allreduce.hpp"
+#include "comm/bucket.hpp"
+#include "comm/resilient.hpp"
+#include "comm/transport.hpp"
+#include "common/digest.hpp"
+#include "rng/philox.hpp"
+#include "rng/sampling.hpp"
+
+namespace easyscale::comm {
+namespace {
+
+constexpr int kWorld = 4;
+constexpr std::int64_t kCollectives = 12;
+
+int soak_seed_count() {
+  if (const char* env = std::getenv("EASYSCALE_SOAK_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 6;
+}
+
+autograd::ParameterStore make_store(std::vector<autograd::Parameter>& params) {
+  autograd::ParameterStore store;
+  for (auto& p : params) store.register_parameter(&p);
+  return store;
+}
+
+std::uint64_t digest_of(const GradientSet& part) {
+  std::uint64_t d = 0xcbf29ce484222325ull;
+  for (const auto& g : part.grads) {
+    d = d * 0x100000001b3ull + digest_floats(g.data());
+  }
+  return d;
+}
+
+TEST(CommSoak, RandomSchedulesStayBitwiseConsistent) {
+  const int seeds = soak_seed_count();
+  std::vector<autograd::Parameter> params;
+  params.emplace_back("w", tensor::Shape{41});
+  params.emplace_back("b", tensor::Shape{7});
+  params.emplace_back("v", tensor::Shape{24});
+  auto store = make_store(params);
+  const auto layout = BucketManager(store, 128).initial_layout();
+
+  std::int64_t total_faulted_collectives = 0;
+  for (int s = 0; s < seeds; ++s) {
+    CommFaultPlanConfig plan;
+    plan.seed = 0x50AC + static_cast<std::uint64_t>(s) * 0x9E3779B97F4A7C15ull;
+    plan.horizon_collectives = kCollectives;
+    plan.world = kWorld;
+    plan.drop_rate = 0.15;
+    plan.stall_rate = 0.15;
+    plan.corrupt_rate = 0.10;
+    plan.death_rate = 0.05;
+    const auto schedule = sample_comm_faults(plan);
+    // Same seed, same schedule — the soak itself must be reproducible.
+    ASSERT_EQ(schedule, sample_comm_faults(plan)) << "seed " << s;
+
+    TransportConfig tcfg;
+    SimTransport transport(kWorld, tcfg, schedule);
+    MembershipMonitor monitor(kWorld, tcfg);
+    ResilientConfig rcfg;
+    rcfg.on_death = DeathPolicy::kShrink;
+
+    rng::Philox grad_gen(plan.seed ^ 0x6E55);
+    for (std::int64_t c = 0; c < kCollectives; ++c) {
+      if (monitor.num_live() < 2) break;  // group too small to reduce
+      std::vector<GradientSet> sets;
+      for (int r = 0; r < kWorld; ++r) {
+        auto set = GradientSet::zeros_like(store);
+        for (auto& g : set.grads) {
+          rng::fill_normal(grad_gen, g.data(), 0.0f, 1.0f);
+        }
+        sets.push_back(std::move(set));
+      }
+      auto pristine = sets;  // reference inputs, untouched by the fabric
+      std::vector<GradientSet*> parts;
+      for (auto& set : sets) parts.push_back(&set);
+
+      const auto report =
+          resilient_allreduce_average(layout, parts, transport, monitor, rcfg);
+      ASSERT_TRUE(report.ok) << "seed " << s << " collective " << c;
+      ASSERT_FALSE(report.survivors.empty());
+      if (report.attempts > 1) ++total_faulted_collectives;
+
+      // Reference: the failure-free reduction at the survivor DoP.
+      std::vector<GradientSet*> ref_parts;
+      for (int i : report.survivors) {
+        ref_parts.push_back(&pristine[static_cast<std::size_t>(i)]);
+      }
+      allreduce_average(layout, ref_parts);
+      for (int i : report.survivors) {
+        EXPECT_EQ(digest_of(sets[static_cast<std::size_t>(i)]),
+                  digest_of(pristine[static_cast<std::size_t>(i)]))
+            << "seed " << s << " collective " << c << " part " << i;
+      }
+    }
+  }
+  // With these rates the soak must actually exercise the recovery path.
+  EXPECT_GT(total_faulted_collectives, 0);
+}
+
+}  // namespace
+}  // namespace easyscale::comm

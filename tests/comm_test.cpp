@@ -241,6 +241,119 @@ TEST(AllreduceAverage, LayoutChangesBitsOnIdenticalInputs) {
   EXPECT_NE(run(init), run(rebuilt));
 }
 
+TEST(AllreduceAverage, WorldSizeOneIsIdentity) {
+  // Degenerate group: a single participant averages with itself and must
+  // come out bitwise untouched.
+  std::vector<autograd::Parameter> params;
+  params.emplace_back("w", tensor::Shape{33});
+  auto store = make_store(params);
+  const auto layout = BucketManager(store, 1 << 20).initial_layout();
+  auto s = GradientSet::zeros_like(store);
+  rng::fill_normal(gen, s.grads[0].data(), 0.0f, 1.0f);
+  const auto before = digest_floats(s.grads[0].data());
+  std::vector<GradientSet*> parts{&s};
+  allreduce_average(layout, parts);
+  EXPECT_EQ(digest_floats(s.grads[0].data()), before);
+}
+
+TEST(AllreduceAverage, TwoParticipantRingMatchesManualOrder) {
+  // Smallest non-trivial ring: chunk c accumulates starting at rank
+  // (c+1)%2, so element-wise the sum is parts[(c+1)%2] + parts[c%2] in
+  // that exact order.
+  std::vector<autograd::Parameter> params;
+  params.emplace_back("w", tensor::Shape{8});
+  auto store = make_store(params);
+  const auto layout = BucketManager(store, 1 << 20).initial_layout();
+  std::vector<GradientSet> sets;
+  for (int r = 0; r < 2; ++r) {
+    auto s = GradientSet::zeros_like(store);
+    rng::fill_normal(gen, s.grads[0].data(), 0.0f, 1.0f);
+    sets.push_back(std::move(s));
+  }
+  const auto copies = sets;
+  std::vector<GradientSet*> parts{&sets[0], &sets[1]};
+  allreduce_average(layout, parts);
+  for (std::int64_t c = 0; c < 2; ++c) {
+    for (std::int64_t i = 4 * c; i < 4 * (c + 1); ++i) {
+      const float manual =
+          (copies[static_cast<std::size_t>((c + 1) % 2)].grads[0].at(i) +
+           copies[static_cast<std::size_t>(c % 2)].grads[0].at(i)) /
+          2.0f;
+      EXPECT_EQ(sets[0].grads[0].at(i), manual);
+      EXPECT_EQ(sets[1].grads[0].at(i), manual);
+    }
+  }
+}
+
+TEST(AllreduceAverage, DuplicatePartPointersAreHarmless) {
+  // The same participant listed twice: averaging x with itself must give
+  // x back (2x/2 is exact in binary floating point).
+  std::vector<autograd::Parameter> params;
+  params.emplace_back("w", tensor::Shape{16});
+  auto store = make_store(params);
+  const auto layout = BucketManager(store, 1 << 20).initial_layout();
+  auto s = GradientSet::zeros_like(store);
+  rng::fill_normal(gen, s.grads[0].data(), 0.0f, 1.0f);
+  const auto before = digest_floats(s.grads[0].data());
+  std::vector<GradientSet*> parts{&s, &s};
+  allreduce_average(layout, parts);
+  EXPECT_EQ(digest_floats(s.grads[0].data()), before);
+}
+
+TEST(AllreduceValidation, RejectsEmptyParts) {
+  BucketLayout layout;
+  std::vector<GradientSet*> parts;
+  EXPECT_THROW(allreduce_average(layout, parts), Error);
+}
+
+TEST(AllreduceValidation, RejectsNullPart) {
+  std::vector<autograd::Parameter> params;
+  params.emplace_back("w", tensor::Shape{4});
+  auto store = make_store(params);
+  const auto layout = BucketManager(store, 1 << 20).initial_layout();
+  auto s = GradientSet::zeros_like(store);
+  std::vector<GradientSet*> parts{&s, nullptr};
+  EXPECT_THROW(allreduce_average(layout, parts), Error);
+}
+
+TEST(AllreduceValidation, RejectsRaggedGradientCounts) {
+  std::vector<autograd::Parameter> params;
+  params.emplace_back("w", tensor::Shape{4});
+  auto store = make_store(params);
+  const auto layout = BucketManager(store, 1 << 20).initial_layout();
+  auto a = GradientSet::zeros_like(store);
+  auto b = GradientSet::zeros_like(store);
+  b.grads.emplace_back(tensor::Shape{4});  // one gradient too many
+  std::vector<GradientSet*> parts{&a, &b};
+  EXPECT_THROW(allreduce_average(layout, parts), Error);
+}
+
+TEST(AllreduceValidation, RejectsShapeDisagreementAcrossParts) {
+  std::vector<autograd::Parameter> params;
+  params.emplace_back("w", tensor::Shape{6});
+  auto store = make_store(params);
+  const auto layout = BucketManager(store, 1 << 20).initial_layout();
+  auto a = GradientSet::zeros_like(store);
+  auto b = GradientSet::zeros_like(store);
+  b.grads[0] = tensor::Tensor(tensor::Shape{7});  // disagrees with part 0
+  std::vector<GradientSet*> parts{&a, &b};
+  EXPECT_THROW(allreduce_average(layout, parts), Error);
+}
+
+TEST(AllreduceValidation, RejectsBucketIdsOutsideGradientRange) {
+  std::vector<autograd::Parameter> params;
+  params.emplace_back("w", tensor::Shape{4});
+  auto store = make_store(params);
+  auto s = GradientSet::zeros_like(store);
+  std::vector<GradientSet*> parts{&s};
+  BucketLayout out_of_range;
+  out_of_range.buckets = {{0, 1}};  // gradient 1 does not exist
+  EXPECT_THROW(allreduce_average(out_of_range, parts), Error);
+  BucketLayout duplicated;
+  duplicated.buckets = {{0}, {0}};  // gradient 0 reduced twice
+  EXPECT_THROW(allreduce_average(duplicated, parts), Error);
+}
+
 TEST(GradientSet, StoreRoundTripAndBytes) {
   std::vector<autograd::Parameter> params;
   params.emplace_back("w", tensor::Shape{5});

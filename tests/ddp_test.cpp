@@ -124,5 +124,50 @@ TEST(DDP, EpochsApplyLRSchedule) {
   EXPECT_EQ(trainer.scheduler().last_epoch(), 2);
 }
 
+TEST(DDP, ResilientCommCleanAndFaultedRunsMatchPlainBitwise) {
+  const auto plain = digest_after(config(3), 5);
+
+  // Clean resilient run: same bucketed ring routed through the fabric.
+  auto clean_cfg = config(3);
+  clean_cfg.resilient_comm = true;
+  EXPECT_EQ(digest_after(clean_cfg, 5), plain);
+
+  // Faulted resilient run: a dropped chunk and a hard stall mid-training
+  // are absorbed by abort + re-execution — identical bits, extra attempts.
+  auto faulted_cfg = config(3);
+  faulted_cfg.resilient_comm = true;
+  comm::CommFaultEvent drop;
+  drop.kind = comm::LinkFaultKind::kDropChunk;
+  drop.collective = 1;
+  drop.rank = 0;
+  comm::CommFaultEvent stall;
+  stall.kind = comm::LinkFaultKind::kStallLink;
+  stall.collective = 3;
+  stall.rank = 2;
+  stall.stall_s = 5.0;  // beyond recv_deadline_s: forces a retry
+  faulted_cfg.comm_faults = {drop, stall};
+  auto wd = models::make_dataset_for("ResNet18", 128, 16, 42);
+  DDPTrainer trainer(faulted_cfg, *wd.train, wd.augment);
+  trainer.run_steps(5);
+  EXPECT_EQ(trainer.params_digest(), plain);
+  EXPECT_GT(trainer.transport_stats().drops, 0);
+  EXPECT_GT(trainer.transport_stats().timeouts, 0);
+}
+
+TEST(DDP, ResilientCommRankDeathThrows) {
+  auto cfg = config(3);
+  cfg.resilient_comm = true;
+  auto wd = models::make_dataset_for("ResNet18", 128, 16, 42);
+  DDPTrainer trainer(cfg, *wd.train, wd.augment);
+  trainer.run_steps(2);
+  comm::CommFaultEvent death;
+  death.kind = comm::LinkFaultKind::kRankDeath;
+  death.rank = 1;
+  trainer.inject_comm_fault(death);
+  // DDP has no EST remapping: a dead rank's shard is gone, so the sync
+  // layer must abort loudly rather than publish a partial average.
+  EXPECT_THROW(trainer.run_steps(1), comm::RankDeathError);
+}
+
 }  // namespace
 }  // namespace easyscale::ddp

@@ -254,6 +254,92 @@ TEST(Engine, ParallelWorkersSurviveRescale) {
   EXPECT_EQ(e.params_digest(), ref.params_digest());
 }
 
+TEST(Engine, ResilientCommCleanRunMatchesPlainBitwise) {
+  auto wd = models::make_dataset_for("ResNet18", 128, 16, 42);
+  EasyScaleEngine plain(config(), *wd.train, wd.augment);
+  plain.configure_workers(std::vector<WorkerSpec>(3));
+  plain.run_steps(5);
+
+  auto cfg = config();
+  cfg.resilient_comm = true;
+  EasyScaleEngine resilient(cfg, *wd.train, wd.augment);
+  resilient.configure_workers(std::vector<WorkerSpec>(3));
+  resilient.run_steps(5);
+  // The failure-aware path drives the exact same bucketed ring when no
+  // fault fires: identical bits, one attempt, real fabric traffic.
+  EXPECT_EQ(resilient.params_digest(), plain.params_digest());
+  ASSERT_TRUE(resilient.last_comm_report().has_value());
+  EXPECT_EQ(resilient.last_comm_report()->attempts, 1);
+  EXPECT_GT(resilient.transport_stats().messages_sent, 0);
+}
+
+TEST(Engine, ResilientCommInjectedDropRecoversBitwise) {
+  auto wd = models::make_dataset_for("ResNet18", 128, 16, 42);
+  EasyScaleEngine plain(config(), *wd.train, wd.augment);
+  plain.configure_workers(std::vector<WorkerSpec>(3));
+  plain.run_steps(5);
+
+  auto cfg = config();
+  cfg.resilient_comm = true;
+  EasyScaleEngine victim(cfg, *wd.train, wd.augment);
+  victim.configure_workers(std::vector<WorkerSpec>(3));
+  victim.run_steps(2);
+  comm::CommFaultEvent drop;
+  drop.kind = comm::LinkFaultKind::kDropChunk;
+  drop.rank = 1;  // collective = -1: fires during the next step's sync
+  victim.inject_comm_fault(drop);
+  victim.run_steps(3);
+  EXPECT_EQ(victim.params_digest(), plain.params_digest());
+  ASSERT_TRUE(victim.last_comm_report().has_value());
+  EXPECT_GT(victim.transport_stats().drops, 0);
+}
+
+TEST(Engine, ResilientCommRankDeathAbortsTheStep) {
+  auto wd = models::make_dataset_for("ResNet18", 128, 16, 42);
+  auto cfg = config();
+  cfg.resilient_comm = true;
+  EasyScaleEngine engine(cfg, *wd.train, wd.augment);
+  engine.configure_workers(std::vector<WorkerSpec>(3));
+  engine.run_steps(2);
+  comm::CommFaultEvent death;
+  death.kind = comm::LinkFaultKind::kRankDeath;
+  death.rank = 2;
+  engine.inject_comm_fault(death);
+  // A dead worker's EST gradients are unrecoverable mid-step: the engine
+  // must surface the condemnation instead of silently dropping them.
+  EXPECT_THROW(engine.run_steps(1), comm::RankDeathError);
+  // The supervisor's rollback path: reconfigure onto survivors + restore.
+  engine.configure_workers(std::vector<WorkerSpec>(2));
+  EXPECT_FALSE(engine.last_comm_report().has_value());  // fabric was rebuilt
+}
+
+TEST(Engine, CommStallAccruesToTheVictimWorker) {
+  auto wd = models::make_dataset_for("ResNet18", 128, 16, 42);
+  auto cfg = config();
+  cfg.resilient_comm = true;
+  EasyScaleEngine engine(cfg, *wd.train, wd.augment);
+  engine.configure_workers(std::vector<WorkerSpec>(3));
+  EXPECT_EQ(engine.comm_stall_per_worker(), std::vector<double>(3, 0.0));
+  comm::CommFaultEvent stall;
+  stall.kind = comm::LinkFaultKind::kStallLink;
+  stall.rank = 1;
+  stall.stall_s = 0.1;  // within recv_deadline_s: slows, does not retry
+  engine.inject_comm_fault(stall);
+  engine.run_steps(1);
+  const auto stalls = engine.comm_stall_per_worker();
+  ASSERT_EQ(stalls.size(), 3u);
+  EXPECT_DOUBLE_EQ(stalls[1], 0.1);
+  EXPECT_DOUBLE_EQ(stalls[0], 0.0);
+  EXPECT_DOUBLE_EQ(stalls[2], 0.0);
+  ASSERT_TRUE(engine.last_comm_report().has_value());
+  EXPECT_EQ(engine.last_comm_report()->attempts, 1);  // absorbed in-flight
+
+  // Disabled engines expose no straggler signal.
+  EasyScaleEngine off(config(), *wd.train, wd.augment);
+  off.configure_workers(std::vector<WorkerSpec>(2));
+  EXPECT_TRUE(off.comm_stall_per_worker().empty());
+}
+
 TEST(MemoryModel, PackingGrowsEasyScaleFlat) {
   const double pack1 = packing_memory_gb("ResNet50", 1);
   const double pack8 = packing_memory_gb("ResNet50", 8);

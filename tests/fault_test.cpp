@@ -288,6 +288,103 @@ TEST(FaultSupervisor, ElasticSurvivesWhereGangRestartFails) {
   }
 }
 
+/// Comm-level faults under the resilient substrate: transient link faults
+/// are absorbed inside the collective (bounded retries, bitwise
+/// re-execution) and a silent rank death rolls back via checkpoint — the
+/// final digest still matches the undisturbed run.
+TEST(FaultSupervisor, ResilientCommKeepsBitwiseDigest) {
+  constexpr std::int64_t kSteps = 14;
+  const std::uint64_t clean = fault_free_digest(4, kSteps);
+
+  auto& wd = shared_data();
+  auto ecfg = small_config();
+  ecfg.resilient_comm = true;
+  EasyScaleEngine engine(ecfg, *wd.train, wd.augment);
+  CheckpointManager mgr(temp_path("resilient_comm"), 3);
+  mgr.clear();
+  FaultInjector injector({
+      {FaultKind::kCommChunkDrop, 3, 1, 0.0, 1.0, 0.0, 0},
+      {FaultKind::kCommStalledLink, 5, 2, 0.0, 1.0, 2.0, 0},
+      {FaultKind::kCommRankDeath, 8, 3, 0.0, 1.0, 0.0, 0},
+  });
+  SupervisorConfig cfg;
+  cfg.checkpoint_every = 3;
+  cfg.regrow_after_clean_steps = 0;  // stay at the survivor count
+  FaultSupervisor sup(engine, mgr, std::move(injector), cfg);
+  const auto stats = sup.run_to(kSteps, 4);
+
+  EXPECT_FALSE(stats.failed);
+  EXPECT_EQ(stats.steps_completed, kSteps);
+  EXPECT_EQ(stats.comm_faults, 3);
+  EXPECT_EQ(stats.straggler_reports, 1);
+  EXPECT_GE(stats.comm_retries, 2);  // drop + over-deadline stall re-execute
+  EXPECT_GT(stats.comm_wall_s, 0.0);
+  EXPECT_GE(stats.recoveries, 1);  // the condemned rank forced a rollback
+  EXPECT_GE(stats.scale_ins, 1);   // ... and the group shrank to survivors
+  EXPECT_EQ(engine.params_digest(), clean)
+      << "comm-fault recovery diverged bitwise from the fault-free run";
+  mgr.clear();
+}
+
+/// Satellite: with backoff_max_s == backoff_base_s every recovery wait is
+/// clipped at the cap, and the stats count each one.
+TEST(FaultSupervisor, CappedBackoffWaitsAreCounted) {
+  constexpr std::int64_t kSteps = 10;
+  auto& wd = shared_data();
+  EasyScaleEngine engine(small_config(), *wd.train, wd.augment);
+  CheckpointManager mgr(temp_path("capped"), 3);
+  mgr.clear();
+  FaultInjector injector({
+      {FaultKind::kWorkerCrash, 3, 0, 0.0, 1.0, 0.0, 0},
+      {FaultKind::kWorkerCrash, 6, 1, 0.0, 1.0, 0.0, 0},
+  });
+  SupervisorConfig cfg;
+  cfg.backoff_base_s = 1.0;
+  cfg.backoff_max_s = 1.0;  // cap == base: the very first wait is clipped
+  FaultSupervisor sup(engine, mgr, std::move(injector), cfg);
+  const auto stats = sup.run_to(kSteps, 4);
+  EXPECT_FALSE(stats.failed);
+  EXPECT_EQ(stats.recoveries, 2);
+  EXPECT_EQ(stats.capped_backoffs, stats.recoveries);
+  EXPECT_EQ(engine.params_digest(), fault_free_digest(4, kSteps));
+  mgr.clear();
+}
+
+/// Comm-kind rates are sampled from a separate Philox stream: enabling
+/// them must not perturb the classic schedule an existing seed produces.
+TEST(FaultInjector, CommRatesDoNotPerturbClassicSchedule) {
+  FaultPlanConfig classic;
+  classic.seed = 321;
+  classic.horizon_steps = 300;
+  classic.crash_rate = 0.05;
+  classic.revocation_rate = 0.05;
+  classic.straggler_rate = 0.08;
+  const auto baseline = FaultInjector::from_config(classic).schedule();
+  ASSERT_FALSE(baseline.empty());
+
+  auto with_comm = classic;
+  with_comm.chunk_drop_rate = 0.1;
+  with_comm.stalled_link_rate = 0.1;
+  with_comm.rank_death_rate = 0.02;
+  const auto mixed = FaultInjector::from_config(with_comm).schedule();
+  ASSERT_GT(mixed.size(), baseline.size());
+
+  std::vector<FaultEvent> classic_only;
+  bool saw_comm = false;
+  for (const auto& e : mixed) {
+    if (e.kind == FaultKind::kCommChunkDrop ||
+        e.kind == FaultKind::kCommStalledLink ||
+        e.kind == FaultKind::kCommRankDeath) {
+      saw_comm = true;
+    } else {
+      classic_only.push_back(e);
+    }
+  }
+  EXPECT_TRUE(saw_comm);
+  EXPECT_EQ(classic_only, baseline)
+      << "comm-kind sampling leaked into the classic Philox stream";
+}
+
 TEST(FaultSupervisor, GoodputAccountingIsConsistent) {
   constexpr std::int64_t kSteps = 12;
   FaultInjector injector({

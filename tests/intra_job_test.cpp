@@ -103,5 +103,50 @@ TEST(IntraJob, HealthyScaleOutIsKept) {
   EXPECT_EQ(engine.num_workers(), total(props[0].plan.gpus));
 }
 
+TEST(IntraJob, RebalancesESTsOffAStalledWorkerBitwiseNeutrally) {
+  auto wd = models::make_dataset_for("Bert", 128, 16, 42);
+  // Reference: the same engine run with no fabric and no rebalancing.
+  core::EasyScaleEngine reference(engine_config(), *wd.train, wd.augment);
+  reference.configure_workers(std::vector<core::WorkerSpec>(2));
+  reference.run_steps(6);
+
+  auto cfg = engine_config();
+  cfg.resilient_comm = true;
+  core::EasyScaleEngine engine(cfg, *wd.train, wd.augment);
+  engine.configure_workers(std::vector<core::WorkerSpec>(2));
+  IntraJobScheduler sched(engine, Companion("Bert", 4), true);
+
+  // No straggler signal yet: nothing to move.
+  EXPECT_FALSE(sched.rebalance_stragglers(0.1));
+
+  // Worker 1's link stalls (within the receive deadline, so the steps
+  // succeed on the first attempt) across three consecutive syncs.
+  for (int s = 0; s < 3; ++s) {
+    comm::CommFaultEvent stall;
+    stall.kind = comm::LinkFaultKind::kStallLink;
+    stall.rank = 1;
+    stall.stall_s = 0.2;
+    engine.inject_comm_fault(stall);
+    engine.run_steps(1);
+  }
+  const auto stalls = engine.comm_stall_per_worker();
+  ASSERT_EQ(stalls.size(), 2u);
+  EXPECT_GT(stalls[1], 0.5);
+
+  const auto before = engine.current_assignment();
+  ASSERT_TRUE(sched.rebalance_stragglers(0.5));
+  const auto after = engine.current_assignment();
+  EXPECT_EQ(after[0].size(), before[0].size() + 1);
+  EXPECT_EQ(after[1].size(), before[1].size() - 1);
+  // The remap rebuilt the fabric: stall counters start over.
+  EXPECT_EQ(engine.comm_stall_per_worker(), std::vector<double>(2, 0.0));
+  // ... so an immediate second call has no straggler to act on.
+  EXPECT_FALSE(sched.rebalance_stragglers(0.5));
+
+  // Bitwise-neutral, like every EST remap.
+  engine.run_steps(3);
+  EXPECT_EQ(engine.params_digest(), reference.params_digest());
+}
+
 }  // namespace
 }  // namespace easyscale::sched

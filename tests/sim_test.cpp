@@ -230,6 +230,35 @@ TEST(SimulatorFailures, FailureFreeConfigMatchesBaselineBehaviour) {
   EXPECT_EQ(r.lost_progress, 0);
 }
 
+TEST(SimulatorFailures, CommFaultsDegradeGangJobsFarMoreThanElastic) {
+  // Same trace, same seeded per-(job, tick) link-fault draws: the elastic
+  // policy absorbs each fault in comm_recover_s while the gang baseline
+  // stalls for a full restart — its degraded time must dominate.
+  const auto jobs = small_trace(10);
+  auto elastic_cfg = sim_config(SchedulerPolicy::kEasyScaleHomo);
+  elastic_cfg.comm_fault_rate = 0.05;
+  auto gang_cfg = sim_config(SchedulerPolicy::kYarnCS);
+  gang_cfg.comm_fault_rate = 0.05;
+
+  const auto elastic = simulate_trace(jobs, elastic_cfg);
+  const auto gang = simulate_trace(jobs, gang_cfg);
+  EXPECT_GT(elastic.comm_faults, 0);
+  EXPECT_GT(gang.comm_faults, 0);
+  EXPECT_GT(elastic.comm_degraded_s, 0.0);
+  EXPECT_GT(gang.comm_degraded_s, elastic.comm_degraded_s)
+      << "gang restarts must cost more job-time than in-collective recovery";
+
+  // Deterministic: the same config replays the exact same fault draws.
+  const auto replay = simulate_trace(jobs, elastic_cfg);
+  EXPECT_EQ(replay.comm_faults, elastic.comm_faults);
+  EXPECT_EQ(replay.comm_degraded_s, elastic.comm_degraded_s);
+
+  // Rate zero keeps the pre-comm-fault accounting untouched.
+  const auto off = simulate_trace(jobs, sim_config(SchedulerPolicy::kYarnCS));
+  EXPECT_EQ(off.comm_faults, 0);
+  EXPECT_EQ(off.comm_degraded_s, 0.0);
+}
+
 TEST(SimulatorFailures, MtbfTraceDrivenRunCompletes) {
   // End-to-end: a generated MTBF failure process feeding the simulator.
   const auto jobs = small_trace(10);
