@@ -5,7 +5,11 @@
 // For each failure rate the run executes REAL training (checkpoint,
 // rollback, EST remap), so the elastic column also certifies bitwise
 // consistency: every surviving run must end with the fault-free digest.
+//
+//   fault_recovery [--sdc-only]   run only the silent-data-corruption
+//                                 section (the CI smoke entry point)
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -72,7 +76,11 @@ void print_row(const char* policy, const Row& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool sdc_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sdc-only") == 0) sdc_only = true;
+  }
   bench::banner("Fault recovery (§2.1, §5.3)",
                 "goodput vs failure rate: elastic scale-in vs gang restart");
   constexpr std::int64_t kSteps = 48;
@@ -90,6 +98,7 @@ int main() {
               static_cast<long long>(kSteps), ref_s,
               static_cast<unsigned long long>(clean));
 
+  if (!sdc_only) {
   std::printf("%8s %8s %6s %6s %6s %6s %9s %10s %8s\n", "policy", "rate",
               "faults", "recov", "scl_in", "lost", "goodput", "steps/s",
               "result");
@@ -150,7 +159,81 @@ int main() {
           r.stats.failed ? "FAILED" : (r.bitwise_ok ? "exact" : "-"));
     }
   }
+  }  // !sdc_only
 
+  // --- Silent-data-corruption schedule: sticky corrupt devices vs the
+  // compute-integrity defense (witness + verified checkpoints + device
+  // quarantine).  The defended job detects within one witness cadence,
+  // quarantines, walks back to the last VERIFIED generation and ends
+  // bitwise equal to the fault-free digest on the surviving devices; the
+  // undefended job trains through the corruption and ends silently
+  // poisoned (digest diverges).
+  std::printf("\nsilent-data-corruption schedule (defended vs undefended)\n");
+  std::printf("%10s %6s %6s %5s %6s %5s %8s %9s %9s %9s\n", "mode", "every",
+              "rate", "sdc", "detect", "quar", "latency", "witness%",
+              "goodput", "result");
+  auto run_sdc = [&](bool defended, std::int64_t witness_every, double rate) {
+    core::EasyScaleEngine engine(job_config(), *wd.train, wd.augment);
+    core::CheckpointManager mgr("/tmp/es_bench_fault_recovery", 4);
+    mgr.clear();
+    fault::FaultPlanConfig pcfg;
+    pcfg.seed = 0x5DC17;
+    pcfg.horizon_steps = kSteps;
+    pcfg.sdc_bitflip_rate = rate * 0.6;
+    pcfg.sdc_perturb_rate = rate * 0.4;
+    fault::SupervisorConfig scfg;
+    scfg.policy = fault::RecoveryPolicy::kElasticScaleIn;
+    scfg.checkpoint_every = 4;
+    scfg.sdc_defense = defended;
+    scfg.witness_every = witness_every;
+    fault::FaultSupervisor sup(engine, mgr,
+                               fault::FaultInjector::from_config(pcfg), scfg);
+    Row row;
+    row.fault_rate = rate;
+    row.stats = sup.run_to(kSteps, 4);
+    row.bitwise_ok = !row.stats.failed && engine.params_digest() == clean;
+    mgr.clear();
+    return row;
+  };
+  for (const double rate : {0.02, 0.05, 0.1}) {
+    for (const std::int64_t every : {std::int64_t{1}, std::int64_t{2}}) {
+      const auto r = run_sdc(/*defended=*/true, every, rate);
+      const double latency =
+          r.stats.sdc_detections > 0
+              ? static_cast<double>(r.stats.sdc_detect_latency_steps) /
+                    static_cast<double>(r.stats.sdc_detections)
+              : 0.0;
+      const double witness_pct =
+          r.stats.total_wall_s > 0.0
+              ? 100.0 * r.stats.witness_wall_s / r.stats.total_wall_s
+              : 0.0;
+      std::printf("%10s %6lld %6.2f %5lld %6lld %5lld %8.2f %9.2f %9.3f %9s\n",
+                  "defended", static_cast<long long>(every), r.fault_rate,
+                  static_cast<long long>(r.stats.sdc_events),
+                  static_cast<long long>(r.stats.sdc_detections),
+                  static_cast<long long>(r.stats.devices_quarantined), latency,
+                  witness_pct, r.stats.goodput_fraction(),
+                  r.stats.failed ? "FAILED" : (r.bitwise_ok ? "exact" : "-"));
+    }
+    const auto u = run_sdc(/*defended=*/false, 1, rate);
+    std::printf("%10s %6s %6.2f %5lld %6lld %5lld %8s %9s %9.3f %9s\n",
+                "undefended", "-", u.fault_rate,
+                static_cast<long long>(u.stats.sdc_events),
+                static_cast<long long>(u.stats.sdc_detections),
+                static_cast<long long>(u.stats.devices_quarantined), "-", "-",
+                u.stats.goodput_fraction(),
+                u.stats.sdc_events == 0
+                    ? (u.bitwise_ok ? "exact" : "-")
+                    : (u.bitwise_ok ? "exact" : "POISONED"));
+  }
+  bench::note(
+      "latency = average steps from a device turning corrupt to witness "
+      "detection; witness% = verification overhead share of wall time");
+  bench::note(
+      "defended runs must end 'exact' (bitwise equal to fault-free); "
+      "undefended runs with sdc > 0 end POISONED — the defense's point");
+
+  if (!sdc_only) {
   bench::note(
       "goodput = fraction of simulated wall-clock spent on surviving steps "
       "(supervisor cost model, not host time)");
@@ -160,5 +243,6 @@ int main() {
   bench::note(
       "gang restart pays a replacement wait per fault and fails after "
       "max_retries consecutive faults (§2.1 baseline)");
+  }  // !sdc_only
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/digest.hpp"
 #include "common/error.hpp"
 #include "rng/philox.hpp"
 
@@ -71,6 +72,13 @@ std::vector<CommFaultEvent> sample_comm_faults(const CommFaultPlanConfig& cfg) {
     }
   }
   return events;
+}
+
+PayloadDelivery Transport::send_payload(int src, int dst,
+                                        std::vector<std::uint8_t> bytes) {
+  const Delivery d = send(src, dst, static_cast<std::int64_t>(bytes.size()));
+  if (d.status == DeliveryStatus::kTimedOut) return {d.status, d.elapsed_s, {}};
+  return {d.status, d.elapsed_s, std::move(bytes)};
 }
 
 SimTransport::SimTransport(int world, TransportConfig cfg,
@@ -153,6 +161,61 @@ Delivery SimTransport::send(int src, int dst, std::int64_t bytes) {
   }
   stats_.bytes_sent += bytes;
   return {DeliveryStatus::kDelivered, elapsed};
+}
+
+PayloadDelivery SimTransport::send_payload(int src, int dst,
+                                           std::vector<std::uint8_t> bytes) {
+  ES_CHECK(src >= 0 && src < world_, "send src " << src << " out of range");
+  ES_CHECK(dst >= 0 && dst < world_, "send dst " << dst << " out of range");
+  ++stats_.messages_sent;
+  if (!alive(src)) {
+    ++stats_.timeouts;
+    return {DeliveryStatus::kTimedOut, cfg_.recv_deadline_s, {}};
+  }
+  const auto size = static_cast<std::int64_t>(bytes.size());
+  // Checksum stamped on the wire chunk before transmission.
+  const std::uint64_t sent_checksum = digest_bytes(bytes);
+  double elapsed = cfg_.link_latency_s +
+                   static_cast<double>(size) / cfg_.link_bandwidth_bps;
+  for (auto it = armed_.begin(); it != armed_.end(); ++it) {
+    if (it->rank != src) continue;
+    const CommFaultEvent e = *it;
+    armed_.erase(it);
+    if (e.kind == LinkFaultKind::kDropChunk) {
+      ++stats_.drops;
+      ++stats_.timeouts;
+      return {DeliveryStatus::kTimedOut, cfg_.recv_deadline_s, {}};
+    }
+    if (e.kind == LinkFaultKind::kStallLink) {
+      ++stats_.stalls;
+      stall_s_[static_cast<std::size_t>(src)] += e.stall_s;
+      elapsed += e.stall_s;
+      if (elapsed > cfg_.recv_deadline_s) {
+        ++stats_.timeouts;
+        return {DeliveryStatus::kTimedOut, cfg_.recv_deadline_s, {}};
+      }
+      break;
+    }
+    if (e.kind == LinkFaultKind::kCorruptChunk) {
+      // Length-preserving damage: XOR one byte with a nonzero Philox draw.
+      // The single-byte FNV perturbation changes the checksum, so delivery
+      // verification below reports kCorrupt.
+      ++stats_.corruptions;
+      if (!bytes.empty()) {
+        rng::Philox gen(e.payload_seed);
+        const auto idx = static_cast<std::size_t>(
+            gen.next_below(static_cast<std::uint64_t>(bytes.size())));
+        bytes[idx] ^= static_cast<std::uint8_t>(1 + gen.next_below(255));
+      }
+      break;
+    }
+    ES_THROW("unexpected armed fault " << e.to_string());
+  }
+  stats_.bytes_sent += size;
+  const DeliveryStatus status = digest_bytes(bytes) == sent_checksum
+                                    ? DeliveryStatus::kDelivered
+                                    : DeliveryStatus::kCorrupt;
+  return {status, elapsed, std::move(bytes)};
 }
 
 void SimTransport::advance(double seconds) {

@@ -105,6 +105,15 @@ struct Delivery {
   double elapsed_s = 0.0;
 };
 
+/// Outcome of a payload-carrying message: the bytes as they ARRIVED.  On
+/// kCorrupt the payload is present but damaged (the per-chunk checksum
+/// caught it — callers retransmit); on kTimedOut it is empty.
+struct PayloadDelivery {
+  DeliveryStatus status = DeliveryStatus::kDelivered;
+  double elapsed_s = 0.0;
+  std::vector<std::uint8_t> bytes;
+};
+
 /// Abstract fabric the resilient collective runs over.  A real deployment
 /// would back this with NCCL/UCX; here SimTransport is the only concrete
 /// implementation and the tests' deterministic adversary.
@@ -122,6 +131,14 @@ class Transport {
 
   /// Simulate shipping `bytes` from rank `src` to rank `dst`.
   virtual Delivery send(int src, int dst, std::int64_t bytes) = 0;
+
+  /// Ship actual bytes with a per-chunk FNV checksum stamped at the sender
+  /// and re-verified at delivery, so LENGTH-PRESERVING in-flight corruption
+  /// is caught instead of silently handed to the application (the control
+  /// plane for gradient-digest votes rides on this).  The default adapter
+  /// models size/latency via send() and passes the bytes through intact.
+  virtual PayloadDelivery send_payload(int src, int dst,
+                                       std::vector<std::uint8_t> bytes);
 
   /// Advance the fabric's virtual clock (backoff waits, compute phases).
   virtual void advance(double seconds) = 0;
@@ -152,6 +169,12 @@ class SimTransport : public Transport {
 
   void begin_collective() override;
   Delivery send(int src, int dst, std::int64_t bytes) override;
+  /// Honest payload path: an armed kCorruptChunk event actually flips one
+  /// byte (length-preserving, Philox-seeded by the event's payload_seed)
+  /// and the checksum mismatch is what reports kCorrupt — corruption is
+  /// *caught at delivery*, not declared by fiat.
+  PayloadDelivery send_payload(int src, int dst,
+                               std::vector<std::uint8_t> bytes) override;
   void advance(double seconds) override;
   void kill(int rank) override;
 

@@ -23,4 +23,60 @@ std::uint64_t digest_bytes(std::span<const std::uint8_t> bytes) {
   return d.value();
 }
 
+std::uint64_t DigestChain::link(std::uint64_t prev, std::uint64_t id,
+                                std::uint64_t digest) {
+  Digest d;
+  d.update_u64(prev);
+  d.update_u64(id);
+  d.update_u64(digest);
+  return d.value();
+}
+
+void DigestChain::push(std::uint64_t id, std::uint64_t digest) {
+  records_.push_back({id, digest, link(tail(), id, digest)});
+}
+
+std::uint64_t DigestChain::tail() const {
+  return records_.empty() ? Digest().value() : records_.back().chain;
+}
+
+bool DigestChain::verify() const {
+  std::uint64_t prev = Digest().value();
+  for (const auto& rec : records_) {
+    if (rec.chain != link(prev, rec.id, rec.digest)) return false;
+    prev = rec.chain;
+  }
+  return true;
+}
+
+void DigestChain::save(ByteWriter& w) const {
+  w.write<std::uint64_t>(records_.size());
+  for (const auto& rec : records_) {
+    w.write<std::uint64_t>(rec.id);
+    w.write<std::uint64_t>(rec.digest);
+    w.write<std::uint64_t>(rec.chain);
+  }
+}
+
+DigestChain DigestChain::load(ByteReader& r) {
+  const auto count = r.read<std::uint64_t>();
+  ES_CHECK(count <= r.remaining() / (3 * sizeof(std::uint64_t)),
+           "digest chain truncated: " << count << " record(s) claimed, "
+                                      << r.remaining() << " byte(s) left");
+  DigestChain chain;
+  chain.records_.reserve(static_cast<std::size_t>(count));
+  std::uint64_t prev = Digest().value();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DigestChainRecord rec;
+    rec.id = r.read<std::uint64_t>();
+    rec.digest = r.read<std::uint64_t>();
+    rec.chain = r.read<std::uint64_t>();
+    ES_CHECK(rec.chain == link(prev, rec.id, rec.digest),
+             "digest chain broken at record " << i);
+    prev = rec.chain;
+    chain.records_.push_back(rec);
+  }
+  return chain;
+}
+
 }  // namespace easyscale

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/serialize.hpp"
+
 namespace easyscale {
 
 /// Incremental FNV-1a (64-bit) hasher.
@@ -59,5 +61,51 @@ class Digest {
 
 /// One-shot digest of raw bytes.
 [[nodiscard]] std::uint64_t digest_bytes(std::span<const std::uint8_t> bytes);
+
+/// One link of a DigestChain: `chain` is the running value after folding
+/// this record into its predecessor's chain value.
+struct DigestChainRecord {
+  std::uint64_t id = 0;      // caller-chosen label (e.g. parameter index)
+  std::uint64_t digest = 0;  // digest of the labelled object
+  std::uint64_t chain = 0;   // FNV(prev_chain || id || digest)
+
+  friend bool operator==(const DigestChainRecord&,
+                         const DigestChainRecord&) = default;
+};
+
+/// Ordered, tamper-evident sequence of labelled digests.  Each link folds
+/// the previous chain value into its own, so flipping any byte of any
+/// record — or truncating / extending the sequence — breaks verification
+/// from that point on.  Verified checkpoints store one record per tensor;
+/// the determinism audit emits one per model layer.
+class DigestChain {
+ public:
+  void push(std::uint64_t id, std::uint64_t digest);
+
+  [[nodiscard]] const std::vector<DigestChainRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+
+  /// Running chain value after the last record (the FNV offset when empty).
+  [[nodiscard]] std::uint64_t tail() const;
+
+  /// Recompute every link from scratch; false iff any stored chain value
+  /// disagrees with its recomputation.
+  [[nodiscard]] bool verify() const;
+
+  void save(ByteWriter& w) const;
+  /// Load and verify; throws Error on a broken link or truncated framing.
+  [[nodiscard]] static DigestChain load(ByteReader& r);
+
+  friend bool operator==(const DigestChain&, const DigestChain&) = default;
+
+ private:
+  [[nodiscard]] static std::uint64_t link(std::uint64_t prev, std::uint64_t id,
+                                          std::uint64_t digest);
+
+  std::vector<DigestChainRecord> records_;
+};
 
 }  // namespace easyscale

@@ -2,14 +2,14 @@
 
 #include <cstdio>
 
-#include "common/digest.hpp"
 #include "common/error.hpp"
+#include "common/serialize.hpp"
 
 namespace easyscale::core {
 
 namespace {
 constexpr std::uint32_t kFileMagic = 0x4553434Bu;  // "ESCK"
-constexpr std::uint32_t kFileVersion = 1;
+constexpr std::uint32_t kFileVersion = 2;
 
 struct FileGuard {
   std::FILE* f = nullptr;
@@ -21,6 +21,12 @@ struct FileGuard {
 
 void save_checkpoint_file(const std::string& path,
                           const std::vector<std::uint8_t>& bytes) {
+  save_checkpoint_file(path, bytes, DigestChain());
+}
+
+void save_checkpoint_file(const std::string& path,
+                          const std::vector<std::uint8_t>& bytes,
+                          const DigestChain& chain) {
   const std::string tmp = path + ".tmp";
   {
     FileGuard guard;
@@ -30,11 +36,18 @@ void save_checkpoint_file(const std::string& path,
     const std::uint32_t version = kFileVersion;
     const std::uint64_t size = bytes.size();
     const std::uint64_t digest = digest_bytes(bytes);
+    ByteWriter cw;
+    chain.save(cw);
+    const std::uint64_t chain_size = cw.bytes().size();
     ES_CHECK(std::fwrite(&magic, sizeof(magic), 1, guard.f) == 1 &&
                  std::fwrite(&version, sizeof(version), 1, guard.f) == 1 &&
                  std::fwrite(&size, sizeof(size), 1, guard.f) == 1 &&
-                 std::fwrite(&digest, sizeof(digest), 1, guard.f) == 1,
+                 std::fwrite(&digest, sizeof(digest), 1, guard.f) == 1 &&
+                 std::fwrite(&chain_size, sizeof(chain_size), 1, guard.f) == 1,
              "checkpoint header write failed");
+    ES_CHECK(std::fwrite(cw.bytes().data(), 1, cw.bytes().size(), guard.f) ==
+                 cw.bytes().size(),
+             "checkpoint chain write failed");
     if (!bytes.empty()) {
       ES_CHECK(std::fwrite(bytes.data(), 1, bytes.size(), guard.f) ==
                    bytes.size(),
@@ -46,6 +59,11 @@ void save_checkpoint_file(const std::string& path,
 }
 
 std::vector<std::uint8_t> load_checkpoint_file(const std::string& path) {
+  return load_checkpoint_file(path, nullptr);
+}
+
+std::vector<std::uint8_t> load_checkpoint_file(const std::string& path,
+                                               DigestChain* chain_out) {
   FileGuard guard;
   guard.f = std::fopen(path.c_str(), "rb");
   ES_CHECK(guard.f != nullptr, "cannot open checkpoint " << path);
@@ -57,7 +75,35 @@ std::vector<std::uint8_t> load_checkpoint_file(const std::string& path) {
                std::fread(&digest, sizeof(digest), 1, guard.f) == 1,
            "checkpoint header truncated: " << path);
   ES_CHECK(magic == kFileMagic, "not an EasyScale checkpoint: " << path);
-  ES_CHECK(version == kFileVersion, "unsupported checkpoint version");
+  ES_CHECK(version == 1 || version == kFileVersion,
+           "unsupported checkpoint version");
+  DigestChain chain;
+  if (version >= 2) {
+    std::uint64_t chain_size = 0;
+    ES_CHECK(std::fread(&chain_size, sizeof(chain_size), 1, guard.f) == 1,
+             "checkpoint chain header truncated: " << path);
+    // Bound the allocation by the file itself: a corrupt length field must
+    // surface as a structured error, not a multi-gigabyte allocation.
+    const long chain_at = std::ftell(guard.f);
+    ES_CHECK(std::fseek(guard.f, 0, SEEK_END) == 0 && chain_at >= 0,
+             "cannot size checkpoint " << path);
+    const long file_end = std::ftell(guard.f);
+    ES_CHECK(file_end >= chain_at &&
+                 chain_size <= static_cast<std::uint64_t>(file_end - chain_at),
+             "checkpoint chain truncated: " << path);
+    ES_CHECK(std::fseek(guard.f, chain_at, SEEK_SET) == 0,
+             "cannot rewind checkpoint " << path);
+    std::vector<std::uint8_t> chain_bytes(
+        static_cast<std::size_t>(chain_size));
+    if (chain_size > 0) {
+      ES_CHECK(std::fread(chain_bytes.data(), 1, chain_bytes.size(),
+                          guard.f) == chain_bytes.size(),
+               "checkpoint chain truncated: " << path);
+    }
+    ByteReader cr(chain_bytes);
+    chain = DigestChain::load(cr);  // verifies every link
+    cr.require_exhausted("checkpoint digest chain");
+  }
   std::vector<std::uint8_t> bytes(size);
   if (size > 0) {
     ES_CHECK(std::fread(bytes.data(), 1, size, guard.f) == size,
@@ -65,6 +111,7 @@ std::vector<std::uint8_t> load_checkpoint_file(const std::string& path) {
   }
   ES_CHECK(digest_bytes(bytes) == digest,
            "checkpoint digest mismatch (corrupt file): " << path);
+  if (chain_out != nullptr) *chain_out = std::move(chain);
   return bytes;
 }
 

@@ -1,20 +1,43 @@
 // On-demand checkpoint persistence: a small framed file format (magic +
-// version + payload size + FNV digest) around the engine's checkpoint
-// bytes, so crashes mid-write are detected on load.
+// version + payload size + FNV digest + per-tensor digest chain) around
+// the engine's checkpoint bytes, so crashes mid-write are detected on
+// load and the parameter content is independently attestable.
+//
+// Version history:
+//   1 — magic, version, size, digest, payload (PR 1)
+//   2 — adds a DigestChain section between the header and the payload:
+//       one record per model tensor, hash-linked, so flipping any byte of
+//       any stored digest (or truncating / extending the chain) fails the
+//       load.  Verified checkpoints (checkpoint_manager) re-derive the
+//       chain from the restored parameters and compare.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/digest.hpp"
+
 namespace easyscale::core {
 
-/// Write checkpoint bytes to `path` atomically (write temp + rename).
+/// Write checkpoint bytes to `path` atomically (write temp + rename),
+/// with an empty digest chain.
 void save_checkpoint_file(const std::string& path,
                           const std::vector<std::uint8_t>& bytes);
 
-/// Read and verify a checkpoint file; throws on corruption or truncation.
+/// Same, recording a per-tensor digest chain alongside the payload.
+void save_checkpoint_file(const std::string& path,
+                          const std::vector<std::uint8_t>& bytes,
+                          const DigestChain& chain);
+
+/// Read and verify a checkpoint file; throws on corruption or truncation
+/// (payload digest mismatch, broken chain links, framing damage).
 [[nodiscard]] std::vector<std::uint8_t> load_checkpoint_file(
     const std::string& path);
+
+/// Same, returning the stored digest chain through `chain_out` (empty for
+/// version-1 files, which predate the chain section).
+[[nodiscard]] std::vector<std::uint8_t> load_checkpoint_file(
+    const std::string& path, DigestChain* chain_out);
 
 }  // namespace easyscale::core

@@ -16,6 +16,35 @@ bool file_exists(const std::string& path) {
   }
   return false;
 }
+
+/// Sidecar payload: the checkpoint payload digest as 16 hex chars.  Tying
+/// the sidecar to the digest (not just the filename) means a rotation or
+/// partial rewrite can never leave a stale `.ok` blessing a different file.
+std::string sidecar_payload(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf);
+}
+
+void write_sidecar(const std::string& path, std::uint64_t digest) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ES_CHECK(f != nullptr, "cannot write checkpoint sidecar " << path);
+  const std::string payload = sidecar_payload(digest);
+  const bool ok = std::fwrite(payload.data(), 1, payload.size(), f) ==
+                  payload.size();
+  std::fclose(f);
+  ES_CHECK(ok, "checkpoint sidecar write failed: " << path);
+}
+
+std::optional<std::string> read_sidecar(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  char buf[32];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  return std::string(buf, n);
+}
 }  // namespace
 
 CheckpointManager::CheckpointManager(std::string prefix, int keep)
@@ -27,16 +56,65 @@ std::string CheckpointManager::path_for(int generation) const {
   return prefix_ + "." + std::to_string(generation);
 }
 
+std::string CheckpointManager::sidecar_for(int generation) const {
+  return path_for(generation) + ".ok";
+}
+
 void CheckpointManager::save(const std::vector<std::uint8_t>& bytes) {
+  save(bytes, DigestChain());
+}
+
+void CheckpointManager::save(const std::vector<std::uint8_t>& bytes,
+                             const DigestChain& chain) {
   // Rotate: gen keep-2 -> keep-1, ..., gen 0 -> 1; then write gen 0.
+  // Sidecars travel with their generation so verified status survives
+  // rotation.
   std::remove(path_for(keep_ - 1).c_str());
+  std::remove(sidecar_for(keep_ - 1).c_str());
   for (int g = keep_ - 2; g >= 0; --g) {
     if (file_exists(path_for(g))) {
       ES_CHECK(std::rename(path_for(g).c_str(), path_for(g + 1).c_str()) == 0,
                "checkpoint rotation failed for generation " << g);
     }
+    if (file_exists(sidecar_for(g))) {
+      ES_CHECK(std::rename(sidecar_for(g).c_str(),
+                           sidecar_for(g + 1).c_str()) == 0,
+               "checkpoint sidecar rotation failed for generation " << g);
+    }
   }
-  save_checkpoint_file(path_for(0), bytes);
+  save_checkpoint_file(path_for(0), bytes, chain);
+  // The fresh generation is unverified until verify_generation() blesses it.
+  std::remove(sidecar_for(0).c_str());
+}
+
+bool CheckpointManager::verify_generation(int generation) {
+  ES_CHECK(generation >= 0 && generation < keep_,
+           "generation " << generation << " out of range");
+  const std::string path = path_for(generation);
+  if (!file_exists(path)) return false;
+  try {
+    DigestChain chain;
+    const auto bytes = load_checkpoint_file(path, &chain);
+    ES_CHECK(chain.verify(), "digest chain failed re-verification");
+    write_sidecar(sidecar_for(generation), digest_bytes(bytes));
+    return true;
+  } catch (const Error& e) {
+    ES_LOG_WARN("checkpoint generation " << generation
+                                         << " failed verification: "
+                                         << e.what());
+    return false;
+  }
+}
+
+bool CheckpointManager::is_verified(int generation) const {
+  const auto recorded = read_sidecar(sidecar_for(generation));
+  if (!recorded.has_value()) return false;
+  try {
+    const auto bytes = load_checkpoint_file(path_for(generation));
+    return *recorded == sidecar_payload(digest_bytes(bytes));
+  } catch (const Error&) {
+    return false;
+  }
 }
 
 std::optional<std::vector<std::uint8_t>> CheckpointManager::load_latest_valid()
@@ -45,6 +123,28 @@ std::optional<std::vector<std::uint8_t>> CheckpointManager::load_latest_valid()
     if (!file_exists(path_for(g))) continue;
     try {
       return load_checkpoint_file(path_for(g));
+    } catch (const Error& e) {
+      ES_LOG_WARN("checkpoint generation " << g << " invalid: " << e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<std::vector<std::uint8_t>, DigestChain>>
+CheckpointManager::load_latest_verified() const {
+  for (int g = 0; g < keep_; ++g) {
+    if (!file_exists(path_for(g))) continue;
+    const auto recorded = read_sidecar(sidecar_for(g));
+    if (!recorded.has_value()) continue;
+    try {
+      DigestChain chain;
+      auto bytes = load_checkpoint_file(path_for(g), &chain);
+      if (*recorded != sidecar_payload(digest_bytes(bytes))) {
+        ES_LOG_WARN("checkpoint generation "
+                    << g << " sidecar does not match the file; skipping");
+        continue;
+      }
+      return std::make_pair(std::move(bytes), std::move(chain));
     } catch (const Error& e) {
       ES_LOG_WARN("checkpoint generation " << g << " invalid: " << e.what());
     }
@@ -61,7 +161,10 @@ int CheckpointManager::generations_on_disk() const {
 }
 
 void CheckpointManager::clear() {
-  for (int g = 0; g < keep_; ++g) std::remove(path_for(g).c_str());
+  for (int g = 0; g < keep_; ++g) {
+    std::remove(path_for(g).c_str());
+    std::remove(sidecar_for(g).c_str());
+  }
 }
 
 }  // namespace easyscale::core

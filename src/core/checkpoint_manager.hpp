@@ -6,12 +6,24 @@
 // `<prefix>.{keep-1}` oldest) and `load_latest_valid` walks back to the
 // first generation whose digest verifies — the job never loses more than
 // one checkpoint interval to corruption.
+//
+// Silent data corruption adds a second axis: a checkpoint can be perfectly
+// well-formed on disk yet record *poisoned* parameters (the corruption
+// happened in compute, before the bytes were written).  A generation is
+// therefore only marked *verified* — via a `<path>.ok` sidecar recording
+// the payload digest — after verify_generation() re-reads the file and
+// revalidates its digest chain, and the caller (FaultSupervisor) only
+// requests that when the engine's re-execution witness certified the
+// checkpointed step.  SDC recovery restores through load_latest_verified.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/digest.hpp"
 
 namespace easyscale::core {
 
@@ -19,19 +31,39 @@ class CheckpointManager {
  public:
   CheckpointManager(std::string prefix, int keep = 3);
 
-  /// Persist a new generation (rotates older ones down).
+  /// Persist a new generation (rotates older ones down, sidecars ride
+  /// along).  The new generation starts UNVERIFIED.
   void save(const std::vector<std::uint8_t>& bytes);
+
+  /// Same, recording a per-tensor digest chain in the file.
+  void save(const std::vector<std::uint8_t>& bytes, const DigestChain& chain);
+
+  /// Re-read generation `g` from disk, revalidate its framing and digest
+  /// chain, and on success write the `.ok` sidecar marking it restorable
+  /// for SDC recovery.  Returns whether verification passed.
+  bool verify_generation(int generation);
 
   /// Newest generation whose integrity checks pass, or nullopt when none.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> load_latest_valid()
       const;
 
+  /// Newest generation that is both valid AND marked verified (sidecar
+  /// present and matching the file's payload digest).  Returns the payload
+  /// and its stored digest chain.
+  [[nodiscard]] std::optional<
+      std::pair<std::vector<std::uint8_t>, DigestChain>>
+  load_latest_verified() const;
+
+  /// Whether generation `g` carries a matching verification sidecar.
+  [[nodiscard]] bool is_verified(int generation) const;
+
   /// Number of generations currently on disk (valid or not).
   [[nodiscard]] int generations_on_disk() const;
 
   [[nodiscard]] std::string path_for(int generation) const;
+  [[nodiscard]] std::string sidecar_for(int generation) const;
 
-  /// Delete every generation.
+  /// Delete every generation (and sidecar).
   void clear();
 
  private:

@@ -1,5 +1,7 @@
 #include "core/engine.hpp"
 
+#include <bit>
+#include <sstream>
 #include <thread>
 
 #include "common/digest.hpp"
@@ -164,10 +166,33 @@ void EasyScaleEngine::one_step() {
     }
   }
 
+  // Decide the witness BEFORE workers run: the replay needs the pre-step
+  // EST contexts (streams + BN buffers), which run_worker mutates.
+  const bool witness_due =
+      config_.witness.witness_every > 0 &&
+      (global_step_ + 1) % config_.witness.witness_every == 0;
+  std::vector<std::int64_t> witnessed(workers_.size(), -1);
+  std::vector<ESTContext> pre_contexts(workers_.size());
+  std::vector<data::Batch> witness_batches(workers_.size());
+  std::vector<float> witness_losses(workers_.size(), 0.0f);
+  if (witness_due) {
+    ES_CHECK(
+        kernel_policy(config_.determinism) != kernels::KernelPolicy::kFastest,
+        "re-execution witness requires a deterministic kernel policy");
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      const auto& ests = workers_[w].ests;
+      witnessed[w] = ests[static_cast<std::size_t>(
+          witness_round_ % static_cast<std::int64_t>(ests.size()))];
+      pre_contexts[w] = contexts_[static_cast<std::size_t>(witnessed[w])];
+    }
+    ++witness_round_;
+  }
+
   autograd::GradReadyRecorder recorder;
   const bool record = !rebuilt_;
   float last_loss = 0.0f;
-  auto run_worker = [&](Worker& worker) {
+  auto run_worker = [&](std::size_t wi) {
+    Worker& worker = workers_[wi];
     for (std::int64_t est : worker.ests) {
       ESTContext& ctx = contexts_[static_cast<std::size_t>(est)];
       if (config_.context_switching) {
@@ -182,6 +207,7 @@ void EasyScaleEngine::one_step() {
       const data::Batch batch =
           pool_ ? pool_->get(est, global_step_)
                 : pipelines_[static_cast<std::size_t>(est)].next();
+      if (witness_due && est == witnessed[wi]) witness_batches[wi] = batch;
       worker.replica->params().zero_grads();
       autograd::StepContext step_ctx;
       step_ctx.exec = &worker.exec;
@@ -192,6 +218,7 @@ void EasyScaleEngine::one_step() {
         step_ctx.grad_ready = &recorder;
       }
       const float loss = worker.replica->train_step(step_ctx, batch);
+      if (witness_due && est == witnessed[wi]) witness_losses[wi] = loss;
       if (est == config_.num_ests - 1) last_loss = loss;
       // Gradient D2H swap: the only working-set category that must leave
       // the device per EST (§3.2).
@@ -215,16 +242,23 @@ void EasyScaleEngine::one_step() {
   };
   if (config_.parallel_workers && workers_.size() > 1) {
     // Each worker owns a disjoint replica + EST set; the only shared writes
-    // (loss of the last EST, the EST-0 recorder, swap counters) are ordered
-    // by the join below and race-free by construction (distinct ESTs).
+    // (loss of the last EST, the EST-0 recorder, swap counters, witness
+    // capture slots) are ordered by the join below and race-free by
+    // construction (distinct ESTs / per-worker slots).
     std::vector<std::thread> threads;
     threads.reserve(workers_.size());
-    for (auto& worker : workers_) {
-      threads.emplace_back([&run_worker, &worker] { run_worker(worker); });
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+      threads.emplace_back([&run_worker, wi] { run_worker(wi); });
     }
     for (auto& t : threads) t.join();
   } else {
-    for (auto& worker : workers_) run_worker(worker);
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi) run_worker(wi);
+  }
+  // Re-execution witness: replay before the all-reduce publishes, so a
+  // corrupt contribution is caught while it is still attributable to one
+  // worker (the averaged result would implicate everybody).
+  if (witness_due) {
+    run_witness(witnessed, pre_contexts, witness_batches, witness_losses);
   }
   // ElasticDDP: ring all-reduce over the *virtual* ranks with the recorded
   // bucket layout — bitwise independent of the physical worker count.
@@ -261,6 +295,76 @@ void EasyScaleEngine::one_step() {
   }
   losses_.push_back(last_loss);
   ++global_step_;
+}
+
+void EasyScaleEngine::run_witness(
+    const std::vector<std::int64_t>& witnessed_ests,
+    const std::vector<ESTContext>& pre_contexts,
+    const std::vector<data::Batch>& batches,
+    const std::vector<float>& live_losses) {
+  ++witness_stats_.runs;
+  if (!witness_replica_) {
+    witness_replica_ = models::make_workload(config_.workload);
+    witness_replica_->init(config_.seed);
+  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const std::int64_t est = witnessed_ests[w];
+    ++witness_stats_.replays;
+    // Clean execution context: same device and policy as the live worker —
+    // so deterministic variant selection matches bit for bit — but no
+    // post-op hook and a private scratch/cache.
+    kernels::ExecContext exec;
+    exec.device = workers_[w].spec.device;
+    exec.policy = kernel_policy(config_.determinism);
+    exec.custom_gemm = config_.custom_d2_gemm;
+    exec.intra_op_threads = config_.intra_op_threads;
+    // Step-start parameters are still live on every replica (the optimizer
+    // has not stepped yet); the pre-step context restores streams and BN
+    // buffers, the captured batch replays the exact input.
+    const auto& src = workers_[0].replica->params().all();
+    const auto& dst = witness_replica_->params().all();
+    ES_CHECK(src.size() == dst.size(), "witness replica parameter mismatch");
+    for (std::size_t p = 0; p < src.size(); ++p) dst[p]->value = src[p]->value;
+    witness_streams_.set_state(pre_contexts[w].model_streams);
+    auto buffers = witness_replica_->buffers();
+    ES_CHECK(buffers.size() == pre_contexts[w].bn_buffers.size(),
+             "witness replica buffer mismatch");
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+      *buffers[i] = pre_contexts[w].bn_buffers[i];
+    }
+    witness_replica_->params().zero_grads();
+    autograd::StepContext step_ctx;
+    step_ctx.exec = &exec;
+    step_ctx.rng = &witness_streams_;
+    step_ctx.training = true;
+    const float replay_loss =
+        witness_replica_->train_step(step_ctx, batches[w]);
+    const comm::GradientSet replay =
+        comm::GradientSet::from_store(witness_replica_->params());
+    Digest live_d;
+    Digest replay_d;
+    for (const auto& g : grad_buffers_[static_cast<std::size_t>(est)].grads) {
+      live_d.update(g.data());
+    }
+    for (const auto& g : replay.grads) replay_d.update(g.data());
+    const bool loss_equal = std::bit_cast<std::uint32_t>(replay_loss) ==
+                            std::bit_cast<std::uint32_t>(live_losses[w]);
+    if (live_d.value() != replay_d.value() || !loss_equal) {
+      ++witness_stats_.mismatches;
+      witness_stats_.last_detected_worker = static_cast<std::int64_t>(w);
+      std::ostringstream os;
+      os << "integrity witness mismatch at step " << global_step_
+         << ": worker " << w << " (EST " << est << ") produced gradients "
+         << live_d.hex() << ", clean replay produced " << replay_d.hex();
+      ES_LOG_WARN(os.str());
+      throw IntegrityError(static_cast<std::int64_t>(w), est, global_step_,
+                           os.str());
+    }
+  }
+  // Every worker's replayed gradients matched the live ones, so the state
+  // this step produces (deterministic all-reduce + optimizer on clean
+  // gradients) is certifiably clean.
+  last_clean_witness_step_ = global_step_ + 1;
 }
 
 void EasyScaleEngine::run_steps(std::int64_t n) {
@@ -319,6 +423,23 @@ std::uint64_t EasyScaleEngine::params_digest() const {
     d.update(p->value.data());
   }
   return d.value();
+}
+
+DigestChain EasyScaleEngine::params_digest_chain() const {
+  ES_CHECK(!workers_.empty(), "no workers configured");
+  DigestChain chain;
+  std::uint64_t id = 0;
+  for (const auto* p : workers_[0].replica->params().all()) {
+    chain.push(id++, digest_floats(p->value.data()));
+  }
+  return chain;
+}
+
+void EasyScaleEngine::set_post_op_hook(std::int64_t worker,
+                                       kernels::PostOpHook* hook) {
+  ES_CHECK(worker >= 0 && worker < num_workers(),
+           "post-op hook worker " << worker << " out of range");
+  workers_[static_cast<std::size_t>(worker)].exec.post_op = hook;
 }
 
 models::Workload& EasyScaleEngine::model_for_eval(std::int64_t est_rank) {

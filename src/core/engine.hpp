@@ -22,8 +22,10 @@
 #include "comm/allreduce.hpp"
 #include "comm/bucket.hpp"
 #include "comm/resilient.hpp"
+#include "common/digest.hpp"
 #include "core/determinism.hpp"
 #include "core/est_context.hpp"
+#include "core/integrity.hpp"
 #include "data/loader.hpp"
 #include "data/pipeline.hpp"
 #include "models/datasets.hpp"
@@ -78,6 +80,11 @@ struct EasyScaleConfig {
   /// forced to kAbort: a dead worker's ESTs lose their gradients, so the
   /// step must roll back (FaultSupervisor recovers via checkpoint).
   comm::ResilientConfig resilient;
+  /// Periodic re-execution witness (core/integrity.hpp): replays one EST
+  /// per worker on a clean replica and compares gradient digests.  A
+  /// divergence throws IntegrityError out of run_steps().  Requires a
+  /// deterministic kernel policy (the witness certifies bitwise replay).
+  WitnessConfig witness;
 };
 
 /// Swap-traffic counters for the context-switching experiments.
@@ -131,6 +138,39 @@ class EasyScaleEngine {
 
   /// Bitwise digest of the model parameters.
   [[nodiscard]] std::uint64_t params_digest() const;
+
+  /// Tamper-evident per-parameter digest chain (store order), the payload
+  /// of verified checkpoints and the determinism audit's comparison unit.
+  [[nodiscard]] DigestChain params_digest_chain() const;
+
+  // --- Compute-integrity surface (fault/integrity + core/integrity) ---
+
+  /// Install (or clear, with nullptr) a post-op hook on one physical
+  /// worker's ExecContext — the SDC injection point.  Cleared whenever
+  /// configure_workers rebuilds the worker set; the installer re-arms.
+  void set_post_op_hook(std::int64_t worker, kernels::PostOpHook* hook);
+
+  [[nodiscard]] bool witness_enabled() const {
+    return config_.witness.witness_every > 0;
+  }
+
+  /// Change the witness cadence (FaultSupervisor arms this when its SDC
+  /// defense is enabled).  Takes effect at the next global step.
+  void set_witness_every(std::int64_t every) {
+    config_.witness.witness_every = every;
+  }
+  [[nodiscard]] const WitnessStats& witness_stats() const {
+    return witness_stats_;
+  }
+
+  /// Highest global step whose engine state passed (or inductively
+  /// precedes) a re-execution witness.  A checkpoint is only *verified*
+  /// when taken exactly at this step; starts at 0 so the initial state
+  /// anchors the chain.  Deliberately preserved across restore(): rolling
+  /// back to a witness-clean step keeps its certification.
+  [[nodiscard]] std::int64_t last_clean_witness_step() const {
+    return last_clean_witness_step_;
+  }
 
   /// Execution context of physical worker `i` (tests inspect its scratch
   /// arena to assert allocations stop growing after warm-up).
@@ -196,6 +236,10 @@ class EasyScaleEngine {
   void restore_context(Worker& worker, const ESTContext& ctx);
   void rebuild_loader();
   [[nodiscard]] std::vector<std::uint8_t> checkpoint_locked() const;
+  void run_witness(const std::vector<std::int64_t>& witnessed_ests,
+                   const std::vector<ESTContext>& pre_contexts,
+                   const std::vector<data::Batch>& batches,
+                   const std::vector<float>& live_losses);
 
   EasyScaleConfig config_;
   const data::Dataset* train_;
@@ -210,6 +254,15 @@ class EasyScaleEngine {
   std::unique_ptr<comm::SimTransport> transport_;
   std::unique_ptr<comm::MembershipMonitor> monitor_;
   std::optional<comm::CollectiveReport> last_comm_report_;
+
+  // Re-execution witness state.  The replica is lazy (first witness step)
+  // and reused; its exec context is re-pointed at the witnessed worker's
+  // device/policy per replay so variant selection matches the live run.
+  std::unique_ptr<models::Workload> witness_replica_;
+  rng::StreamSet witness_streams_;
+  WitnessStats witness_stats_;
+  std::int64_t last_clean_witness_step_ = 0;
+  std::int64_t witness_round_ = 0;  // rotates which co-hosted EST is replayed
 
   comm::BucketLayout layout_;
   bool rebuilt_ = false;

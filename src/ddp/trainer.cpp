@@ -1,8 +1,12 @@
 #include "ddp/trainer.hpp"
 
+#include <algorithm>
+#include <map>
+#include <sstream>
 #include <thread>
 
 #include "common/digest.hpp"
+#include "core/integrity.hpp"
 
 namespace easyscale::ddp {
 
@@ -17,8 +21,17 @@ DDPTrainer::DDPTrainer(DDPConfig config, const data::Dataset& train,
   ES_CHECK(static_cast<std::int64_t>(config_.devices.size()) ==
                config_.world_size,
            "device list does not match world size");
+  if (config_.logical_world > 0) {
+    ES_CHECK(config_.world_size % config_.logical_world == 0,
+             "world_size must be a multiple of logical_world");
+  }
+  // The sharding world: with voting enabled, rank r replays logical rank
+  // r % logical_world, so the data/RNG world is the logical one.
+  const std::int64_t shard_world =
+      config_.logical_world > 0 ? config_.logical_world : config_.world_size;
   replicas_.resize(static_cast<std::size_t>(config_.world_size));
   for (std::int64_t r = 0; r < config_.world_size; ++r) {
+    const std::int64_t logical = r % shard_world;
     Replica& rep = replicas_[static_cast<std::size_t>(r)];
     rep.workload = models::make_workload(config_.workload);
     rep.workload->init(config_.seed);  // same init on all ranks (broadcast)
@@ -27,15 +40,15 @@ DDPTrainer::DDPTrainer(DDPConfig config, const data::Dataset& train,
     rep.scheduler = std::make_unique<optim::StepLR>(
         *rep.optimizer, config_.lr_step_epochs, config_.gamma);
     rep.pipeline = std::make_unique<data::RankDataPipeline>(
-        train, augment, config_.world_size, r, config_.batch_per_worker,
+        train, augment, shard_world, logical, config_.batch_per_worker,
         config_.seed);
-    rep.streams.seed_all(config_.seed, static_cast<std::uint64_t>(r));
+    rep.streams.seed_all(config_.seed, static_cast<std::uint64_t>(logical));
     rep.exec.device = config_.devices[static_cast<std::size_t>(r)];
     rep.exec.policy = config_.policy;
     rep.exec.custom_gemm = config_.custom_d2_gemm;
     rep.exec.intra_op_threads = config_.intra_op_threads;
   }
-  const data::DistributedSampler probe(train.size(), config_.world_size, 0,
+  const data::DistributedSampler probe(train.size(), shard_world, 0,
                                        config_.batch_per_worker, config_.seed);
   steps_per_epoch_ = probe.steps_per_epoch();
   comm::BucketManager mgr(replicas_[0].workload->params(),
@@ -98,23 +111,31 @@ void DDPTrainer::one_step() {
   for (auto& rep : replicas_) {
     sets.push_back(comm::GradientSet::from_store(rep.workload->params()));
   }
-  std::vector<comm::GradientSet*> parts;
-  parts.reserve(sets.size());
-  for (auto& s : sets) parts.push_back(&s);
-  if (config_.resilient_comm) {
-    // Identity mapping: one transport rank per physical rank.  Fixed-DoP
-    // DDP cannot shrink, so a condemned rank aborts training (kAbort).
-    comm::ResilientConfig rcfg = config_.resilient;
-    rcfg.on_death = comm::DeathPolicy::kAbort;
-    last_comm_report_ = comm::resilient_allreduce_average(
-        layout_, parts, *transport_, *monitor_, rcfg);
+  if (config_.logical_world > 0) {
+    // Detect-before-publish: vote on per-bucket digests, reduce over one
+    // majority representative per logical rank, broadcast into every
+    // store.  Throws core::IntegrityError on a lost vote — BEFORE any
+    // corrupted gradient reaches the optimizer.
+    vote_and_reduce(sets);
   } else {
-    comm::allreduce_average(layout_, parts);
+    std::vector<comm::GradientSet*> parts;
+    parts.reserve(sets.size());
+    for (auto& s : sets) parts.push_back(&s);
+    if (config_.resilient_comm) {
+      // Identity mapping: one transport rank per physical rank.  Fixed-DoP
+      // DDP cannot shrink, so a condemned rank aborts training (kAbort).
+      comm::ResilientConfig rcfg = config_.resilient;
+      rcfg.on_death = comm::DeathPolicy::kAbort;
+      last_comm_report_ = comm::resilient_allreduce_average(
+          layout_, parts, *transport_, *monitor_, rcfg);
+    } else {
+      comm::allreduce_average(layout_, parts);
+    }
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      sets[r].to_store(replicas_[r].workload->params());
+    }
   }
-  for (std::size_t r = 0; r < replicas_.size(); ++r) {
-    sets[r].to_store(replicas_[r].workload->params());
-    replicas_[r].optimizer->step();
-  }
+  for (auto& rep : replicas_) rep.optimizer->step();
   if (config_.rebuild_buckets && !rebuilt_) {
     comm::BucketManager mgr(replicas_[0].workload->params(),
                             config_.bucket_cap_bytes);
@@ -123,6 +144,132 @@ void DDPTrainer::one_step() {
   }
   losses_.push_back(last_loss);
   ++global_step_;
+}
+
+void DDPTrainer::set_post_op_hook(std::int64_t rank,
+                                  kernels::PostOpHook* hook) {
+  ES_CHECK(rank >= 0 && rank < config_.world_size,
+           "hook rank " << rank << " out of range");
+  replicas_[static_cast<std::size_t>(rank)].exec.post_op = hook;
+}
+
+void DDPTrainer::vote_and_reduce(std::vector<comm::GradientSet>& sets) {
+  const std::int64_t logical = config_.logical_world;
+  VoteReport report;
+  // Per-rank, per-bucket digests over the raw gradient bit patterns, in
+  // the layout's reduction order.
+  std::vector<std::vector<std::uint64_t>> digests(sets.size());
+  for (std::size_t r = 0; r < sets.size(); ++r) {
+    digests[r].reserve(layout_.num_buckets());
+    for (const auto& bucket : layout_.buckets) {
+      Digest d;
+      for (const int pid : bucket) {
+        d.update(std::span<const float>(
+            sets[r].grads[static_cast<std::size_t>(pid)].data()));
+      }
+      digests[r].push_back(d.value());
+    }
+  }
+  report.buckets_checked = static_cast<std::int64_t>(
+      sets.size() * layout_.num_buckets());
+  // Ship every non-collector rank's digest vector to rank 0 over the
+  // fabric when one exists.  The per-chunk checksum turns length-
+  // preserving in-flight corruption into a visible kCorrupt, and this
+  // control plane simply retransmits (bounded; the simulated sender still
+  // holds ground truth, so a persistent fabric failure degrades to the
+  // local copy rather than a wrong vote).
+  if (transport_ != nullptr) {
+    for (std::int64_t r = 1; r < config_.world_size; ++r) {
+      ByteWriter w;
+      w.write_vector(digests[static_cast<std::size_t>(r)]);
+      const std::vector<std::uint8_t> payload = w.take();
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        auto d = transport_->send_payload(static_cast<int>(r), 0, payload);
+        report.digest_bytes_exchanged +=
+            static_cast<std::int64_t>(payload.size());
+        if (d.status == comm::DeliveryStatus::kDelivered) {
+          ByteReader reader(d.bytes);
+          digests[static_cast<std::size_t>(r)] =
+              reader.read_vector<std::uint64_t>();
+          reader.require_exhausted("gradient digest vote payload");
+          break;
+        }
+        ++report.exchange_retransmits;
+      }
+    }
+  }
+  // Majority vote inside each redundancy group {l, l+L, l+2L, ...}: the
+  // representative is the lowest rank agreeing with the majority digest on
+  // every bucket; dissenters are corrupt.  A 1-1 split has no majority —
+  // both members are reported (detection without attribution).
+  std::vector<comm::GradientSet*> parts;
+  parts.reserve(static_cast<std::size_t>(logical));
+  for (std::int64_t l = 0; l < logical; ++l) {
+    std::vector<std::int64_t> group;
+    for (std::int64_t r = l; r < config_.world_size; r += logical) {
+      group.push_back(r);
+    }
+    std::int64_t representative = -1;
+    for (std::size_t b = 0; b < layout_.num_buckets(); ++b) {
+      std::map<std::uint64_t, std::int64_t> votes;
+      for (const std::int64_t r : group) {
+        ++votes[digests[static_cast<std::size_t>(r)][b]];
+      }
+      if (votes.size() <= 1) continue;  // unanimous bucket
+      std::uint64_t majority = 0;
+      std::int64_t best = 0;
+      bool tied = false;
+      for (const auto& [digest, count] : votes) {
+        if (count > best) {
+          best = count;
+          majority = digest;
+          tied = false;
+        } else if (count == best) {
+          tied = true;
+        }
+      }
+      for (const std::int64_t r : group) {
+        const bool guilty =
+            tied || digests[static_cast<std::size_t>(r)][b] != majority;
+        if (guilty) report.corrupt_ranks.push_back(r);
+      }
+    }
+    std::sort(report.corrupt_ranks.begin(), report.corrupt_ranks.end());
+    report.corrupt_ranks.erase(
+        std::unique(report.corrupt_ranks.begin(), report.corrupt_ranks.end()),
+        report.corrupt_ranks.end());
+    for (const std::int64_t r : group) {
+      const bool clean =
+          std::find(report.corrupt_ranks.begin(), report.corrupt_ranks.end(),
+                    r) == report.corrupt_ranks.end();
+      if (clean) {
+        representative = r;
+        break;
+      }
+    }
+    if (representative >= 0) {
+      parts.push_back(&sets[static_cast<std::size_t>(representative)]);
+    }
+  }
+  if (!report.corrupt_ranks.empty() ||
+      static_cast<std::int64_t>(parts.size()) != logical) {
+    const std::int64_t first =
+        report.corrupt_ranks.empty() ? -1 : report.corrupt_ranks.front();
+    std::ostringstream os;
+    os << "gradient digest vote failed at step " << global_step_ << ":";
+    for (const std::int64_t r : report.corrupt_ranks) os << " rank" << r;
+    last_vote_report_ = std::move(report);
+    throw core::IntegrityError(first, first >= 0 ? first % logical : -1,
+                               global_step_, os.str());
+  }
+  // Reduce over the representatives only: bitwise equal to a clean DDP run
+  // at world_size = logical_world.  All representatives end up with the
+  // identical average; publish the first into every replica's store.
+  comm::allreduce_average(layout_, parts);
+  for (auto& rep : replicas_) {
+    parts[0]->to_store(rep.workload->params());
+  }
+  last_vote_report_ = std::move(report);
 }
 
 void DDPTrainer::run_steps(std::int64_t n) {

@@ -54,6 +54,31 @@ struct DDPConfig {
   comm::ResilientConfig resilient;  // on_death is forced to kAbort
   /// Pre-sampled comm fault schedule replayed by the transport.
   std::vector<comm::CommFaultEvent> comm_faults;
+  /// Redundant-replica SDC voting.  When > 0, `world_size` must be a
+  /// multiple of it: physical rank r replays LOGICAL rank r % logical_world
+  /// (same data shard, same RNG streams), so each group of
+  /// world_size / logical_world replicas computes bitwise-identical
+  /// gradients — the EasyScale EST situation where several workers
+  /// deterministically replay one logical thread.  Before the all-reduce
+  /// publishes, per-bucket gradient digests are exchanged (over the
+  /// transport when resilient_comm is on, where the per-chunk checksum
+  /// protects them in flight) and majority voting inside each group
+  /// identifies corrupt ranks, throwing core::IntegrityError out of
+  /// run_steps.  The reduction then runs over one majority representative
+  /// per logical rank, so the published result is bitwise equal to a clean
+  /// DDP run at world_size = logical_world.  0 disables (stock DDP).
+  std::int64_t logical_world = 0;
+};
+
+/// Outcome of one gradient-digest vote (logical_world > 0 only).
+struct VoteReport {
+  std::int64_t buckets_checked = 0;
+  std::int64_t digest_bytes_exchanged = 0;
+  std::int64_t exchange_retransmits = 0;  // checksum/timeout-triggered
+  /// Ranks whose per-bucket digests lost the majority vote.  When a group
+  /// of two splits 1-1 there is no majority; both members are listed
+  /// (detection without attribution).
+  std::vector<std::int64_t> corrupt_ranks;
 };
 
 class DDPTrainer {
@@ -115,6 +140,18 @@ class DDPTrainer {
 
   [[nodiscard]] const comm::TransportStats& transport_stats() const;
 
+  // --- Compute-integrity surface (logical_world > 0) ---
+
+  /// Install (or clear, with nullptr) a post-op hook on one rank's
+  /// ExecContext — the SDC injection point for the voting tests.
+  void set_post_op_hook(std::int64_t rank, kernels::PostOpHook* hook);
+
+  /// Report of the most recent gradient-digest vote (empty before the
+  /// first step or when voting is disabled).
+  [[nodiscard]] const std::optional<VoteReport>& last_vote_report() const {
+    return last_vote_report_;
+  }
+
  private:
   struct Replica {
     std::unique_ptr<models::Workload> workload;
@@ -126,12 +163,16 @@ class DDPTrainer {
   };
 
   void one_step();
+  /// Digest vote + representative reduction (logical_world > 0).  Throws
+  /// core::IntegrityError when a rank loses the vote.
+  void vote_and_reduce(std::vector<comm::GradientSet>& sets);
 
   DDPConfig config_;
   std::vector<Replica> replicas_;
   std::unique_ptr<comm::SimTransport> transport_;
   std::unique_ptr<comm::MembershipMonitor> monitor_;
   std::optional<comm::CollectiveReport> last_comm_report_;
+  std::optional<VoteReport> last_vote_report_;
   comm::BucketLayout layout_;
   bool rebuilt_ = false;
   std::int64_t global_step_ = 0;

@@ -6,6 +6,7 @@
 
 #include "common/digest.hpp"
 #include "common/error.hpp"
+#include "fault/streams.hpp"
 #include "rng/philox.hpp"
 
 namespace easyscale::fault {
@@ -28,6 +29,10 @@ const char* to_string(FaultKind kind) {
       return "comm_stalled_link";
     case FaultKind::kCommRankDeath:
       return "comm_rank_death";
+    case FaultKind::kSdcBitFlip:
+      return "sdc_bit_flip";
+    case FaultKind::kSdcPerturb:
+      return "sdc_perturb";
     default:
       return "unknown";
   }
@@ -94,8 +99,7 @@ FaultInjector FaultInjector::from_config(const FaultPlanConfig& cfg) {
   // Comm-level kinds draw from a salted second stream so a pre-existing
   // seed's classic schedule is bitwise unchanged when these rates are zero
   // (zero-rate draws below never consume from `gen`).
-  constexpr std::uint64_t kCommStreamSalt = 0xC0117EC71DEAD5ull;
-  rng::Philox comm_gen(cfg.seed ^ kCommStreamSalt);
+  rng::Philox comm_gen(cfg.seed ^ stream_salt(StreamId::kCommFaultPlan));
   const struct {
     FaultKind kind;
     double rate;
@@ -117,6 +121,32 @@ FaultInjector FaultInjector::from_config(const FaultPlanConfig& cfg) {
       e.worker = worker;
       e.payload_seed = sub_seed;
       if (k.kind == FaultKind::kCommStalledLink) e.stall_s = cfg.link_stall_s;
+      events.push_back(e);
+    }
+  }
+  // SDC kinds draw from a third dedicated stream (same triple-draw
+  // discipline), so adding corruption to an experiment leaves both earlier
+  // families' schedules for the same seed bitwise unchanged.
+  rng::Philox sdc_gen(cfg.seed ^ stream_salt(StreamId::kSdcPlan));
+  const struct {
+    FaultKind kind;
+    double rate;
+  } sdc_kinds[] = {
+      {FaultKind::kSdcBitFlip, cfg.sdc_bitflip_rate},
+      {FaultKind::kSdcPerturb, cfg.sdc_perturb_rate},
+  };
+  for (std::int64_t step = 1; step < cfg.horizon_steps; ++step) {
+    for (const auto& k : sdc_kinds) {
+      const double u = sdc_gen.next_double();
+      const auto worker = static_cast<std::int64_t>(
+          sdc_gen.next_below(static_cast<std::uint64_t>(cfg.num_workers)));
+      const std::uint64_t sub_seed = sdc_gen.next_u64();
+      if (u >= k.rate) continue;
+      FaultEvent e;
+      e.kind = k.kind;
+      e.step = step;
+      e.worker = worker;
+      e.payload_seed = sub_seed;
       events.push_back(e);
     }
   }

@@ -27,7 +27,9 @@ enum class FaultKind : std::uint8_t {
   kCommChunkDrop = 5,   // one ring chunk is lost in flight (transient)
   kCommStalledLink = 6,  // one link slows down for one collective
   kCommRankDeath = 7,   // a rank goes silent mid-collective (fatal)
-  kNumKinds = 8,
+  kSdcBitFlip = 8,      // sticky device: mantissa bit-flips on kernel outputs
+  kSdcPerturb = 9,      // sticky device: bounded relative perturbations
+  kNumKinds = 10,
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -67,6 +69,13 @@ struct FaultPlanConfig {
   double stalled_link_rate = 0.0;
   double rank_death_rate = 0.0;
   double link_stall_s = 0.75;
+  // Silent-data-corruption rates.  Like the comm kinds these draw from
+  // their own salted stream (StreamId::kSdcPlan) appended after both
+  // earlier families, so enabling SDC never reshuffles an existing seed's
+  // crash or comm schedule.  The event's `worker` is the sticky corrupt
+  // device slot; `payload_seed` keys the corruption pattern.
+  double sdc_bitflip_rate = 0.0;
+  double sdc_perturb_rate = 0.0;
 };
 
 /// A fixed schedule of fault events plus a consume cursor.  Events fire at

@@ -1,0 +1,68 @@
+#include "fault/integrity.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace easyscale::fault {
+
+namespace {
+
+/// Flip `bit` of the float's mantissa (bits 0..22).  A finite input stays
+/// finite (the exponent is untouched); non-finite inputs pass through
+/// unchanged, since flipping a NaN/Inf mantissa bit would turn a silent
+/// fault into a loud one.
+float flip_mantissa_bit(float v, int bit) {
+  if (!std::isfinite(v)) return v;
+  auto bits = std::bit_cast<std::uint32_t>(v);
+  bits ^= (1u << (bit & 22));
+  return std::bit_cast<float>(bits);
+}
+
+}  // namespace
+
+void corrupt_one(const SdcProfile& profile, rng::Philox& gen,
+                 std::span<float> out) {
+  if (out.empty()) return;
+  const auto idx = static_cast<std::size_t>(gen.next_below(out.size()));
+  float& v = out[idx];
+  switch (profile.mode) {
+    case SdcMode::kBitFlip:
+      v = flip_mantissa_bit(v, profile.mantissa_bit);
+      break;
+    case SdcMode::kPerturb: {
+      const float before = v;
+      v = v * static_cast<float>(1.0 + profile.magnitude);
+      // A zero (or denormal-rounded) value can survive the multiply
+      // unchanged; fall back to a low mantissa bit-flip so the corruption
+      // is never a no-op.
+      if (v == before) v = flip_mantissa_bit(before, 0);
+      break;
+    }
+  }
+}
+
+SdcCorruptor::SdcCorruptor(const SdcProfile& profile)
+    : profile_(profile), gen_(profile.seed) {
+  ES_CHECK(profile.ops_rate >= 0.0 && profile.ops_rate <= 1.0,
+           "sdc ops_rate must be in [0, 1], got " << profile.ops_rate);
+  ES_CHECK(profile.mantissa_bit >= 0 && profile.mantissa_bit <= 22,
+           "sdc mantissa_bit must be in [0, 22], got "
+               << profile.mantissa_bit);
+}
+
+void SdcCorruptor::on_output(kernels::KernelFamily /*family*/,
+                             std::span<float> out) {
+  ++ops_seen_;
+  // Fixed two-draw discipline per observed output (gate, then pattern via
+  // corrupt_one's own draws) keeps the corruption pattern a function of
+  // (seed, op ordinal) alone — replaying the same run corrupts the same
+  // elements the same way, which the witness tests rely on.
+  const double u = gen_.next_double();
+  if (u >= profile_.ops_rate) return;
+  corrupt_one(profile_, gen_, out);
+  ++ops_corrupted_;
+}
+
+}  // namespace easyscale::fault

@@ -1,0 +1,70 @@
+// Silent-data-corruption injection: the sticky faulty device.
+//
+// Crashes and dropped links are loud; a flaky GPU whose kernels return
+// subtly wrong floats is silent — the corrupt gradient rides through
+// all-reduce to every replica and poisons every later checkpoint without
+// tripping any PR-1/PR-3 detector.  SdcCorruptor models that device: it
+// installs as an ExecContext post-op hook and deterministically mutates a
+// seeded subset of kernel outputs.  Two corruption modes mirror the two
+// real-world SDC signatures: a single mantissa bit-flip (a marginal ALU)
+// and a bounded relative perturbation (a voltage/thermal drift).  Both
+// keep values finite so nothing downstream NaN-traps — the corruption
+// must stay *silent* for the detection layers to earn their keep.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "kernels/exec_context.hpp"
+#include "rng/philox.hpp"
+
+namespace easyscale::fault {
+
+enum class SdcMode : std::uint8_t {
+  kBitFlip = 0,  // flip one mantissa bit of a chosen output element
+  kPerturb = 1,  // multiply a chosen output element by (1 + magnitude)
+};
+
+/// Describes one sticky corrupt device.  `ops_rate` is the probability a
+/// given kernel entry-point output is corrupted; the default 1.0 means
+/// every kernel call on the device is hit, which makes the re-execution
+/// witness detect any corrupt step with certainty (required for the
+/// end-to-end bitwise-recovery guarantee).  Lower rates model rarer SDC
+/// for detection-latency experiments.
+struct SdcProfile {
+  SdcMode mode = SdcMode::kBitFlip;
+  std::uint64_t seed = 0;    // pattern stream (FaultEvent::payload_seed)
+  double ops_rate = 1.0;     // per-kernel-output corruption probability
+  double magnitude = 1e-3;   // kPerturb: relative error injected
+  int mantissa_bit = 12;     // kBitFlip: which mantissa bit flips
+};
+
+/// The hook.  One instance per corrupt device slot; install on that
+/// worker's ExecContext (engine re-arms after every reconfigure, since
+/// configure_workers rebuilds contexts).  Deterministic: the element and
+/// corruption pattern derive from Philox(seed) advanced once per observed
+/// kernel output, so the same profile corrupts the same run identically.
+class SdcCorruptor final : public kernels::PostOpHook {
+ public:
+  explicit SdcCorruptor(const SdcProfile& profile);
+
+  void on_output(kernels::KernelFamily family, std::span<float> out) override;
+
+  [[nodiscard]] const SdcProfile& profile() const { return profile_; }
+  [[nodiscard]] std::int64_t ops_seen() const { return ops_seen_; }
+  [[nodiscard]] std::int64_t ops_corrupted() const { return ops_corrupted_; }
+
+ private:
+  SdcProfile profile_;
+  rng::Philox gen_;
+  std::int64_t ops_seen_ = 0;
+  std::int64_t ops_corrupted_ = 0;
+};
+
+/// Corrupt one element of `out` in place per `profile`'s mode, drawing the
+/// element index (and bit, for kBitFlip) from `gen`.  Guarantees the value
+/// actually changes and stays finite.  Exposed for direct unit testing.
+void corrupt_one(const SdcProfile& profile, rng::Philox& gen,
+                 std::span<float> out);
+
+}  // namespace easyscale::fault

@@ -1,0 +1,42 @@
+// Central registry of Philox stream salts used by fault injection.
+//
+// Each fault family samples its schedule from `Philox(plan_seed ^ salt)`.
+// Keeping every salt here — instead of ad-hoc constants inside injector.cpp
+// — guarantees two properties the fault tests rely on:
+//  1. streams never collide: two families with the same salt would consume
+//     from one stream and adding a rate to either would silently reshuffle
+//     the other's schedule (the static_asserts below make that a compile
+//     error);
+//  2. adding a NEW family never perturbs an existing seed's schedule,
+//     because the new family draws from a fresh salted stream.
+#pragma once
+
+#include <cstdint>
+
+namespace easyscale::fault {
+
+/// Identifies the Philox stream a fault family samples from.  The enum
+/// value IS the salt XOR-ed into the plan seed.
+enum class StreamId : std::uint64_t {
+  /// Classic step-boundary kinds (crash/revocation/straggler/tear/drop).
+  /// Salt 0 keeps the PR-1 schedules bitwise identical: they drew from the
+  /// raw plan seed before this registry existed.
+  kFaultPlan = 0,
+  /// In-collective comm kinds (chunk drop / stalled link / rank death).
+  kCommFaultPlan = 0xC0117EC71DEAD5ull,
+  /// Silent-data-corruption kinds (sticky bit-flip / bounded perturbation).
+  kSdcPlan = 0x5DCBADF10A75ull,
+};
+
+[[nodiscard]] constexpr std::uint64_t stream_salt(StreamId id) {
+  return static_cast<std::uint64_t>(id);
+}
+
+static_assert(stream_salt(StreamId::kFaultPlan) !=
+              stream_salt(StreamId::kCommFaultPlan));
+static_assert(stream_salt(StreamId::kFaultPlan) !=
+              stream_salt(StreamId::kSdcPlan));
+static_assert(stream_salt(StreamId::kCommFaultPlan) !=
+              stream_salt(StreamId::kSdcPlan));
+
+}  // namespace easyscale::fault

@@ -19,6 +19,78 @@ FaultSupervisor::FaultSupervisor(core::EasyScaleEngine& engine,
       config_(std::move(config)) {
   ES_CHECK(config_.checkpoint_every >= 1, "checkpoint interval must be >= 1");
   ES_CHECK(config_.max_retries >= 1, "need at least one retry");
+  if (config_.sdc_defense) {
+    ES_CHECK(config_.witness_every >= 1,
+             "sdc defense needs a positive witness cadence");
+    ES_CHECK(config_.checkpoint_every % config_.witness_every == 0,
+             "checkpoint interval must be a multiple of witness_every so "
+             "periodic saves land on witness-certified steps");
+  }
+}
+
+void FaultSupervisor::rearm_hooks() {
+  // configure_workers rebuilds every Worker (fresh ExecContexts), so hooks
+  // must be re-installed after EVERY reconfiguration.  Idempotent.
+  for (std::int64_t s = 0; s < engine_->num_workers(); ++s) {
+    kernels::PostOpHook* hook = nullptr;
+    const std::int64_t dev = device_of_slot_[static_cast<std::size_t>(s)];
+    if (condemned_.count(dev) == 0) {
+      const auto it = corrupt_.find(dev);
+      if (it != corrupt_.end()) hook = it->second.corruptor.get();
+    }
+    engine_->set_post_op_hook(s, hook);
+  }
+}
+
+void FaultSupervisor::reshape_workers() {
+  ES_CHECK(static_cast<std::int64_t>(device_of_slot_.size()) == workers_,
+           "worker-slot/device bookkeeping out of sync");
+  engine_->configure_workers(
+      std::vector<core::WorkerSpec>(static_cast<std::size_t>(workers_)));
+  rearm_hooks();
+}
+
+void FaultSupervisor::drop_slot(std::int64_t slot) {
+  ES_CHECK(slot >= 0 &&
+               slot < static_cast<std::int64_t>(device_of_slot_.size()),
+           "dropping worker slot " << slot << " out of range");
+  device_of_slot_.erase(device_of_slot_.begin() + slot);
+}
+
+void FaultSupervisor::arm_sdc(const FaultEvent& event) {
+  ++stats_.sdc_events;
+  const std::int64_t slot = event.worker % workers_;
+  const std::int64_t device = device_of_slot_[static_cast<std::size_t>(slot)];
+  // A device is sticky: once corrupt (or condemned) a second event is a
+  // no-op rather than a re-seed, mirroring hardware that stays bad.
+  if (corrupt_.count(device) != 0 || condemned_.count(device) != 0) return;
+  SdcProfile prof;
+  prof.mode = event.kind == FaultKind::kSdcBitFlip ? SdcMode::kBitFlip
+                                                   : SdcMode::kPerturb;
+  prof.seed = event.payload_seed;
+  prof.ops_rate = config_.sdc_ops_rate;
+  prof.magnitude = config_.sdc_magnitude;
+  prof.mantissa_bit = config_.sdc_mantissa_bit;
+  CorruptDevice cd;
+  cd.corruptor = std::make_unique<SdcCorruptor>(prof);
+  cd.since_step = engine_->global_step();
+  corrupt_.emplace(device, std::move(cd));
+  ES_LOG_WARN("device " << device << " (slot " << slot
+                        << ") turns silently corrupt at step "
+                        << engine_->global_step() << " ("
+                        << to_string(event.kind) << ")");
+  rearm_hooks();
+}
+
+void FaultSupervisor::charge_witness_wall() {
+  const std::int64_t replays = engine_->witness_stats().replays;
+  const double wall = static_cast<double>(replays - last_witness_replays_) *
+                      config_.est_step_s;
+  last_witness_replays_ = replays;
+  if (wall > 0.0) {
+    stats_.witness_wall_s += wall;
+    stats_.total_wall_s += wall;
+  }
 }
 
 double FaultSupervisor::step_cost() const {
@@ -28,7 +100,21 @@ double FaultSupervisor::step_cost() const {
 }
 
 void FaultSupervisor::save_checkpoint() {
-  checkpoints_->save(engine_->checkpoint());
+  if (config_.sdc_defense) {
+    // Record the parameter digest chain with the payload, then bless the
+    // fresh generation ONLY when the engine state it captures is witness-
+    // certified: either the anchor (step 0) or a step the re-execution
+    // witness just cleared.  A generation written while an undetected
+    // corruption was live stays un-blessed and is skipped by the SDC
+    // walk-back.
+    checkpoints_->save(engine_->checkpoint(), engine_->params_digest_chain());
+    if (engine_->last_clean_witness_step() == engine_->global_step() &&
+        checkpoints_->verify_generation(0)) {
+      ++stats_.verified_checkpoints;
+    }
+  } else {
+    checkpoints_->save(engine_->checkpoint());
+  }
   ++stats_.checkpoints_saved;
   stats_.checkpoint_wall_s += config_.checkpoint_time_s;
   stats_.total_wall_s += config_.checkpoint_time_s;
@@ -45,11 +131,13 @@ bool FaultSupervisor::recover(bool shrink_one, int consecutive_faults) {
   }
   if (config_.policy == RecoveryPolicy::kElasticScaleIn && shrink_one &&
       workers_ > 1) {
+    // The crashed device leaves with its slot; by convention the highest
+    // slot is vacated (which slot dies is immaterial to training bits).
+    drop_slot(workers_ - 1);
     --workers_;
     ++stats_.scale_ins;
   }
-  engine_->configure_workers(
-      std::vector<core::WorkerSpec>(static_cast<std::size_t>(workers_)));
+  reshape_workers();
   engine_->restore(*bytes);
   const std::int64_t lost = std::max<std::int64_t>(
       0, before - engine_->global_step());
@@ -74,6 +162,77 @@ bool FaultSupervisor::recover(bool shrink_one, int consecutive_faults) {
   return true;
 }
 
+bool FaultSupervisor::recover_from_sdc(const core::IntegrityError& e,
+                                       int consecutive_faults) {
+  ++stats_.recoveries;
+  ++stats_.sdc_detections;
+  const std::int64_t before = engine_->global_step();
+  const double cost_before = step_cost();
+  const std::int64_t slot = e.worker();
+  const std::int64_t device = device_of_slot_[static_cast<std::size_t>(slot)];
+  condemned_.insert(device);
+  const auto it = corrupt_.find(device);
+  if (it != corrupt_.end()) {
+    stats_.sdc_detect_latency_steps += before - it->second.since_step;
+  }
+  ES_LOG_WARN("witness condemned device " << device << " (slot " << slot
+                                          << ", est " << e.est()
+                                          << ") at step " << before);
+  // Quarantine the device.  Preferred route: the external scheduler's
+  // bitwise-neutral remap (blocklist + EST redeal).  Fallbacks: elastic
+  // jobs shrink around the device; a gang job (or the last worker) swaps
+  // in a replacement device.
+  bool remapped = false;
+  if (quarantine_) remapped = quarantine_(slot);
+  if (remapped) {
+    drop_slot(slot);
+    workers_ = engine_->num_workers();
+    rearm_hooks();
+  } else if (config_.policy == RecoveryPolicy::kElasticScaleIn &&
+             workers_ > 1) {
+    drop_slot(slot);
+    --workers_;
+    ++stats_.scale_ins;
+    reshape_workers();
+  } else {
+    device_of_slot_[static_cast<std::size_t>(slot)] = next_device_id_++;
+    reshape_workers();
+    if (config_.policy == RecoveryPolicy::kGangRestart) {
+      stats_.recovery_wall_s += config_.replacement_wait_s;
+      stats_.total_wall_s += config_.replacement_wait_s;
+    }
+  }
+  ++stats_.devices_quarantined;
+  stats_.recovery_wall_s += config_.sdc_repair_s;
+  stats_.total_wall_s += config_.sdc_repair_s;
+  // Walk back to the last VERIFIED generation.  Merely-valid generations
+  // are not enough: one written during the detection window is well-formed
+  // but captures poisoned parameters.
+  const auto verified = checkpoints_->load_latest_verified();
+  if (!verified.has_value()) {
+    ES_LOG_WARN("no verified checkpoint generation on disk; job lost");
+    return false;
+  }
+  engine_->restore(verified->first);
+  ES_CHECK(engine_->params_digest_chain() == verified->second,
+           "restored parameters disagree with the verified digest chain");
+  const std::int64_t lost =
+      std::max<std::int64_t>(0, before - engine_->global_step());
+  stats_.lost_steps += lost;
+  stats_.lost_wall_s += static_cast<double>(lost) * cost_before;
+  comm::BackoffPolicy backoff;
+  backoff.base_s = config_.backoff_base_s;
+  backoff.max_s = std::max(config_.backoff_base_s, config_.backoff_max_s);
+  backoff.jitter_seed = config_.backoff_jitter_seed;
+  bool capped = false;
+  const double wait =
+      config_.restore_time_s + backoff.delay_s(consecutive_faults, &capped);
+  if (capped) ++stats_.capped_backoffs;
+  stats_.recovery_wall_s += wait;
+  stats_.total_wall_s += wait;
+  return true;
+}
+
 GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
                                      std::int64_t initial_workers) {
   ES_CHECK(initial_workers >= 1, "need at least one worker");
@@ -81,10 +240,21 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
   stats_ = GoodputStats{};
   workers_ = initial_workers;
   initial_workers_ = initial_workers;
-  engine_->configure_workers(
-      std::vector<core::WorkerSpec>(static_cast<std::size_t>(workers_)));
+  // Slot s starts on device s; replacements get fresh ids, condemned ids
+  // never return.
+  device_of_slot_.clear();
+  for (std::int64_t s = 0; s < workers_; ++s) device_of_slot_.push_back(s);
+  next_device_id_ = workers_;
+  corrupt_.clear();
+  condemned_.clear();
+  last_witness_replays_ = 0;
+  if (config_.sdc_defense) {
+    engine_->set_witness_every(config_.witness_every);
+  }
+  reshape_workers();
   // Anchor generation: recovery is always possible, even when the very
-  // first steps are hit.
+  // first steps are hit.  Under sdc_defense it is verified (step 0 is the
+  // witness chain's trusted root).
   save_checkpoint();
 
   int consecutive_faults = 0;
@@ -113,9 +283,9 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
             // nothing is lost and no rollback happens.
             save_checkpoint();
             if (workers_ > 1) {
+              drop_slot(static_cast<std::int64_t>(event.worker) % workers_);
               --workers_;
-              engine_->configure_workers(std::vector<core::WorkerSpec>(
-                  static_cast<std::size_t>(workers_)));
+              reshape_workers();
               ++stats_.scale_ins;
               stats_.reconfig_wall_s += config_.reconfigure_time_s;
               stats_.total_wall_s += config_.reconfigure_time_s;
@@ -182,6 +352,13 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
             ++consecutive_faults;
           }
           break;
+        case FaultKind::kSdcBitFlip:
+        case FaultKind::kSdcPerturb:
+          // The device goes silently bad: every kernel output it produces
+          // from now on is corrupted (no exception, no crash).  Detection —
+          // if anyone is watching — happens at the next witness step.
+          arm_sdc(event);
+          break;
         default:
           ES_THROW("unknown fault kind");
       }
@@ -197,34 +374,46 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
     }
 
     const double cost = step_cost() * slowdown;
-    if (engine_->resilient_comm_enabled()) {
-      try {
-        engine_->run_steps(1);
-      } catch (const comm::RankDeathError& e) {
-        // Condemned mid-collective: the in-flight all-reduce was aborted,
-        // nothing was published.  Charge the detection window and roll back
-        // to the last valid checkpoint on the survivors.
-        ES_LOG_WARN("rank " << e.rank() << " condemned mid-collective");
-        ++consecutive_faults;
-        stats_.recovery_wall_s += config_.comm_detect_s;
-        stats_.total_wall_s += config_.comm_detect_s;
-        if (consecutive_faults > config_.max_retries ||
-            !recover(/*shrink_one=*/true, consecutive_faults)) {
-          stats_.failed = true;
-          break;
-        }
-        clean_steps = 0;
-        continue;
-      }
-      if (engine_->last_comm_report().has_value()) {
-        const auto& rep = *engine_->last_comm_report();
-        stats_.comm_retries += rep.attempts - 1;
-        stats_.capped_backoffs += rep.capped_backoffs;
-        stats_.comm_wall_s += rep.virtual_time_s;
-        stats_.total_wall_s += rep.virtual_time_s;
-      }
-    } else {
+    try {
       engine_->run_steps(1);
+    } catch (const comm::RankDeathError& e) {
+      // Condemned mid-collective: the in-flight all-reduce was aborted,
+      // nothing was published.  Charge the detection window and roll back
+      // to the last valid checkpoint on the survivors.
+      ES_LOG_WARN("rank " << e.rank() << " condemned mid-collective");
+      ++consecutive_faults;
+      stats_.recovery_wall_s += config_.comm_detect_s;
+      stats_.total_wall_s += config_.comm_detect_s;
+      if (consecutive_faults > config_.max_retries ||
+          !recover(/*shrink_one=*/true, consecutive_faults)) {
+        stats_.failed = true;
+        break;
+      }
+      clean_steps = 0;
+      continue;
+    } catch (const core::IntegrityError& e) {
+      // The re-execution witness caught a silent corruption BEFORE the
+      // all-reduce published it.  Charge the replays that ran, condemn +
+      // quarantine the device, and walk back to the last verified
+      // generation.
+      charge_witness_wall();
+      ++consecutive_faults;
+      if (consecutive_faults > config_.max_retries ||
+          !recover_from_sdc(e, consecutive_faults)) {
+        stats_.failed = true;
+        break;
+      }
+      clean_steps = 0;
+      continue;
+    }
+    charge_witness_wall();
+    if (engine_->resilient_comm_enabled() &&
+        engine_->last_comm_report().has_value()) {
+      const auto& rep = *engine_->last_comm_report();
+      stats_.comm_retries += rep.attempts - 1;
+      stats_.capped_backoffs += rep.capped_backoffs;
+      stats_.comm_wall_s += rep.virtual_time_s;
+      stats_.total_wall_s += rep.virtual_time_s;
     }
     ++stats_.steps_executed;
     stats_.step_wall_s += cost;
@@ -238,9 +427,11 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
     if (config_.policy == RecoveryPolicy::kElasticScaleIn &&
         config_.regrow_after_clean_steps > 0 && workers_ < initial_workers_ &&
         ++clean_steps >= config_.regrow_after_clean_steps) {
+      // Refill with a FRESH device: condemned ids never re-enter the slot
+      // map, so a quarantined device stays quarantined forever.
+      device_of_slot_.push_back(next_device_id_++);
       ++workers_;
-      engine_->configure_workers(
-          std::vector<core::WorkerSpec>(static_cast<std::size_t>(workers_)));
+      reshape_workers();
       ++stats_.scale_outs;
       stats_.reconfig_wall_s += config_.reconfigure_time_s;
       stats_.total_wall_s += config_.reconfigure_time_s;
@@ -248,6 +439,7 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
     }
   }
   stats_.steps_completed = engine_->global_step();
+  stats_.witness_replays = engine_->witness_stats().replays;
   return stats_;
 }
 

@@ -22,10 +22,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
 
 #include "core/checkpoint_manager.hpp"
 #include "core/engine.hpp"
+#include "core/integrity.hpp"
 #include "fault/injector.hpp"
+#include "fault/integrity.hpp"
 
 namespace easyscale::fault {
 
@@ -57,6 +63,29 @@ struct SupervisorConfig {
   /// Wall cost of condemning a silent rank mid-collective (receive
   /// deadline + heartbeat silence before the membership decision).
   double comm_detect_s = 1.0;
+
+  // --- Silent-data-corruption defense ---
+  /// Arm the full defense stack: the engine's re-execution witness, digest
+  /// chains + verification on periodic checkpoints, and — on detection —
+  /// device condemnation, quarantine, and a walk-back to the last VERIFIED
+  /// checkpoint.  SDC fault events corrupt kernels regardless of this flag
+  /// (the undefended baseline suffers them silently); the flag only
+  /// controls whether anybody is watching.
+  bool sdc_defense = false;
+  /// Witness cadence forwarded to the engine when sdc_defense is on.  The
+  /// checkpoint interval must be a multiple of this so periodic saves land
+  /// on witness-certified steps.
+  std::int64_t witness_every = 1;
+  /// Corruption profile applied when an SDC event fires (the event supplies
+  /// mode and pattern seed).  ops_rate 1.0 hits every kernel output on the
+  /// sticky device, making witness detection certain at the next cadence
+  /// point; lower it only for detection-latency experiments.
+  double sdc_ops_rate = 1.0;
+  double sdc_magnitude = 1e-3;
+  int sdc_mantissa_bit = 12;
+  /// Wall cost of condemning + quarantining a corrupt device (blocklist
+  /// update, EST remap).
+  double sdc_repair_s = 5.0;
 };
 
 /// Goodput accounting over one supervised run (the §2.1 comparison data).
@@ -73,6 +102,12 @@ struct GoodputStats {
   std::int64_t comm_retries = 0;      // collective re-executions
   std::int64_t capped_backoffs = 0;   // backoff waits clipped at the cap
   std::int64_t straggler_reports = 0;  // stalled-link events observed
+  std::int64_t sdc_events = 0;         // devices turned sticky-corrupt
+  std::int64_t sdc_detections = 0;     // witness mismatches caught
+  std::int64_t devices_quarantined = 0;
+  std::int64_t sdc_detect_latency_steps = 0;  // summed over detections
+  std::int64_t witness_replays = 0;    // EST re-executions by the witness
+  std::int64_t verified_checkpoints = 0;
   bool failed = false;  // only kGangRestart can fail
 
   double total_wall_s = 0.0;
@@ -82,6 +117,7 @@ struct GoodputStats {
   double reconfig_wall_s = 0.0;    // graceful scale in/out
   double lost_wall_s = 0.0;        // step time that was rolled back
   double comm_wall_s = 0.0;        // fabric time: transfers, retries, waits
+  double witness_wall_s = 0.0;     // verification overhead (replay cost)
 
   /// Fraction of wall time spent on surviving training steps.
   [[nodiscard]] double goodput_fraction() const {
@@ -94,12 +130,23 @@ struct GoodputStats {
   }
 };
 
+/// Scheduler hand-off for device quarantine.  The supervisor cannot link
+/// against sched/ (es_cluster layers above es_train), so the scheduler
+/// registers a callback: given the condemned worker slot, vacate it and
+/// remap its ESTs (sched::IntraJobScheduler::quarantine_worker).  Return
+/// true when the engine was reconfigured; false falls back to the
+/// supervisor's direct shrink/replace path.
+using QuarantineFn = std::function<bool(std::int64_t worker_slot)>;
+
 class FaultSupervisor {
  public:
   /// Neither the engine nor the checkpoint manager is owned.
   FaultSupervisor(core::EasyScaleEngine& engine,
                   core::CheckpointManager& checkpoints, FaultInjector injector,
                   SupervisorConfig config);
+
+  /// Route quarantine through an external scheduler (see QuarantineFn).
+  void set_quarantine(QuarantineFn fn) { quarantine_ = std::move(fn); }
 
   /// Configure `initial_workers`, then drive the engine to `target_step`
   /// global steps under the fault schedule.  Returns the goodput stats;
@@ -111,7 +158,19 @@ class FaultSupervisor {
   [[nodiscard]] const FaultInjector& injector() const { return injector_; }
   [[nodiscard]] std::int64_t current_workers() const { return workers_; }
 
+  /// Devices condemned by the integrity witness so far (never re-admitted).
+  [[nodiscard]] const std::set<std::int64_t>& condemned_devices() const {
+    return condemned_;
+  }
+
  private:
+  /// A sticky corrupt device: its deterministic corruptor plus the step at
+  /// which corruption began (for detection-latency accounting).
+  struct CorruptDevice {
+    std::unique_ptr<SdcCorruptor> corruptor;
+    std::int64_t since_step = 0;
+  };
+
   /// Simulated wall-seconds of one global step at the current worker count
   /// (ESTs on one worker run serially, §3.2).
   [[nodiscard]] double step_cost() const;
@@ -119,14 +178,39 @@ class FaultSupervisor {
   /// Roll back to the newest valid generation; optionally drop one worker
   /// (elastic crash path).  Returns false when recovery is impossible.
   bool recover(bool shrink_one, int consecutive_faults);
+  /// SDC respond path: condemn the detected device, quarantine it, and
+  /// walk back to the last VERIFIED checkpoint.  Returns false when no
+  /// verified generation survives.
+  bool recover_from_sdc(const core::IntegrityError& e,
+                        int consecutive_faults);
+  /// Turn the device currently in `slot` sticky-corrupt per the event.
+  void arm_sdc(const FaultEvent& event);
+  /// Re-install post-op hooks after any configure_workers (worker rebuild
+  /// clears every ExecContext hook).
+  void rearm_hooks();
+  /// Apply the current worker count as fresh default specs + rearm.
+  void reshape_workers();
+  /// Remove `slot`'s device from the slot map (shrink bookkeeping).
+  void drop_slot(std::int64_t slot);
+  /// Fold the engine's witness-replay delta into the wall-clock model.
+  void charge_witness_wall();
 
   core::EasyScaleEngine* engine_;
   core::CheckpointManager* checkpoints_;
   FaultInjector injector_;
   SupervisorConfig config_;
   GoodputStats stats_;
+  QuarantineFn quarantine_;
   std::int64_t workers_ = 0;
   std::int64_t initial_workers_ = 0;
+  /// Physical device identity per worker slot.  Slots are positions in the
+  /// engine's worker vector; devices are stable ids that survive remaps so
+  /// stickiness and condemnation attach to hardware, not positions.
+  std::vector<std::int64_t> device_of_slot_;
+  std::int64_t next_device_id_ = 0;
+  std::map<std::int64_t, CorruptDevice> corrupt_;
+  std::set<std::int64_t> condemned_;
+  std::int64_t last_witness_replays_ = 0;
 };
 
 }  // namespace easyscale::fault

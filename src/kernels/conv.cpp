@@ -349,6 +349,8 @@ void conv2d_forward(const ExecContext& ctx, const Conv2dDims& d,
   } else {
     forward_im2col(ctx, d, input, weight, bias, out);
   }
+  ctx.notify_post_op(KernelFamily::kConv, out.data(),
+                     static_cast<std::int64_t>(out.size()));
 }
 
 void conv2d_backward(const ExecContext& ctx, const Conv2dDims& d,
@@ -365,6 +367,12 @@ void conv2d_backward(const ExecContext& ctx, const Conv2dDims& d,
     backward_im2col(ctx, d, input, weight, grad_out, grad_input, grad_weight,
                     grad_bias);
   }
+  ctx.notify_post_op(KernelFamily::kConv, grad_input.data(),
+                     static_cast<std::int64_t>(grad_input.size()));
+  ctx.notify_post_op(KernelFamily::kConv, grad_weight.data(),
+                     static_cast<std::int64_t>(grad_weight.size()));
+  ctx.notify_post_op(KernelFamily::kConv, grad_bias.data(),
+                     static_cast<std::int64_t>(grad_bias.size()));
 }
 
 }  // namespace easyscale::kernels

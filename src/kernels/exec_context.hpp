@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <tuple>
 
 #include "common/parallel_for.hpp"
@@ -61,6 +62,25 @@ enum class ConvVariant : int {
   kIm2colNative = 1,
 };
 
+/// Kernel family of a completed entry-point call, for post-op observers.
+enum class KernelFamily : int {
+  kGemm = 0,
+  kConv = 1,
+  kReduce = 2,
+  kScatter = 3,
+};
+
+/// Observer invoked after a kernel entry point finishes writing an output
+/// buffer (after any parallel_for has joined, on the calling worker
+/// thread).  The fault layer installs SDC corruptors here to model a
+/// sticky faulty device without touching each kernel; the hook may mutate
+/// the output in place.
+class PostOpHook {
+ public:
+  virtual ~PostOpHook() = default;
+  virtual void on_output(KernelFamily family, std::span<float> out) = 0;
+};
+
 struct ExecContext {
   DeviceType device = DeviceType::kV100;
   KernelPolicy policy = KernelPolicy::kDeterministic;
@@ -82,6 +102,11 @@ struct ExecContext {
   /// which all workers use so intra-op threads stay bounded.
   ComputePool* pool = nullptr;
 
+  /// Post-op observer (fault/integrity SDC injection); null = disabled.
+  /// Invoked single-threaded at kernel entry-point exits, never inside a
+  /// parallel region.  Not owned; not serialized (re-arm after restores).
+  PostOpHook* post_op = nullptr;
+
   /// Reusable kernel temporaries (B-packs, im2col columns).  Mutable for
   /// the same reason as gemm_cache; owned by this context's worker thread.
   mutable ScratchArena scratch;
@@ -98,6 +123,14 @@ struct ExecContext {
   }
   [[nodiscard]] ComputePool& compute_pool() const {
     return pool != nullptr ? *pool : ComputePool::global();
+  }
+
+  void notify_post_op(KernelFamily family, float* data,
+                      std::int64_t n) const {
+    if (post_op != nullptr && n > 0) {
+      post_op->on_output(family,
+                         std::span<float>(data, static_cast<std::size_t>(n)));
+    }
   }
 };
 

@@ -256,10 +256,14 @@ void gemm(const ExecContext& ctx, std::int64_t m, std::int64_t n,
     const CustomDotFn& dot = custom_gemm(ctx.custom_gemm);
     gemm_impl(&ctx, GemmVariant::kSequential, &dot, m, n, k, a, b, c,
               accumulate);
+    ctx.notify_post_op(KernelFamily::kGemm, c.data(),
+                       static_cast<std::int64_t>(c.size()));
     return;
   }
   gemm_impl(&ctx, select_gemm_variant(ctx, m, n, k), nullptr, m, n, k, a, b,
             c, accumulate);
+  ctx.notify_post_op(KernelFamily::kGemm, c.data(),
+                     static_cast<std::int64_t>(c.size()));
 }
 
 void gemm_tn(const ExecContext& ctx, std::int64_t m, std::int64_t n,

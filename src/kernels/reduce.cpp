@@ -94,6 +94,8 @@ void reduce_sum_strided_batch(const ExecContext& ctx,
               reduce_sum_variant(variant, gathered);
         }
       });
+  ctx.notify_post_op(KernelFamily::kReduce, out.data(),
+                     static_cast<std::int64_t>(out.size()));
 }
 
 }  // namespace easyscale::kernels

@@ -63,6 +63,8 @@ void scatter_add(const ExecContext& ctx, std::span<const std::int64_t> indices,
                      for (std::int64_t c = 0; c < width; ++c) d[c] += s[c];
                    }
                  });
+    ctx.notify_post_op(KernelFamily::kScatter, out.data(),
+                       static_cast<std::int64_t>(out.size()));
     return;
   }
   if (!scatter_add_sorted(ctx)) {
@@ -85,6 +87,8 @@ void scatter_add(const ExecContext& ctx, std::span<const std::int64_t> indices,
     float* d = out.data() + row * width;
     for (std::int64_t c = 0; c < width; ++c) d[c] += s[c];
   }
+  ctx.notify_post_op(KernelFamily::kScatter, out.data(),
+                     static_cast<std::int64_t>(out.size()));
 }
 
 }  // namespace easyscale::kernels

@@ -99,4 +99,36 @@ bool IntraJobScheduler::rebalance_stragglers(double threshold_s) {
   return true;
 }
 
+bool IntraJobScheduler::quarantine_worker(std::int64_t slot) {
+  auto specs = engine_->current_worker_specs();
+  auto assignment = engine_->current_assignment();
+  if (slot < 0 || slot >= static_cast<std::int64_t>(specs.size()) ||
+      specs.size() < 2) {
+    return false;
+  }
+  const auto s = static_cast<std::size_t>(slot);
+  const std::vector<std::int64_t> orphans = assignment[s];
+  blocklist_.push_back(specs[s]);
+  specs.erase(specs.begin() + slot);
+  assignment.erase(assignment.begin() + slot);
+  // Deal the condemned worker's ESTs to the least-loaded survivors (lowest
+  // index wins ties, keeping the remap deterministic).
+  for (const std::int64_t est : orphans) {
+    std::size_t target = 0;
+    for (std::size_t w = 1; w < assignment.size(); ++w) {
+      if (assignment[w].size() < assignment[target].size()) target = w;
+    }
+    assignment[target].push_back(est);
+  }
+  ES_LOG_INFO("quarantining worker " << slot << ": " << orphans.size()
+                                     << " EST(s) remapped onto "
+                                     << specs.size() << " survivor(s)");
+  engine_->configure_workers(specs, std::move(assignment));
+  // The running plan no longer matches the worker set; drop it so the next
+  // apply_best_plan starts from the quarantined capacity.
+  previous_ = Plan{};
+  current_ = Plan{};
+  return true;
+}
+
 }  // namespace easyscale::sched

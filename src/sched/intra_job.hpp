@@ -43,6 +43,21 @@ class IntraJobScheduler {
   /// happened; requires the engine's resilient comm substrate.
   bool rebalance_stragglers(double threshold_s);
 
+  /// SDC quarantine: vacate worker `slot` (condemned by the integrity
+  /// witness), blocklist its device spec, and deal its orphaned ESTs to the
+  /// least-loaded survivors — the same bitwise-neutral remap machinery the
+  /// straggler path uses, so quarantining never perturbs training bits.
+  /// Returns false (engine untouched) when the slot cannot be vacated
+  /// (out of range, or it is the last worker).
+  bool quarantine_worker(std::int64_t slot);
+
+  /// Device specs removed by quarantine_worker; a blocklisted spec stands
+  /// for a condemned physical device the scheduler must never hand back.
+  [[nodiscard]] const std::vector<core::WorkerSpec>& quarantine_blocklist()
+      const {
+    return blocklist_;
+  }
+
   /// Drop the current plan (the job pauses; GPUs return to the pool).  The
   /// engine keeps its last worker set but the cluster stops stepping it.
   void release() {
@@ -64,6 +79,7 @@ class IntraJobScheduler {
   Plan current_;
   Plan previous_;
   double previous_observed_ = 0.0;
+  std::vector<core::WorkerSpec> blocklist_;
 };
 
 }  // namespace easyscale::sched

@@ -23,6 +23,7 @@ struct RunningJob {
   double progress = 0.0;  // completed global steps
   JobOutcome outcome;
   bool done = false;
+  bool poisoned = false;  // undetected corruption reached its parameters
 
   [[nodiscard]] bool allow_heter(SchedulerPolicy policy) const {
     return policy == SchedulerPolicy::kEasyScaleHeter && spec->allow_heter;
@@ -174,6 +175,14 @@ SimResult simulate_trace(const std::vector<JobSpec>& jobs,
   double now = 0.0;
   double last_resched = -1e18;
   GpuVector prev_down{};
+  // Devices condemned by the SDC defense stay out of the pool for the rest
+  // of the simulation (an operator swap is beyond the horizon).
+  GpuVector quarantined{};
+  if (!config.sdc_rate_per_type.empty()) {
+    ES_CHECK(config.sdc_rate_per_type.size() ==
+                 static_cast<std::size_t>(sched::kNumDeviceTypes),
+             "sdc_rate_per_type must cover every device type");
+  }
 
   while (finished < sorted.size() && now < config.max_sim_s) {
     // Arrivals.
@@ -192,9 +201,11 @@ SimResult simulate_trace(const std::vector<JobSpec>& jobs,
       ++next_arrival;
     }
 
-    // Revocations/failures: capacity drops while GPUs are in repair.
+    // Revocations/failures: capacity drops while GPUs are in repair;
+    // quarantined devices are gone for good.
     const GpuVector down = down_at(config.failures, now);
-    const GpuVector effective = subtract_clamped(config.cluster, down);
+    const GpuVector effective =
+        subtract_clamped(subtract_clamped(config.cluster, down), quarantined);
     if (down != prev_down) {
       // Count GPUs yanked out from under running jobs (not idle ones).
       GpuVector in_use{};
@@ -307,12 +318,51 @@ SimResult simulate_trace(const std::vector<JobSpec>& jobs,
           result.comm_degraded_s += charged;
         }
       }
+      if (!config.sdc_rate_per_type.empty()) {
+        // One seeded Bernoulli per (job, tick, type), scaled by how many
+        // GPUs of that type the job holds: does one of them go silently
+        // corrupt this tick?
+        for (int t = 0; t < sched::kNumDeviceTypes; ++t) {
+          const std::int64_t held = j->plan.gpus[static_cast<std::size_t>(t)];
+          const double rate =
+              config.sdc_rate_per_type[static_cast<std::size_t>(t)];
+          if (held == 0 || rate <= 0.0) continue;
+          rng::Philox gen(config.sdc_seed ^
+                          (0x9E3779B97F4A7C15ull *
+                           static_cast<std::uint64_t>(j->spec->id + 1)) ^
+                          (0xD1B54A32D192ED03ull * (tick_index + 1)) ^
+                          (0xBF58476D1CE4E5B9ull *
+                           static_cast<std::uint64_t>(t + 1)));
+          const double p =
+              std::min(1.0, rate * static_cast<double>(held));
+          if (gen.next_double() >= p) continue;
+          ++result.sdc_events;
+          if (config.sdc_defense) {
+            // Witness catches it; condemn + quarantine the device and
+            // replay from the last verified checkpoint.
+            ++result.devices_quarantined;
+            ++quarantined[static_cast<std::size_t>(t)];
+            const double charged =
+                std::min(config.sdc_detect_s + config.sdc_replay_s,
+                         step_time);
+            step_time -= charged;
+            result.sdc_replay_s_total += charged;
+            if (config.policy != SchedulerPolicy::kYarnCS) {
+              last_resched = -1e18;  // scale in off the condemned device
+            }
+          } else {
+            // Nobody is watching: training continues on poisoned bits.
+            j->poisoned = true;
+          }
+        }
+      }
       j->progress += j->plan.steps_per_second * step_time;
       if (j->progress >= static_cast<double>(j->spec->total_steps)) {
         j->done = true;
         j->outcome.finish_s = now + config.tick_s;
         j->plan = Plan{};
         ++finished;
+        if (j->poisoned) ++result.jobs_poisoned;
         result.outcomes.push_back(j->outcome);
         // Free GPUs become schedulable immediately (seconds-scale scaling).
         if (config.policy != SchedulerPolicy::kYarnCS) {

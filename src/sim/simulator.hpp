@@ -50,6 +50,22 @@ struct SimConfig {
   std::uint64_t comm_fault_seed = 0xC0FF;
   double comm_recover_s = 0.5;
   double comm_gang_restart_s = 60.0;
+  /// Silent-data-corruption model: per running job per tick per device
+  /// type, probability that one of the job's GPUs of that type turns
+  /// sticky-corrupt (scaled by how many it holds — older fleets set higher
+  /// rates).  Empty disables.  Draws are Philox-seeded on
+  /// (sdc_seed, job id, tick, type), so runs replay exactly.
+  std::vector<double> sdc_rate_per_type;
+  std::uint64_t sdc_seed = 0x5DC;
+  /// With the defense on, a hit is detected within `sdc_detect_s` of job
+  /// time, the device is quarantined for the rest of the simulation
+  /// (capacity loss — condemned hardware is never handed back), and the
+  /// job replays `sdc_replay_s` of progress from its last verified
+  /// checkpoint.  With it off the job trains on and finishes silently
+  /// poisoned (`jobs_poisoned`).
+  bool sdc_defense = true;
+  double sdc_detect_s = 30.0;
+  double sdc_replay_s = 120.0;
 };
 
 struct TimelinePoint {
@@ -67,6 +83,10 @@ struct SimResult {
   std::int64_t lost_progress = 0;  // global steps discarded by gang restarts
   std::int64_t comm_faults = 0;    // link faults hit by running jobs
   double comm_degraded_s = 0.0;    // job-time lost to comm recovery
+  std::int64_t sdc_events = 0;     // devices turned sticky-corrupt
+  std::int64_t devices_quarantined = 0;  // condemned by the defense
+  double sdc_replay_s_total = 0.0;  // job-time spent re-executing
+  std::int64_t jobs_poisoned = 0;  // finished with undetected corruption
 };
 
 [[nodiscard]] SimResult simulate_trace(const std::vector<JobSpec>& jobs,

@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "common/digest.hpp"
 #include "core/engine.hpp"
 #include "models/datasets.hpp"
 #include "rng/philox.hpp"
@@ -152,6 +153,66 @@ TEST(SerializationFuzz, RandomFullCheckpointMutationsNeverEscapeError) {
     } catch (const Error&) {
     }
   }
+}
+
+// --- DigestChain framing (the verified-checkpoint payload) ---
+
+std::vector<std::uint8_t> saved_chain_bytes(DigestChain& out) {
+  for (std::uint64_t i = 0; i < 6; ++i) out.push(i, 0xFEED + i * 31);
+  ByteWriter w;
+  out.save(w);
+  return w.take();
+}
+
+TEST(SerializationFuzz, DigestChainTruncationsAlwaysThrow) {
+  DigestChain chain;
+  const auto bytes = saved_chain_bytes(chain);
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    const std::vector<std::uint8_t> cut(
+        bytes.begin(), bytes.begin() + static_cast<long>(keep));
+    ByteReader r(cut);
+    EXPECT_THROW((void)DigestChain::load(r), Error) << "cut at " << keep;
+  }
+}
+
+TEST(SerializationFuzz, DigestChainAnyRecordByteFlipThrows) {
+  DigestChain chain;
+  const auto bytes = saved_chain_bytes(chain);
+  // Every byte past the count header belongs to some record's id/digest/
+  // chain field; flipping ANY of them must break a link on load (a flipped
+  // id or digest changes the recomputed link, a flipped chain value
+  // disagrees with its recomputation).
+  for (std::size_t pos = 8; pos < bytes.size(); ++pos) {
+    auto mutated = bytes;
+    mutated[pos] ^= 0x10;
+    ByteReader r(mutated);
+    EXPECT_THROW((void)DigestChain::load(r), Error) << "flip at " << pos;
+  }
+}
+
+TEST(SerializationFuzz, DigestChainTrailingGarbageIsCallerVisible) {
+  // Extra bytes after the declared records are not the chain's to judge —
+  // the surrounding frame must call require_exhausted and reject them.
+  DigestChain chain;
+  auto bytes = saved_chain_bytes(chain);
+  bytes.insert(bytes.end(), {0xDE, 0xAD, 0xBE, 0xEF});
+  ByteReader r(bytes);
+  const auto loaded = DigestChain::load(r);
+  EXPECT_EQ(loaded, chain);  // the declared records themselves are intact
+  EXPECT_THROW(r.require_exhausted("digest chain frame"), Error);
+}
+
+TEST(SerializationFuzz, DigestChainExtensionMovesTheTail) {
+  // An attacker CAN append correctly-linked records (the chain is not
+  // keyed); what catches extension is comparison against the recorded
+  // tail/chain held in the checkpoint frame, so the tail must move.
+  DigestChain chain;
+  (void)saved_chain_bytes(chain);
+  DigestChain extended = chain;
+  extended.push(99, 0x5117);
+  EXPECT_TRUE(extended.verify());
+  EXPECT_NE(extended.tail(), chain.tail());
+  EXPECT_NE(extended, chain);
 }
 
 TEST(SerializationFuzz, RandomTruncationsAlwaysThrow) {
