@@ -4,10 +4,51 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 
 namespace easyscale::bench {
+
+/// Build type of THIS repo's code (NDEBUG), as stamped into benchmark
+/// artifacts.  Distinct from google-benchmark's `library_build_type`
+/// context field, which describes the system benchmark *library*.
+[[nodiscard]] inline const char* build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+[[nodiscard]] inline bool is_release_build() {
+#ifdef NDEBUG
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Gate for benchmark binaries that record artifacts: debug-build numbers
+/// are not comparable and must not be committed.  Returns true in release
+/// builds.  In debug builds it prints a loud refusal and returns false —
+/// unless EASYSCALE_BENCH_ALLOW_DEBUG=1, which stamps the run and lets it
+/// continue (the "debug" build_type still lands in the artifact).
+[[nodiscard]] inline bool guard_release_build(const std::string& artifact) {
+  if (is_release_build()) return true;
+  const char* allow = std::getenv("EASYSCALE_BENCH_ALLOW_DEBUG");
+  if (allow != nullptr && allow[0] == '1') {
+    std::printf("WARNING: DEBUG BUILD — %s will be stamped "
+                "build_type=debug; numbers are not comparable.\n",
+                artifact.c_str());
+    return true;
+  }
+  std::printf("REFUSED: this is a debug build; %s must be recorded from a "
+              "release build (set EASYSCALE_BENCH_ALLOW_DEBUG=1 to "
+              "override, loudly stamped).\n",
+              artifact.c_str());
+  return false;
+}
 
 inline void banner(const std::string& id, const std::string& title) {
   std::printf("\n================================================================\n");

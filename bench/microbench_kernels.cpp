@@ -3,6 +3,7 @@
 // on-demand checkpointing.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "comm/ring.hpp"
 #include "core/engine.hpp"
 #include "kernels/conv.hpp"
@@ -170,4 +171,17 @@ BENCHMARK(BM_ElasticReconfigure);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Refuse debug-build numbers (BENCH_kernels.json must come from a
+  // release build) and stamp THIS repo's build type into the context —
+  // google-benchmark's own `library_build_type` describes the system
+  // benchmark library, not our code.
+  if (!easyscale::bench::guard_release_build("BENCH_kernels.json")) return 2;
+  benchmark::AddCustomContext("easyscale_build_type",
+                              easyscale::bench::build_type());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -86,42 +86,49 @@ void validate_allreduce_inputs(const BucketLayout& layout,
   }
 }
 
+void allreduce_average_bucket(const BucketLayout& layout, std::size_t b,
+                              const std::vector<GradientSet*>& parts) {
+  ES_CHECK(b < layout.buckets.size(), "bucket index out of range");
+  const auto& bucket = layout.buckets[b];
+  const float inv_world = 1.0f / static_cast<float>(parts.size());
+  std::int64_t flat_len = 0;
+  for (int id : bucket) {
+    flat_len += parts[0]->grads[static_cast<std::size_t>(id)].numel();
+  }
+  // Flatten every participant's bucket (pure data movement).
+  std::vector<std::vector<float>> flats(parts.size());
+  for (std::size_t r = 0; r < parts.size(); ++r) {
+    flats[r].resize(static_cast<std::size_t>(flat_len));
+    std::int64_t off = 0;
+    for (int id : bucket) {
+      const auto& g = parts[r]->grads[static_cast<std::size_t>(id)];
+      std::copy(g.data().begin(), g.data().end(), flats[r].begin() + off);
+      off += g.numel();
+    }
+  }
+  std::vector<std::span<const float>> views;
+  views.reserve(parts.size());
+  for (const auto& f : flats) views.emplace_back(f);
+  std::vector<float> reduced(static_cast<std::size_t>(flat_len));
+  ring_allreduce_sum(views, reduced);
+  for (auto& v : reduced) v *= inv_world;
+  // Scatter the averaged bucket back into every participant.
+  for (auto* part : parts) {
+    std::int64_t off = 0;
+    for (int id : bucket) {
+      auto& g = part->grads[static_cast<std::size_t>(id)];
+      std::copy(reduced.begin() + off, reduced.begin() + off + g.numel(),
+                g.data().begin());
+      off += g.numel();
+    }
+  }
+}
+
 void allreduce_average(const BucketLayout& layout,
                        std::vector<GradientSet*>& parts) {
   validate_allreduce_inputs(layout, parts);
-  const float inv_world = 1.0f / static_cast<float>(parts.size());
-  for (const auto& bucket : layout.buckets) {
-    std::int64_t flat_len = 0;
-    for (int id : bucket) {
-      flat_len += parts[0]->grads[static_cast<std::size_t>(id)].numel();
-    }
-    // Flatten every participant's bucket (pure data movement).
-    std::vector<std::vector<float>> flats(parts.size());
-    for (std::size_t r = 0; r < parts.size(); ++r) {
-      flats[r].resize(static_cast<std::size_t>(flat_len));
-      std::int64_t off = 0;
-      for (int id : bucket) {
-        const auto& g = parts[r]->grads[static_cast<std::size_t>(id)];
-        std::copy(g.data().begin(), g.data().end(), flats[r].begin() + off);
-        off += g.numel();
-      }
-    }
-    std::vector<std::span<const float>> views;
-    views.reserve(parts.size());
-    for (const auto& f : flats) views.emplace_back(f);
-    std::vector<float> reduced(static_cast<std::size_t>(flat_len));
-    ring_allreduce_sum(views, reduced);
-    for (auto& v : reduced) v *= inv_world;
-    // Scatter the averaged bucket back into every participant.
-    for (auto* part : parts) {
-      std::int64_t off = 0;
-      for (int id : bucket) {
-        auto& g = part->grads[static_cast<std::size_t>(id)];
-        std::copy(reduced.begin() + off, reduced.begin() + off + g.numel(),
-                  g.data().begin());
-        off += g.numel();
-      }
-    }
+  for (std::size_t b = 0; b < layout.buckets.size(); ++b) {
+    allreduce_average_bucket(layout, b, parts);
   }
 }
 

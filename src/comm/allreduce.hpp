@@ -50,6 +50,15 @@ void validate_allreduce_inputs(const BucketLayout& layout,
 void allreduce_average(const BucketLayout& layout,
                        std::vector<GradientSet*>& parts);
 
+/// Reduce exactly one bucket of `layout` (same flatten / ring association /
+/// average / scatter as the matching iteration of allreduce_average).  The
+/// overlapped comm path calls this per flushed bucket; running it for every
+/// bucket in any order is bitwise identical to one allreduce_average call,
+/// because buckets touch disjoint gradients.  Skips input validation — the
+/// caller validates the full layout once per step.
+void allreduce_average_bucket(const BucketLayout& layout, std::size_t bucket,
+                              const std::vector<GradientSet*>& parts);
+
 /// Total bytes a participant ships per sync (for the Fig-13 accounting).
 [[nodiscard]] std::int64_t gradient_bytes(const GradientSet& set);
 

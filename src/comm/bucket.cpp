@@ -1,5 +1,8 @@
 #include "comm/bucket.hpp"
 
+#include <cstdlib>
+#include <string>
+
 namespace easyscale::comm {
 
 void BucketLayout::save(ByteWriter& w) const {
@@ -62,6 +65,40 @@ BucketLayout BucketManager::layout_from_ready_order(
            "ready order covers " << ready_order.size() << " of "
                                  << params_->size() << " parameters");
   return pack(ready_order);
+}
+
+std::int64_t env_default_bucket_cap() {
+  const char* env = std::getenv("EASYSCALE_BUCKET_CAP");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0) return 0;
+  return static_cast<std::int64_t>(v);
+}
+
+std::int64_t resolve_bucket_cap(std::int64_t config_cap,
+                                const autograd::ParameterStore& params) {
+  if (config_cap > 0) return config_cap;
+  const std::int64_t env_cap = env_default_bucket_cap();
+  if (env_cap <= 0) return 4096;
+  std::int64_t largest = 0;
+  const autograd::Parameter* largest_param = nullptr;
+  for (const auto* p : params.all()) {
+    const std::int64_t bytes =
+        p->numel() * static_cast<std::int64_t>(sizeof(float));
+    if (bytes > largest) {
+      largest = bytes;
+      largest_param = p;
+    }
+  }
+  ES_CHECK(env_cap >= largest,
+           "EASYSCALE_BUCKET_CAP=" << env_cap << " bytes is smaller than "
+           "the largest parameter"
+           << (largest_param != nullptr ? " '" + largest_param->name + "'"
+                                        : std::string())
+           << " (" << largest << " bytes); such a cap degenerates to "
+           "one-parameter buckets — raise it to at least " << largest);
+  return env_cap;
 }
 
 }  // namespace easyscale::comm

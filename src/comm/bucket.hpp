@@ -54,4 +54,21 @@ class BucketManager {
   std::int64_t cap_bytes_;
 };
 
+/// EASYSCALE_BUCKET_CAP (bytes), mirroring EASYSCALE_THREADS: 0 when the
+/// variable is unset or unparsable.  Re-read on every call (not cached) so
+/// tests can flip it; the cap feeds a once-per-trainer BucketManager, so
+/// this is never hot.
+[[nodiscard]] std::int64_t env_default_bucket_cap();
+
+/// Resolve the bucket capacity for a trainer: a positive `config_cap` wins;
+/// else EASYSCALE_BUCKET_CAP; else the 4096-byte built-in default.  An
+/// env-supplied cap must fit the largest single parameter of `params` —
+/// rejected with a clear error otherwise, because a cap smaller than one
+/// parameter silently degenerates to per-parameter buckets and defeats the
+/// point of overriding it.  (The built-in default keeps the historical
+/// behaviour — tiny caps on big models are how the mini test models get
+/// multi-bucket layouts.)
+[[nodiscard]] std::int64_t resolve_bucket_cap(
+    std::int64_t config_cap, const autograd::ParameterStore& params);
+
 }  // namespace easyscale::comm

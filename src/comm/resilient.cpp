@@ -19,12 +19,42 @@ std::int64_t bucket_numel(const BucketLayout& layout, std::size_t b,
 
 }  // namespace
 
+void merge_collective_report(CollectiveReport& total,
+                             const CollectiveReport& piece) {
+  total.ok = (total.attempts == 0 ? true : total.ok) && piece.ok;
+  total.attempts += piece.attempts;
+  total.condemned.insert(total.condemned.end(), piece.condemned.begin(),
+                         piece.condemned.end());
+  total.survivors = piece.survivors;
+  total.virtual_time_s += piece.virtual_time_s;
+  total.backoff_wait_s += piece.backoff_wait_s;
+  total.capped_backoffs += piece.capped_backoffs;
+  total.incidents.insert(total.incidents.end(), piece.incidents.begin(),
+                         piece.incidents.end());
+}
+
 CollectiveReport resilient_allreduce_average(
     const BucketLayout& layout, std::vector<GradientSet*>& parts,
     Transport& transport, MembershipMonitor& monitor,
-    const ResilientConfig& cfg, const std::vector<int>* host_of_part) {
-  validate_allreduce_inputs(layout, parts);
+    const ResilientConfig& cfg, const std::vector<int>* host_of_part,
+    const std::vector<std::size_t>* bucket_ids) {
+  // Subset calls come from the overlapped pipeline, whose owner validated
+  // the full layout once before submitting any job; validating here would
+  // read buckets other ranks are still publishing (a racy cross-bucket
+  // scan on the comm thread).
+  if (bucket_ids == nullptr) validate_allreduce_inputs(layout, parts);
   ES_CHECK(cfg.max_attempts >= 1, "need at least one collective attempt");
+  std::vector<std::size_t> selected;
+  if (bucket_ids != nullptr) {
+    selected = *bucket_ids;
+    for (std::size_t b : selected) {
+      ES_CHECK(b < layout.buckets.size(),
+               "bucket_ids references bucket " << b << " outside layout");
+    }
+  } else {
+    selected.resize(layout.buckets.size());
+    for (std::size_t b = 0; b < selected.size(); ++b) selected[b] = b;
+  }
   const int world = transport.world();
   std::vector<int> hosts;
   if (host_of_part != nullptr) {
@@ -75,7 +105,8 @@ CollectiveReport resilient_allreduce_average(
     // transfer.  Any non-clean delivery aborts the in-flight operation —
     // partial reductions are never published.
     bool faulted = false;
-    for (std::size_t b = 0; b < layout.buckets.size() && !faulted; ++b) {
+    for (std::size_t bi = 0; bi < selected.size() && !faulted; ++bi) {
+      const std::size_t b = selected[bi];
       const std::int64_t flat = bucket_numel(layout, b, *parts[live[0]]);
       const std::int64_t chunk_bytes =
           ((flat + ring_w - 1) / ring_w) *
@@ -135,7 +166,9 @@ CollectiveReport resilient_allreduce_average(
       std::vector<GradientSet*> live_parts;
       live_parts.reserve(live.size());
       for (std::size_t i : live) live_parts.push_back(parts[i]);
-      allreduce_average(layout, live_parts);
+      for (std::size_t b : selected) {
+        allreduce_average_bucket(layout, b, live_parts);
+      }
       for (std::size_t i : live) monitor.clear_timeouts(hosts[i]);
       report.ok = true;
       report.survivors.reserve(live.size());

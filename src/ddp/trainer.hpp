@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "comm/allreduce.hpp"
+#include "comm/async_allreduce.hpp"
 #include "comm/bucket.hpp"
 #include "comm/resilient.hpp"
 #include "data/pipeline.hpp"
@@ -34,7 +35,10 @@ struct DDPConfig {
   bool rebuild_buckets = true;
   /// Custom D2 GEMM kernel handle (kernels/custom.hpp), 0 = built-in.
   int custom_d2_gemm = 0;
-  std::int64_t bucket_cap_bytes = 4096;
+  /// Bucket capacity in bytes; 0 resolves to EASYSCALE_BUCKET_CAP (when
+  /// set and >= the largest parameter) and otherwise to the historical
+  /// 4096-byte default.  See comm::resolve_bucket_cap.
+  std::int64_t bucket_cap_bytes = 0;
   optim::OptimizerConfig optim;
   std::int64_t lr_step_epochs = 20;
   float gamma = 0.1f;
@@ -68,6 +72,17 @@ struct DDPConfig {
   /// per logical rank, so the published result is bitwise equal to a clean
   /// DDP run at world_size = logical_world.  0 disables (stock DDP).
   std::int64_t logical_world = 0;
+  /// Pipelined bucket flush: each bucket's all-reduce is submitted to a
+  /// dedicated communicator slot the moment every rank has produced the
+  /// bucket's last gradient contribution, overlapping the reduction with
+  /// the rest of backward.  Bitwise identical to the sequential path for
+  /// every configuration (docs/PERFORMANCE.md): per-bucket math depends
+  /// only on the layout and the participant count, and the digest vote
+  /// moves to per-bucket detect-before-publish inside the flush job.  The
+  /// first step (which records per-parameter contribution counts) always
+  /// runs sequentially, mirroring DDP's unoverlapped first iteration.
+  bool overlap_comm = false;
+  comm::AsyncConfig async_comm;
 };
 
 /// Outcome of one gradient-digest vote (logical_world > 0 only).
@@ -152,6 +167,13 @@ class DDPTrainer {
     return last_vote_report_;
   }
 
+  /// Overlap accounting of the most recent pipelined step (empty before
+  /// the first overlapped step or with overlap_comm = false).
+  [[nodiscard]] const std::optional<comm::OverlapStats>&
+  last_overlap_stats() const {
+    return last_overlap_stats_;
+  }
+
  private:
   struct Replica {
     std::unique_ptr<models::Workload> workload;
@@ -163,9 +185,18 @@ class DDPTrainer {
   };
 
   void one_step();
+  /// Pipelined variant of one_step's sync: per-bucket flush jobs on the
+  /// async engine, bitwise identical results.  Requires contrib_counts_.
+  void one_step_overlapped();
   /// Digest vote + representative reduction (logical_world > 0).  Throws
   /// core::IntegrityError when a rank loses the vote.
   void vote_and_reduce(std::vector<comm::GradientSet>& sets);
+  /// Single-bucket vote + representative reduction for the overlap path:
+  /// same group/majority logic as vote_and_reduce restricted to bucket `b`
+  /// (local digests; the overlapped control plane never rides the fabric).
+  void vote_and_reduce_bucket(std::size_t b,
+                              std::vector<comm::GradientSet>& sets,
+                              VoteReport& report);
 
   DDPConfig config_;
   std::vector<Replica> replicas_;
@@ -173,6 +204,11 @@ class DDPTrainer {
   std::unique_ptr<comm::MembershipMonitor> monitor_;
   std::optional<comm::CollectiveReport> last_comm_report_;
   std::optional<VoteReport> last_vote_report_;
+  std::optional<comm::OverlapStats> last_overlap_stats_;
+  std::unique_ptr<comm::AsyncCollectiveEngine> engine_;
+  /// Per-parameter gradient contribution counts from the recorded first
+  /// step; empty until recorded.  Feeds BucketReadyTracker.
+  std::vector<int> contrib_counts_;
   comm::BucketLayout layout_;
   bool rebuilt_ = false;
   std::int64_t global_step_ = 0;

@@ -158,6 +158,15 @@ void easyscale_reschedule(std::vector<std::unique_ptr<RunningJob>>& active,
 
 }  // namespace
 
+double overlapped_step_seconds(double compute_s, double comm_s,
+                               double overlap_frac) {
+  ES_CHECK(overlap_frac >= 0.0 && overlap_frac <= 1.0,
+           "overlap_frac must be in [0, 1]");
+  ES_CHECK(compute_s >= 0.0 && comm_s >= 0.0, "step terms must be >= 0");
+  return (1.0 - overlap_frac) * (compute_s + comm_s) +
+         overlap_frac * std::max(compute_s, comm_s);
+}
+
 SimResult simulate_trace(const std::vector<JobSpec>& jobs,
                          const SimConfig& config) {
   ES_CHECK(!jobs.empty(), "empty trace");
@@ -355,6 +364,18 @@ SimResult simulate_trace(const std::vector<JobSpec>& jobs,
             j->poisoned = true;
           }
         }
+      }
+      if (config.comm_fraction > 0.0 && sched::total(j->plan.gpus) > 1) {
+        // Overlap term: the plan's throughput assumes the additive
+        // compute + comm step; the pipelined flush compresses the step to
+        // overlapped_step_seconds, scaling effective progress per tick.
+        ES_CHECK(config.comm_fraction < 1.0,
+                 "comm_fraction must leave some compute");
+        const double compute = 1.0 - config.comm_fraction;
+        const double comm = config.comm_fraction;
+        const double overlapped =
+            overlapped_step_seconds(compute, comm, config.comm_overlap_frac);
+        step_time *= (compute + comm) / overlapped;
       }
       j->progress += j->plan.steps_per_second * step_time;
       if (j->progress >= static_cast<double>(j->spec->total_steps)) {

@@ -66,7 +66,23 @@ struct SimConfig {
   bool sdc_defense = true;
   double sdc_detect_s = 30.0;
   double sdc_replay_s = 120.0;
+  /// Step-time decomposition for the comm/compute-overlap model: the share
+  /// of a multi-GPU job's nominal step time spent in gradient sync.  With
+  /// `comm_overlap_frac > 0` the pipelined bucket flush hides that share
+  /// under backward and the job's effective step time shrinks from
+  /// `compute + comm` to overlapped_step_seconds(...) — at 0 the model
+  /// degrades to the historical additive one exactly (unit-tested), so
+  /// fig14/fig16 trace replays stay reproducible.  0 disables.
+  double comm_fraction = 0.0;
+  double comm_overlap_frac = 0.0;
 };
+
+/// Pipelined step-time model: the fraction `overlap_frac` of the comm term
+/// runs concurrently with compute (max), the rest serializes (sum):
+///   (1 - f) * (compute + comm) + f * max(compute, comm).
+/// f = 0 reproduces the additive model bit for bit; f = 1 is full overlap.
+[[nodiscard]] double overlapped_step_seconds(double compute_s, double comm_s,
+                                             double overlap_frac);
 
 struct TimelinePoint {
   double t = 0.0;

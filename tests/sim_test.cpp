@@ -3,6 +3,7 @@
 
 #include <algorithm>
 
+#include "common/error.hpp"
 #include "sim/colocation.hpp"
 #include "sim/simulator.hpp"
 #include "trace/generators.hpp"
@@ -257,6 +258,53 @@ TEST(SimulatorFailures, CommFaultsDegradeGangJobsFarMoreThanElastic) {
   const auto off = simulate_trace(jobs, sim_config(SchedulerPolicy::kYarnCS));
   EXPECT_EQ(off.comm_faults, 0);
   EXPECT_EQ(off.comm_degraded_s, 0.0);
+}
+
+TEST(SimulatorOverlap, ZeroFracDegradesToAdditiveModelExactly) {
+  // Bit-for-bit: at f = 0 the pipelined model IS the historical sum.
+  for (const double c : {0.1, 1.0, 7.5}) {
+    for (const double m : {0.0, 0.4, 12.0}) {
+      EXPECT_EQ(overlapped_step_seconds(c, m, 0.0), c + m);
+    }
+  }
+}
+
+TEST(SimulatorOverlap, FullOverlapIsTheMaxAndPartialInterpolates) {
+  EXPECT_EQ(overlapped_step_seconds(3.0, 2.0, 1.0), 3.0);
+  EXPECT_EQ(overlapped_step_seconds(2.0, 5.0, 1.0), 5.0);
+  const double half = overlapped_step_seconds(3.0, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(half, 0.5 * 5.0 + 0.5 * 3.0);
+  EXPECT_THROW(overlapped_step_seconds(1.0, 1.0, 1.5), Error);
+  EXPECT_THROW(overlapped_step_seconds(-1.0, 1.0, 0.5), Error);
+}
+
+TEST(SimulatorOverlap, ZeroFracTraceReplayMatchesNoCommModel) {
+  // comm_fraction > 0 with overlap_frac = 0 multiplies step time by
+  // (C + M) / (C + M) = 1: the fig14/fig16 replays stay reproducible.
+  const auto jobs = small_trace(12);
+  auto base = sim_config(SchedulerPolicy::kEasyScaleHeter);
+  auto additive = base;
+  additive.comm_fraction = 0.3;
+  additive.comm_overlap_frac = 0.0;
+  const auto r0 = simulate_trace(jobs, base);
+  const auto r1 = simulate_trace(jobs, additive);
+  ASSERT_EQ(r0.outcomes.size(), r1.outcomes.size());
+  for (std::size_t i = 0; i < r0.outcomes.size(); ++i) {
+    EXPECT_EQ(r0.outcomes[i].finish_s, r1.outcomes[i].finish_s);
+  }
+  EXPECT_EQ(r0.makespan, r1.makespan);
+}
+
+TEST(SimulatorOverlap, OverlapNeverFinishesLater) {
+  const auto jobs = small_trace(12);
+  auto additive = sim_config(SchedulerPolicy::kEasyScaleHeter);
+  additive.comm_fraction = 0.3;
+  auto overlapped = additive;
+  overlapped.comm_overlap_frac = 0.8;
+  const auto slow = simulate_trace(jobs, additive);
+  const auto fast = simulate_trace(jobs, overlapped);
+  EXPECT_LE(fast.makespan, slow.makespan);
+  EXPECT_LE(fast.avg_jct, slow.avg_jct);
 }
 
 TEST(SimulatorFailures, MtbfTraceDrivenRunCompletes) {
