@@ -1,0 +1,121 @@
+#include "cluster/allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace easyscale::cluster {
+
+namespace {
+
+/// Distribute `capacity` integer GPUs over `want` (fractional targets) by
+/// largest remainder, never exceeding ceil of the target's demand cap.
+/// Deterministic: remainder ties break toward the lower index.
+std::vector<std::int64_t> round_shares(const std::vector<double>& want,
+                                       const std::vector<std::int64_t>& cap,
+                                       std::int64_t capacity) {
+  const std::size_t n = want.size();
+  std::vector<std::int64_t> out(n, 0);
+  std::vector<std::pair<double, std::size_t>> frac;
+  std::int64_t used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double clamped =
+        std::min(want[i], static_cast<double>(cap[i]));
+    out[i] = static_cast<std::int64_t>(std::floor(clamped));
+    used += out[i];
+    frac.push_back({clamped - std::floor(clamped), i});
+  }
+  std::sort(frac.begin(), frac.end(),
+            [](const std::pair<double, std::size_t>& a,
+               const std::pair<double, std::size_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (const auto& [rem, i] : frac) {
+    if (used >= capacity) break;
+    if (rem <= 0.0 || out[i] >= cap[i]) continue;
+    ++out[i];
+    ++used;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> fair_share(const std::vector<ShareRequest>& reqs,
+                                     std::int64_t capacity) {
+  ES_CHECK(capacity >= 0, "negative capacity");
+  const std::size_t n = reqs.size();
+  std::vector<std::int64_t> alloc(n, 0);
+  std::int64_t remaining = capacity;
+
+  // Pass 1 — entitlements, guaranteed before burst: each quota-holding
+  // tenant receives min(demand, quota) while capacity lasts (an
+  // oversubscribed cluster serves guaranteed quotas first).
+  for (SlaTier tier : {SlaTier::kGuaranteed, SlaTier::kBurst}) {
+    for (std::size_t i = 0; i < n && remaining > 0; ++i) {
+      if (reqs[i].tier != tier) continue;
+      const std::int64_t granted = std::min(
+          {reqs[i].demand, reqs[i].quota, remaining});
+      alloc[i] += granted;
+      remaining -= granted;
+    }
+  }
+
+  // Pass 2 — weighted max-min water-fill of the surplus over unmet demand
+  // (all tiers compete; spot only ever eats here).  Exact O(n log n):
+  // sort by saturation level headroom/weight, walk until the water level
+  // fits under the next tenant's cap; everyone before the walk point gets
+  // their full headroom, everyone after gets weight × level.
+  std::vector<std::int64_t> headroom(n, 0);
+  std::vector<std::size_t> order;
+  double weight_tail = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    headroom[i] = std::max<std::int64_t>(0, reqs[i].demand - alloc[i]);
+    if (headroom[i] > 0 && reqs[i].weight > 0.0) {
+      order.push_back(i);
+      weight_tail += reqs[i].weight;
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double la = static_cast<double>(headroom[a]) / reqs[a].weight;
+    const double lb = static_cast<double>(headroom[b]) / reqs[b].weight;
+    if (la != lb) return la < lb;
+    return a < b;
+  });
+  std::vector<double> extra(n, 0.0);
+  double spare = static_cast<double>(remaining);
+  std::size_t walk = 0;
+  for (; walk < order.size() && weight_tail > 0.0; ++walk) {
+    const std::size_t i = order[walk];
+    const double level = spare / weight_tail;
+    if (static_cast<double>(headroom[i]) / reqs[i].weight > level) break;
+    extra[i] = static_cast<double>(headroom[i]);  // saturates below level
+    spare -= extra[i];
+    weight_tail -= reqs[i].weight;
+  }
+  if (weight_tail > 0.0) {
+    const double level = spare / weight_tail;
+    for (std::size_t k = walk; k < order.size(); ++k) {
+      const std::size_t i = order[k];
+      extra[i] = level * reqs[i].weight;
+    }
+  }
+  const auto extra_int = round_shares(extra, headroom, remaining);
+  for (std::size_t i = 0; i < n; ++i) alloc[i] += extra_int[i];
+  return alloc;
+}
+
+double jain_index(const std::vector<double>& x) {
+  if (x.empty()) return 1.0;
+  double sum = 0.0, sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sq += v * v;
+  }
+  if (sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(x.size()) * sq);
+}
+
+}  // namespace easyscale::cluster

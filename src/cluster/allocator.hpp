@@ -1,0 +1,41 @@
+// Weighted max-min fair-share allocator with SLA-aware preemption order.
+//
+// The allocator works on *tenant aggregates* (total GPUs, not device
+// types): guaranteed and burst tenants are first made whole up to
+// min(demand, quota), then the surplus is water-filled across all unmet
+// demand proportionally to tenant weight.  Integer GPUs come out of a
+// deterministic largest-remainder rounding (ties toward the lower tenant
+// id), so the same inputs always produce the same allocation.
+//
+// Preemption never kills a job here: when capacity shrinks, the service
+// re-runs the allocator and routes the *difference* through the elastic
+// scale-in path (jobs shrink toward — but, for guaranteed tenants, never
+// below — their fair share), in SLA order: spot first, burst next,
+// guaranteed last.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/tenant.hpp"
+
+namespace easyscale::cluster {
+
+struct ShareRequest {
+  std::int64_t tenant = 0;
+  SlaTier tier = SlaTier::kBurst;
+  std::int64_t quota = 0;
+  double weight = 1.0;
+  std::int64_t demand = 0;  // sum over the tenant's jobs of min(maxP, want)
+};
+
+/// result[i] is the GPU share of requests[i]; sums to at most capacity and
+/// never exceeds the request's demand.
+[[nodiscard]] std::vector<std::int64_t> fair_share(
+    const std::vector<ShareRequest>& requests, std::int64_t capacity);
+
+/// Jain's fairness index over per-tenant normalized service x_i =
+/// received_i / weight_i: (Σx)² / (n·Σx²), 1.0 = perfectly fair.
+[[nodiscard]] double jain_index(const std::vector<double>& normalized);
+
+}  // namespace easyscale::cluster

@@ -171,6 +171,11 @@ bool FaultSupervisor::recover_from_sdc(const core::IntegrityError& e,
   const std::int64_t slot = e.worker();
   const std::int64_t device = device_of_slot_[static_cast<std::size_t>(slot)];
   condemned_.insert(device);
+  if (ledger_ != nullptr) {
+    const auto specs = engine_->current_worker_specs();
+    ledger_->record(stats_.total_wall_s,
+                    static_cast<int>(specs[static_cast<std::size_t>(slot)].device));
+  }
   const auto it = corrupt_.find(device);
   if (it != corrupt_.end()) {
     stats_.sdc_detect_latency_steps += before - it->second.since_step;

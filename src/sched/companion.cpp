@@ -7,6 +7,38 @@
 
 namespace easyscale::sched {
 
+std::string PlanCache::key(const std::string& workload, std::int64_t max_p,
+                           const GpuVector& gpus) {
+  std::string k = workload;
+  k.push_back('\0');
+  k.append(reinterpret_cast<const char*>(&max_p), sizeof max_p);
+  k.append(reinterpret_cast<const char*>(gpus.data()),
+           sizeof(gpus[0]) * gpus.size());
+  return k;
+}
+
+const Plan* PlanCache::find(const std::string& workload, std::int64_t max_p,
+                            const GpuVector& gpus) {
+  const auto it = plans_.find(key(workload, max_p, gpus));
+  if (it == plans_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void PlanCache::insert(const std::string& workload, std::int64_t max_p,
+                       const GpuVector& gpus, Plan plan) {
+  plans_.insert_or_assign(key(workload, max_p, gpus), std::move(plan));
+}
+
+void PlanCache::clear() {
+  plans_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
 Companion::Companion(std::string workload, std::int64_t max_p)
     : workload_(std::move(workload)), max_p_(max_p) {
   ES_CHECK(max_p_ > 0, "maxP must be positive");
@@ -17,6 +49,17 @@ double Companion::capability(DeviceType type) const {
 }
 
 Plan Companion::make_plan(const GpuVector& gpus) const {
+  // Memoization is only sound at the default calibration: a recalibrated
+  // companion's capabilities differ from every other job's, so it computes
+  // directly and never pollutes the shared cache.
+  if (cache_ == nullptr || calibration_ != 1.0) return compute_plan(gpus);
+  if (const Plan* hit = cache_->find(workload_, max_p_, gpus)) return *hit;
+  Plan plan = compute_plan(gpus);
+  cache_->insert(workload_, max_p_, gpus, plan);
+  return plan;
+}
+
+Plan Companion::compute_plan(const GpuVector& gpus) const {
   Plan plan;
   plan.gpus = gpus;
   const std::int64_t n_gpus = total(gpus);

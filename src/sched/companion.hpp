@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "kernels/device.hpp"
@@ -43,9 +44,48 @@ struct Plan {
   [[nodiscard]] bool valid() const { return f_overload > 0.0; }
 };
 
+/// Memoized plan database shared across Companions.  Plans are pure
+/// functions of (workload, maxP, GPU multiset) at the default calibration,
+/// and a cluster-scale run evaluates the same few hundred keys millions of
+/// times — the cache turns every repeat into one hash probe.  Cached plans
+/// are byte-identical to freshly computed ones (unit-tested): the greedy
+/// EST deal is deterministic, so memoization cannot change a schedule.
+///
+/// Not internally synchronized; share one cache per (single-threaded)
+/// scheduling loop, as the cluster service does.
+class PlanCache {
+ public:
+  /// Lookup; nullptr on miss.  Hits are counted.
+  [[nodiscard]] const Plan* find(const std::string& workload,
+                                 std::int64_t max_p, const GpuVector& gpus);
+  void insert(const std::string& workload, std::int64_t max_p,
+              const GpuVector& gpus, Plan plan);
+
+  [[nodiscard]] std::int64_t hits() const { return hits_; }
+  [[nodiscard]] std::int64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const { return plans_.size(); }
+  void clear();
+
+ private:
+  /// Key: workload '\0' maxP '\0' per-type GPU counts, packed into a
+  /// string so the map owns stable storage.
+  static std::string key(const std::string& workload, std::int64_t max_p,
+                         const GpuVector& gpus);
+
+  std::unordered_map<std::string, Plan> plans_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
 class Companion {
  public:
   Companion(std::string workload, std::int64_t max_p);
+
+  /// Attach a shared memoization cache (not owned; may be nullptr to
+  /// detach).  The cache is only consulted while the companion is at its
+  /// default calibration — a report_throughput recalibration changes every
+  /// capability, so calibrated companions compute plans directly.
+  void set_plan_cache(PlanCache* cache) { cache_ = cache; }
 
   /// Per-EST capability C_i of one GPU of `type` for this workload.
   [[nodiscard]] double capability(DeviceType type) const;
@@ -87,9 +127,13 @@ class Companion {
   [[nodiscard]] const std::string& workload() const { return workload_; }
 
  private:
+  /// The uncached Eq. (1) evaluation behind make_plan.
+  [[nodiscard]] Plan compute_plan(const GpuVector& gpus) const;
+
   std::string workload_;
   std::int64_t max_p_;
   double calibration_ = 1.0;  // multiplicative correction from reports
+  PlanCache* cache_ = nullptr;
 };
 
 }  // namespace easyscale::sched

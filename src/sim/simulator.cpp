@@ -52,19 +52,50 @@ std::int64_t allocated_count(
   return n;
 }
 
-/// GPUs down (failed/revoked, inside their repair window) at time `now`.
-GpuVector down_at(const std::vector<ClusterFailureEvent>& failures,
-                  double now) {
-  GpuVector down{};
-  for (const auto& f : failures) {
-    ES_CHECK(f.device_type >= 0 && f.device_type < sched::kNumDeviceTypes,
-             "failure event device type out of range");
-    if (f.t_s <= now && now < f.t_s + f.repair_s) {
-      ++down[static_cast<std::size_t>(f.device_type)];
+/// Incremental replacement for the old per-tick down_at scan (which cost
+/// O(failures) every tick): each failure becomes a +1 boundary at its
+/// start and a -1 at repair, sorted once; `advance_to` folds in every
+/// boundary up to `now`.  Start boundaries are inclusive and ends
+/// exclusive-by-value exactly like the old predicate
+/// `t_s <= now < t_s + repair_s`, so replays are bit-identical.
+class DownTracker {
+ public:
+  explicit DownTracker(const std::vector<ClusterFailureEvent>& failures) {
+    boundaries_.reserve(2 * failures.size());
+    for (const auto& f : failures) {
+      ES_CHECK(f.device_type >= 0 && f.device_type < sched::kNumDeviceTypes,
+               "failure event device type out of range");
+      boundaries_.push_back({f.t_s, f.device_type, +1});
+      boundaries_.push_back({f.t_s + f.repair_s, f.device_type, -1});
     }
+    std::sort(boundaries_.begin(), boundaries_.end(),
+              [](const Boundary& a, const Boundary& b) {
+                if (a.t != b.t) return a.t < b.t;
+                if (a.type != b.type) return a.type < b.type;
+                return a.delta < b.delta;
+              });
   }
-  return down;
-}
+
+  /// Down-GPU counts at `now`; `now` must not decrease across calls.
+  const GpuVector& advance_to(double now) {
+    while (next_ < boundaries_.size() && boundaries_[next_].t <= now) {
+      down_[static_cast<std::size_t>(boundaries_[next_].type)] +=
+          boundaries_[next_].delta;
+      ++next_;
+    }
+    return down_;
+  }
+
+ private:
+  struct Boundary {
+    double t;
+    int type;
+    int delta;
+  };
+  std::vector<Boundary> boundaries_;
+  std::size_t next_ = 0;
+  GpuVector down_{};
+};
 
 GpuVector subtract_clamped(const GpuVector& a, const GpuVector& b) {
   GpuVector out{};
@@ -183,6 +214,7 @@ SimResult simulate_trace(const std::vector<JobSpec>& jobs,
   SimResult result;
   double now = 0.0;
   double last_resched = -1e18;
+  DownTracker down_tracker(config.failures);
   GpuVector prev_down{};
   // Devices condemned by the SDC defense stay out of the pool for the rest
   // of the simulation (an operator swap is beyond the horizon).
@@ -212,7 +244,7 @@ SimResult simulate_trace(const std::vector<JobSpec>& jobs,
 
     // Revocations/failures: capacity drops while GPUs are in repair;
     // quarantined devices are gone for good.
-    const GpuVector down = down_at(config.failures, now);
+    const GpuVector& down = down_tracker.advance_to(now);
     const GpuVector effective =
         subtract_clamped(subtract_clamped(config.cluster, down), quarantined);
     if (down != prev_down) {

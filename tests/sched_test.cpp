@@ -2,6 +2,9 @@
 // proposals and the inter-job ranking rules.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "models/profile.hpp"
 #include "sched/companion.hpp"
 
@@ -152,6 +155,70 @@ TEST(Companion, ThroughputEqualsMaxPOverOverload) {
   const Plan p = c.make_plan(GpuVector{2, 1, 0});
   ASSERT_TRUE(p.valid());
   EXPECT_NEAR(p.throughput, 6.0 / p.f_overload, 1e-9);
+}
+
+TEST(PlanCache, ReusedPlansAreByteIdenticalToFresh) {
+  Companion fresh("ResNet50", 8);
+  Companion cached("ResNet50", 8);
+  PlanCache cache;
+  cached.set_plan_cache(&cache);
+  const std::vector<GpuVector> mixes = {
+      {1, 0, 0}, {4, 0, 0}, {2, 2, 0}, {0, 0, 8}, {3, 2, 1}, {1, 0, 0},
+      {4, 0, 0}, {2, 2, 0}, {0, 0, 8}, {3, 2, 1}};
+  for (const auto& mix : mixes) {
+    const Plan a = fresh.make_plan(mix);
+    const Plan b = cached.make_plan(mix);
+    // Byte-identical, not merely approximately equal: a memoized plan must
+    // be indistinguishable from a recomputed one for bitwise replay.
+    EXPECT_EQ(std::memcmp(&a.f_overload, &b.f_overload, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&a.waste, &b.waste, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&a.throughput, &b.throughput, sizeof(double)), 0);
+    EXPECT_EQ(
+        std::memcmp(&a.steps_per_second, &b.steps_per_second, sizeof(double)),
+        0);
+    EXPECT_EQ(a.ests, b.ests);
+    EXPECT_EQ(a.gpus, b.gpus);
+  }
+  // Five distinct mixes, each queried twice: second round all hits.
+  EXPECT_EQ(cache.misses(), 5);
+  EXPECT_EQ(cache.hits(), 5);
+  EXPECT_EQ(cache.size(), 5u);
+}
+
+TEST(PlanCache, KeyedByWorkloadAndMaxP) {
+  PlanCache cache;
+  Companion a("ResNet50", 8);
+  Companion b("Bert", 8);
+  Companion c("ResNet50", 4);
+  a.set_plan_cache(&cache);
+  b.set_plan_cache(&cache);
+  c.set_plan_cache(&cache);
+  const GpuVector mix{2, 1, 0};
+  (void)a.make_plan(mix);
+  (void)b.make_plan(mix);
+  (void)c.make_plan(mix);
+  // Same mix, three distinct (workload, maxP) keys: no false sharing.
+  EXPECT_EQ(cache.misses(), 3);
+  EXPECT_EQ(cache.hits(), 0);
+  const Plan pa = a.make_plan(mix);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(pa.ests.size(), a.make_plan(mix).ests.size());
+}
+
+TEST(PlanCache, CalibrationBypassesTheCache) {
+  PlanCache cache;
+  Companion c("Bert", 8);
+  c.set_plan_cache(&cache);
+  const GpuVector mix{2, 0, 0};
+  const Plan p = c.make_plan(mix);
+  EXPECT_EQ(cache.misses(), 1);
+  // A throughput report that shifts calibration invalidates memoized
+  // plans; the companion must fall back to fresh computation.
+  c.report_throughput(p, p.throughput * 2.0);
+  const Plan q = c.make_plan(mix);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 1);  // bypass: neither probed nor inserted
+  EXPECT_GT(q.throughput, p.throughput);
 }
 
 }  // namespace
