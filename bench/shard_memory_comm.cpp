@@ -1,0 +1,171 @@
+// Sharding cost sweep: per-rank memory high-water and per-step comm bytes
+// of the planner-driven trainer, sharded (ZeRO-1, degree 4) vs replicated
+// (degree 1), for every Table-1 workload.  Emits BENCH_shard.json.
+//
+// The numbers come from the sim/shard_cost model, cross-checked two ways
+// against the real stack: the modeled resident optimizer-state share must
+// equal the byte count of the actual plan's owned slices, and a short
+// sharded training run must land on the replicated run's exact parameter
+// digest.  Exit code is the self-check: non-zero when any workload's
+// sharded high-water fails to undercut replicated, the comm volumes
+// differ, the slice cross-check disagrees, or the digests split.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "comm/shard.hpp"
+#include "models/datasets.hpp"
+#include "models/workload.hpp"
+#include "optim/sgd.hpp"
+#include "parallel/plan.hpp"
+#include "parallel/trainer.hpp"
+#include "sim/shard_cost.hpp"
+
+namespace {
+
+using namespace easyscale;
+
+constexpr int kWorld = 4;
+constexpr int kDegree = 4;
+constexpr std::int64_t kSteps = 3;
+
+struct Row {
+  std::string workload;
+  std::int64_t param_bytes = 0;
+  std::int64_t replicated_high_water = 0;
+  std::int64_t sharded_high_water = 0;  // max over ranks
+  std::int64_t replicated_comm = 0;
+  std::int64_t sharded_comm = 0;
+  double memory_ratio = 0.0;  // sharded / replicated
+  bool slice_check = false;
+  bool digest_match = false;
+};
+
+/// Short real runs, degree 1 vs kDegree, same seed: parameter digests must
+/// agree bitwise (the tentpole property, exercised here as the bench's
+/// keep-honest check rather than a scale experiment).
+bool digests_match(const std::string& workload) {
+  auto run = [&](int degree) {
+    auto wd = models::make_dataset_for(workload, 64, 32, 42);
+    parallel::TrainerConfig cfg;
+    cfg.workload = workload;
+    cfg.world_size = kWorld;
+    cfg.batch_per_worker = 2;
+    cfg.seed = 42;
+    cfg.shard_degree = degree;
+    parallel::Trainer t(cfg, *wd.train, wd.augment);
+    t.run_steps(kSteps);
+    return t.params_digest();
+  };
+  return run(1) == run(kDegree);
+}
+
+Row measure(const std::string& workload) {
+  Row row;
+  row.workload = workload;
+
+  // The real model's parameter space and optimizer-state volume.
+  auto model = models::make_workload(workload);
+  model->init(42);
+  optim::SGD opt(model->params(), {.lr = 0.1f, .momentum = 0.9f});
+  std::int64_t state_numel = 0;
+  for (const auto* t : opt.state_tensors()) state_numel += t->numel();
+
+  const parallel::Plan replicated =
+      parallel::make_plan(kWorld, 1, model->params());
+  const parallel::Plan sharded =
+      parallel::make_plan(kWorld, kDegree, model->params());
+
+  const auto rep_cost = sim::shard_step_cost(replicated, state_numel, 0);
+  row.param_bytes = rep_cost.param_bytes;
+  row.replicated_high_water = rep_cost.memory_high_water();
+  row.replicated_comm = rep_cost.comm_bytes;
+
+  row.slice_check = true;
+  for (int r = 0; r < kWorld; ++r) {
+    const auto cost = sim::shard_step_cost(sharded, state_numel, r);
+    row.sharded_high_water =
+        std::max(row.sharded_high_water, cost.memory_high_water());
+    row.sharded_comm = std::max(row.sharded_comm, cost.comm_bytes);
+    // Cross-check the model against the actual plan's owned slices: the
+    // modeled resident state is exactly the owned elements' share.
+    const auto slices = parallel::slices_for_shard(
+        sharded, model->params(), sharded.shard_index(r));
+    const std::int64_t owned = comm::slices_numel(slices);
+    if (cost.state_bytes !=
+        owned * (state_numel / sharded.total_numel) * 4) {
+      row.slice_check = false;
+    }
+  }
+  row.memory_ratio = static_cast<double>(row.sharded_high_water) /
+                     static_cast<double>(row.replicated_high_water);
+  row.digest_match = digests_match(workload);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  bench::banner("Shard",
+                "ZeRO-1 sharded vs replicated: per-rank memory high-water "
+                "and per-step comm bytes (degree 4 over world 4)");
+  if (!bench::guard_release_build("BENCH_shard.json")) return 2;
+  std::printf("%-18s %12s %12s %12s %9s %11s %7s %7s\n", "workload",
+              "param_MB", "repl_hw_MB", "shard_hw_MB", "mem_ratio",
+              "comm_equal", "slices", "digest");
+
+  std::vector<Row> rows;
+  bool ok = true;
+  for (const auto& name : models::workload_names()) {
+    Row row = measure(name);
+    const bool comm_equal = row.sharded_comm == row.replicated_comm;
+    const bool mem_shrinks = row.sharded_high_water < row.replicated_high_water;
+    ok = ok && comm_equal && mem_shrinks && row.slice_check &&
+         row.digest_match;
+    constexpr double kMb = 1024.0 * 1024.0;
+    std::printf("%-18s %12.2f %12.2f %12.2f %9.3f %11s %7s %7s\n",
+                row.workload.c_str(), row.param_bytes / kMb,
+                row.replicated_high_water / kMb, row.sharded_high_water / kMb,
+                row.memory_ratio, comm_equal ? "yes" : "NO",
+                row.slice_check ? "ok" : "FAIL",
+                row.digest_match ? "match" : "SPLIT");
+    rows.push_back(row);
+  }
+
+  std::FILE* f = std::fopen("BENCH_shard.json", "w");
+  if (f == nullptr) {
+    std::printf("ERROR: cannot write BENCH_shard.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"build_type\": \"%s\",\n", bench::build_type());
+  std::fprintf(f, "  \"world_size\": %d,\n  \"shard_degree\": %d,\n", kWorld,
+               kDegree);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"param_bytes\": %lld, "
+        "\"replicated_high_water_bytes\": %lld, "
+        "\"sharded_high_water_bytes\": %lld, \"memory_ratio\": %.6f, "
+        "\"replicated_comm_bytes\": %lld, \"sharded_comm_bytes\": %lld, "
+        "\"slice_check\": %s, \"digest_match\": %s}%s\n",
+        r.workload.c_str(), static_cast<long long>(r.param_bytes),
+        static_cast<long long>(r.replicated_high_water),
+        static_cast<long long>(r.sharded_high_water), r.memory_ratio,
+        static_cast<long long>(r.replicated_comm),
+        static_cast<long long>(r.sharded_comm),
+        r.slice_check ? "true" : "false", r.digest_match ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  bench::note(ok ? "shard bench PASSED (BENCH_shard.json written)"
+                 : "shard bench FAILED (see BENCH_shard.json)");
+  return ok ? 0 : 1;
+}

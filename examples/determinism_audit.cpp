@@ -8,8 +8,14 @@
 //   determinism_audit --compare FILE   exit nonzero unless the freshly
 //                                      computed chain matches FILE record
 //                                      for record (CI pins builds this way)
+//   determinism_audit --shard-degree N additionally run the planner-driven
+//                                      trainer with ZeRO-1 optimizer-state
+//                                      sharding at degree N; its chain must
+//                                      match the engine's link for link (CI
+//                                      pins degree 1 vs 4 against one file)
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -22,6 +28,7 @@
 #include "kernels/reduce.hpp"
 #include "kernels/scatter.hpp"
 #include "models/datasets.hpp"
+#include "parallel/trainer.hpp"
 #include "rng/sampling.hpp"
 
 namespace {
@@ -47,6 +54,30 @@ easyscale::DigestChain audit_chain(bool overlap) {
   engine.configure_workers(std::vector<core::WorkerSpec>(2));
   engine.run_steps(4);
   return engine.params_digest_chain();
+}
+
+/// The same reference trajectory executed by the planner-driven trainer
+/// at optimizer-state shard degree `degree` (world 4 = the 4 ESTs, one
+/// per rank).  Bitwise DDP equivalence means this chain must equal
+/// audit_chain()'s for EVERY degree dividing the world.
+easyscale::DigestChain shard_chain(int degree) {
+  using namespace easyscale;
+  auto wd = models::make_dataset_for("NeuMF", /*train=*/256, /*test=*/64,
+                                     /*seed=*/7);
+  parallel::TrainerConfig cfg;
+  cfg.workload = "NeuMF";
+  cfg.world_size = 4;
+  cfg.batch_per_worker = 8;
+  cfg.seed = 7;
+  cfg.shard_degree = degree;
+  parallel::Trainer trainer(cfg, *wd.train, wd.augment);
+  trainer.run_steps(4);
+  DigestChain chain;
+  std::uint64_t id = 0;
+  for (const auto* p : trainer.model().params().all()) {
+    chain.push(id++, digest_floats(p->value.data()));
+  }
+  return chain;
 }
 
 void write_chain(std::ostream& os, const easyscale::DigestChain& chain) {
@@ -82,13 +113,22 @@ int main(int argc, char** argv) {
   using namespace easyscale;
   std::string emit_path;
   std::string compare_path;
+  int shard_degree = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--emit") == 0 && i + 1 < argc) {
       emit_path = argv[++i];
     } else if (std::strcmp(argv[i], "--compare") == 0 && i + 1 < argc) {
       compare_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--shard-degree") == 0 && i + 1 < argc) {
+      shard_degree = std::atoi(argv[++i]);
+      if (shard_degree < 1) {
+        std::fprintf(stderr, "--shard-degree must be >= 1\n");
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--emit FILE] [--compare FILE]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--emit FILE] [--compare FILE] "
+                   "[--shard-degree N]\n",
                    argv[0]);
       return 2;
     }
@@ -184,6 +224,19 @@ int main(int argc, char** argv) {
   }
   std::printf("   (sequential and pipelined comm paths agree link for "
               "link)\n");
+  if (shard_degree > 0) {
+    const DigestChain sharded = shard_chain(shard_degree);
+    if (chain != sharded) {
+      std::fprintf(stderr,
+                   "   => FATAL: shard_degree %d trajectory diverged from "
+                   "the engine chain\n",
+                   shard_degree);
+      return 1;
+    }
+    std::printf("   (ZeRO-1 sharded trainer at degree %d agrees link for "
+                "link)\n",
+                shard_degree);
+  }
   for (const auto& rec : chain.records()) {
     std::printf("   layer %3llu digest %016llx chain %016llx\n",
                 static_cast<unsigned long long>(rec.id),

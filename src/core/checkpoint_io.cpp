@@ -10,6 +10,7 @@ namespace easyscale::core {
 namespace {
 constexpr std::uint32_t kFileMagic = 0x4553434Bu;  // "ESCK"
 constexpr std::uint32_t kFileVersion = 2;
+constexpr std::uint32_t kShardedFileVersion = 3;
 
 struct FileGuard {
   std::FILE* f = nullptr;
@@ -17,23 +18,43 @@ struct FileGuard {
     if (f != nullptr) std::fclose(f);
   }
 };
-}  // namespace
 
-void save_checkpoint_file(const std::string& path,
-                          const std::vector<std::uint8_t>& bytes) {
-  save_checkpoint_file(path, bytes, DigestChain());
+/// Read one u64-length-prefixed section with the allocation bounded by the
+/// remaining file bytes, so a corrupt length field surfaces as a structured
+/// error, not a multi-gigabyte allocation.
+std::vector<std::uint8_t> read_bounded_section(std::FILE* f,
+                                               const std::string& path,
+                                               const char* what) {
+  std::uint64_t section_size = 0;
+  ES_CHECK(std::fread(&section_size, sizeof(section_size), 1, f) == 1,
+           "checkpoint " << what << " header truncated: " << path);
+  const long at = std::ftell(f);
+  ES_CHECK(std::fseek(f, 0, SEEK_END) == 0 && at >= 0,
+           "cannot size checkpoint " << path);
+  const long file_end = std::ftell(f);
+  ES_CHECK(file_end >= at &&
+               section_size <= static_cast<std::uint64_t>(file_end - at),
+           "checkpoint " << what << " truncated: " << path);
+  ES_CHECK(std::fseek(f, at, SEEK_SET) == 0,
+           "cannot rewind checkpoint " << path);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(section_size));
+  if (section_size > 0) {
+    ES_CHECK(std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size(),
+             "checkpoint " << what << " truncated: " << path);
+  }
+  return bytes;
 }
 
-void save_checkpoint_file(const std::string& path,
-                          const std::vector<std::uint8_t>& bytes,
-                          const DigestChain& chain) {
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes,
+                const DigestChain& chain, const ShardFrameMeta* shard) {
   const std::string tmp = path + ".tmp";
   {
     FileGuard guard;
     guard.f = std::fopen(tmp.c_str(), "wb");
     ES_CHECK(guard.f != nullptr, "cannot open " << tmp << " for writing");
     const std::uint32_t magic = kFileMagic;
-    const std::uint32_t version = kFileVersion;
+    const std::uint32_t version =
+        shard != nullptr ? kShardedFileVersion : kFileVersion;
     const std::uint64_t size = bytes.size();
     const std::uint64_t digest = digest_bytes(bytes);
     ByteWriter cw;
@@ -48,6 +69,16 @@ void save_checkpoint_file(const std::string& path,
     ES_CHECK(std::fwrite(cw.bytes().data(), 1, cw.bytes().size(), guard.f) ==
                  cw.bytes().size(),
              "checkpoint chain write failed");
+    if (shard != nullptr) {
+      ByteWriter sw;
+      shard->save(sw);
+      const std::uint64_t shard_size = sw.bytes().size();
+      ES_CHECK(
+          std::fwrite(&shard_size, sizeof(shard_size), 1, guard.f) == 1 &&
+              std::fwrite(sw.bytes().data(), 1, sw.bytes().size(), guard.f) ==
+                  sw.bytes().size(),
+          "checkpoint shard frame write failed");
+    }
     if (!bytes.empty()) {
       ES_CHECK(std::fwrite(bytes.data(), 1, bytes.size(), guard.f) ==
                    bytes.size(),
@@ -58,12 +89,63 @@ void save_checkpoint_file(const std::string& path,
            "cannot move checkpoint into place at " << path);
 }
 
+}  // namespace
+
+void ShardFrameMeta::save(ByteWriter& w) const {
+  w.write(world_size);
+  w.write(shard_degree);
+  w.write(total_numel);
+  w.write_vector(chunk_begin);
+  w.write_vector(chunk_end);
+  chunk_chain.save(w);
+}
+
+ShardFrameMeta ShardFrameMeta::load(ByteReader& r) {
+  ShardFrameMeta meta;
+  meta.world_size = r.read<std::int32_t>();
+  meta.shard_degree = r.read<std::int32_t>();
+  meta.total_numel = r.read<std::int64_t>();
+  meta.chunk_begin = r.read_vector<std::int64_t>();
+  meta.chunk_end = r.read_vector<std::int64_t>();
+  ES_CHECK(meta.chunk_begin.size() == meta.chunk_end.size(),
+           "shard frame chunk bound arrays disagree");
+  ES_CHECK(meta.world_size >= 1 && meta.shard_degree >= 1 &&
+               meta.world_size % meta.shard_degree == 0,
+           "shard frame world/degree factorization invalid");
+  meta.chunk_chain = DigestChain::load(r);  // verifies every link
+  return meta;
+}
+
+void save_checkpoint_file(const std::string& path,
+                          const std::vector<std::uint8_t>& bytes) {
+  save_checkpoint_file(path, bytes, DigestChain());
+}
+
+void save_checkpoint_file(const std::string& path,
+                          const std::vector<std::uint8_t>& bytes,
+                          const DigestChain& chain) {
+  write_file(path, bytes, chain, nullptr);
+}
+
+void save_checkpoint_file(const std::string& path,
+                          const std::vector<std::uint8_t>& bytes,
+                          const DigestChain& chain,
+                          const ShardFrameMeta& shard) {
+  write_file(path, bytes, chain, &shard);
+}
+
 std::vector<std::uint8_t> load_checkpoint_file(const std::string& path) {
-  return load_checkpoint_file(path, nullptr);
+  return load_checkpoint_file(path, nullptr, nullptr);
 }
 
 std::vector<std::uint8_t> load_checkpoint_file(const std::string& path,
                                                DigestChain* chain_out) {
+  return load_checkpoint_file(path, chain_out, nullptr);
+}
+
+std::vector<std::uint8_t> load_checkpoint_file(
+    const std::string& path, DigestChain* chain_out,
+    std::optional<ShardFrameMeta>* shard_out) {
   FileGuard guard;
   guard.f = std::fopen(path.c_str(), "rb");
   ES_CHECK(guard.f != nullptr, "cannot open checkpoint " << path);
@@ -75,34 +157,24 @@ std::vector<std::uint8_t> load_checkpoint_file(const std::string& path,
                std::fread(&digest, sizeof(digest), 1, guard.f) == 1,
            "checkpoint header truncated: " << path);
   ES_CHECK(magic == kFileMagic, "not an EasyScale checkpoint: " << path);
-  ES_CHECK(version == 1 || version == kFileVersion,
+  ES_CHECK(version == 1 || version == kFileVersion ||
+               version == kShardedFileVersion,
            "unsupported checkpoint version");
   DigestChain chain;
   if (version >= 2) {
-    std::uint64_t chain_size = 0;
-    ES_CHECK(std::fread(&chain_size, sizeof(chain_size), 1, guard.f) == 1,
-             "checkpoint chain header truncated: " << path);
-    // Bound the allocation by the file itself: a corrupt length field must
-    // surface as a structured error, not a multi-gigabyte allocation.
-    const long chain_at = std::ftell(guard.f);
-    ES_CHECK(std::fseek(guard.f, 0, SEEK_END) == 0 && chain_at >= 0,
-             "cannot size checkpoint " << path);
-    const long file_end = std::ftell(guard.f);
-    ES_CHECK(file_end >= chain_at &&
-                 chain_size <= static_cast<std::uint64_t>(file_end - chain_at),
-             "checkpoint chain truncated: " << path);
-    ES_CHECK(std::fseek(guard.f, chain_at, SEEK_SET) == 0,
-             "cannot rewind checkpoint " << path);
-    std::vector<std::uint8_t> chain_bytes(
-        static_cast<std::size_t>(chain_size));
-    if (chain_size > 0) {
-      ES_CHECK(std::fread(chain_bytes.data(), 1, chain_bytes.size(),
-                          guard.f) == chain_bytes.size(),
-               "checkpoint chain truncated: " << path);
-    }
+    const std::vector<std::uint8_t> chain_bytes =
+        read_bounded_section(guard.f, path, "chain");
     ByteReader cr(chain_bytes);
     chain = DigestChain::load(cr);  // verifies every link
     cr.require_exhausted("checkpoint digest chain");
+  }
+  std::optional<ShardFrameMeta> shard;
+  if (version >= 3) {
+    const std::vector<std::uint8_t> shard_bytes =
+        read_bounded_section(guard.f, path, "shard frame");
+    ByteReader sr(shard_bytes);
+    shard = ShardFrameMeta::load(sr);
+    sr.require_exhausted("checkpoint shard frame");
   }
   std::vector<std::uint8_t> bytes(size);
   if (size > 0) {
@@ -112,6 +184,7 @@ std::vector<std::uint8_t> load_checkpoint_file(const std::string& path,
   ES_CHECK(digest_bytes(bytes) == digest,
            "checkpoint digest mismatch (corrupt file): " << path);
   if (chain_out != nullptr) *chain_out = std::move(chain);
+  if (shard_out != nullptr) *shard_out = std::move(shard);
   return bytes;
 }
 

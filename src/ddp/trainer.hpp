@@ -1,219 +1,16 @@
-// PyTorch-DDP-style fixed-DoP data-parallel trainer — the paper's baseline.
-//
-// One model/optimizer replica per rank; per-rank RNG streams and sampler
-// shards; bucketed ring all-reduce over the *physical* world size with the
-// stock rebuild-after-first-iteration bucket behaviour.  With fixed seeds,
-// deterministic kernels and the deterministic ring order this is the
-// "DDP-homo" configuration of §5.1.1 (add hardware-agnostic kernels for
-// "DDP-heter").  Its results are reproducible at a fixed DoP — and change
-// bitwise when the DoP changes, which is the gap EasyScale closes.
+// Compatibility shim: the fixed-DoP PyTorch-DDP baseline trainer is now
+// the shard_degree == 1 configuration of the planner-driven
+// parallel::Trainer (see parallel/trainer.hpp).  Every call site keeps
+// compiling against the historical ddp:: names; new code should use
+// parallel:: directly.
 #pragma once
 
-#include <memory>
-#include <optional>
-#include <vector>
-
-#include "comm/allreduce.hpp"
-#include "comm/async_allreduce.hpp"
-#include "comm/bucket.hpp"
-#include "comm/resilient.hpp"
-#include "data/pipeline.hpp"
-#include "kernels/exec_context.hpp"
-#include "models/workload.hpp"
-#include "optim/optimizer.hpp"
-#include "optim/sgd.hpp"
+#include "parallel/trainer.hpp"
 
 namespace easyscale::ddp {
 
-struct DDPConfig {
-  std::string workload = "ResNet18";
-  std::int64_t world_size = 4;
-  std::int64_t batch_per_worker = 8;
-  std::uint64_t seed = 42;
-  kernels::KernelPolicy policy = kernels::KernelPolicy::kDeterministic;
-  std::vector<kernels::DeviceType> devices;  // per rank; default all V100
-  bool rebuild_buckets = true;
-  /// Custom D2 GEMM kernel handle (kernels/custom.hpp), 0 = built-in.
-  int custom_d2_gemm = 0;
-  /// Bucket capacity in bytes; 0 resolves to EASYSCALE_BUCKET_CAP (when
-  /// set and >= the largest parameter) and otherwise to the historical
-  /// 4096-byte default.  See comm::resolve_bucket_cap.
-  std::int64_t bucket_cap_bytes = 0;
-  optim::OptimizerConfig optim;
-  std::int64_t lr_step_epochs = 20;
-  float gamma = 0.1f;
-  /// Run ranks on parallel threads within a step (bitwise identical to
-  /// sequential; replicas are disjoint between synchronization points).
-  bool parallel_workers = false;
-  /// Intra-op compute threads per rank (0 = the EASYSCALE_THREADS process
-  /// default); all ranks share one bounded global pool.  Bitwise identical
-  /// for every value.
-  int intra_op_threads = 0;
-  /// Route gradient sync through the failure-aware fabric (one transport
-  /// rank per physical DDP rank, identity mapping).  Bitwise identical to
-  /// the plain path when no fault fires; a condemned rank throws
-  /// comm::RankDeathError out of run_steps (fixed-DoP DDP cannot shrink).
-  bool resilient_comm = false;
-  comm::TransportConfig transport;
-  comm::ResilientConfig resilient;  // on_death is forced to kAbort
-  /// Pre-sampled comm fault schedule replayed by the transport.
-  std::vector<comm::CommFaultEvent> comm_faults;
-  /// Redundant-replica SDC voting.  When > 0, `world_size` must be a
-  /// multiple of it: physical rank r replays LOGICAL rank r % logical_world
-  /// (same data shard, same RNG streams), so each group of
-  /// world_size / logical_world replicas computes bitwise-identical
-  /// gradients — the EasyScale EST situation where several workers
-  /// deterministically replay one logical thread.  Before the all-reduce
-  /// publishes, per-bucket gradient digests are exchanged (over the
-  /// transport when resilient_comm is on, where the per-chunk checksum
-  /// protects them in flight) and majority voting inside each group
-  /// identifies corrupt ranks, throwing core::IntegrityError out of
-  /// run_steps.  The reduction then runs over one majority representative
-  /// per logical rank, so the published result is bitwise equal to a clean
-  /// DDP run at world_size = logical_world.  0 disables (stock DDP).
-  std::int64_t logical_world = 0;
-  /// Pipelined bucket flush: each bucket's all-reduce is submitted to a
-  /// dedicated communicator slot the moment every rank has produced the
-  /// bucket's last gradient contribution, overlapping the reduction with
-  /// the rest of backward.  Bitwise identical to the sequential path for
-  /// every configuration (docs/PERFORMANCE.md): per-bucket math depends
-  /// only on the layout and the participant count, and the digest vote
-  /// moves to per-bucket detect-before-publish inside the flush job.  The
-  /// first step (which records per-parameter contribution counts) always
-  /// runs sequentially, mirroring DDP's unoverlapped first iteration.
-  bool overlap_comm = false;
-  comm::AsyncConfig async_comm;
-};
-
-/// Outcome of one gradient-digest vote (logical_world > 0 only).
-struct VoteReport {
-  std::int64_t buckets_checked = 0;
-  std::int64_t digest_bytes_exchanged = 0;
-  std::int64_t exchange_retransmits = 0;  // checksum/timeout-triggered
-  /// Ranks whose per-bucket digests lost the majority vote.  When a group
-  /// of two splits 1-1 there is no majority; both members are listed
-  /// (detection without attribution).
-  std::vector<std::int64_t> corrupt_ranks;
-};
-
-class DDPTrainer {
- public:
-  DDPTrainer(DDPConfig config, const data::Dataset& train,
-             const data::AugmentConfig& augment);
-
-  /// Run `n` synchronized global steps; records the last rank's loss.
-  void run_steps(std::int64_t n);
-
-  /// Run whole epochs (advances the LR schedule between them).
-  void run_epochs(std::int64_t n);
-
-  [[nodiscard]] const std::vector<float>& loss_history() const {
-    return losses_;
-  }
-
-  /// Bitwise digest of rank-0 model parameters.
-  [[nodiscard]] std::uint64_t params_digest() const;
-
-  /// Rank-0 replica (e.g. for evaluation).
-  [[nodiscard]] models::Workload& model(std::int64_t rank = 0) {
-    return *replicas_[static_cast<std::size_t>(rank)].workload;
-  }
-
-  [[nodiscard]] std::int64_t steps_per_epoch() const {
-    return steps_per_epoch_;
-  }
-  [[nodiscard]] std::int64_t global_step() const { return global_step_; }
-  [[nodiscard]] const comm::BucketLayout& current_layout() const {
-    return layout_;
-  }
-  [[nodiscard]] optim::StepLR& scheduler(std::int64_t rank = 0) {
-    return *replicas_[static_cast<std::size_t>(rank)].scheduler;
-  }
-
-  /// Set the LR-schedule epoch on every rank (elastic baselines restart
-  /// their world and must carry the schedule across rebuilds).
-  void set_epoch_all(std::int64_t epoch) {
-    for (auto& rep : replicas_) rep.scheduler->set_epoch(epoch);
-  }
-
-  [[nodiscard]] std::int64_t world_size() const { return config_.world_size; }
-
-  // --- Failure-aware comm surface (resilient_comm = true only) ---
-
-  [[nodiscard]] bool resilient_comm_enabled() const {
-    return config_.resilient_comm;
-  }
-
-  /// Arm a comm fault; `collective < 0` targets the next step's sync.
-  void inject_comm_fault(const comm::CommFaultEvent& event);
-
-  /// Report of the most recent resilient gradient sync.
-  [[nodiscard]] const std::optional<comm::CollectiveReport>&
-  last_comm_report() const {
-    return last_comm_report_;
-  }
-
-  [[nodiscard]] const comm::TransportStats& transport_stats() const;
-
-  // --- Compute-integrity surface (logical_world > 0) ---
-
-  /// Install (or clear, with nullptr) a post-op hook on one rank's
-  /// ExecContext — the SDC injection point for the voting tests.
-  void set_post_op_hook(std::int64_t rank, kernels::PostOpHook* hook);
-
-  /// Report of the most recent gradient-digest vote (empty before the
-  /// first step or when voting is disabled).
-  [[nodiscard]] const std::optional<VoteReport>& last_vote_report() const {
-    return last_vote_report_;
-  }
-
-  /// Overlap accounting of the most recent pipelined step (empty before
-  /// the first overlapped step or with overlap_comm = false).
-  [[nodiscard]] const std::optional<comm::OverlapStats>&
-  last_overlap_stats() const {
-    return last_overlap_stats_;
-  }
-
- private:
-  struct Replica {
-    std::unique_ptr<models::Workload> workload;
-    std::unique_ptr<optim::Optimizer> optimizer;
-    std::unique_ptr<optim::StepLR> scheduler;
-    std::unique_ptr<data::RankDataPipeline> pipeline;
-    rng::StreamSet streams;
-    kernels::ExecContext exec;
-  };
-
-  void one_step();
-  /// Pipelined variant of one_step's sync: per-bucket flush jobs on the
-  /// async engine, bitwise identical results.  Requires contrib_counts_.
-  void one_step_overlapped();
-  /// Digest vote + representative reduction (logical_world > 0).  Throws
-  /// core::IntegrityError when a rank loses the vote.
-  void vote_and_reduce(std::vector<comm::GradientSet>& sets);
-  /// Single-bucket vote + representative reduction for the overlap path:
-  /// same group/majority logic as vote_and_reduce restricted to bucket `b`
-  /// (local digests; the overlapped control plane never rides the fabric).
-  void vote_and_reduce_bucket(std::size_t b,
-                              std::vector<comm::GradientSet>& sets,
-                              VoteReport& report);
-
-  DDPConfig config_;
-  std::vector<Replica> replicas_;
-  std::unique_ptr<comm::SimTransport> transport_;
-  std::unique_ptr<comm::MembershipMonitor> monitor_;
-  std::optional<comm::CollectiveReport> last_comm_report_;
-  std::optional<VoteReport> last_vote_report_;
-  std::optional<comm::OverlapStats> last_overlap_stats_;
-  std::unique_ptr<comm::AsyncCollectiveEngine> engine_;
-  /// Per-parameter gradient contribution counts from the recorded first
-  /// step; empty until recorded.  Feeds BucketReadyTracker.
-  std::vector<int> contrib_counts_;
-  comm::BucketLayout layout_;
-  bool rebuilt_ = false;
-  std::int64_t global_step_ = 0;
-  std::int64_t steps_per_epoch_ = 0;
-  std::vector<float> losses_;
-};
+using DDPConfig = parallel::TrainerConfig;
+using DDPTrainer = parallel::Trainer;
+using VoteReport = parallel::VoteReport;
 
 }  // namespace easyscale::ddp

@@ -14,19 +14,23 @@ Adam::Adam(autograd::ParameterStore& params, Options opts)
   }
 }
 
-void Adam::step() {
+void Adam::step() { step_slices(full_slices(*params_)); }
+
+void Adam::step_slices(const std::vector<ParamSlice>& slices) {
   ++step_count_;
   const float bc1 =
       1.0f - std::pow(opts_.beta1, static_cast<float>(step_count_));
   const float bc2 =
       1.0f - std::pow(opts_.beta2, static_cast<float>(step_count_));
   const auto& all = params_->all();
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    autograd::Parameter& p = *all[i];
-    tensor::Tensor& m = m_[i];
-    tensor::Tensor& v = v_[i];
-    const std::int64_t n = p.numel();
-    for (std::int64_t j = 0; j < n; ++j) {
+  for (const ParamSlice& s : slices) {
+    ES_CHECK(s.param < all.size(), "Adam slice param out of range");
+    autograd::Parameter& p = *all[s.param];
+    tensor::Tensor& m = m_[s.param];
+    tensor::Tensor& v = v_[s.param];
+    ES_CHECK(s.begin >= 0 && s.end <= p.numel() && s.begin <= s.end,
+             "Adam slice bounds out of range");
+    for (std::int64_t j = s.begin; j < s.end; ++j) {
       const float g = p.grad.at(j);
       m.at(j) = opts_.beta1 * m.at(j) + (1.0f - opts_.beta1) * g;
       v.at(j) = opts_.beta2 * v.at(j) + (1.0f - opts_.beta2) * g * g;
@@ -39,6 +43,14 @@ void Adam::step() {
       p.value.at(j) -= update;
     }
   }
+}
+
+std::vector<tensor::Tensor*> Adam::state_tensors() {
+  std::vector<tensor::Tensor*> out;
+  out.reserve(m_.size() + v_.size());
+  for (auto& t : m_) out.push_back(&t);
+  for (auto& t : v_) out.push_back(&t);
+  return out;
 }
 
 void Adam::save(ByteWriter& w) const {

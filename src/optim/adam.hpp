@@ -28,6 +28,15 @@ class Adam : public Optimizer {
   /// One update from the gradients currently in each parameter.
   void step() override;
 
+  /// Update only the listed element ranges.  The bias-correction counter
+  /// advances once per call regardless of coverage, so sharded callers see
+  /// the same schedule as a full step.
+  void step_slices(const std::vector<ParamSlice>& slices) override;
+
+  /// State order: all first moments (m) per parameter, then all second
+  /// moments (v) per parameter, registration order.
+  [[nodiscard]] std::vector<tensor::Tensor*> state_tensors() override;
+
   void zero_grad() override { params_->zero_grads(); }
 
   [[nodiscard]] float lr() const override { return opts_.lr; }

@@ -6,6 +6,16 @@
 
 namespace easyscale::optim {
 
+std::vector<ParamSlice> full_slices(const autograd::ParameterStore& params) {
+  std::vector<ParamSlice> slices;
+  slices.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    slices.push_back(ParamSlice{
+        .param = i, .begin = 0, .end = params.all()[i]->numel()});
+  }
+  return slices;
+}
+
 std::unique_ptr<Optimizer> make_optimizer(autograd::ParameterStore& params,
                                           const OptimizerConfig& config) {
   switch (config.kind) {

@@ -12,13 +12,17 @@ SGD::SGD(autograd::ParameterStore& params, Options opts)
   }
 }
 
-void SGD::step() {
+void SGD::step() { step_slices(full_slices(*params_)); }
+
+void SGD::step_slices(const std::vector<ParamSlice>& slices) {
   const auto& all = params_->all();
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    autograd::Parameter& p = *all[i];
-    tensor::Tensor& m = momentum_[i];
-    const std::int64_t n = p.numel();
-    for (std::int64_t j = 0; j < n; ++j) {
+  for (const ParamSlice& s : slices) {
+    ES_CHECK(s.param < all.size(), "SGD slice param out of range");
+    autograd::Parameter& p = *all[s.param];
+    tensor::Tensor& m = momentum_[s.param];
+    ES_CHECK(s.begin >= 0 && s.end <= p.numel() && s.begin <= s.end,
+             "SGD slice bounds out of range");
+    for (std::int64_t j = s.begin; j < s.end; ++j) {
       float g = p.grad.at(j);
       if (opts_.weight_decay != 0.0f) g += opts_.weight_decay * p.value.at(j);
       if (opts_.momentum != 0.0f) {
@@ -28,6 +32,13 @@ void SGD::step() {
       p.value.at(j) -= opts_.lr * g;
     }
   }
+}
+
+std::vector<tensor::Tensor*> SGD::state_tensors() {
+  std::vector<tensor::Tensor*> out;
+  out.reserve(momentum_.size());
+  for (auto& m : momentum_) out.push_back(&m);
+  return out;
 }
 
 void SGD::save(ByteWriter& w) const {

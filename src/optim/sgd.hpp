@@ -26,6 +26,12 @@ class SGD : public Optimizer {
   /// Apply one update from the gradients currently in each parameter.
   void step() override;
 
+  /// Update only the listed element ranges (identical bits per element).
+  void step_slices(const std::vector<ParamSlice>& slices) override;
+
+  /// State order: momentum buffer per parameter, registration order.
+  [[nodiscard]] std::vector<tensor::Tensor*> state_tensors() override;
+
   void zero_grad() override { params_->zero_grads(); }
 
   [[nodiscard]] float lr() const override { return opts_.lr; }

@@ -1,4 +1,4 @@
-#include "ddp/trainer.hpp"
+#include "parallel/trainer.hpp"
 
 #include <algorithm>
 #include <map>
@@ -6,14 +6,15 @@
 #include <thread>
 
 #include "common/digest.hpp"
+#include "core/checkpoint_io.hpp"
 #include "core/integrity.hpp"
 
-namespace easyscale::ddp {
+namespace easyscale::parallel {
 
-DDPTrainer::DDPTrainer(DDPConfig config, const data::Dataset& train,
-                       const data::AugmentConfig& augment)
+Trainer::Trainer(TrainerConfig config, const data::Dataset& train,
+                 const data::AugmentConfig& augment)
     : config_(std::move(config)) {
-  ES_CHECK(config_.world_size > 0, "DDP world must be positive");
+  ES_CHECK(config_.world_size > 0, "trainer world must be positive");
   if (config_.devices.empty()) {
     config_.devices.assign(static_cast<std::size_t>(config_.world_size),
                            kernels::DeviceType::kV100);
@@ -24,6 +25,9 @@ DDPTrainer::DDPTrainer(DDPConfig config, const data::Dataset& train,
   if (config_.logical_world > 0) {
     ES_CHECK(config_.world_size % config_.logical_world == 0,
              "world_size must be a multiple of logical_world");
+    ES_CHECK(config_.shard_degree == 1,
+             "logical_world voting needs full gradient replicas; it is "
+             "mutually exclusive with shard_degree > 1");
   }
   // The sharding world: with voting enabled, rank r replays logical rank
   // r % logical_world, so the data/RNG world is the logical one.
@@ -57,6 +61,10 @@ DDPTrainer::DDPTrainer(DDPConfig config, const data::Dataset& train,
   comm::BucketManager mgr(replicas_[0].workload->params(),
                           config_.bucket_cap_bytes);
   layout_ = mgr.initial_layout();
+  plan_ = make_plan(static_cast<int>(config_.world_size),
+                    config_.shard_degree, replicas_[0].workload->params(),
+                    config_.plan_chunks);
+  rebuild_shard_maps();
   if (config_.resilient_comm) {
     transport_ = std::make_unique<comm::SimTransport>(
         static_cast<int>(config_.world_size), config_.transport,
@@ -66,18 +74,63 @@ DDPTrainer::DDPTrainer(DDPConfig config, const data::Dataset& train,
   }
 }
 
-void DDPTrainer::inject_comm_fault(const comm::CommFaultEvent& event) {
+void Trainer::rebuild_shard_maps() {
+  auto& params0 = replicas_[0].workload->params();
+  owned_slices_.assign(replicas_.size(), {});
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    owned_slices_[r] =
+        plan_.sharded()
+            ? slices_for_shard(plan_, params0,
+                               plan_.shard_index(static_cast<int>(r)))
+            : optim::full_slices(params0);
+  }
+  gather_map_ = plan_.sharded() ? gather_map(plan_, params0) : GatherMap{};
+}
+
+void Trainer::inject_comm_fault(const comm::CommFaultEvent& event) {
   ES_CHECK(config_.resilient_comm,
            "inject_comm_fault requires resilient_comm = true");
   transport_->inject(event);
 }
 
-const comm::TransportStats& DDPTrainer::transport_stats() const {
+const comm::TransportStats& Trainer::transport_stats() const {
   ES_CHECK(transport_ != nullptr, "resilient comm not configured");
   return transport_->stats();
 }
 
-void DDPTrainer::one_step() {
+void Trainer::optimize_and_publish() {
+  if (!plan_.sharded()) {
+    for (auto& rep : replicas_) rep.optimizer->step();
+    return;
+  }
+  // ZeRO-1 update: each rank updates only the chunks its shard owns.  The
+  // update is elementwise, so owned elements get the identical bits a full
+  // step would produce (optim/optimizer.hpp).
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    replicas_[r].optimizer->step_slices(owned_slices_[r]);
+  }
+  // Publish: all-gather the owner-updated parameter chunks into every
+  // replica (pure data movement from canonical owners).
+  std::vector<autograd::ParameterStore*> stores;
+  stores.reserve(replicas_.size());
+  for (auto& rep : replicas_) stores.push_back(&rep.workload->params());
+  if (config_.resilient_comm) {
+    comm::ResilientConfig rcfg = config_.resilient;
+    rcfg.on_death = comm::DeathPolicy::kAbort;
+    const comm::CollectiveReport piece = comm::resilient_all_gather_params(
+        stores, gather_map_.slices, gather_map_.source_of_slice, *transport_,
+        *monitor_, rcfg);
+    comm::CollectiveReport total =
+        last_comm_report_.value_or(comm::CollectiveReport{});
+    comm::merge_collective_report(total, piece);
+    last_comm_report_ = std::move(total);
+  } else {
+    comm::all_gather_params(stores, gather_map_.slices,
+                            gather_map_.source_of_slice);
+  }
+}
+
+void Trainer::one_step() {
   // The overlapped path needs per-parameter contribution counts, which a
   // sequential step records first — exactly DDP's unoverlapped first
   // iteration (which it spends observing ready order anyway).
@@ -115,8 +168,9 @@ void DDPTrainer::one_step() {
   } else {
     for (std::int64_t r = 0; r < config_.world_size; ++r) run_rank(r);
   }
-  // Gradient synchronization: bucketed ring all-reduce over the physical
-  // world.
+  // Gradient synchronization over the physical world: bucketed ring
+  // all-reduce when replicated, reduce-scatter (same reduction bits, owned
+  // elements only) when sharded.
   std::vector<comm::GradientSet> sets;
   sets.reserve(replicas_.size());
   for (auto& rep : replicas_) {
@@ -133,12 +187,20 @@ void DDPTrainer::one_step() {
     parts.reserve(sets.size());
     for (auto& s : sets) parts.push_back(&s);
     if (config_.resilient_comm) {
-      // Identity mapping: one transport rank per physical rank.  Fixed-DoP
-      // DDP cannot shrink, so a condemned rank aborts training (kAbort).
+      // Identity mapping: one transport rank per physical rank.  A
+      // condemned rank aborts training (kAbort): the fixed world cannot
+      // shrink, and a sharded plan must roll back and reshard.
       comm::ResilientConfig rcfg = config_.resilient;
       rcfg.on_death = comm::DeathPolicy::kAbort;
-      last_comm_report_ = comm::resilient_allreduce_average(
-          layout_, parts, *transport_, *monitor_, rcfg);
+      last_comm_report_ =
+          plan_.sharded()
+              ? comm::resilient_reduce_scatter_average(
+                    layout_, parts, owned_slices_, *transport_, *monitor_,
+                    rcfg)
+              : comm::resilient_allreduce_average(layout_, parts, *transport_,
+                                                  *monitor_, rcfg);
+    } else if (plan_.sharded()) {
+      comm::reduce_scatter_average(layout_, parts, owned_slices_);
     } else {
       comm::allreduce_average(layout_, parts);
     }
@@ -146,7 +208,7 @@ void DDPTrainer::one_step() {
       sets[r].to_store(replicas_[r].workload->params());
     }
   }
-  for (auto& rep : replicas_) rep.optimizer->step();
+  optimize_and_publish();
   if (config_.rebuild_buckets && !rebuilt_) {
     comm::BucketManager mgr(replicas_[0].workload->params(),
                             config_.bucket_cap_bytes);
@@ -158,7 +220,7 @@ void DDPTrainer::one_step() {
   ++global_step_;
 }
 
-void DDPTrainer::one_step_overlapped() {
+void Trainer::one_step_overlapped() {
   if (engine_ == nullptr) {
     engine_ = std::make_unique<comm::AsyncCollectiveEngine>(config_.async_comm);
   }
@@ -173,7 +235,13 @@ void DDPTrainer::one_step_overlapped() {
   std::vector<comm::GradientSet*> parts;
   parts.reserve(sets.size());
   for (auto& s : sets) parts.push_back(&s);
-  comm::validate_allreduce_inputs(layout_, parts);
+  // Owner-side validation once per step; the per-bucket jobs then run with
+  // validation skipped (see resilient_allreduce_average for why).
+  if (plan_.sharded()) {
+    comm::validate_reduce_scatter_inputs(layout_, parts, owned_slices_);
+  } else {
+    comm::validate_allreduce_inputs(layout_, parts);
+  }
 
   // Job-side state: only the single comm thread touches these between
   // begin_step and the drain() idle handshake.
@@ -188,12 +256,22 @@ void DDPTrainer::one_step_overlapped() {
       comm::ResilientConfig rcfg = config_.resilient;
       rcfg.on_death = comm::DeathPolicy::kAbort;
       const std::vector<std::size_t> ids{b};
-      const comm::CollectiveReport piece = comm::resilient_allreduce_average(
-          layout_, parts, *transport_, *monitor_, rcfg, nullptr, &ids);
+      const comm::CollectiveReport piece =
+          plan_.sharded()
+              ? comm::resilient_reduce_scatter_average(
+                    layout_, parts, owned_slices_, *transport_, *monitor_,
+                    rcfg, nullptr, &ids)
+              : comm::resilient_allreduce_average(layout_, parts, *transport_,
+                                                  *monitor_, rcfg, nullptr,
+                                                  &ids);
       comm::merge_collective_report(step_report, piece);
       return piece.virtual_time_s;
     }
-    comm::allreduce_average_bucket(layout_, b, parts);
+    if (plan_.sharded()) {
+      comm::reduce_scatter_average_bucket(layout_, b, parts, owned_slices_);
+    } else {
+      comm::allreduce_average_bucket(layout_, b, parts);
+    }
     return 0.0;
   };
 
@@ -254,19 +332,18 @@ void DDPTrainer::one_step_overlapped() {
       sets[r].to_store(replicas_[r].workload->params());
     }
   }
-  for (auto& rep : replicas_) rep.optimizer->step();
+  optimize_and_publish();
   losses_.push_back(last_loss);
   ++global_step_;
 }
 
-void DDPTrainer::set_post_op_hook(std::int64_t rank,
-                                  kernels::PostOpHook* hook) {
+void Trainer::set_post_op_hook(std::int64_t rank, kernels::PostOpHook* hook) {
   ES_CHECK(rank >= 0 && rank < config_.world_size,
            "hook rank " << rank << " out of range");
   replicas_[static_cast<std::size_t>(rank)].exec.post_op = hook;
 }
 
-void DDPTrainer::vote_and_reduce(std::vector<comm::GradientSet>& sets) {
+void Trainer::vote_and_reduce(std::vector<comm::GradientSet>& sets) {
   const std::int64_t logical = config_.logical_world;
   VoteReport report;
   // Per-rank, per-bucket digests over the raw gradient bit patterns, in
@@ -385,9 +462,9 @@ void DDPTrainer::vote_and_reduce(std::vector<comm::GradientSet>& sets) {
   last_vote_report_ = std::move(report);
 }
 
-void DDPTrainer::vote_and_reduce_bucket(std::size_t b,
-                                        std::vector<comm::GradientSet>& sets,
-                                        VoteReport& report) {
+void Trainer::vote_and_reduce_bucket(std::size_t b,
+                                     std::vector<comm::GradientSet>& sets,
+                                     VoteReport& report) {
   const std::int64_t logical = config_.logical_world;
   // Per-rank digest of this bucket's raw gradient bit patterns.
   std::vector<std::uint64_t> digests(sets.size());
@@ -465,11 +542,211 @@ void DDPTrainer::vote_and_reduce_bucket(std::size_t b,
   comm::allreduce_average_bucket(layout_, b, representatives);
 }
 
-void DDPTrainer::run_steps(std::int64_t n) {
+void Trainer::gather_canonical_state_into(const Plan& from, std::int64_t dst) {
+  if (!from.sharded()) return;  // every rank already holds full state
+  auto& params0 = replicas_[0].workload->params();
+  const std::size_t num_params = params0.size();
+  auto dst_state =
+      replicas_[static_cast<std::size_t>(dst)].optimizer->state_tensors();
+  for (std::size_t c = 0; c < from.chunks.size(); ++c) {
+    const auto src_rank = static_cast<std::size_t>(from.canonical_rank(c));
+    if (static_cast<std::int64_t>(src_rank) == dst) continue;
+    auto src_state = replicas_[src_rank].optimizer->state_tensors();
+    const auto slices = slices_for_chunk(from, params0, c);
+    for (const auto& s : slices) {
+      // State tensor t shadows parameter t % num_params (SGD: momentum per
+      // param; Adam: m then v per param — optim/*.hpp state order).
+      for (std::size_t t = 0; t < src_state.size(); ++t) {
+        if (t % num_params != s.param) continue;
+        std::copy(src_state[t]->data().begin() + s.begin,
+                  src_state[t]->data().begin() + s.end,
+                  dst_state[t]->data().begin() + s.begin);
+      }
+    }
+  }
+}
+
+void Trainer::reshard(int new_shard_degree) {
+  ES_CHECK(config_.logical_world == 0,
+           "reshard requires logical_world == 0");
+  if (new_shard_degree == plan_.shard_degree) return;
+  auto& params0 = replicas_[0].workload->params();
+  const Plan new_plan =
+      make_plan(static_cast<int>(config_.world_size), new_shard_degree,
+                params0, config_.plan_chunks);
+  ES_CHECK(new_plan.chunks == plan_.chunks,
+           "plan chunk bounds must stay fixed across reshard");
+  // Redistribute optimizer-state chunks: every chunk travels from its old
+  // canonical owner to each rank whose NEW shard owns it.  No state is
+  // split or re-summed — ownership is the only thing that changes, which
+  // is why the continued trajectory is bitwise unchanged.
+  const std::size_t num_params = params0.size();
+  for (std::size_t c = 0; c < plan_.chunks.size(); ++c) {
+    const auto src_rank = static_cast<std::size_t>(plan_.canonical_rank(c));
+    auto src_state = replicas_[src_rank].optimizer->state_tensors();
+    const auto slices = slices_for_chunk(plan_, params0, c);
+    const int new_owner = new_plan.chunk_owner(c);
+    for (std::size_t r = 0; r < replicas_.size(); ++r) {
+      if (r == src_rank) continue;
+      if (new_plan.shard_index(static_cast<int>(r)) != new_owner) continue;
+      auto dst_state = replicas_[r].optimizer->state_tensors();
+      for (const auto& s : slices) {
+        for (std::size_t t = 0; t < src_state.size(); ++t) {
+          if (t % num_params != s.param) continue;
+          std::copy(src_state[t]->data().begin() + s.begin,
+                    src_state[t]->data().begin() + s.end,
+                    dst_state[t]->data().begin() + s.begin);
+        }
+      }
+    }
+  }
+  plan_ = new_plan;
+  config_.shard_degree = new_shard_degree;
+  rebuild_shard_maps();
+}
+
+namespace {
+
+/// Per-chunk digest chain over the canonical flattened parameter values —
+/// degree-independent because the chunk bounds are (PR 7's keystone).
+DigestChain chunk_chain_of(const Plan& plan,
+                           const autograd::ParameterStore& params) {
+  DigestChain chain;
+  for (std::size_t c = 0; c < plan.chunks.size(); ++c) {
+    Digest d;
+    for (const auto& s : slices_for_chunk(plan, params, c)) {
+      d.update(std::span<const float>(params.all()[s.param]->value.data())
+                   .subspan(static_cast<std::size_t>(s.begin),
+                            static_cast<std::size_t>(s.end - s.begin)));
+    }
+    chain.push(static_cast<std::uint64_t>(c), d.value());
+  }
+  return chain;
+}
+
+}  // namespace
+
+void Trainer::save_checkpoint(const std::string& path) {
+  auto& params0 = replicas_[0].workload->params();
+  // Assemble canonical optimizer state on rank 0 (a gather from the chunk
+  // owners); rank 0's serialized state is then degree-independent.
+  gather_canonical_state_into(plan_, 0);
+  ByteWriter w;
+  w.write_string(config_.workload);
+  w.write(config_.world_size);
+  w.write(global_step_);
+  w.write(rebuilt_);
+  layout_.save(w);
+  w.write_vector(contrib_counts_);
+  params0.save_values(w);
+  replicas_[0].optimizer->save(w);
+  replicas_[0].scheduler->save(w);
+  for (auto& rep : replicas_) {
+    rep.streams.state().save(w);
+    rep.pipeline->save(w);
+  }
+  w.write_vector(losses_);
+  // Per-tensor chain over the canonical parameters (like verified
+  // checkpoints) + the v3 shard frame with the per-chunk chain.
+  DigestChain chain;
+  for (std::size_t i = 0; i < params0.size(); ++i) {
+    Digest d;
+    d.update(std::span<const float>(params0.all()[i]->value.data()));
+    chain.push(static_cast<std::uint64_t>(i), d.value());
+  }
+  core::ShardFrameMeta meta;
+  meta.world_size = static_cast<std::int32_t>(config_.world_size);
+  meta.shard_degree = plan_.shard_degree;
+  meta.total_numel = plan_.total_numel;
+  for (const auto& c : plan_.chunks) {
+    meta.chunk_begin.push_back(c.begin);
+    meta.chunk_end.push_back(c.end);
+  }
+  meta.chunk_chain = chunk_chain_of(plan_, params0);
+  core::save_checkpoint_file(path, w.take(), chain, meta);
+}
+
+void Trainer::restore_checkpoint(const std::string& path) {
+  DigestChain chain;
+  std::optional<core::ShardFrameMeta> meta;
+  const std::vector<std::uint8_t> bytes =
+      core::load_checkpoint_file(path, &chain, &meta);
+  ES_CHECK(meta.has_value(),
+           "checkpoint " << path << " has no shard frame (pre-v3); "
+                         << "parallel::Trainer needs a v3 checkpoint");
+  ES_CHECK(meta->world_size == config_.world_size,
+           "checkpoint world_size " << meta->world_size
+                                    << " != trainer world_size "
+                                    << config_.world_size);
+  ES_CHECK(meta->total_numel == plan_.total_numel,
+           "checkpoint total_numel " << meta->total_numel
+                                     << " != plan total_numel "
+                                     << plan_.total_numel);
+  ES_CHECK(meta->chunk_begin.size() == plan_.chunks.size(),
+           "checkpoint chunk count " << meta->chunk_begin.size()
+                                     << " != plan chunk count "
+                                     << plan_.chunks.size()
+                                     << " (plan_chunks must match)");
+  for (std::size_t c = 0; c < plan_.chunks.size(); ++c) {
+    ES_CHECK(meta->chunk_begin[c] == plan_.chunks[c].begin &&
+                 meta->chunk_end[c] == plan_.chunks[c].end,
+             "checkpoint chunk " << c << " bounds disagree with the plan");
+  }
+  ByteReader r(bytes);
+  const std::string workload = r.read_string();
+  ES_CHECK(workload == config_.workload,
+           "checkpoint workload '" << workload << "' != trainer workload '"
+                                   << config_.workload << "'");
+  const auto world = r.read<std::int64_t>();
+  ES_CHECK(world == config_.world_size, "checkpoint payload world mismatch");
+  global_step_ = r.read<std::int64_t>();
+  rebuilt_ = r.read<bool>();
+  layout_ = comm::BucketLayout::load(r);
+  contrib_counts_ = r.read_vector<int>();
+  // Canonical parameters into rank 0, then replicate (parameters are
+  // replicated under every plan).
+  auto& params0 = replicas_[0].workload->params();
+  params0.load_values(r);
+  for (std::size_t rep = 1; rep < replicas_.size(); ++rep) {
+    auto& store = replicas_[rep].workload->params();
+    for (std::size_t i = 0; i < params0.size(); ++i) {
+      store.all()[i]->value = params0.all()[i]->value;
+    }
+  }
+  // Canonical optimizer + schedule state into every rank: full state
+  // everywhere is correct under any shard degree (each rank reads only the
+  // chunks its CURRENT plan owns; the rest is canonical surplus).
+  replicas_[0].optimizer->load(r);
+  replicas_[0].scheduler->load(r);
+  {
+    ByteWriter copy;
+    replicas_[0].optimizer->save(copy);
+    replicas_[0].scheduler->save(copy);
+    for (std::size_t rep = 1; rep < replicas_.size(); ++rep) {
+      ByteReader rr(copy.bytes());
+      replicas_[rep].optimizer->load(rr);
+      replicas_[rep].scheduler->load(rr);
+    }
+  }
+  for (auto& rep : replicas_) {
+    rep.streams.set_state(rng::StreamSetState::load(r));
+    rep.pipeline->load(r);
+  }
+  losses_ = r.read_vector<float>();
+  r.require_exhausted("parallel trainer checkpoint payload");
+  // Attest the restore against the degree-independent chunk chain: the
+  // restored canonical parameters must re-derive the stored records.
+  const DigestChain rechain = chunk_chain_of(plan_, params0);
+  ES_CHECK(rechain == meta->chunk_chain,
+           "restored parameters do not re-derive the checkpoint's per-chunk "
+           "digest chain");
+}
+
+void Trainer::run_steps(std::int64_t n) {
   for (std::int64_t i = 0; i < n; ++i) one_step();
 }
 
-void DDPTrainer::run_epochs(std::int64_t n) {
+void Trainer::run_epochs(std::int64_t n) {
   for (std::int64_t e = 0; e < n; ++e) {
     const std::int64_t epoch = global_step_ / steps_per_epoch_;
     for (auto& rep : replicas_) rep.scheduler->set_epoch(epoch);
@@ -477,7 +754,7 @@ void DDPTrainer::run_epochs(std::int64_t n) {
   }
 }
 
-std::uint64_t DDPTrainer::params_digest() const {
+std::uint64_t Trainer::params_digest() const {
   Digest d;
   for (const auto* p : replicas_[0].workload->params().all()) {
     d.update(p->value.data());
@@ -485,4 +762,4 @@ std::uint64_t DDPTrainer::params_digest() const {
   return d.value();
 }
 
-}  // namespace easyscale::ddp
+}  // namespace easyscale::parallel

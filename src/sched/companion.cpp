@@ -7,19 +7,40 @@
 
 namespace easyscale::sched {
 
+void Plan::save(ByteWriter& w) const {
+  for (const auto n : gpus) w.write(n);
+  w.write_vector(ests);
+  w.write(f_overload);
+  w.write(waste);
+  w.write(throughput);
+  w.write(steps_per_second);
+}
+
+Plan Plan::load(ByteReader& r) {
+  Plan plan;
+  for (auto& n : plan.gpus) n = r.read<std::int64_t>();
+  plan.ests = r.read_vector<std::int64_t>();
+  plan.f_overload = r.read<double>();
+  plan.waste = r.read<double>();
+  plan.throughput = r.read<double>();
+  plan.steps_per_second = r.read<double>();
+  return plan;
+}
+
 std::string PlanCache::key(const std::string& workload, std::int64_t max_p,
-                           const GpuVector& gpus) {
+                           const GpuVector& gpus, int shard_degree) {
   std::string k = workload;
   k.push_back('\0');
   k.append(reinterpret_cast<const char*>(&max_p), sizeof max_p);
+  k.append(reinterpret_cast<const char*>(&shard_degree), sizeof shard_degree);
   k.append(reinterpret_cast<const char*>(gpus.data()),
            sizeof(gpus[0]) * gpus.size());
   return k;
 }
 
 const Plan* PlanCache::find(const std::string& workload, std::int64_t max_p,
-                            const GpuVector& gpus) {
-  const auto it = plans_.find(key(workload, max_p, gpus));
+                            const GpuVector& gpus, int shard_degree) {
+  const auto it = plans_.find(key(workload, max_p, gpus, shard_degree));
   if (it == plans_.end()) {
     ++misses_;
     return nullptr;
@@ -29,14 +50,41 @@ const Plan* PlanCache::find(const std::string& workload, std::int64_t max_p,
 }
 
 void PlanCache::insert(const std::string& workload, std::int64_t max_p,
-                       const GpuVector& gpus, Plan plan) {
-  plans_.insert_or_assign(key(workload, max_p, gpus), std::move(plan));
+                       const GpuVector& gpus, Plan plan, int shard_degree) {
+  plans_.insert_or_assign(key(workload, max_p, gpus, shard_degree),
+                          std::move(plan));
 }
 
 void PlanCache::clear() {
   plans_.clear();
   hits_ = 0;
   misses_ = 0;
+}
+
+void PlanCache::save(ByteWriter& w) const {
+  w.write(kFormatVersion);
+  w.write<std::uint64_t>(plans_.size());
+  for (const auto& [k, plan] : plans_) {
+    w.write_string(k);
+    plan.save(w);
+  }
+}
+
+std::size_t PlanCache::load(ByteReader& r) {
+  const auto version = r.read<std::uint32_t>();
+  if (version != kFormatVersion) {
+    // Stale image: v1 keys lack shard_degree, so a v1 entry could answer a
+    // lookup for the wrong degree.  Bypass everything; callers recompute.
+    return 0;
+  }
+  const auto count = r.read<std::uint64_t>();
+  std::size_t restored = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string k = r.read_string();
+    plans_.insert_or_assign(std::move(k), Plan::load(r));
+    ++restored;
+  }
+  return restored;
 }
 
 Companion::Companion(std::string workload, std::int64_t max_p)
@@ -53,9 +101,11 @@ Plan Companion::make_plan(const GpuVector& gpus) const {
   // companion's capabilities differ from every other job's, so it computes
   // directly and never pollutes the shared cache.
   if (cache_ == nullptr || calibration_ != 1.0) return compute_plan(gpus);
-  if (const Plan* hit = cache_->find(workload_, max_p_, gpus)) return *hit;
+  if (const Plan* hit = cache_->find(workload_, max_p_, gpus, shard_degree_)) {
+    return *hit;
+  }
   Plan plan = compute_plan(gpus);
-  cache_->insert(workload_, max_p_, gpus, plan);
+  cache_->insert(workload_, max_p_, gpus, plan, shard_degree_);
   return plan;
 }
 

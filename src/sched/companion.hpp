@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/serialize.hpp"
 #include "kernels/device.hpp"
 
 namespace easyscale::sched {
@@ -42,6 +43,9 @@ struct Plan {
   double steps_per_second = 0.0;    // 1 / f_overload (global steps)
 
   [[nodiscard]] bool valid() const { return f_overload > 0.0; }
+
+  void save(ByteWriter& w) const;
+  [[nodiscard]] static Plan load(ByteReader& r);
 };
 
 /// Memoized plan database shared across Companions.  Plans are pure
@@ -55,22 +59,38 @@ struct Plan {
 /// scheduling loop, as the cluster service does.
 class PlanCache {
  public:
-  /// Lookup; nullptr on miss.  Hits are counted.
+  /// Serialization format version.  v1 keys predate shard_degree — a plan
+  /// cached for one degree could be served for another — so load() drops
+  /// every entry of a stale-version image (bypass, never silent reuse) and
+  /// the next make_plan recomputes fresh.
+  static constexpr std::uint32_t kFormatVersion = 2;
+
+  /// Lookup; nullptr on miss.  Hits are counted.  `shard_degree` is part
+  /// of the key: a plan evaluated for a sharded job never answers a
+  /// replicated one (or vice versa), even with identical GPUs.
   [[nodiscard]] const Plan* find(const std::string& workload,
-                                 std::int64_t max_p, const GpuVector& gpus);
+                                 std::int64_t max_p, const GpuVector& gpus,
+                                 int shard_degree = 1);
   void insert(const std::string& workload, std::int64_t max_p,
-              const GpuVector& gpus, Plan plan);
+              const GpuVector& gpus, Plan plan, int shard_degree = 1);
 
   [[nodiscard]] std::int64_t hits() const { return hits_; }
   [[nodiscard]] std::int64_t misses() const { return misses_; }
   [[nodiscard]] std::size_t size() const { return plans_.size(); }
   void clear();
 
+  /// Persist the cache (format kFormatVersion).
+  void save(ByteWriter& w) const;
+  /// Restore a persisted cache image; returns the number of entries
+  /// restored.  A stale format version restores ZERO entries — stale-keyed
+  /// plans are bypassed, never silently reused.
+  std::size_t load(ByteReader& r);
+
  private:
-  /// Key: workload '\0' maxP '\0' per-type GPU counts, packed into a
-  /// string so the map owns stable storage.
+  /// Key: workload '\0' maxP, shard_degree, per-type GPU counts, packed
+  /// into a string so the map owns stable storage.
   static std::string key(const std::string& workload, std::int64_t max_p,
-                         const GpuVector& gpus);
+                         const GpuVector& gpus, int shard_degree);
 
   std::unordered_map<std::string, Plan> plans_;
   std::int64_t hits_ = 0;
@@ -86,6 +106,12 @@ class Companion {
   /// default calibration — a report_throughput recalibration changes every
   /// capability, so calibrated companions compute plans directly.
   void set_plan_cache(PlanCache* cache) { cache_ = cache; }
+
+  /// Optimizer-state shard degree of this job's parallel::Plan (1 =
+  /// replicated).  Part of the cache key — two jobs differing only in
+  /// degree never share a memoized plan.
+  void set_shard_degree(int degree) { shard_degree_ = degree; }
+  [[nodiscard]] int shard_degree() const { return shard_degree_; }
 
   /// Per-EST capability C_i of one GPU of `type` for this workload.
   [[nodiscard]] double capability(DeviceType type) const;
@@ -133,6 +159,7 @@ class Companion {
   std::string workload_;
   std::int64_t max_p_;
   double calibration_ = 1.0;  // multiplicative correction from reports
+  int shard_degree_ = 1;
   PlanCache* cache_ = nullptr;
 };
 

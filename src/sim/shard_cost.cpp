@@ -1,0 +1,50 @@
+#include "sim/shard_cost.hpp"
+
+#include "common/error.hpp"
+
+namespace easyscale::sim {
+
+namespace {
+constexpr std::int64_t kFloatBytes = 4;
+}  // namespace
+
+std::int64_t owned_numel(const parallel::Plan& plan, int rank) {
+  std::int64_t owned = 0;
+  for (std::size_t c = 0; c < plan.chunks.size(); ++c) {
+    if (plan.chunk_owner(c) == plan.shard_index(rank)) {
+      owned += plan.chunks[c].end - plan.chunks[c].begin;
+    }
+  }
+  return owned;
+}
+
+ShardStepCost shard_step_cost(const parallel::Plan& plan,
+                              std::int64_t total_state_numel, int rank) {
+  ES_CHECK(rank >= 0 && rank < plan.world_size,
+           "rank " << rank << " outside world of " << plan.world_size);
+  ES_CHECK(plan.total_numel == 0 ||
+               total_state_numel % plan.total_numel == 0,
+           "total_state_numel " << total_state_numel
+                                << " is not a whole multiple of the "
+                                   "parameter space "
+                                << plan.total_numel);
+  const std::int64_t n = plan.total_numel;
+  const std::int64_t w = plan.world_size;
+  const std::int64_t states_per_element =
+      n > 0 ? total_state_numel / n : 0;
+
+  ShardStepCost cost;
+  cost.param_bytes = n * kFloatBytes;
+  cost.grad_bytes = n * kFloatBytes;
+  cost.state_bytes = plan.sharded()
+                         ? states_per_element * owned_numel(plan, rank) *
+                               kFloatBytes
+                         : total_state_numel * kFloatBytes;
+  // Ring wire volume per rank: the replicated all-reduce moves
+  // 2·(W-1)/W · n; the sharded reduce-scatter + parameter all-gather each
+  // move (W-1)/W · n — identical totals at every degree.
+  cost.comm_bytes = w > 1 ? 2 * (w - 1) * n * kFloatBytes / w : 0;
+  return cost;
+}
+
+}  // namespace easyscale::sim

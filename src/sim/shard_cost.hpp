@@ -1,0 +1,45 @@
+// Memory + communication cost model for planner-driven (ZeRO-1 sharded)
+// training steps, per rank.
+//
+// ZeRO-1's bargain, per the plan's fixed chunk partition: parameters,
+// gradients and activations stay replicated at every shard degree, while
+// optimizer state shrinks to the owned chunks' share.  Wire volume does
+// NOT grow: the replicated step moves one ring all-reduce
+// (2·(W-1)/W · n bytes per rank), the sharded step moves a reduce-scatter
+// plus a parameter all-gather ((W-1)/W · n each) — the same total.  The
+// BENCH_shard bench cross-checks this model against the byte counts of
+// the real trainer's plan.
+#pragma once
+
+#include <cstdint>
+
+#include "parallel/plan.hpp"
+
+namespace easyscale::sim {
+
+/// Per-rank accounting of one training step under a parallel::Plan.
+struct ShardStepCost {
+  std::int64_t param_bytes = 0;  // replicated at every degree
+  std::int64_t grad_bytes = 0;   // replicated at every degree
+  std::int64_t state_bytes = 0;  // optimizer state resident on this rank
+  std::int64_t comm_bytes = 0;   // wire bytes this rank moves per step
+
+  /// Device high-water of the step: parameters + gradients + resident
+  /// optimizer state (activations are degree-independent and excluded).
+  [[nodiscard]] std::int64_t memory_high_water() const {
+    return param_bytes + grad_bytes + state_bytes;
+  }
+};
+
+/// Exact accounting for `rank` of `plan`.  `total_state_numel` is the
+/// optimizer's full (unsharded) state element count; it must be a whole
+/// multiple of the plan's parameter space (state tensors shadow
+/// parameters — 1× for SGD momentum, 2× for Adam m/v).
+[[nodiscard]] ShardStepCost shard_step_cost(const parallel::Plan& plan,
+                                            std::int64_t total_state_numel,
+                                            int rank);
+
+/// Elements of the flattened parameter space owned by `rank`'s shard.
+[[nodiscard]] std::int64_t owned_numel(const parallel::Plan& plan, int rank);
+
+}  // namespace easyscale::sim

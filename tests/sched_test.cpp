@@ -221,5 +221,74 @@ TEST(PlanCache, CalibrationBypassesTheCache) {
   EXPECT_GT(q.throughput, p.throughput);
 }
 
+TEST(PlanCache, KeyedByShardDegree) {
+  // Two jobs differing only in optimizer-state shard degree must never
+  // share a memoized plan: degree is part of the parallel::Plan identity
+  // even though today's Eq. (1) evaluation does not read it.
+  PlanCache cache;
+  Companion replicated("ResNet50", 8);
+  Companion sharded("ResNet50", 8);
+  replicated.set_plan_cache(&cache);
+  sharded.set_plan_cache(&cache);
+  sharded.set_shard_degree(4);
+  EXPECT_EQ(sharded.shard_degree(), 4);
+  const GpuVector mix{4, 0, 0};
+  (void)replicated.make_plan(mix);
+  (void)sharded.make_plan(mix);
+  EXPECT_EQ(cache.misses(), 2);  // distinct keys, no false sharing
+  EXPECT_EQ(cache.size(), 2u);
+  (void)replicated.make_plan(mix);
+  (void)sharded.make_plan(mix);
+  EXPECT_EQ(cache.hits(), 2);
+}
+
+TEST(PlanCache, SerializationRoundTripRestoresEveryEntry) {
+  PlanCache cache;
+  Companion c("Bert", 8);
+  c.set_plan_cache(&cache);
+  const std::vector<GpuVector> mixes = {{1, 0, 0}, {2, 2, 0}, {0, 0, 8}};
+  std::vector<Plan> fresh;
+  for (const auto& mix : mixes) fresh.push_back(c.make_plan(mix));
+  ByteWriter w;
+  cache.save(w);
+
+  PlanCache restored;
+  ByteReader r(w.bytes());
+  EXPECT_EQ(restored.load(r), mixes.size());
+  r.require_exhausted("plan cache image");
+  Companion c2("Bert", 8);
+  c2.set_plan_cache(&restored);
+  for (std::size_t i = 0; i < mixes.size(); ++i) {
+    const Plan p = c2.make_plan(mixes[i]);
+    EXPECT_EQ(std::memcmp(&p.f_overload, &fresh[i].f_overload,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(p.ests, fresh[i].ests);
+  }
+  EXPECT_EQ(restored.hits(), static_cast<std::int64_t>(mixes.size()));
+  EXPECT_EQ(restored.misses(), 0);
+}
+
+TEST(PlanCache, StaleFormatVersionIsBypassedNotReused) {
+  // A v1 image predates shard_degree in the key: a v1 entry could answer a
+  // lookup for the wrong degree.  load() must restore ZERO entries from a
+  // stale image and leave the cache empty — the next make_plan recomputes.
+  ByteWriter w;
+  w.write<std::uint32_t>(1);  // stale format version
+  w.write<std::uint64_t>(1);  // one entry (never deserialized)
+  w.write_string("ResNet50\0garbage-key");
+  PlanCache cache;
+  ByteReader r(w.bytes());
+  EXPECT_EQ(cache.load(r), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  // The bypass is transparent: the companion recomputes and repopulates.
+  Companion c("ResNet50", 8);
+  c.set_plan_cache(&cache);
+  const Plan p = c.make_plan(GpuVector{2, 0, 0});
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 }  // namespace
 }  // namespace easyscale::sched
