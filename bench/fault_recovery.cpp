@@ -6,9 +6,15 @@
 // rollback, EST remap), so the elastic column also certifies bitwise
 // consistency: every surviving run must end with the fault-free digest.
 //
-//   fault_recovery [--sdc-only]   run only the silent-data-corruption
-//                                 section (the CI smoke entry point)
+//   fault_recovery [--sdc-only]        run only the silent-data-corruption
+//                                      section (a CI smoke entry point)
+//   fault_recovery [--recovery-only]   run only the peer-vs-disk recovery
+//                                      section (emits BENCH_recovery.json)
+//   fault_recovery [--check-baseline <path>]
+//                                      additionally gate the recovery rows
+//                                      against a checked-in baseline
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -18,7 +24,12 @@
 #include "core/engine.hpp"
 #include "fault/injector.hpp"
 #include "fault/supervisor.hpp"
+#include "kernels/device.hpp"
 #include "models/datasets.hpp"
+#include "models/profile.hpp"
+#include "models/workload.hpp"
+#include "sim/recovery_model.hpp"
+#include "trace/generators.hpp"
 
 namespace {
 
@@ -74,12 +85,149 @@ void print_row(const char* policy, const Row& r) {
               r.stats.failed ? "FAILED" : (r.bitwise_ok ? "exact" : "-"));
 }
 
+struct RecoveryRow {
+  std::string workload;
+  double step_s = 0.0;
+  sim::RecoveryModelResult result;
+};
+
+/// Peer-quorum vs disk-only recovery under the per-GPU MTBF trace (the
+/// PR 1 Fig-14 failure process: 64-GPU cluster, mtbf=5e4s/GPU, repair=600s,
+/// seed 13), one row per Table-1 workload.  Each workload's step time comes
+/// from the V100 throughput profile, its snapshot size from the memory
+/// profile.  The self-check requires peer recovery to lose STRICTLY fewer
+/// steps than disk walk-back for every workload.
+bool run_recovery_section(const char* baseline_path) {
+  std::printf("\npeer-replicated vs disk-only recovery (MTBF trace)\n");
+  trace::FailureTraceConfig tcfg;
+  tcfg.cluster = {32, 16, 16};  // the PR 1 Fig-14 cluster (V100, P100, T4)
+  const auto failures = trace::gpu_failure_trace(tcfg);
+  std::printf("trace: %zu failures over %.0fs (mtbf=%.0fs/GPU)\n",
+              failures.size(), tcfg.horizon_s, tcfg.mtbf_per_gpu_s);
+  std::printf("%-18s %8s %9s %9s %10s %10s %8s %8s\n", "workload", "step_s",
+              "lost_disk", "lost_peer", "recov_disk", "recov_peer", "peer",
+              "fallbk");
+  std::vector<RecoveryRow> rows;
+  bool ok = true;
+  for (const auto& name : models::workload_names()) {
+    RecoveryRow row;
+    row.workload = name;
+    row.step_s =
+        1.0 / models::profiled_throughput(name, kernels::DeviceType::kV100);
+    sim::RecoveryModelConfig mcfg;
+    mcfg.step_s = row.step_s;
+    mcfg.snapshot_bytes = static_cast<std::int64_t>(
+        models::profiled_memory_gb(name) * 0.5 * 1024.0 * 1024.0 * 1024.0);
+    row.result = sim::model_recovery(failures, mcfg);
+    const bool strictly_fewer =
+        row.result.lost_steps_peer < row.result.lost_steps_disk;
+    ok = ok && strictly_fewer;
+    std::printf("%-18s %8.3f %9lld %9lld %10.1f %10.1f %8lld %8lld%s\n",
+                row.workload.c_str(), row.step_s,
+                static_cast<long long>(row.result.lost_steps_disk),
+                static_cast<long long>(row.result.lost_steps_peer),
+                row.result.recovery_s_disk, row.result.recovery_s_peer,
+                static_cast<long long>(row.result.peer_recoveries),
+                static_cast<long long>(row.result.disk_fallbacks),
+                strictly_fewer ? "" : "  NOT-FEWER");
+    rows.push_back(row);
+  }
+
+  std::FILE* f = std::fopen("BENCH_recovery.json", "w");
+  if (f == nullptr) {
+    std::printf("ERROR: cannot write BENCH_recovery.json\n");
+    return false;
+  }
+  std::fprintf(f, "{\n  \"build_type\": \"%s\",\n", bench::build_type());
+  std::fprintf(f, "  \"trace_failures\": %zu,\n", failures.size());
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"step_s\": %.6f, "
+        "\"lost_steps_disk\": %lld, \"lost_steps_peer\": %lld, "
+        "\"recovery_s_disk\": %.3f, \"recovery_s_peer\": %.3f, "
+        "\"peer_recoveries\": %lld, \"disk_fallbacks\": %lld}%s\n",
+        r.workload.c_str(), r.step_s,
+        static_cast<long long>(r.result.lost_steps_disk),
+        static_cast<long long>(r.result.lost_steps_peer),
+        r.result.recovery_s_disk, r.result.recovery_s_peer,
+        static_cast<long long>(r.result.peer_recoveries),
+        static_cast<long long>(r.result.disk_fallbacks),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  bench::note("per-workload lost steps and recovery latency written to "
+              "BENCH_recovery.json");
+
+  if (baseline_path != nullptr) {
+    // Gate the deterministic integers against the checked-in baseline: the
+    // model, trace and profiles are all seeded, so any drift is a real
+    // behaviour change that must be reviewed (and the baseline re-pinned).
+    std::FILE* b = std::fopen(baseline_path, "rb");
+    if (b == nullptr) {
+      std::printf("ERROR: cannot read baseline %s\n", baseline_path);
+      return false;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), b)) > 0) text.append(buf, n);
+    std::fclose(b);
+    for (const auto& r : rows) {
+      const std::string key = "\"workload\": \"" + r.workload + "\"";
+      const char* at = std::strstr(text.c_str(), key.c_str());
+      long long want_disk = -1;
+      long long want_peer = -1;
+      if (at == nullptr ||
+          std::sscanf(std::strstr(at, "\"lost_steps_disk\":"),
+                      "\"lost_steps_disk\": %lld", &want_disk) != 1 ||
+          std::sscanf(std::strstr(at, "\"lost_steps_peer\":"),
+                      "\"lost_steps_peer\": %lld", &want_peer) != 1) {
+        std::printf("BASELINE: no row for %s in %s\n", r.workload.c_str(),
+                    baseline_path);
+        ok = false;
+        continue;
+      }
+      if (want_disk != r.result.lost_steps_disk ||
+          want_peer != r.result.lost_steps_peer) {
+        std::printf(
+            "BASELINE: %s drifted: lost_disk %lld (baseline %lld), "
+            "lost_peer %lld (baseline %lld)\n",
+            r.workload.c_str(),
+            static_cast<long long>(r.result.lost_steps_disk), want_disk,
+            static_cast<long long>(r.result.lost_steps_peer), want_peer);
+        ok = false;
+      }
+    }
+    if (ok) bench::note("recovery rows match the checked-in baseline");
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool sdc_only = false;
+  bool recovery_only = false;
+  const char* baseline_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sdc-only") == 0) sdc_only = true;
+    if (std::strcmp(argv[i], "--recovery-only") == 0) recovery_only = true;
+    if (std::strcmp(argv[i], "--check-baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+  if (recovery_only) {
+    bench::banner("Fault recovery (peer replication)",
+                  "lost steps and recovery latency: peer quorum vs disk "
+                  "walk-back under the MTBF trace");
+    const bool ok = run_recovery_section(baseline_path);
+    bench::note(ok ? "recovery bench PASSED (BENCH_recovery.json written)"
+                   : "recovery bench FAILED (see BENCH_recovery.json)");
+    return ok ? 0 : 1;
   }
   bench::banner("Fault recovery (§2.1, §5.3)",
                 "goodput vs failure rate: elastic scale-in vs gang restart");
@@ -243,6 +391,7 @@ int main(int argc, char** argv) {
   bench::note(
       "gang restart pays a replacement wait per fault and fails after "
       "max_retries consecutive faults (§2.1 baseline)");
+  if (!run_recovery_section(baseline_path)) return 1;
   }  // !sdc_only
   return 0;
 }

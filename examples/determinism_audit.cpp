@@ -13,6 +13,13 @@
 //                                      sharding at degree N; its chain must
 //                                      match the engine's link for link (CI
 //                                      pins degree 1 vs 4 against one file)
+//   determinism_audit --peer-recovery  additionally run the reference
+//                                      trajectory through a mid-run peer
+//                                      snapshot/restore (checkpoint_bytes)
+//                                      at shard degrees 1 and 4, across
+//                                      degrees, and with a reshard-on-
+//                                      recover; every recovered chain must
+//                                      match the clean chain link for link
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +87,48 @@ easyscale::DigestChain shard_chain(int degree) {
   return chain;
 }
 
+/// The reference trajectory interrupted by an in-fabric recovery: train to
+/// step 2 at `save_degree`, snapshot through the peer pipeline's byte API,
+/// recover a FRESH trainer at `restore_degree` from those bytes, optionally
+/// reshard again mid-run (`mid_degree` after one more step), and finish the
+/// 4-step trajectory.  Consistent accuracy demands the result be bitwise
+/// the clean chain.
+easyscale::DigestChain recovered_chain(int save_degree, int restore_degree,
+                                       int mid_degree) {
+  using namespace easyscale;
+  auto wd = models::make_dataset_for("NeuMF", /*train=*/256, /*test=*/64,
+                                     /*seed=*/7);
+  parallel::TrainerConfig cfg;
+  cfg.workload = "NeuMF";
+  cfg.world_size = 4;
+  cfg.batch_per_worker = 8;
+  cfg.seed = 7;
+  cfg.shard_degree = save_degree;
+  std::vector<std::uint8_t> snapshot;
+  {
+    parallel::Trainer doomed(cfg, *wd.train, wd.augment);
+    doomed.run_steps(2);
+    snapshot = doomed.checkpoint_bytes();
+    // `doomed` is dropped here: the crash.  Only the bytes survive.
+  }
+  cfg.shard_degree = restore_degree;
+  parallel::Trainer trainer(cfg, *wd.train, wd.augment);
+  trainer.restore_checkpoint_bytes(snapshot);
+  if (mid_degree > 0) {
+    trainer.run_steps(1);
+    trainer.reshard(mid_degree);
+    trainer.run_steps(1);
+  } else {
+    trainer.run_steps(2);
+  }
+  DigestChain chain;
+  std::uint64_t id = 0;
+  for (const auto* p : trainer.model().params().all()) {
+    chain.push(id++, digest_floats(p->value.data()));
+  }
+  return chain;
+}
+
 void write_chain(std::ostream& os, const easyscale::DigestChain& chain) {
   for (const auto& rec : chain.records()) {
     char line[64];
@@ -114,6 +163,7 @@ int main(int argc, char** argv) {
   std::string emit_path;
   std::string compare_path;
   int shard_degree = 0;
+  bool peer_recovery = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--emit") == 0 && i + 1 < argc) {
       emit_path = argv[++i];
@@ -125,10 +175,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--shard-degree must be >= 1\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--peer-recovery") == 0) {
+      peer_recovery = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--emit FILE] [--compare FILE] "
-                   "[--shard-degree N]\n",
+                   "[--shard-degree N] [--peer-recovery]\n",
                    argv[0]);
       return 2;
     }
@@ -236,6 +288,28 @@ int main(int argc, char** argv) {
     std::printf("   (ZeRO-1 sharded trainer at degree %d agrees link for "
                 "link)\n",
                 shard_degree);
+  }
+  if (peer_recovery) {
+    // save degree, restore degree, optional mid-run reshard degree.
+    struct Case {
+      int save, restore, mid;
+      const char* label;
+    };
+    for (const Case& c :
+         {Case{1, 1, 0, "save@1 -> recover@1"},
+          Case{4, 4, 0, "save@4 -> recover@4"},
+          Case{4, 1, 0, "save@4 -> recover@1 (reshard-on-recover)"},
+          Case{4, 4, 2, "save@4 -> recover@4 -> mid-run reshard to 2"}}) {
+      const DigestChain rec = recovered_chain(c.save, c.restore, c.mid);
+      if (chain != rec) {
+        std::fprintf(stderr,
+                     "   => FATAL: peer-recovered trajectory [%s] diverged "
+                     "from the clean chain\n",
+                     c.label);
+        return 1;
+      }
+      std::printf("   (peer recovery [%s] agrees link for link)\n", c.label);
+    }
   }
   for (const auto& rec : chain.records()) {
     std::printf("   layer %3llu digest %016llx chain %016llx\n",

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/env.hpp"
+
 namespace easyscale::comm {
 
 void BucketLayout::save(ByteWriter& w) const {
@@ -68,12 +70,11 @@ BucketLayout BucketManager::layout_from_ready_order(
 }
 
 std::int64_t env_default_bucket_cap() {
-  const char* env = std::getenv("EASYSCALE_BUCKET_CAP");
-  if (env == nullptr || *env == '\0') return 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(env, &end, 10);
-  if (end == env || *end != '\0' || v <= 0) return 0;
-  return static_cast<std::int64_t>(v);
+  // Strict parsing: unset/empty means "no override" (0), but a malformed or
+  // non-positive value throws an error naming the variable instead of
+  // silently training with the built-in default (common/env.hpp).
+  const auto v = env_int64("EASYSCALE_BUCKET_CAP", 1, INT64_MAX);
+  return v.value_or(0);
 }
 
 std::int64_t resolve_bucket_cap(std::int64_t config_cap,

@@ -55,9 +55,11 @@ class BucketManager {
 };
 
 /// EASYSCALE_BUCKET_CAP (bytes), mirroring EASYSCALE_THREADS: 0 when the
-/// variable is unset or unparsable.  Re-read on every call (not cached) so
-/// tests can flip it; the cap feeds a once-per-trainer BucketManager, so
-/// this is never hot.
+/// variable is unset or empty; a present-but-malformed or non-positive
+/// value throws an Error naming the variable (common/env.hpp) — a typo'd
+/// override must not silently train with the default.  Re-read on every
+/// call (not cached) so tests can flip it; the cap feeds a once-per-trainer
+/// BucketManager, so this is never hot.
 [[nodiscard]] std::int64_t env_default_bucket_cap();
 
 /// Resolve the bucket capacity for a trainer: a positive `config_cap` wins;

@@ -1,0 +1,63 @@
+#include "comm/peer.hpp"
+
+#include "common/error.hpp"
+
+namespace easyscale::comm {
+
+namespace {
+
+/// The shared retry loop: attempt a payload transfer from `src` to `dst`
+/// until it arrives intact or attempts run out.  Every failed attempt is
+/// drained — its elapsed time is charged, its bytes are discarded — and the
+/// fabric clock advances through the backoff wait before the retry, so a
+/// flaky link costs time but never correctness.
+PeerTransferResult transfer(Transport& transport, int src, int dst,
+                            std::vector<std::uint8_t> frame,
+                            const PeerTransferConfig& cfg) {
+  ES_CHECK(cfg.max_attempts >= 1, "peer transfer needs at least one attempt");
+  PeerTransferResult result;
+  for (int attempt = 1; attempt <= cfg.max_attempts; ++attempt) {
+    result.attempts = attempt;
+    if (attempt > 1) {
+      ++result.retries;
+      const double wait = cfg.backoff.delay_s(attempt - 1);
+      transport.advance(wait);
+      result.virtual_time_s += wait;
+    }
+    auto delivery = transport.send_payload(src, dst, frame);
+    result.virtual_time_s += delivery.elapsed_s;
+    transport.advance(delivery.elapsed_s);
+    if (delivery.status == DeliveryStatus::kDelivered) {
+      result.delivered = true;
+      result.bytes = std::move(delivery.bytes);
+      return result;
+    }
+    // Abort-drain: a timed-out or checksum-corrupt delivery is dropped on
+    // the floor here — `delivery.bytes` dies with this scope and the next
+    // attempt restarts from the sender's pristine copy.
+  }
+  return result;
+}
+
+}  // namespace
+
+PeerTransferResult peer_push(Transport& transport, int src, int dst,
+                             std::vector<std::uint8_t> frame,
+                             const PeerTransferConfig& cfg) {
+  return transfer(transport, src, dst, std::move(frame), cfg);
+}
+
+PeerTransferResult peer_fetch(Transport& transport, int holder, int requester,
+                              std::vector<std::uint8_t> frame,
+                              const PeerTransferConfig& cfg) {
+  // The request leg: a tiny control message from the recovering rank to the
+  // holder.  Its loss surfaces as a failed response below (the holder never
+  // replies), so only its latency is modeled here.
+  const Delivery request = transport.send(requester, holder, 64);
+  PeerTransferResult result =
+      transfer(transport, holder, requester, std::move(frame), cfg);
+  result.virtual_time_s += request.elapsed_s;
+  return result;
+}
+
+}  // namespace easyscale::comm

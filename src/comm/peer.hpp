@@ -1,0 +1,60 @@
+// Peer checkpoint push/fetch primitives over the resilient transport.
+//
+// The peer-checkpoint pipeline (fault/peer_checkpoint.hpp) replicates each
+// rank's serialized snapshot frame into K peers' memory and fetches frames
+// back at recovery.  Both directions ride Transport::send_payload — the
+// per-chunk FNV checksum stamped at the sender and re-verified at delivery
+// — wrapped here with bounded, jittered retries and ABORT-DRAIN semantics:
+// a failed attempt (timeout or checksum mismatch) is drained completely and
+// its bytes are never handed up; the caller either receives an intact,
+// checksum-verified frame or a clean failure after `max_attempts`.  Partial
+// or damaged frames therefore cannot enter a replica store or a recovery
+// reassembly — torn data is caught at the transfer layer, before the frame
+// parser even runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace easyscale::comm {
+
+/// Retry envelope for one peer transfer.  The defaults suit checkpoint
+/// frames: small fixed backoff (the fabric is otherwise idle during
+/// replication) and a handful of attempts before the epoch is abandoned.
+struct PeerTransferConfig {
+  int max_attempts = 4;
+  BackoffPolicy backoff{.base_s = 0.01, .max_s = 0.5, .jitter_seed = 0x9EE2};
+};
+
+/// Outcome of one peer push or fetch: whether an intact frame made it
+/// across, how many attempts that took, and the virtual fabric time spent
+/// (failed attempts included — drains cost real time).
+struct PeerTransferResult {
+  bool delivered = false;
+  int attempts = 0;
+  std::int64_t retries = 0;        // attempts beyond the first
+  double virtual_time_s = 0.0;     // fabric clock consumed, drains included
+  std::vector<std::uint8_t> bytes;  // the frame as delivered (empty on failure)
+};
+
+/// Ship `frame` from rank `src` into rank `dst`'s replica store.  Retries
+/// timeouts and checksum-corrupt deliveries with bounded backoff; on final
+/// failure the result carries no bytes (the receiver stored nothing).
+[[nodiscard]] PeerTransferResult peer_push(Transport& transport, int src,
+                                           int dst,
+                                           std::vector<std::uint8_t> frame,
+                                           const PeerTransferConfig& cfg = {});
+
+/// Fetch a frame of `frame_bytes` size held by rank `holder` back to rank
+/// `requester` (the recovery direction).  The request message is modeled as
+/// a zero-payload send; the response carries `frame` (the holder's stored
+/// copy, supplied by the caller who owns the store).  Same abort-drain
+/// retry envelope as peer_push.
+[[nodiscard]] PeerTransferResult peer_fetch(Transport& transport, int holder,
+                                            int requester,
+                                            std::vector<std::uint8_t> frame,
+                                            const PeerTransferConfig& cfg = {});
+
+}  // namespace easyscale::comm

@@ -1,0 +1,47 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace easyscale {
+
+std::optional<std::int64_t> parse_int64_strict(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  std::size_t i = 0;
+  const bool negative = text[0] == '-';
+  if (negative) i = 1;
+  if (i == text.size()) return std::nullopt;  // bare "-"
+  std::int64_t value = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::int64_t digit = c - '0';
+    // Overflow-safe accumulate toward the negative side (INT64_MIN has no
+    // positive counterpart).
+    if (value < (INT64_MIN + digit) / 10) return std::nullopt;
+    value = value * 10 - digit;
+  }
+  if (!negative) {
+    if (value == INT64_MIN) return std::nullopt;
+    value = -value;
+  }
+  return value;
+}
+
+std::optional<std::int64_t> env_int64(const char* name, std::int64_t min_value,
+                                      std::int64_t max_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  const std::string text(env);
+  const auto parsed = parse_int64_strict(text);
+  ES_CHECK(parsed.has_value(),
+           name << "=\"" << text
+                << "\" is not an integer (strict base-10, no whitespace)");
+  ES_CHECK(*parsed >= min_value && *parsed <= max_value,
+           name << "=" << *parsed << " is outside the accepted range ["
+                << min_value << ", " << max_value << "]");
+  return parsed;
+}
+
+}  // namespace easyscale

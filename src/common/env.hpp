@@ -1,0 +1,32 @@
+// Strict environment-variable overrides.
+//
+// Every EASYSCALE_* knob used to hand-roll its own strtol call, and most of
+// them treated a typo ("4x", "", "  8") as "unset" — silently training with
+// the default the user thought they had overridden.  This module centralises
+// the parsing with fail-loud semantics: a malformed or out-of-range value
+// throws an Error NAMING the variable and quoting the offending text, so a
+// fat-fingered override dies at startup instead of quietly changing the
+// experiment.  An absent variable (or one set to the empty string) still
+// means "use the default" — only present-but-garbage is an error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace easyscale {
+
+/// Parse `text` as a strict base-10 integer (optional leading '-', no
+/// whitespace, no trailing junk, no overflow).  Returns nullopt on any
+/// violation; never throws.
+[[nodiscard]] std::optional<std::int64_t> parse_int64_strict(
+    const std::string& text);
+
+/// Read the environment variable `name` as an integer in [min, max].
+///  - unset or empty    -> nullopt (caller applies its default);
+///  - malformed         -> Error naming `name` and quoting the value;
+///  - outside [min,max] -> Error naming `name`, the value and the range.
+[[nodiscard]] std::optional<std::int64_t> env_int64(
+    const char* name, std::int64_t min_value, std::int64_t max_value);
+
+}  // namespace easyscale

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <exception>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 
 namespace easyscale {
@@ -44,13 +45,16 @@ ComputePool& ComputePool::global() {
 }
 
 int ComputePool::env_default_threads() {
-  static const int cached = [] {
-    const char* env = std::getenv("EASYSCALE_THREADS");
-    if (env == nullptr || *env == '\0') return 1;
-    const long v = std::strtol(env, nullptr, 10);
-    return static_cast<int>(std::clamp(v, 1L, 256L));
-  }();
+  // Strict: "4x", "", whitespace or out-of-range values throw an Error
+  // naming EASYSCALE_THREADS (common/env.hpp) instead of silently clamping
+  // to something the user did not ask for.  Cached because the global pool
+  // is sized once; parse_env_threads() is the uncached testable core.
+  static const int cached = parse_env_threads();
   return cached;
+}
+
+int ComputePool::parse_env_threads() {
+  return static_cast<int>(env_int64("EASYSCALE_THREADS", 1, 256).value_or(1));
 }
 
 bool ComputePool::in_parallel_region() { return tls_parallel_depth > 0; }

@@ -46,9 +46,15 @@ class ComputePool {
   /// and grown lazily to the largest `ways` any caller requests.
   static ComputePool& global();
 
-  /// EASYSCALE_THREADS env override (cached at first call), clamped to
-  /// [1, 256]; 1 when unset — the fully sequential default.
+  /// EASYSCALE_THREADS env override (cached at first call); 1 when unset —
+  /// the fully sequential default.  Malformed or out-of-[1, 256] values
+  /// throw an Error naming the variable (common/env.hpp strict parsing).
   static int env_default_threads();
+
+  /// The uncached parse behind env_default_threads(): re-reads the
+  /// environment on every call so tests can exercise the strict rejection
+  /// without fighting the process-lifetime cache.
+  static int parse_env_threads();
 
   /// True while the current thread is executing a parallel_for chunk;
   /// nested parallel_for calls run inline to stay deadlock-free.

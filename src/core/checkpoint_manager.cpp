@@ -1,7 +1,10 @@
 #include "core/checkpoint_manager.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "core/checkpoint_io.hpp"
@@ -165,6 +168,121 @@ void CheckpointManager::clear() {
     std::remove(path_for(g).c_str());
     std::remove(sidecar_for(g).c_str());
   }
+}
+
+// --- Epoch-addressed checkpoints -----------------------------------------
+
+std::string CheckpointManager::epoch_path_for(std::int64_t epoch) const {
+  return prefix_ + ".epoch." + std::to_string(epoch);
+}
+
+std::string CheckpointManager::epoch_sidecar_for(std::int64_t epoch) const {
+  return epoch_path_for(epoch) + ".ok";
+}
+
+void CheckpointManager::save_epoch(std::int64_t epoch,
+                                   const std::vector<std::uint8_t>& bytes,
+                                   const DigestChain& chain) {
+  // Phase 1: the framed writer lands the file atomically (tmp + rename),
+  // but the epoch stays UNBLESSED — a stale sidecar from a previous life of
+  // this epoch number must not bless the new bytes.
+  std::remove(epoch_sidecar_for(epoch).c_str());
+  save_checkpoint_file(epoch_path_for(epoch), bytes, chain);
+}
+
+bool CheckpointManager::bless_epoch(std::int64_t epoch) {
+  const std::string path = epoch_path_for(epoch);
+  if (!file_exists(path)) return false;
+  try {
+    DigestChain chain;
+    const auto bytes = load_checkpoint_file(path, &chain);
+    ES_CHECK(chain.verify(), "digest chain failed re-verification");
+    write_sidecar(epoch_sidecar_for(epoch), digest_bytes(bytes));
+    return true;
+  } catch (const Error& e) {
+    ES_LOG_WARN("epoch " << epoch << " failed verification: " << e.what());
+    return false;
+  }
+}
+
+bool CheckpointManager::is_blessed(std::int64_t epoch) const {
+  const auto recorded = read_sidecar(epoch_sidecar_for(epoch));
+  if (!recorded.has_value()) return false;
+  try {
+    const auto bytes = load_checkpoint_file(epoch_path_for(epoch));
+    return *recorded == sidecar_payload(digest_bytes(bytes));
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+std::vector<std::int64_t> CheckpointManager::epochs_on_disk() const {
+  namespace fs = std::filesystem;
+  const fs::path prefix_path(prefix_);
+  fs::path dir = prefix_path.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string needle = prefix_path.filename().string() + ".epoch.";
+  std::vector<std::int64_t> epochs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(needle, 0) != 0) continue;
+    const std::string tail = name.substr(needle.size());
+    if (tail.size() >= 3 && tail.substr(tail.size() - 3) == ".ok") continue;
+    // Strict parse: "<epoch>" and nothing else — tmp files and foreign
+    // suffixes are not epochs.
+    const auto parsed = parse_int64_strict(tail);
+    if (parsed.has_value()) epochs.push_back(*parsed);
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+std::optional<std::tuple<std::int64_t, std::vector<std::uint8_t>, DigestChain>>
+CheckpointManager::load_latest_blessed_epoch() const {
+  const auto epochs = epochs_on_disk();
+  for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+    const auto recorded = read_sidecar(epoch_sidecar_for(*it));
+    if (!recorded.has_value()) continue;  // unblessed (phase-2 never ran)
+    try {
+      DigestChain chain;
+      auto bytes = load_checkpoint_file(epoch_path_for(*it), &chain);
+      if (*recorded != sidecar_payload(digest_bytes(bytes))) {
+        ES_LOG_WARN("epoch " << *it
+                             << " sidecar does not match the file; skipping");
+        continue;
+      }
+      return std::make_tuple(*it, std::move(bytes), std::move(chain));
+    } catch (const Error& e) {
+      ES_LOG_WARN("epoch " << *it << " invalid: " << e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+int CheckpointManager::gc_epochs(int keep_blessed) {
+  ES_CHECK(keep_blessed >= 0, "cannot keep a negative number of epochs");
+  const auto epochs = epochs_on_disk();
+  // The newest `keep_blessed` blessed epochs survive; everything else goes
+  // unless pinned.  Unblessed files are never counted as keepers — a torn
+  // phase-1 write must not shield an older blessed epoch from retention
+  // NOR survive itself.
+  std::set<std::int64_t> keep(pinned_.begin(), pinned_.end());
+  int blessed_kept = 0;
+  for (auto it = epochs.rbegin();
+       it != epochs.rend() && blessed_kept < keep_blessed; ++it) {
+    if (is_blessed(*it)) {
+      keep.insert(*it);
+      ++blessed_kept;
+    }
+  }
+  int removed = 0;
+  for (const auto epoch : epochs) {
+    if (keep.count(epoch) != 0) continue;
+    if (std::remove(epoch_path_for(epoch).c_str()) == 0) ++removed;
+    std::remove(epoch_sidecar_for(epoch).c_str());
+  }
+  return removed;
 }
 
 }  // namespace easyscale::core

@@ -19,7 +19,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -30,6 +32,60 @@ namespace easyscale::core {
 class CheckpointManager {
  public:
   CheckpointManager(std::string prefix, int keep = 3);
+
+  // --- Epoch-addressed checkpoints (two-phase commit + retention GC) ----
+  //
+  // The peer-checkpoint pipeline (fault/peer_checkpoint.hpp) addresses
+  // snapshots by EPOCH — the global step they capture — rather than by
+  // rotation position, and needs the same two-phase discipline on disk:
+  // phase 1 writes `<prefix>.epoch.<E>` (atomic tmp+rename, unblessed);
+  // phase 2 re-reads the file, re-verifies its digest chain, and writes the
+  // `.ok` sidecar (the bless).  A crash between the phases leaves an
+  // unblessed file that load_latest_blessed_epoch() skips and gc_epochs()
+  // deletes.  Retention keeps the newest `keep_blessed` blessed epochs plus
+  // every pinned epoch, so soak runs stop accumulating snapshot files.
+
+  /// Phase 1: persist epoch `E` unblessed (any existing file and sidecar
+  /// for the epoch are replaced).
+  void save_epoch(std::int64_t epoch, const std::vector<std::uint8_t>& bytes,
+                  const DigestChain& chain);
+
+  /// Phase 2: re-read, re-verify, bless.  Returns whether the epoch's file
+  /// is intact (a torn phase-1 file stays unblessed).
+  bool bless_epoch(std::int64_t epoch);
+
+  /// Whether `epoch` carries a matching bless sidecar.
+  [[nodiscard]] bool is_blessed(std::int64_t epoch) const;
+
+  /// Newest blessed epoch whose file still verifies, with its digest
+  /// chain.  Walks back across older blessed epochs when newer ones are
+  /// torn; nullopt when none survives.
+  [[nodiscard]] std::optional<
+      std::tuple<std::int64_t, std::vector<std::uint8_t>, DigestChain>>
+  load_latest_blessed_epoch() const;
+
+  /// Pinned epochs survive gc_epochs() regardless of age (e.g. a milestone
+  /// the operator wants to keep).
+  void pin_epoch(std::int64_t epoch) { pinned_.insert(epoch); }
+  void unpin_epoch(std::int64_t epoch) { pinned_.erase(epoch); }
+  [[nodiscard]] const std::set<std::int64_t>& pinned_epochs() const {
+    return pinned_;
+  }
+
+  /// Retention: delete every epoch file except the newest `keep_blessed`
+  /// BLESSED epochs and all pinned epochs.  Unblessed epochs older than the
+  /// newest blessed one are torn garbage and deleted too.  Returns the
+  /// number of epoch files removed.
+  int gc_epochs(int keep_blessed);
+
+  /// Every epoch with a file on disk, ascending (scans the prefix's
+  /// directory).
+  [[nodiscard]] std::vector<std::int64_t> epochs_on_disk() const;
+
+  [[nodiscard]] std::string epoch_path_for(std::int64_t epoch) const;
+  [[nodiscard]] std::string epoch_sidecar_for(std::int64_t epoch) const;
+
+  // --- Rotating generations (the original interface) --------------------
 
   /// Persist a new generation (rotates older ones down, sidecars ride
   /// along).  The new generation starts UNVERIFIED.
@@ -63,12 +119,14 @@ class CheckpointManager {
   [[nodiscard]] std::string path_for(int generation) const;
   [[nodiscard]] std::string sidecar_for(int generation) const;
 
-  /// Delete every generation (and sidecar).
+  /// Delete every generation (and sidecar); epoch files are untouched
+  /// (use gc_epochs(0) to drop unpinned epochs).
   void clear();
 
  private:
   std::string prefix_;
   int keep_;
+  std::set<std::int64_t> pinned_;
 };
 
 }  // namespace easyscale::core

@@ -33,6 +33,8 @@ const char* to_string(FaultKind kind) {
       return "sdc_bit_flip";
     case FaultKind::kSdcPerturb:
       return "sdc_perturb";
+    case FaultKind::kPeerReplicaLoss:
+      return "peer_replica_loss";
     default:
       return "unknown";
   }
@@ -149,6 +151,23 @@ FaultInjector FaultInjector::from_config(const FaultPlanConfig& cfg) {
       e.payload_seed = sub_seed;
       events.push_back(e);
     }
+  }
+  // Peer-replica-loss events draw from a fourth dedicated stream with the
+  // same triple-draw discipline: turning replica loss on (or off) leaves
+  // the classic, comm and SDC schedules for the same seed bitwise intact.
+  rng::Philox peer_gen(cfg.seed ^ stream_salt(StreamId::kPeerPlan));
+  for (std::int64_t step = 1; step < cfg.horizon_steps; ++step) {
+    const double u = peer_gen.next_double();
+    const auto worker = static_cast<std::int64_t>(
+        peer_gen.next_below(static_cast<std::uint64_t>(cfg.num_workers)));
+    const std::uint64_t sub_seed = peer_gen.next_u64();
+    if (u >= cfg.peer_replica_loss_rate) continue;
+    FaultEvent e;
+    e.kind = FaultKind::kPeerReplicaLoss;
+    e.step = step;
+    e.worker = worker;
+    e.payload_seed = sub_seed;
+    events.push_back(e);
   }
   return FaultInjector(std::move(events));
 }

@@ -29,7 +29,8 @@ enum class FaultKind : std::uint8_t {
   kCommRankDeath = 7,   // a rank goes silent mid-collective (fatal)
   kSdcBitFlip = 8,      // sticky device: mantissa bit-flips on kernel outputs
   kSdcPerturb = 9,      // sticky device: bounded relative perturbations
-  kNumKinds = 10,
+  kPeerReplicaLoss = 10,  // a rank's in-memory peer-checkpoint replica is lost
+  kNumKinds = 11,
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -76,6 +77,12 @@ struct FaultPlanConfig {
   // device slot; `payload_seed` keys the corruption pattern.
   double sdc_bitflip_rate = 0.0;
   double sdc_perturb_rate = 0.0;
+  // Peer-checkpoint replica loss: one stored peer frame evaporates from a
+  // rank's in-memory replica store (the event's `worker` picks the holder,
+  // `payload_seed` picks which stored frame).  Drawn from a fourth salted
+  // stream (StreamId::kPeerPlan) so enabling it reshuffles none of the
+  // schedules above.
+  double peer_replica_loss_rate = 0.0;
 };
 
 /// A fixed schedule of fault events plus a consume cursor.  Events fire at

@@ -26,6 +26,9 @@ enum class StreamId : std::uint64_t {
   kCommFaultPlan = 0xC0117EC71DEAD5ull,
   /// Silent-data-corruption kinds (sticky bit-flip / bounded perturbation).
   kSdcPlan = 0x5DCBADF10A75ull,
+  /// Peer-checkpoint replica loss (a rank's in-memory replica store drops a
+  /// frame — DRAM eviction, process restart, NIC flap during replication).
+  kPeerPlan = 0x9EE2C4EC4A11ull,
 };
 
 [[nodiscard]] constexpr std::uint64_t stream_salt(StreamId id) {
@@ -37,6 +40,12 @@ static_assert(stream_salt(StreamId::kFaultPlan) !=
 static_assert(stream_salt(StreamId::kFaultPlan) !=
               stream_salt(StreamId::kSdcPlan));
 static_assert(stream_salt(StreamId::kCommFaultPlan) !=
+              stream_salt(StreamId::kSdcPlan));
+static_assert(stream_salt(StreamId::kPeerPlan) !=
+              stream_salt(StreamId::kFaultPlan));
+static_assert(stream_salt(StreamId::kPeerPlan) !=
+              stream_salt(StreamId::kCommFaultPlan));
+static_assert(stream_salt(StreamId::kPeerPlan) !=
               stream_salt(StreamId::kSdcPlan));
 
 }  // namespace easyscale::fault

@@ -1,13 +1,23 @@
 #include "fault/supervisor.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "comm/resilient.hpp"
 #include "comm/transport.hpp"
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 
 namespace easyscale::fault {
+
+int resolve_peer_replicas(int config_replicas) {
+  ES_CHECK(config_replicas >= 0,
+           "peer_replicas must be >= 0, got " << config_replicas);
+  if (config_replicas > 0) return config_replicas;
+  const auto v = env_int64("EASYSCALE_PEER_REPLICAS", 0, 15);
+  return static_cast<int>(v.value_or(0));
+}
 
 FaultSupervisor::FaultSupervisor(core::EasyScaleEngine& engine,
                                  core::CheckpointManager& checkpoints,
@@ -26,6 +36,11 @@ FaultSupervisor::FaultSupervisor(core::EasyScaleEngine& engine,
              "checkpoint interval must be a multiple of witness_every so "
              "periodic saves land on witness-certified steps");
   }
+  ES_CHECK(config_.peer_snapshot_every >= 1,
+           "peer snapshot interval must be >= 1");
+  ES_CHECK(config_.ranks_per_node >= 1, "need at least one rank per node");
+  ES_CHECK(config_.peer_keep_epochs >= 1,
+           "must keep at least one peer epoch");
 }
 
 void FaultSupervisor::rearm_hooks() {
@@ -54,7 +69,62 @@ void FaultSupervisor::drop_slot(std::int64_t slot) {
   ES_CHECK(slot >= 0 &&
                slot < static_cast<std::int64_t>(device_of_slot_.size()),
            "dropping worker slot " << slot << " out of range");
+  // The device leaves the job for good, and its DRAM — replica shelf
+  // included — leaves with it.
+  peer_mark_device_dead(device_of_slot_[static_cast<std::size_t>(slot)]);
   device_of_slot_.erase(device_of_slot_.begin() + slot);
+}
+
+void FaultSupervisor::peer_mark_device_dead(std::int64_t device) {
+  if (!peer_) return;
+  // Replacement devices (id >= the initial world) never joined the peer
+  // fabric and hold no replicas.
+  if (device < 0 || device >= peer_->world()) return;
+  const int rank = static_cast<int>(device);
+  if (peer_->rank_alive(rank)) {
+    peer_->mark_dead(rank);
+    peer_fabric_->kill(rank);
+  }
+}
+
+std::set<int> FaultSupervisor::peer_excluded() const {
+  std::set<int> excluded;
+  if (!peer_) return excluded;
+  for (const auto dev : condemned_) {
+    if (dev >= 0 && dev < peer_->world()) {
+      excluded.insert(static_cast<int>(dev));
+    }
+  }
+  return excluded;
+}
+
+int FaultSupervisor::peer_requester() const {
+  if (!peer_) return -1;
+  for (int r = 0; r < peer_->world(); ++r) {
+    if (peer_->rank_alive(r) && condemned_.count(r) == 0) return r;
+  }
+  return -1;
+}
+
+void FaultSupervisor::take_peer_snapshot() {
+  if (!peer_) return;
+  // Under sdc_defense a peer epoch must be as trustworthy as a verified
+  // disk generation: only witness-certified states enter the stores.
+  if (config_.sdc_defense &&
+      engine_->last_clean_witness_step() != engine_->global_step()) {
+    return;
+  }
+  // Copy-on-snapshot staging is the only critical-path cost; the frame
+  // pushes ride the dedicated fabric's clock and surface as
+  // peer_background_s at the end of the run.
+  if (peer_->snapshot(engine_->global_step(), engine_->checkpoint(),
+                      peer_excluded())) {
+    ++stats_.peer_snapshots;
+  } else {
+    ++stats_.peer_snapshot_aborts;
+  }
+  stats_.peer_wall_s += config_.peer_stage_s;
+  stats_.total_wall_s += config_.peer_stage_s;
 }
 
 void FaultSupervisor::arm_sdc(const FaultEvent& event) {
@@ -124,15 +194,40 @@ bool FaultSupervisor::recover(bool shrink_one, int consecutive_faults) {
   ++stats_.recoveries;
   const std::int64_t before = engine_->global_step();
   const double cost_before = step_cost();
-  const auto bytes = checkpoints_->load_latest_valid();
+  const bool shrinking = config_.policy == RecoveryPolicy::kElasticScaleIn &&
+                         shrink_one && workers_ > 1;
+  // The crashed device's DRAM is gone BEFORE any fetch: its replica store
+  // must not serve the recovery.  (By convention the highest slot dies —
+  // which slot is immaterial to training bits.)
+  if (shrinking) peer_mark_device_dead(device_of_slot_.back());
+  // Recovery lattice: peer quorum first (the newest commonly-available
+  // committed epoch, fetched in-fabric), disk walk-back only when no intact
+  // quorum exists.
+  std::optional<std::vector<std::uint8_t>> bytes;
+  if (peer_) {
+    const int requester = peer_requester();
+    if (requester >= 0) {
+      const double fetch_before = peer_->stats().fetch_virtual_s;
+      auto rec = peer_->recover(requester, peer_excluded());
+      const double fetch_s = peer_->stats().fetch_virtual_s - fetch_before;
+      stats_.recovery_wall_s += fetch_s;
+      stats_.total_wall_s += fetch_s;
+      if (rec.has_value()) {
+        bytes = std::move(rec->snapshot);
+        ++stats_.peer_recoveries;
+      }
+    }
+  }
   if (!bytes.has_value()) {
-    ES_LOG_WARN("no valid checkpoint generation on disk; job lost");
+    bytes = checkpoints_->load_latest_valid();
+    if (bytes.has_value()) ++stats_.disk_recoveries;
+  }
+  if (!bytes.has_value()) {
+    ES_LOG_WARN("no peer quorum and no valid checkpoint generation on disk; "
+                "job lost");
     return false;
   }
-  if (config_.policy == RecoveryPolicy::kElasticScaleIn && shrink_one &&
-      workers_ > 1) {
-    // The crashed device leaves with its slot; by convention the highest
-    // slot is vacated (which slot dies is immaterial to training bits).
+  if (shrinking) {
     drop_slot(workers_ - 1);
     --workers_;
     ++stats_.scale_ins;
@@ -171,6 +266,9 @@ bool FaultSupervisor::recover_from_sdc(const core::IntegrityError& e,
   const std::int64_t slot = e.worker();
   const std::int64_t device = device_of_slot_[static_cast<std::size_t>(slot)];
   condemned_.insert(device);
+  // Nothing the corrupt device holds is trusted again — not even replica
+  // frames it stored for OTHER ranks (its DRAM integrity is in question).
+  peer_mark_device_dead(device);
   if (ledger_ != nullptr) {
     const auto specs = engine_->current_worker_specs();
     ledger_->record(stats_.total_wall_s,
@@ -210,17 +308,41 @@ bool FaultSupervisor::recover_from_sdc(const core::IntegrityError& e,
   ++stats_.devices_quarantined;
   stats_.recovery_wall_s += config_.sdc_repair_s;
   stats_.total_wall_s += config_.sdc_repair_s;
-  // Walk back to the last VERIFIED generation.  Merely-valid generations
-  // are not enough: one written during the detection window is well-formed
-  // but captures poisoned parameters.
-  const auto verified = checkpoints_->load_latest_verified();
-  if (!verified.has_value()) {
-    ES_LOG_WARN("no verified checkpoint generation on disk; job lost");
-    return false;
+  // Restore lattice: peer quorum first — under sdc_defense peer epochs are
+  // staged only at witness-certified steps, so a committed peer epoch is as
+  // trustworthy as a verified disk generation, and newer.  Fall back to the
+  // last VERIFIED disk generation.  Merely-valid generations are never
+  // enough: one written during the detection window is well-formed but
+  // captures poisoned parameters.
+  std::optional<std::vector<std::uint8_t>> restored;
+  if (peer_) {
+    const int requester = peer_requester();
+    if (requester >= 0) {
+      const double fetch_before = peer_->stats().fetch_virtual_s;
+      auto rec = peer_->recover(requester, peer_excluded());
+      const double fetch_s = peer_->stats().fetch_virtual_s - fetch_before;
+      stats_.recovery_wall_s += fetch_s;
+      stats_.total_wall_s += fetch_s;
+      if (rec.has_value()) {
+        restored = std::move(rec->snapshot);
+        ++stats_.peer_recoveries;
+      }
+    }
   }
-  engine_->restore(verified->first);
-  ES_CHECK(engine_->params_digest_chain() == verified->second,
-           "restored parameters disagree with the verified digest chain");
+  if (restored.has_value()) {
+    engine_->restore(*restored);
+  } else {
+    const auto verified = checkpoints_->load_latest_verified();
+    if (!verified.has_value()) {
+      ES_LOG_WARN("no peer quorum and no verified checkpoint generation on "
+                  "disk; job lost");
+      return false;
+    }
+    ++stats_.disk_recoveries;
+    engine_->restore(verified->first);
+    ES_CHECK(engine_->params_digest_chain() == verified->second,
+             "restored parameters disagree with the verified digest chain");
+  }
   const std::int64_t lost =
       std::max<std::int64_t>(0, before - engine_->global_step());
   stats_.lost_steps += lost;
@@ -256,11 +378,27 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
   if (config_.sdc_defense) {
     engine_->set_witness_every(config_.witness_every);
   }
+  // Peer pipeline: one service rank per INITIAL device, over a dedicated
+  // storage fabric.  A single-worker job has nobody to replicate to.
+  peer_.reset();
+  peer_fabric_.reset();
+  const int peer_replicas = resolve_peer_replicas(config_.peer_replicas);
+  if (peer_replicas > 0 && initial_workers >= 2) {
+    peer_fabric_ = std::make_unique<comm::SimTransport>(
+        static_cast<int>(initial_workers), comm::TransportConfig{});
+    PeerCheckpointConfig pcfg;
+    pcfg.replicas =
+        std::min(peer_replicas, static_cast<int>(initial_workers) - 1);
+    pcfg.ranks_per_node = config_.ranks_per_node;
+    pcfg.keep_epochs = config_.peer_keep_epochs;
+    peer_ = std::make_unique<PeerCheckpointService>(*peer_fabric_, pcfg);
+  }
   reshape_workers();
   // Anchor generation: recovery is always possible, even when the very
   // first steps are hit.  Under sdc_defense it is verified (step 0 is the
   // witness chain's trusted root).
   save_checkpoint();
+  take_peer_snapshot();
 
   int consecutive_faults = 0;
   std::int64_t clean_steps = 0;
@@ -364,6 +502,22 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
           // if anyone is watching — happens at the next witness step.
           arm_sdc(event);
           break;
+        case FaultKind::kPeerReplicaLoss:
+          // One frame evaporates from a rank's replica shelf (host OOM,
+          // DRAM scrub, eviction).  Training is untouched — the loss shows
+          // up only if a later recovery needed that copy.
+          if (peer_) {
+            const std::int64_t slot =
+                static_cast<std::int64_t>(event.worker) % workers_;
+            const std::int64_t dev =
+                device_of_slot_[static_cast<std::size_t>(slot)];
+            if (dev >= 0 && dev < peer_->world() &&
+                peer_->drop_random_replica(static_cast<int>(dev),
+                                           event.payload_seed)) {
+              ++stats_.peer_replicas_lost;
+            }
+          }
+          break;
         default:
           ES_THROW("unknown fault kind");
       }
@@ -427,6 +581,10 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
     if (engine_->global_step() % config_.checkpoint_every == 0) {
       save_checkpoint();
     }
+    if (peer_ &&
+        engine_->global_step() % config_.peer_snapshot_every == 0) {
+      take_peer_snapshot();
+    }
     // Re-grow toward the designed worker count after a quiet period (the
     // refill behaviour of §5.3); bitwise-neutral like any scale event.
     if (config_.policy == RecoveryPolicy::kElasticScaleIn &&
@@ -445,6 +603,9 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
   }
   stats_.steps_completed = engine_->global_step();
   stats_.witness_replays = engine_->witness_stats().replays;
+  if (peer_) {
+    stats_.peer_background_s = peer_->stats().replicate_virtual_s;
+  }
   return stats_;
 }
 

@@ -27,12 +27,14 @@
 #include <memory>
 #include <set>
 
+#include "comm/transport.hpp"
 #include "core/checkpoint_manager.hpp"
 #include "fault/quarantine_feed.hpp"
 #include "core/engine.hpp"
 #include "core/integrity.hpp"
 #include "fault/injector.hpp"
 #include "fault/integrity.hpp"
+#include "fault/peer_checkpoint.hpp"
 
 namespace easyscale::fault {
 
@@ -87,7 +89,33 @@ struct SupervisorConfig {
   /// Wall cost of condemning + quarantining a corrupt device (blocklist
   /// update, EST remap).
   double sdc_repair_s = 5.0;
+
+  // --- Peer-replicated checkpointing (fault/peer_checkpoint.hpp) ---
+  /// Peer copies per snapshot frame; 0 disables the peer pipeline (the
+  /// historical disk-only behaviour).  When 0, EASYSCALE_PEER_REPLICAS
+  /// supplies the default (strict parse, range [0, 15] — see
+  /// resolve_peer_replicas below).
+  int peer_replicas = 0;
+  /// Steps between peer snapshots.  Every step by default: only the
+  /// copy-on-snapshot staging sits on the critical path; replication is
+  /// overlapped with the next step's compute.
+  std::int64_t peer_snapshot_every = 1;
+  /// Placement input: ranks sharing `device / ranks_per_node` are one node
+  /// and never replicate to each other.
+  int ranks_per_node = 1;
+  /// Committed peer epochs retained in the replica stores.
+  std::int64_t peer_keep_epochs = 2;
+  /// Wall cost of the copy-on-snapshot staging (the ONLY per-step critical-
+  /// path cost of the peer pipeline; pushes ride the fabric clock in the
+  /// background).
+  double peer_stage_s = 0.05;
 };
+
+/// Resolve the effective peer replica count: a positive config value wins;
+/// a zero config value defers to EASYSCALE_PEER_REPLICAS (strict parsing —
+/// malformed or out-of-[0, 15] values throw an Error naming the variable);
+/// unset means 0 (disabled).  A negative config value is an error.
+[[nodiscard]] int resolve_peer_replicas(int config_replicas);
 
 /// Goodput accounting over one supervised run (the §2.1 comparison data).
 struct GoodputStats {
@@ -109,6 +137,11 @@ struct GoodputStats {
   std::int64_t sdc_detect_latency_steps = 0;  // summed over detections
   std::int64_t witness_replays = 0;    // EST re-executions by the witness
   std::int64_t verified_checkpoints = 0;
+  std::int64_t peer_snapshots = 0;        // peer epochs committed (blessed)
+  std::int64_t peer_snapshot_aborts = 0;  // epochs drained mid-replication
+  std::int64_t peer_recoveries = 0;       // recoveries served from peer quorum
+  std::int64_t disk_recoveries = 0;       // fell back to the disk walk-back
+  std::int64_t peer_replicas_lost = 0;    // injected replica-loss events
   bool failed = false;  // only kGangRestart can fail
 
   double total_wall_s = 0.0;
@@ -119,6 +152,9 @@ struct GoodputStats {
   double lost_wall_s = 0.0;        // step time that was rolled back
   double comm_wall_s = 0.0;        // fabric time: transfers, retries, waits
   double witness_wall_s = 0.0;     // verification overhead (replay cost)
+  double peer_wall_s = 0.0;        // copy-on-snapshot staging (critical path)
+  double peer_background_s = 0.0;  // replication fabric time, overlapped —
+                                   // NOT part of total_wall_s by design
 
   /// Fraction of wall time spent on surviving training steps.
   [[nodiscard]] double goodput_fraction() const {
@@ -170,6 +206,12 @@ class FaultSupervisor {
     return condemned_;
   }
 
+  /// The peer checkpoint service of the current run (nullptr when the peer
+  /// pipeline is disabled or run_to has not started).  Test introspection.
+  [[nodiscard]] const PeerCheckpointService* peer_service() const {
+    return peer_.get();
+  }
+
  private:
   /// A sticky corrupt device: its deterministic corruptor plus the step at
   /// which corruption began (for detection-latency accounting).
@@ -201,6 +243,15 @@ class FaultSupervisor {
   void drop_slot(std::int64_t slot);
   /// Fold the engine's witness-replay delta into the wall-clock model.
   void charge_witness_wall();
+  /// Stage + replicate + commit one peer epoch at the current step.
+  void take_peer_snapshot();
+  /// Service ranks excluded from placement and recovery (condemned devices
+  /// that fall inside the peer fabric's world).
+  [[nodiscard]] std::set<int> peer_excluded() const;
+  /// Lowest usable service rank to reassemble a recovery at; -1 when none.
+  [[nodiscard]] int peer_requester() const;
+  /// A device (and its replica store) left the job for good.
+  void peer_mark_device_dead(std::int64_t device);
 
   core::EasyScaleEngine* engine_;
   core::CheckpointManager* checkpoints_;
@@ -219,6 +270,12 @@ class FaultSupervisor {
   std::map<std::int64_t, CorruptDevice> corrupt_;
   std::set<std::int64_t> condemned_;
   std::int64_t last_witness_replays_ = 0;
+  /// Peer pipeline of the current run: a dedicated storage fabric (the
+  /// checkpoint traffic must not consume the training fabric's schedule)
+  /// plus the replication service.  Service rank r == initial device r;
+  /// replacement devices live outside the peer world and hold no replicas.
+  std::unique_ptr<comm::SimTransport> peer_fabric_;
+  std::unique_ptr<PeerCheckpointService> peer_;
 };
 
 }  // namespace easyscale::fault

@@ -626,7 +626,9 @@ DigestChain chunk_chain_of(const Plan& plan,
 
 }  // namespace
 
-void Trainer::save_checkpoint(const std::string& path) {
+void Trainer::build_checkpoint_image(std::vector<std::uint8_t>* payload,
+                                     DigestChain* chain,
+                                     core::ShardFrameMeta* meta) {
   auto& params0 = replicas_[0].workload->params();
   // Assemble canonical optimizer state on rank 0 (a gather from the chunk
   // owners); rank 0's serialized state is then degree-independent.
@@ -646,24 +648,48 @@ void Trainer::save_checkpoint(const std::string& path) {
     rep.pipeline->save(w);
   }
   w.write_vector(losses_);
+  *payload = w.take();
   // Per-tensor chain over the canonical parameters (like verified
   // checkpoints) + the v3 shard frame with the per-chunk chain.
-  DigestChain chain;
+  *chain = DigestChain();
   for (std::size_t i = 0; i < params0.size(); ++i) {
     Digest d;
     d.update(std::span<const float>(params0.all()[i]->value.data()));
-    chain.push(static_cast<std::uint64_t>(i), d.value());
+    chain->push(static_cast<std::uint64_t>(i), d.value());
   }
-  core::ShardFrameMeta meta;
-  meta.world_size = static_cast<std::int32_t>(config_.world_size);
-  meta.shard_degree = plan_.shard_degree;
-  meta.total_numel = plan_.total_numel;
+  *meta = core::ShardFrameMeta{};
+  meta->world_size = static_cast<std::int32_t>(config_.world_size);
+  meta->shard_degree = plan_.shard_degree;
+  meta->total_numel = plan_.total_numel;
   for (const auto& c : plan_.chunks) {
-    meta.chunk_begin.push_back(c.begin);
-    meta.chunk_end.push_back(c.end);
+    meta->chunk_begin.push_back(c.begin);
+    meta->chunk_end.push_back(c.end);
   }
-  meta.chunk_chain = chunk_chain_of(plan_, params0);
-  core::save_checkpoint_file(path, w.take(), chain, meta);
+  meta->chunk_chain = chunk_chain_of(plan_, params0);
+}
+
+void Trainer::save_checkpoint(const std::string& path) {
+  std::vector<std::uint8_t> payload;
+  DigestChain chain;
+  core::ShardFrameMeta meta;
+  build_checkpoint_image(&payload, &chain, &meta);
+  core::save_checkpoint_file(path, payload, chain, meta);
+}
+
+std::vector<std::uint8_t> Trainer::checkpoint_bytes() {
+  std::vector<std::uint8_t> payload;
+  DigestChain chain;
+  core::ShardFrameMeta meta;
+  build_checkpoint_image(&payload, &chain, &meta);
+  ByteWriter w;
+  chain.save(w);
+  meta.save(w);
+  w.write_vector(payload);
+  // Whole-image digest trailer: the chunk chain only attests parameters,
+  // so flips inside optimizer/scheduler/RNG/loss sections need this to be
+  // rejected at restore time.
+  w.write<std::uint64_t>(digest_bytes(w.bytes()));
+  return w.take();
 }
 
 void Trainer::restore_checkpoint(const std::string& path) {
@@ -674,22 +700,44 @@ void Trainer::restore_checkpoint(const std::string& path) {
   ES_CHECK(meta.has_value(),
            "checkpoint " << path << " has no shard frame (pre-v3); "
                          << "parallel::Trainer needs a v3 checkpoint");
-  ES_CHECK(meta->world_size == config_.world_size,
-           "checkpoint world_size " << meta->world_size
+  apply_checkpoint_image(bytes, *meta, path);
+}
+
+void Trainer::restore_checkpoint_bytes(const std::vector<std::uint8_t>& bytes) {
+  ByteReader r(bytes);
+  const DigestChain chain = DigestChain::load(r);  // verifies every link
+  const core::ShardFrameMeta meta = core::ShardFrameMeta::load(r);
+  const auto payload = r.read_vector<std::uint8_t>();
+  const auto image_digest = r.read<std::uint64_t>();
+  r.require_exhausted("trainer snapshot image");
+  ES_CHECK(digest_bytes(std::span<const std::uint8_t>(
+               bytes.data(), bytes.size() - sizeof(std::uint64_t))) ==
+               image_digest,
+           "trainer snapshot image digest mismatch (torn snapshot)");
+  apply_checkpoint_image(payload, meta, "peer snapshot");
+}
+
+void Trainer::apply_checkpoint_image(const std::vector<std::uint8_t>& bytes,
+                                     const core::ShardFrameMeta& meta,
+                                     const std::string& what) {
+  ES_CHECK(meta.world_size == config_.world_size,
+           "checkpoint world_size " << meta.world_size
                                     << " != trainer world_size "
-                                    << config_.world_size);
-  ES_CHECK(meta->total_numel == plan_.total_numel,
-           "checkpoint total_numel " << meta->total_numel
+                                    << config_.world_size << " (" << what
+                                    << ")");
+  ES_CHECK(meta.total_numel == plan_.total_numel,
+           "checkpoint total_numel " << meta.total_numel
                                      << " != plan total_numel "
-                                     << plan_.total_numel);
-  ES_CHECK(meta->chunk_begin.size() == plan_.chunks.size(),
-           "checkpoint chunk count " << meta->chunk_begin.size()
+                                     << plan_.total_numel << " (" << what
+                                     << ")");
+  ES_CHECK(meta.chunk_begin.size() == plan_.chunks.size(),
+           "checkpoint chunk count " << meta.chunk_begin.size()
                                      << " != plan chunk count "
                                      << plan_.chunks.size()
                                      << " (plan_chunks must match)");
   for (std::size_t c = 0; c < plan_.chunks.size(); ++c) {
-    ES_CHECK(meta->chunk_begin[c] == plan_.chunks[c].begin &&
-                 meta->chunk_end[c] == plan_.chunks[c].end,
+    ES_CHECK(meta.chunk_begin[c] == plan_.chunks[c].begin &&
+                 meta.chunk_end[c] == plan_.chunks[c].end,
              "checkpoint chunk " << c << " bounds disagree with the plan");
   }
   ByteReader r(bytes);
@@ -737,9 +785,9 @@ void Trainer::restore_checkpoint(const std::string& path) {
   // Attest the restore against the degree-independent chunk chain: the
   // restored canonical parameters must re-derive the stored records.
   const DigestChain rechain = chunk_chain_of(plan_, params0);
-  ES_CHECK(rechain == meta->chunk_chain,
+  ES_CHECK(rechain == meta.chunk_chain,
            "restored parameters do not re-derive the checkpoint's per-chunk "
-           "digest chain");
+           "digest chain (" << what << ")");
 }
 
 void Trainer::run_steps(std::int64_t n) {

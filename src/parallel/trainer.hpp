@@ -28,6 +28,7 @@
 #include "comm/bucket.hpp"
 #include "comm/resilient.hpp"
 #include "comm/shard.hpp"
+#include "core/checkpoint_io.hpp"
 #include "data/pipeline.hpp"
 #include "kernels/exec_context.hpp"
 #include "models/workload.hpp"
@@ -166,6 +167,15 @@ class Trainer {
   /// restored parameters.
   void restore_checkpoint(const std::string& path);
 
+  /// In-memory flavour of save_checkpoint: the same canonical payload,
+  /// per-tensor digest chain and shard frame, framed into one byte vector
+  /// (the peer-checkpoint pipeline's snapshot unit — no filesystem).
+  [[nodiscard]] std::vector<std::uint8_t> checkpoint_bytes();
+
+  /// Restore from checkpoint_bytes() output, with the same cross-degree
+  /// guarantees and chunk-chain attestation as restore_checkpoint.
+  void restore_checkpoint_bytes(const std::vector<std::uint8_t>& bytes);
+
   // --- Failure-aware comm surface (resilient_comm = true only) ---
 
   [[nodiscard]] bool resilient_comm_enabled() const {
@@ -233,6 +243,16 @@ class Trainer {
   /// Copy every chunk's optimizer-state slices from its canonical owner
   /// under `from` into rank `dst` (used by reshard and checkpoint save).
   void gather_canonical_state_into(const Plan& from, std::int64_t dst);
+  /// Serialize the canonical payload, per-tensor chain and shard frame
+  /// (the pieces both the file writer and checkpoint_bytes frame).
+  void build_checkpoint_image(std::vector<std::uint8_t>* payload,
+                              DigestChain* chain,
+                              core::ShardFrameMeta* meta);
+  /// Apply a verified canonical payload + shard frame to this trainer;
+  /// `what` labels error messages (a path or "peer snapshot").
+  void apply_checkpoint_image(const std::vector<std::uint8_t>& payload,
+                              const core::ShardFrameMeta& meta,
+                              const std::string& what);
 
   TrainerConfig config_;
   std::vector<Replica> replicas_;

@@ -218,11 +218,13 @@ TEST_F(BucketCapEnv, EnvCapSmallerThanLargestParameterIsRejected) {
   EXPECT_THROW(comm::resolve_bucket_cap(0, model->params()), Error);
 }
 
-TEST_F(BucketCapEnv, GarbageEnvFallsBackToDefault) {
+TEST_F(BucketCapEnv, GarbageEnvIsRejectedWithNamedError) {
+  // A typo'd override must fail loudly (naming the variable), never train
+  // silently with the built-in default (common/env.hpp strict parsing).
   ::setenv("EASYSCALE_BUCKET_CAP", "not-a-number", 1);
   auto model = models::make_workload("NeuMF");
-  EXPECT_EQ(comm::env_default_bucket_cap(), 0);
-  EXPECT_EQ(comm::resolve_bucket_cap(0, model->params()), 4096);
+  EXPECT_THROW(comm::env_default_bucket_cap(), Error);
+  EXPECT_THROW(comm::resolve_bucket_cap(0, model->params()), Error);
 }
 
 TEST_F(BucketCapEnv, EngineLayoutRespectsEnvCap) {
