@@ -8,6 +8,9 @@
 #include <functional>
 #include <string>
 
+#include "common/env.hpp"
+#include "common/error.hpp"
+
 namespace easyscale::bench {
 
 /// Build type of THIS repo's code (NDEBUG), as stamped into benchmark
@@ -36,8 +39,17 @@ namespace easyscale::bench {
 /// continue (the "debug" build_type still lands in the artifact).
 [[nodiscard]] inline bool guard_release_build(const std::string& artifact) {
   if (is_release_build()) return true;
-  const char* allow = std::getenv("EASYSCALE_BENCH_ALLOW_DEBUG");
-  if (allow != nullptr && allow[0] == '1') {
+  // Strict parse (common/env.hpp): only 0 or 1 are meaningful, and a typo
+  // ("yes", "1x") refuses the run with an error NAMING the variable
+  // instead of being silently misread.
+  std::optional<std::int64_t> allow;
+  try {
+    allow = env_int64("EASYSCALE_BENCH_ALLOW_DEBUG", 0, 1);
+  } catch (const Error& e) {
+    std::printf("REFUSED: %s\n", e.what());
+    return false;
+  }
+  if (allow.value_or(0) == 1) {
     std::printf("WARNING: DEBUG BUILD — %s will be stamped "
                 "build_type=debug; numbers are not comparable.\n",
                 artifact.c_str());

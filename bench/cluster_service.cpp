@@ -226,9 +226,18 @@ int main(int argc, char** argv) {
                 "multi-tenant cluster service: calendar queue vs heap "
                 "(simulated events/second; see docs/SCHEDULER.md)");
   if (!bench::guard_release_build("BENCH_cluster.json")) return 2;
-  const char* threads_env = std::getenv("EASYSCALE_THREADS");
+  // Strict parse: a malformed thread override dies here, loudly naming the
+  // variable, instead of silently running single-threaded.
+  std::optional<std::int64_t> threads;
+  try {
+    threads = env_int64("EASYSCALE_THREADS", 1, 256);
+  } catch (const Error& e) {
+    std::printf("ERROR: %s\n", e.what());
+    return 2;
+  }
   std::printf("build_type=%s EASYSCALE_THREADS=%s\n", bench::build_type(),
-              threads_env != nullptr ? threads_env : "(default)");
+              threads.has_value() ? std::to_string(*threads).c_str()
+                                  : "(default)");
 
   // The small leg is hot (demand ~ capacity) so preemption, SLA tiers and
   // the fair-share path are all on the clock; the scale leg is the
@@ -323,7 +332,8 @@ int main(int argc, char** argv) {
   std::fprintf(f, "{\n  \"context\": {\n");
   std::fprintf(f, "    \"build_type\": \"%s\",\n", bench::build_type());
   std::fprintf(f, "    \"easyscale_threads\": \"%s\",\n",
-               threads_env != nullptr ? threads_env : "default");
+               threads.has_value() ? std::to_string(*threads).c_str()
+                                   : "default");
   std::fprintf(f, "    \"smoke_events_per_s\": %.1f\n",
                legs.front().events_per_s_calendar());
   std::fprintf(f, "  },\n  \"legs\": [\n");

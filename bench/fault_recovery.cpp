@@ -13,6 +13,12 @@
 //   fault_recovery [--check-baseline <path>]
 //                                      additionally gate the recovery rows
 //                                      against a checked-in baseline
+//   fault_recovery [--controller-only] run only the replicated-control-
+//                                      plane section: failover latency and
+//                                      decisions/s under leader crashes
+//                                      and partitions, cross-checked
+//                                      against the sim failover model
+//                                      (emits BENCH_controller.json)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,12 +28,14 @@
 #include "bench_util.hpp"
 #include "core/checkpoint_manager.hpp"
 #include "core/engine.hpp"
+#include "fault/controller.hpp"
 #include "fault/injector.hpp"
 #include "fault/supervisor.hpp"
 #include "kernels/device.hpp"
 #include "models/datasets.hpp"
 #include "models/profile.hpp"
 #include "models/workload.hpp"
+#include "sim/failover_model.hpp"
 #include "sim/recovery_model.hpp"
 #include "trace/generators.hpp"
 
@@ -207,18 +215,165 @@ bool run_recovery_section(const char* baseline_path) {
   return ok;
 }
 
+/// Replicated control plane under attack: one supervised NeuMF run per
+/// replica count, with f leader/follower crashes and partitions on the
+/// schedule.  Reports failover latency and committed decisions per second
+/// of controller-fabric time, cross-checked against sim::model_failover.
+/// Self-checks: the stormy digest must equal the controller-quiet digest,
+/// at least one real failover must land, and every measured failover must
+/// cost at least the model's detection floor (a failover cheaper than the
+/// heartbeat deadline would mean the cost model is broken).
+bool run_controller_section() {
+  std::printf("\nreplicated control plane (leader crashes + partitions)\n");
+  constexpr std::int64_t kSteps = 32;
+  auto wd = models::make_dataset_for("NeuMF", 128, 16, 42);
+
+  struct CtrlRow {
+    int replicas = 0;
+    bool stormy = false;
+    fault::GoodputStats stats;
+    fault::ControllerStats ctrl;
+    std::uint64_t digest = 0;
+    std::uint64_t content_tail = 0;
+  };
+  const auto run = [&](int replicas, bool stormy) {
+    core::EasyScaleEngine engine(job_config(), *wd.train, wd.augment);
+    core::CheckpointManager mgr("/tmp/es_bench_fault_recovery", 4);
+    mgr.clear();
+    std::vector<fault::FaultEvent> events;
+    if (stormy) {
+      const int f = (replicas - 1) / 2;
+      // f crashes, the first one always the bootstrap leader, spread
+      // across the run with a partition before and after each.
+      for (int k = 0; k < f; ++k) {
+        events.push_back(
+            fault::FaultEvent{.kind = fault::FaultKind::kControllerPartition,
+                              .step = 3 + 8 * k,
+                              .payload_seed = 0x51D5u + static_cast<std::uint64_t>(k)});
+        events.push_back(
+            fault::FaultEvent{.kind = fault::FaultKind::kControllerCrash,
+                              .step = 4 + 8 * k,
+                              .worker = k == 0 ? 0 : 2 * k});
+      }
+    }
+    fault::SupervisorConfig scfg;
+    scfg.policy = fault::RecoveryPolicy::kElasticScaleIn;
+    scfg.checkpoint_every = 2;
+    scfg.peer_replicas = 1;
+    scfg.peer_snapshot_every = 2;
+    scfg.controller_replicas = replicas;
+    fault::FaultSupervisor sup(engine, mgr,
+                               fault::FaultInjector(std::move(events)), scfg);
+    CtrlRow row;
+    row.replicas = replicas;
+    row.stormy = stormy;
+    row.stats = sup.run_to(kSteps, 4);
+    row.ctrl = sup.control_plane()->stats();
+    row.digest = engine.params_digest();
+    row.content_tail = sup.control_plane()->log().content_tail();
+    mgr.clear();
+    return row;
+  };
+
+  std::printf("%9s %6s %9s %9s %6s %9s %11s %11s %8s\n", "replicas", "mode",
+              "decisions", "failovers", "elect", "ctrl_s", "failover_ms",
+              "decis/s", "result");
+  bool ok = true;
+  std::vector<CtrlRow> rows;
+  for (const int replicas : {3, 5}) {
+    const CtrlRow quiet = run(replicas, /*stormy=*/false);
+    const CtrlRow stormy = run(replicas, /*stormy=*/true);
+    const bool bitwise = !quiet.stats.failed && !stormy.stats.failed &&
+                         stormy.digest == quiet.digest &&
+                         stormy.content_tail == quiet.content_tail;
+    const bool failed_over = stormy.ctrl.failovers > 0;
+
+    // Sim cross-check: the measured mean failover can never undercut the
+    // model's detection floor (the heartbeat deadline).
+    sim::FailoverModelConfig mcfg;
+    mcfg.replicas = replicas;
+    mcfg.log_entries = stormy.ctrl.decisions_committed;
+    const auto model = sim::model_failover(mcfg);
+    const double mean_failover_s =
+        failed_over ? stormy.ctrl.failover_wall_s /
+                          static_cast<double>(stormy.ctrl.failovers)
+                    : 0.0;
+    const bool floor_ok = !failed_over || mean_failover_s >= model.detect_s;
+    ok = ok && bitwise && failed_over && floor_ok;
+
+    for (const CtrlRow* r : {&quiet, &stormy}) {
+      std::printf("%9d %6s %9lld %9lld %6lld %9.3f %11.2f %11.1f %8s\n",
+                  r->replicas, r->stormy ? "storm" : "quiet",
+                  static_cast<long long>(r->ctrl.decisions_committed),
+                  static_cast<long long>(r->ctrl.failovers),
+                  static_cast<long long>(r->ctrl.elections),
+                  r->ctrl.virtual_time_s,
+                  1e3 * (r->ctrl.failovers > 0
+                             ? r->ctrl.failover_wall_s /
+                                   static_cast<double>(r->ctrl.failovers)
+                             : 0.0),
+                  r->ctrl.decisions_per_second(),
+                  r->stats.failed ? "FAILED" : (bitwise ? "exact" : "-"));
+      rows.push_back(*r);
+    }
+    std::printf("%9s model: detect %.3fs + lease %.3fs + elect %.3fs + "
+                "sync %.3fs = %.3fs per failover%s\n",
+                "", model.detect_s, model.lease_wait_s, model.election_s,
+                model.sync_s, model.total_s,
+                floor_ok ? "" : "  MEASURED-UNDER-FLOOR");
+  }
+
+  std::FILE* f = std::fopen("BENCH_controller.json", "w");
+  if (f == nullptr) {
+    std::printf("ERROR: cannot write BENCH_controller.json\n");
+    return false;
+  }
+  std::fprintf(f, "{\n  \"build_type\": \"%s\",\n  \"rows\": [\n",
+               bench::build_type());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"replicas\": %d, \"mode\": \"%s\", \"decisions\": %lld, "
+        "\"failovers\": %lld, \"controller_wall_s\": %.6f, "
+        "\"failover_wall_s\": %.6f, \"decisions_per_second\": %.3f}%s\n",
+        r.replicas, r.stormy ? "storm" : "quiet",
+        static_cast<long long>(r.ctrl.decisions_committed),
+        static_cast<long long>(r.ctrl.failovers), r.ctrl.virtual_time_s,
+        r.ctrl.failover_wall_s, r.ctrl.decisions_per_second(),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  bench::note("failover latency is controller-fabric virtual time: training "
+              "bits never depend on it (the bitwise 'exact' column is the "
+              "proof)");
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool sdc_only = false;
   bool recovery_only = false;
+  bool controller_only = false;
   const char* baseline_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--sdc-only") == 0) sdc_only = true;
     if (std::strcmp(argv[i], "--recovery-only") == 0) recovery_only = true;
+    if (std::strcmp(argv[i], "--controller-only") == 0) controller_only = true;
     if (std::strcmp(argv[i], "--check-baseline") == 0 && i + 1 < argc) {
       baseline_path = argv[++i];
     }
+  }
+  if (controller_only) {
+    bench::banner("Fault recovery (control plane)",
+                  "failover latency and decisions/s of the replicated "
+                  "controller under leader crashes and partitions");
+    const bool ok = run_controller_section();
+    bench::note(ok ? "controller bench PASSED (BENCH_controller.json written)"
+                   : "controller bench FAILED (see BENCH_controller.json)");
+    return ok ? 0 : 1;
   }
   if (recovery_only) {
     bench::banner("Fault recovery (peer replication)",

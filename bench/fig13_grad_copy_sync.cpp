@@ -49,9 +49,18 @@ int run_overlap_sweep() {
                 "pipelined bucket all-reduce during backward: on/off sweep "
                 "(modeled step times; see docs/PERFORMANCE.md)");
   if (!bench::guard_release_build("BENCH_overlap.json")) return 2;
-  const char* threads_env = std::getenv("EASYSCALE_THREADS");
+  // Strict parse: a malformed thread override dies here, loudly naming the
+  // variable, instead of silently running single-threaded.
+  std::optional<std::int64_t> threads;
+  try {
+    threads = env_int64("EASYSCALE_THREADS", 1, 256);
+  } catch (const Error& e) {
+    std::printf("ERROR: %s\n", e.what());
+    return 2;
+  }
   std::printf("build_type=%s EASYSCALE_THREADS=%s\n", bench::build_type(),
-              threads_env != nullptr ? threads_env : "(default)");
+              threads.has_value() ? std::to_string(*threads).c_str()
+                                  : "(default)");
   std::printf("%-18s %8s %12s %12s %13s %13s %9s %7s\n", "workload",
               "buckets", "wall_seq_ms", "wall_ovl_ms", "model_seq_ms",
               "model_ovl_ms", "ovl_frac", "digest");
@@ -141,7 +150,8 @@ int run_overlap_sweep() {
   std::fprintf(f, "{\n  \"context\": {\n");
   std::fprintf(f, "    \"build_type\": \"%s\",\n", bench::build_type());
   std::fprintf(f, "    \"easyscale_threads\": \"%s\",\n",
-               threads_env != nullptr ? threads_env : "default");
+               threads.has_value() ? std::to_string(*threads).c_str()
+                                   : "default");
   std::fprintf(f, "    \"num_ests\": %lld,\n",
                static_cast<long long>(kOverlapEsts));
   std::fprintf(f, "    \"measured_steps\": %lld,\n",

@@ -20,6 +20,17 @@
 //                                      degrees, and with a reshard-on-
 //                                      recover; every recovered chain must
 //                                      match the clean chain link for link
+//   determinism_audit --controller-failover
+//                                      additionally run the reference
+//                                      trajectory under the replicated
+//                                      control plane (5 replicas) with f=2
+//                                      leader crashes plus partitions, at
+//                                      worker counts 2 and 4 and against
+//                                      the ZeRO-1 trainer at shard degrees
+//                                      1 and 4; every chain and the
+//                                      decision-content tail must match
+//                                      the controller-quiet run link for
+//                                      link (bitwise failover)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -30,7 +41,10 @@
 
 #include "comm/ring.hpp"
 #include "common/digest.hpp"
+#include "core/checkpoint_manager.hpp"
 #include "core/engine.hpp"
+#include "fault/injector.hpp"
+#include "fault/supervisor.hpp"
 #include "kernels/gemm.hpp"
 #include "kernels/reduce.hpp"
 #include "kernels/scatter.hpp"
@@ -129,6 +143,64 @@ easyscale::DigestChain recovered_chain(int save_degree, int restore_degree,
   return chain;
 }
 
+/// The reference trajectory supervised by the replicated control plane
+/// (2f+1 = 5 replicas).  When `stormy`, f = 2 replica crashes — one of
+/// them the bootstrap leader — plus two partitions attack the controller
+/// mid-run; the committed decision stream and the parameter chain must be
+/// bitwise those of the controller-quiet run.  `content_tail` receives the
+/// fold of decision content digests (epoch-independent, so it compares
+/// across failover histories).
+easyscale::DigestChain controller_chain(bool stormy, std::int64_t workers,
+                                        std::uint64_t* content_tail,
+                                        std::int64_t* failovers) {
+  using namespace easyscale;
+  auto wd = models::make_dataset_for("NeuMF", /*train=*/256, /*test=*/64,
+                                     /*seed=*/7);
+  core::EasyScaleConfig cfg;
+  cfg.workload = "NeuMF";
+  cfg.num_ests = 4;
+  cfg.batch_per_est = 8;
+  cfg.seed = 7;
+  cfg.determinism.level = core::DeterminismLevel::kD1;
+  core::EasyScaleEngine engine(cfg, *wd.train, wd.augment);
+  core::CheckpointManager mgr("/tmp/es_audit_controller", 4);
+  mgr.clear();
+  std::vector<fault::FaultEvent> events;
+  if (stormy) {
+    events = {
+        fault::FaultEvent{.kind = fault::FaultKind::kControllerPartition,
+                          .step = 1,
+                          .payload_seed = 0x51D5u},
+        fault::FaultEvent{.kind = fault::FaultKind::kControllerCrash,
+                          .step = 1,
+                          .worker = 0},
+        fault::FaultEvent{.kind = fault::FaultKind::kControllerPartition,
+                          .step = 2,
+                          .payload_seed = 0xA11Cu},
+        fault::FaultEvent{.kind = fault::FaultKind::kControllerCrash,
+                          .step = 3,
+                          .worker = 3},
+    };
+  }
+  fault::SupervisorConfig scfg;
+  scfg.checkpoint_every = 2;
+  scfg.controller_replicas = 5;
+  fault::FaultSupervisor sup(engine, mgr,
+                             fault::FaultInjector(std::move(events)), scfg);
+  const auto stats = sup.run_to(4, workers);
+  if (stats.failed) {
+    std::fprintf(stderr,
+                 "   => FATAL: supervised controller run failed (%s)\n",
+                 stats.controller_unavailable ? "controller unavailable"
+                                              : "training fault");
+    std::exit(1);
+  }
+  *content_tail = sup.control_plane()->log().content_tail();
+  *failovers = stats.controller_failovers;
+  mgr.clear();
+  return engine.params_digest_chain();
+}
+
 void write_chain(std::ostream& os, const easyscale::DigestChain& chain) {
   for (const auto& rec : chain.records()) {
     char line[64];
@@ -164,6 +236,7 @@ int main(int argc, char** argv) {
   std::string compare_path;
   int shard_degree = 0;
   bool peer_recovery = false;
+  bool controller_failover = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--emit") == 0 && i + 1 < argc) {
       emit_path = argv[++i];
@@ -177,10 +250,13 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--peer-recovery") == 0) {
       peer_recovery = true;
+    } else if (std::strcmp(argv[i], "--controller-failover") == 0) {
+      controller_failover = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--emit FILE] [--compare FILE] "
-                   "[--shard-degree N] [--peer-recovery]\n",
+                   "[--shard-degree N] [--peer-recovery] "
+                   "[--controller-failover]\n",
                    argv[0]);
       return 2;
     }
@@ -310,6 +386,65 @@ int main(int argc, char** argv) {
       }
       std::printf("   (peer recovery [%s] agrees link for link)\n", c.label);
     }
+  }
+  if (controller_failover) {
+    // The replicated control plane under attack: f = 2 of 2f+1 = 5
+    // replicas crash (including the bootstrap leader) with partitions on
+    // top, at both worker counts.  Params chain AND decision-content tail
+    // must match the controller-quiet run bit for bit, and the ZeRO-1
+    // trainer at shard degrees 1 and 4 must still reproduce the same
+    // chain — controller failover is invisible at every extent.
+    for (const std::int64_t workers : {std::int64_t{2}, std::int64_t{4}}) {
+      std::uint64_t quiet_tail = 0;
+      std::uint64_t stormy_tail = 0;
+      std::int64_t quiet_failovers = 0;
+      std::int64_t stormy_failovers = 0;
+      const DigestChain quiet = controller_chain(
+          /*stormy=*/false, workers, &quiet_tail, &quiet_failovers);
+      const DigestChain stormy = controller_chain(
+          /*stormy=*/true, workers, &stormy_tail, &stormy_failovers);
+      if (chain != quiet || chain != stormy) {
+        std::fprintf(stderr,
+                     "   => FATAL: controller-supervised trajectory at %lld "
+                     "worker(s) diverged from the clean chain\n",
+                     static_cast<long long>(workers));
+        return 1;
+      }
+      if (quiet_tail != stormy_tail) {
+        std::fprintf(stderr,
+                     "   => FATAL: decision stream forked under controller "
+                     "faults at %lld worker(s) (%016llx vs %016llx)\n",
+                     static_cast<long long>(workers),
+                     static_cast<unsigned long long>(quiet_tail),
+                     static_cast<unsigned long long>(stormy_tail));
+        return 1;
+      }
+      if (quiet_failovers != 0 || stormy_failovers < 1) {
+        std::fprintf(stderr,
+                     "   => FATAL: failover counts wrong at %lld worker(s) "
+                     "(quiet %lld, stormy %lld)\n",
+                     static_cast<long long>(workers),
+                     static_cast<long long>(quiet_failovers),
+                     static_cast<long long>(stormy_failovers));
+        return 1;
+      }
+      std::printf("   (controller failover at %lld worker(s): %lld "
+                  "failover(s), chain and decision tail agree link for "
+                  "link)\n",
+                  static_cast<long long>(workers),
+                  static_cast<long long>(stormy_failovers));
+    }
+    for (const int degree : {1, 4}) {
+      if (chain != shard_chain(degree)) {
+        std::fprintf(stderr,
+                     "   => FATAL: shard degree %d diverged from the "
+                     "controller-failover chain\n",
+                     degree);
+        return 1;
+      }
+    }
+    std::printf("   (ZeRO-1 shard degrees 1 and 4 agree with the "
+                "controller-failover chain)\n");
   }
   for (const auto& rec : chain.records()) {
     std::printf("   layer %3llu digest %016llx chain %016llx\n",

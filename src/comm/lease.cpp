@@ -1,0 +1,98 @@
+#include "comm/lease.hpp"
+
+#include "common/error.hpp"
+
+namespace easyscale::comm {
+
+LeaseService::LeaseService(int world, LeaseConfig cfg)
+    : cfg_(cfg), world_(world) {
+  ES_CHECK(world_ > 0, "lease world must be positive");
+  ES_CHECK(cfg_.term_s > 0.0, "lease term must be positive");
+  ES_CHECK(cfg_.renew_period_s > 0.0, "lease renew period must be positive");
+  ES_CHECK(cfg_.renew_period_s < cfg_.term_s,
+           "lease renew period must undercut the term");
+  quorum_ = cfg_.quorum > 0 ? cfg_.quorum : world_ / 2 + 1;
+  ES_CHECK(quorum_ > world_ / 2 && quorum_ <= world_,
+           "lease quorum " << quorum_ << " must be a majority of " << world_);
+  promised_.assign(static_cast<std::size_t>(world_), 0);
+}
+
+std::int64_t LeaseService::promised(int r) const {
+  ES_CHECK(r >= 0 && r < world_, "lease replica " << r << " out of range");
+  return promised_[static_cast<std::size_t>(r)];
+}
+
+bool LeaseService::quorum_reachable(int from,
+                                    const std::vector<std::uint8_t>& alive,
+                                    const Reach& reach) const {
+  ES_CHECK(static_cast<int>(alive.size()) == world_,
+           "alive vector size mismatch");
+  int reached = 0;
+  for (int r = 0; r < world_; ++r) {
+    if (alive[static_cast<std::size_t>(r)] == 0) continue;
+    if (r == from || reach(from, r)) ++reached;
+  }
+  return reached >= quorum_;
+}
+
+LeaseState LeaseService::elect(double now,
+                               const std::vector<std::uint8_t>& alive,
+                               const Reach& reach) {
+  ES_CHECK(static_cast<int>(alive.size()) == world_,
+           "alive vector size mismatch");
+  // Candidates in ascending rank order: the deterministic tie-break when
+  // several replicas notice the vacancy at the same virtual instant.
+  for (int cand = 0; cand < world_; ++cand) {
+    if (alive[static_cast<std::size_t>(cand)] == 0) continue;
+    // The candidate's proposed epoch must beat every promise it can see.
+    std::int64_t epoch = state_.epoch;
+    for (int r = 0; r < world_; ++r) {
+      if (alive[static_cast<std::size_t>(r)] == 0) continue;
+      if (r != cand && !reach(cand, r)) continue;
+      if (promised_[static_cast<std::size_t>(r)] > epoch)
+        epoch = promised_[static_cast<std::size_t>(r)];
+    }
+    epoch += 1;
+    // Collect grants: a replica promises iff the proposal beats its fence.
+    int grants = 0;
+    std::vector<int> granted;
+    for (int r = 0; r < world_; ++r) {
+      if (alive[static_cast<std::size_t>(r)] == 0) continue;
+      if (r != cand && !reach(cand, r)) continue;
+      if (epoch > promised_[static_cast<std::size_t>(r)]) {
+        ++grants;
+        granted.push_back(r);
+      }
+    }
+    if (grants < quorum_) continue;
+    for (int r : granted) promised_[static_cast<std::size_t>(r)] = epoch;
+    state_.holder = cand;
+    state_.epoch = epoch;
+    state_.expires_s = now + cfg_.term_s;
+    return state_;
+  }
+  // No candidate reached a quorum: the lease stays vacant at the current
+  // epoch — the caller must report unavailability, not elect a minority.
+  state_.holder = -1;
+  state_.expires_s = now;
+  return state_;
+}
+
+bool LeaseService::renew(double now, const std::vector<std::uint8_t>& alive,
+                         const Reach& reach) {
+  if (state_.holder < 0) return false;
+  const auto h = static_cast<std::size_t>(state_.holder);
+  if (h >= alive.size() || alive[h] == 0 ||
+      !quorum_reachable(state_.holder, alive, reach)) {
+    vacate();
+    return false;
+  }
+  state_.expires_s = now + cfg_.term_s;
+  return true;
+}
+
+void LeaseService::vacate() {
+  state_.holder = -1;
+}
+
+}  // namespace easyscale::comm

@@ -1,0 +1,96 @@
+// Leader leases for the replicated control plane.
+//
+// A lease is a majority-granted, time-bounded claim on leadership: a
+// candidate collects promise grants from a quorum of replicas, each grant
+// fencing out every earlier epoch, and must renew before `term_s` expires
+// or leadership lapses.  Elections are fully deterministic — candidates
+// are considered in ascending rank order (the stable tie-break), each
+// replica grants at most one promise per epoch, and the winning epoch is
+// one past the highest promise any reachable replica has made — so the
+// same crash/partition schedule always elects the same leader at the same
+// epoch.  fault/controller.hpp runs this protocol over a SimTransport
+// fabric and charges the message costs; this module holds the pure
+// promise/grant state machine so it stays unit-testable on its own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "comm/transport.hpp"
+
+namespace easyscale::comm {
+
+/// Lease protocol knobs.  `retry` supplies the seeded jitter between
+/// election rounds (the controller charges its delays to virtual time).
+struct LeaseConfig {
+  double term_s = 2.0;          // lease validity from grant/renewal
+  double renew_period_s = 0.25; // leader heartbeats (and renews) this often
+  int quorum = 0;               // grants needed; 0 => majority of world
+  int max_election_rounds = 4;  // rounds before the caller gives up
+  BackoffPolicy retry{.base_s = 0.05, .max_s = 1.0, .jitter_seed = 0x1EA5E};
+};
+
+/// The current lease: who holds it, under which fencing epoch, and when it
+/// lapses on the fabric's virtual clock.  `holder < 0` means vacant.
+struct LeaseState {
+  int holder = -1;
+  std::int64_t epoch = 0;
+  double expires_s = 0.0;
+};
+
+/// The promise/grant bookkeeping of a replica group.  Connectivity and
+/// liveness are the caller's world model, passed in per call: `alive[r]`
+/// marks live replicas and `reach(a, b)` answers whether a message from
+/// `a` currently reaches `b` (partitions make this asymmetric-safe but the
+/// simulated fabric keeps it symmetric).
+class LeaseService {
+ public:
+  using Reach = std::function<bool(int, int)>;
+
+  LeaseService(int world, LeaseConfig cfg);
+
+  [[nodiscard]] int world() const { return world_; }
+  [[nodiscard]] int quorum() const { return quorum_; }
+  [[nodiscard]] const LeaseConfig& config() const { return cfg_; }
+  [[nodiscard]] const LeaseState& state() const { return state_; }
+
+  /// Highest epoch replica `r` has promised (granted) so far.  A replica
+  /// never grants or accepts writes below its promise — this is the fence
+  /// that rejects a deposed leader.
+  [[nodiscard]] std::int64_t promised(int r) const;
+
+  /// One deterministic election at virtual time `now`: live candidates are
+  /// tried in ascending rank order; the first able to collect promise
+  /// grants from a quorum (counting its own) wins at epoch
+  /// max(reachable promises) + 1 and the lease is granted until
+  /// `now + term_s`.  When no candidate can assemble a quorum — more than
+  /// f of 2f+1 replicas dead or partitioned away — the lease is left
+  /// vacant (holder -1): honest unavailability, never a minority leader.
+  LeaseState elect(double now, const std::vector<std::uint8_t>& alive,
+                   const Reach& reach);
+
+  /// Heartbeat renewal: the holder extends its term to `now + term_s` iff
+  /// it is still live and can reach a quorum of replicas.  Returns false
+  /// (and vacates the lease) otherwise — the holder has lost its majority
+  /// and must stop acting as leader.
+  bool renew(double now, const std::vector<std::uint8_t>& alive,
+             const Reach& reach);
+
+  /// Explicitly vacate the lease (the caller observed the holder crash).
+  /// The epoch is kept — it only ever moves forward.
+  void vacate();
+
+ private:
+  [[nodiscard]] bool quorum_reachable(int from,
+                                      const std::vector<std::uint8_t>& alive,
+                                      const Reach& reach) const;
+
+  LeaseConfig cfg_;
+  int world_ = 0;
+  int quorum_ = 0;
+  LeaseState state_;
+  std::vector<std::int64_t> promised_;
+};
+
+}  // namespace easyscale::comm

@@ -138,18 +138,24 @@ CollectiveReport resilient_allreduce_average(
             for (int r = 0; r < world; ++r) {
               if (transport.alive(r)) monitor.record_heartbeat(r, now);
             }
-            if (monitor.should_condemn(src, now)) {
-              monitor.declare_dead(src);
-              report.condemned.push_back(src);
-              report.incidents.push_back(
-                  {LinkFaultKind::kRankDeath, src, attempt});
+            // Condemn EVERY rank whose deadline has expired, in ascending
+            // rank order — when two deadlines expire at the same tick the
+            // outcome must not depend on which send timed out first.
+            const auto due = monitor.condemn_expired(now);
+            if (!due.empty()) {
+              for (const int dead : due) {
+                report.condemned.push_back(dead);
+                report.incidents.push_back(
+                    {LinkFaultKind::kRankDeath, dead, attempt});
+              }
               if (cfg.on_death == DeathPolicy::kAbort) {
                 report.virtual_time_s =
                     transport.stats().virtual_time_s - t_base;
                 throw RankDeathError(
-                    src, "rank " + std::to_string(src) +
-                             " condemned mid-collective (heartbeat deadline "
-                             "exceeded); in-flight all-reduce aborted");
+                    due.front(),
+                    "rank " + std::to_string(due.front()) +
+                        " condemned mid-collective (heartbeat deadline "
+                        "exceeded); in-flight all-reduce aborted");
               }
             }
           }

@@ -121,16 +121,21 @@ CollectiveReport run_sharded_collective(std::size_t num_parts,
           for (int r = 0; r < world; ++r) {
             if (transport.alive(r)) monitor.record_heartbeat(r, now);
           }
-          if (monitor.should_condemn(src, now)) {
-            monitor.declare_dead(src);
-            report.condemned.push_back(src);
-            report.incidents.push_back(
-                {LinkFaultKind::kRankDeath, src, attempt});
+          // Rank-ordered batch condemnation: simultaneous deadline expiry
+          // resolves by ascending rank, never by send order.
+          const auto due = monitor.condemn_expired(now);
+          if (!due.empty()) {
+            for (const int dead : due) {
+              report.condemned.push_back(dead);
+              report.incidents.push_back(
+                  {LinkFaultKind::kRankDeath, dead, attempt});
+            }
             report.virtual_time_s = transport.stats().virtual_time_s - t_base;
             throw RankDeathError(
-                src, "rank " + std::to_string(src) +
-                         " condemned mid-collective (heartbeat deadline "
-                         "exceeded); in-flight sharded collective aborted");
+                due.front(),
+                "rank " + std::to_string(due.front()) +
+                    " condemned mid-collective (heartbeat deadline "
+                    "exceeded); in-flight sharded collective aborted");
           }
         }
         break;  // abort the in-flight operation at the first fault

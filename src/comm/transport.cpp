@@ -320,6 +320,20 @@ bool MembershipMonitor::should_condemn(int rank, double now_s) const {
   return t >= cfg_.suspect_after_timeouts;
 }
 
+std::vector<int> MembershipMonitor::condemnable(double now_s) const {
+  std::vector<int> due;
+  for (int r = 0; r < static_cast<int>(alive_.size()); ++r) {
+    if (should_condemn(r, now_s)) due.push_back(r);
+  }
+  return due;
+}
+
+std::vector<int> MembershipMonitor::condemn_expired(double now_s) {
+  auto due = condemnable(now_s);
+  for (int r : due) declare_dead(r);
+  return due;
+}
+
 void MembershipMonitor::declare_dead(int rank) {
   ES_CHECK(rank >= 0 && rank < static_cast<int>(alive_.size()),
            "rank out of range");

@@ -237,6 +237,16 @@ class MembershipMonitor {
   /// The condemnation decision for a rank whose message just timed out.
   [[nodiscard]] bool should_condemn(int rank, double now_s) const;
 
+  /// Every live rank whose condemnation rule fires at `now_s`, in
+  /// ascending rank order — the deterministic tie-break when several
+  /// deadlines expire at the same heartbeat tick (which rank's send
+  /// happened to time out first must not decide the order).
+  [[nodiscard]] std::vector<int> condemnable(double now_s) const;
+
+  /// Condemn (declare dead) every such rank in that same rank order and
+  /// return them.  Callers that abort on death report the LOWEST rank.
+  std::vector<int> condemn_expired(double now_s);
+
   void declare_dead(int rank);
   [[nodiscard]] bool alive(int rank) const;
   [[nodiscard]] int num_live() const;

@@ -55,6 +55,51 @@ CheckpointManager::CheckpointManager(std::string prefix, int keep)
   ES_CHECK(keep_ >= 1, "must keep at least one checkpoint generation");
 }
 
+// --- Control-plane fencing -----------------------------------------------
+
+void CheckpointManager::raise_fence(std::int64_t epoch) {
+  ES_CHECK(epoch >= 0, "fencing epoch must be non-negative, got " << epoch);
+  fence_epoch_ = std::max(fence_epoch_, epoch);
+}
+
+void CheckpointManager::check_fence(std::int64_t writer_epoch,
+                                    const char* what) const {
+  if (writer_epoch < fence_epoch_) {
+    ES_THROW("stale controller epoch "
+             << writer_epoch << " below the checkpoint fence " << fence_epoch_
+             << ": " << what
+             << " rejected (a deposed leader must not mutate state)");
+  }
+}
+
+void CheckpointManager::save_fenced(std::int64_t writer_epoch,
+                                    const std::vector<std::uint8_t>& bytes) {
+  check_fence(writer_epoch, "checkpoint save");
+  raise_fence(writer_epoch);
+  save(bytes);
+}
+
+void CheckpointManager::save_fenced(std::int64_t writer_epoch,
+                                    const std::vector<std::uint8_t>& bytes,
+                                    const DigestChain& chain) {
+  check_fence(writer_epoch, "checkpoint save");
+  raise_fence(writer_epoch);
+  save(bytes, chain);
+}
+
+bool CheckpointManager::bless_epoch_fenced(std::int64_t writer_epoch,
+                                           std::int64_t epoch) {
+  check_fence(writer_epoch, "epoch bless");
+  raise_fence(writer_epoch);
+  return bless_epoch(epoch);
+}
+
+std::optional<std::vector<std::uint8_t>>
+CheckpointManager::load_latest_valid_fenced(std::int64_t reader_epoch) const {
+  check_fence(reader_epoch, "recovery restore");
+  return load_latest_valid();
+}
+
 std::string CheckpointManager::path_for(int generation) const {
   return prefix_ + "." + std::to_string(generation);
 }

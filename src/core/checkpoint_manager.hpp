@@ -33,6 +33,40 @@ class CheckpointManager {
  public:
   CheckpointManager(std::string prefix, int keep = 3);
 
+  // --- Control-plane fencing (fault/controller.hpp) ---------------------
+  //
+  // When the supervisor's decisions are made by a replicated control
+  // plane, every blessing and recovery carries the fencing epoch of the
+  // leader that committed it.  The manager tracks the highest epoch it
+  // has seen; a write or restore arriving with a LOWER epoch comes from a
+  // deposed leader and is rejected with a named error — a stale blessing
+  // can never overwrite or roll back a newer committed decision.
+
+  /// Monotone: raising to an older epoch is a no-op.
+  void raise_fence(std::int64_t epoch);
+  [[nodiscard]] std::int64_t fence_epoch() const { return fence_epoch_; }
+
+  /// Throws when `writer_epoch` sits below the fence — the caller is a
+  /// deposed leader whose lease epoch was superseded.
+  void check_fence(std::int64_t writer_epoch, const char* what) const;
+
+  /// Fence-checked saves: identical to save() once the epoch clears the
+  /// fence.  The replicated supervisor routes every blessing through
+  /// these so a stale leader's checkpoint write is rejected, not applied.
+  void save_fenced(std::int64_t writer_epoch,
+                   const std::vector<std::uint8_t>& bytes);
+  void save_fenced(std::int64_t writer_epoch,
+                   const std::vector<std::uint8_t>& bytes,
+                   const DigestChain& chain);
+
+  /// Fence-checked phase-2 bless of an epoch-addressed checkpoint.
+  bool bless_epoch_fenced(std::int64_t writer_epoch, std::int64_t epoch);
+
+  /// Fence-checked recovery read: a deposed leader must not drive a
+  /// restore decision either.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>>
+  load_latest_valid_fenced(std::int64_t reader_epoch) const;
+
   // --- Epoch-addressed checkpoints (two-phase commit + retention GC) ----
   //
   // The peer-checkpoint pipeline (fault/peer_checkpoint.hpp) addresses
@@ -127,6 +161,8 @@ class CheckpointManager {
   std::string prefix_;
   int keep_;
   std::set<std::int64_t> pinned_;
+  /// Highest controller fencing epoch seen; stale-writer rejection floor.
+  std::int64_t fence_epoch_ = 0;
 };
 
 }  // namespace easyscale::core

@@ -1,0 +1,252 @@
+// Replicated control plane: 2f+1 supervisor replicas, a leader lease, and
+// a deterministic replicated decision log.
+//
+// Every robustness layer below this one (fault schedules, SDC voting,
+// resilient collectives, peer-replicated checkpoints) assumed the
+// controller itself is immortal: fault::FaultSupervisor decided
+// membership, condemnation, blessing and resharding from outside the
+// fault domain.  This module moves those decisions into a fault domain of
+// their own.  A `ControlPlane` runs 2f+1 controller replicas over a
+// dedicated SimTransport fabric; one replica holds a majority-granted
+// leader lease (comm/lease.hpp — heartbeat-renewed, seeded-jitter
+// retries, deterministic lowest-rank tie-break), and every control
+// decision is an entry in an append-only, digest-chained decision log
+// that commits only on majority ack.  Fencing epochs reject a deposed
+// leader's stale writes; on leader death a follower wins the lease, syncs
+// the committed log from a majority and replays it, so the decision
+// stream — and therefore the training trajectory — continues bitwise
+// unchanged.  With more than f replicas gone no quorum exists and every
+// proposal raises ControllerUnavailableError: honest unavailability,
+// never a minority leader and never two logs (the split-brain argument is
+// spelled out in docs/FAULT_TOLERANCE.md).
+//
+// Determinism: elections, partitions, backoff jitter and message costs
+// are all Philox-seeded or structural, so the same fault schedule yields
+// the same leaders, the same epochs and the same committed log, bit for
+// bit.  The per-entry `content_digest` (kind/step/seq/args, *excluding*
+// the fencing epoch and index) lets tests compare the decision stream of
+// a run that failed over against one that never did.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/lease.hpp"
+#include "comm/transport.hpp"
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+
+namespace easyscale::fault {
+
+/// Control decisions the supervisor routes through the replicated log.
+enum class DecisionKind : std::uint8_t {
+  kMembershipEpoch = 0,  // the worker set changed (scale in/out, replace)
+  kCondemnPropose = 1,   // phase 1: a device/rank is suspected
+  kCondemnCommit = 2,    // phase 2: the condemnation is final
+  kQuarantine = 3,       // a device enters the cluster quarantine ledger
+  kBlessCheckpoint = 4,  // an on-disk checkpoint generation is blessed
+  kBlessPeerEpoch = 5,   // a peer-replication epoch commit is blessed
+  kReshard = 6,          // elastic reshard choice (new parallel extent)
+  kRecoveryPoint = 7,    // which saved state a recovery restores from
+  kNumKinds = 8,
+};
+
+[[nodiscard]] const char* to_string(DecisionKind kind);
+
+/// One decision-log entry.  Fixed wire format (kWireBytes exactly): a
+/// magic/version header, the dense log index, the proposing leader's
+/// fencing epoch, a per-run proposal sequence number, the training step
+/// and three kind-specific i64 arguments, then three digests — the
+/// payload digest over the decision CONTENT, the chain link binding the
+/// entry to its predecessor, and a whole-record digest so parse() rejects
+/// any flipped byte or truncation with a named error.
+struct DecisionRecord {
+  static constexpr std::uint32_t kMagic = 0x4553444Cu;  // "ESDL"
+  static constexpr std::uint16_t kVersion = 1;
+  static constexpr std::size_t kWireBytes = 88;
+
+  std::int64_t index = 0;  // dense position in the log
+  std::int64_t epoch = 0;  // fencing epoch of the proposing leader
+  std::int64_t seq = 0;    // per-run proposal number (idempotent retries)
+  DecisionKind kind = DecisionKind::kMembershipEpoch;
+  std::int64_t step = 0;  // training step the decision was made at
+  std::int64_t arg0 = 0;
+  std::int64_t arg1 = 0;
+  std::int64_t arg2 = 0;
+  std::uint64_t payload_digest = 0;  // over (kind, seq, step, args)
+  std::uint64_t chain = 0;           // link(prev_chain, index, epoch, payload)
+
+  /// Digest of the decision content only — epoch- and index-independent,
+  /// so decision streams compare across different failover histories.
+  [[nodiscard]] std::uint64_t content_digest() const;
+
+  /// Chain link for this entry given its predecessor's link (0 for the
+  /// first entry); covers index and epoch so wire tampering is evident.
+  [[nodiscard]] std::uint64_t link_after(std::uint64_t prev_chain) const;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  /// Strict parse: exact length, magic, version, kind range, payload and
+  /// whole-record digest re-verification.  Named errors, never a partial
+  /// record.  (Chain continuity is DecisionLog::append's job.)
+  [[nodiscard]] static DecisionRecord parse(
+      std::span<const std::uint8_t> bytes);
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const DecisionRecord&, const DecisionRecord&) =
+      default;
+};
+
+/// Append-only digest-chained decision log.  `append` validates dense
+/// indices, monotone epochs and chain continuity — a duplicated,
+/// reordered or cross-log entry is rejected with a named error, never
+/// applied.  serialize()/parse() round-trip the whole log with a tail
+/// digest trailer for follower sync (and the fuzz tests).
+class DecisionLog {
+ public:
+  static constexpr std::uint32_t kMagic = 0x45534C47u;  // "ESLG"
+
+  /// Build, chain and append a fresh entry (leader side).
+  const DecisionRecord& append_new(std::int64_t epoch, std::int64_t seq,
+                                   DecisionKind kind, std::int64_t step,
+                                   std::int64_t arg0 = 0,
+                                   std::int64_t arg1 = 0,
+                                   std::int64_t arg2 = 0);
+
+  /// Append a received entry after validating index/epoch/chain.
+  const DecisionRecord& append(const DecisionRecord& rec);
+
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] const std::vector<DecisionRecord>& records() const {
+    return records_;
+  }
+  /// Chain tail (0 when empty) — the bitwise witness of the whole log.
+  [[nodiscard]] std::uint64_t tail() const;
+  /// Fold of content digests only: equal across runs whose decision
+  /// streams match even when their failover histories (epochs) differ.
+  [[nodiscard]] std::uint64_t content_tail() const;
+  [[nodiscard]] std::int64_t last_epoch() const;
+
+  /// Newest entry carrying `seq`, if any (idempotent-retry lookup).
+  [[nodiscard]] const DecisionRecord* find_seq(std::int64_t seq) const;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static DecisionLog parse(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<DecisionRecord> records_;
+};
+
+/// Raised when no controller quorum is reachable: more than f of the 2f+1
+/// replicas crashed or partitioned away.  The supervisor reports honest
+/// unavailability (GoodputStats::controller_unavailable) instead of
+/// letting a minority leader keep deciding.
+class ControllerUnavailableError : public Error {
+ public:
+  explicit ControllerUnavailableError(const std::string& what) : Error(what) {}
+};
+
+struct ControllerConfig {
+  int replicas = 3;  // 2f+1; must be odd and >= 3
+  comm::LeaseConfig lease;
+  comm::TransportConfig fabric{};  // controller-fabric link model
+  double partition_heal_s = 2.0;   // injected partitions heal after this
+  int propose_attempts = 4;        // commit attempts before unavailability
+};
+
+struct ControllerStats {
+  std::int64_t decisions_proposed = 0;
+  std::int64_t decisions_committed = 0;
+  std::int64_t commit_failures = 0;   // attempts that missed the quorum
+  std::int64_t stale_rejections = 0;  // fenced-out writes from old epochs
+  std::int64_t replica_acks = 0;
+  std::int64_t elections = 0;
+  std::int64_t failovers = 0;  // leadership actually changed hands
+  std::int64_t replica_crashes = 0;
+  std::int64_t partitions = 0;
+  double virtual_time_s = 0.0;      // controller-fabric clock consumed
+  double failover_wall_s = 0.0;     // summed failover latency
+  double last_failover_s = 0.0;     // latency of the most recent failover
+  [[nodiscard]] double decisions_per_second() const;
+};
+
+/// The replicated control plane.  Single-threaded and deterministic: the
+/// supervisor calls propose(); message costs, lease waits and backoff
+/// delays advance the controller fabric's virtual clock.
+class ControlPlane {
+ public:
+  explicit ControlPlane(ControllerConfig cfg);
+
+  /// Propose a decision and drive it to majority commit.  Elects (and
+  /// syncs) a leader first when the lease is vacant, the holder crashed,
+  /// or the holder lost its majority.  Retries with seeded backoff across
+  /// partition heals; raises ControllerUnavailableError when no quorum
+  /// can be assembled within the attempt budget.  Returns the committed
+  /// record (by value: the log may move on later syncs).
+  DecisionRecord propose(DecisionKind kind, std::int64_t step,
+                         std::int64_t arg0 = 0, std::int64_t arg1 = 0,
+                         std::int64_t arg2 = 0);
+
+  /// --- Fault injection (driven by the supervisor's fault schedule) ---
+  /// Crash replica `pick % replicas`; a dead leader is detected — and
+  /// failed over — on the next proposal.
+  void crash_replica(std::int64_t pick);
+  /// Seeded partition: isolate a minority subset (1..f replicas) from the
+  /// rest until `partition_heal_s` of fabric time passes.
+  void partition(std::uint64_t seed);
+  void heal_partitions();
+
+  [[nodiscard]] int replicas() const { return cfg_.replicas; }
+  [[nodiscard]] int leader() const { return lease_.state().holder; }
+  [[nodiscard]] std::int64_t epoch() const { return lease_.state().epoch; }
+  [[nodiscard]] int live_replicas() const;
+  /// Whether some candidate could currently assemble a quorum.
+  [[nodiscard]] bool available() const;
+  /// The committed decision log (the current leader's view; with no
+  /// leader, the longest committed log any replica holds).
+  [[nodiscard]] const DecisionLog& log() const;
+  [[nodiscard]] const DecisionLog& replica_log(int r) const;
+  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  [[nodiscard]] const ControllerConfig& config() const { return cfg_; }
+
+  /// Replica-side acceptance of one entry (exposed for the fencing unit
+  /// tests): rejects epochs below the replica's promise and non-dense
+  /// indices; appends and acks otherwise.
+  bool offer_to_replica(int r, const DecisionRecord& rec);
+
+ private:
+  struct Replica {
+    DecisionLog log;
+    bool alive = true;
+    int group = 0;  // partition group; 0 is the majority side
+  };
+
+  [[nodiscard]] double now() const { return fabric_.stats().virtual_time_s; }
+  [[nodiscard]] bool reach(int a, int b) const;
+  [[nodiscard]] std::vector<std::uint8_t> alive_vec() const;
+  void heal_due();
+  /// One round of `bytes`-sized messages leader->replicas (cost model).
+  void charge_round(int src, std::int64_t bytes);
+  /// Ensure a leaseholder exists that can reach a quorum; elects, syncs
+  /// and replays the committed log on failover.  Returns false when no
+  /// candidate can assemble a quorum right now.
+  bool ensure_leader();
+  /// New-leader sync: adopt the longest committed log among reachable
+  /// replicas, then re-replicate it to every reachable replica — any
+  /// committed entry lives on a majority, so the adopted log contains
+  /// them all, and re-replication re-establishes the commit watermark.
+  void sync_leader(int new_leader);
+
+  ControllerConfig cfg_;
+  comm::SimTransport fabric_;
+  comm::LeaseService lease_;
+  std::vector<Replica> replicas_;
+  std::int64_t committed_ = 0;  // commit watermark into the leader's log
+  std::int64_t next_seq_ = 0;
+  double heal_at_ = -1.0;  // virtual time the current partition heals
+  ControllerStats stats_;
+};
+
+}  // namespace easyscale::fault

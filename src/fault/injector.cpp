@@ -35,6 +35,10 @@ const char* to_string(FaultKind kind) {
       return "sdc_perturb";
     case FaultKind::kPeerReplicaLoss:
       return "peer_replica_loss";
+    case FaultKind::kControllerCrash:
+      return "controller_crash";
+    case FaultKind::kControllerPartition:
+      return "controller_partition";
     default:
       return "unknown";
   }
@@ -168,6 +172,32 @@ FaultInjector FaultInjector::from_config(const FaultPlanConfig& cfg) {
     e.worker = worker;
     e.payload_seed = sub_seed;
     events.push_back(e);
+  }
+  // Control-plane kinds draw from a fifth dedicated stream with the same
+  // triple-draw discipline: arming controller crashes/partitions leaves the
+  // classic, comm, SDC and peer schedules for the same seed bitwise intact.
+  rng::Philox ctrl_gen(cfg.seed ^ stream_salt(StreamId::kControllerPlan));
+  const struct {
+    FaultKind kind;
+    double rate;
+  } ctrl_kinds[] = {
+      {FaultKind::kControllerCrash, cfg.controller_crash_rate},
+      {FaultKind::kControllerPartition, cfg.controller_partition_rate},
+  };
+  for (std::int64_t step = 1; step < cfg.horizon_steps; ++step) {
+    for (const auto& k : ctrl_kinds) {
+      const double u = ctrl_gen.next_double();
+      const auto worker = static_cast<std::int64_t>(
+          ctrl_gen.next_below(static_cast<std::uint64_t>(cfg.num_workers)));
+      const std::uint64_t sub_seed = ctrl_gen.next_u64();
+      if (u >= k.rate) continue;
+      FaultEvent e;
+      e.kind = k.kind;
+      e.step = step;
+      e.worker = worker;
+      e.payload_seed = sub_seed;
+      events.push_back(e);
+    }
   }
   return FaultInjector(std::move(events));
 }

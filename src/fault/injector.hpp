@@ -30,7 +30,9 @@ enum class FaultKind : std::uint8_t {
   kSdcBitFlip = 8,      // sticky device: mantissa bit-flips on kernel outputs
   kSdcPerturb = 9,      // sticky device: bounded relative perturbations
   kPeerReplicaLoss = 10,  // a rank's in-memory peer-checkpoint replica is lost
-  kNumKinds = 11,
+  kControllerCrash = 11,  // one control-plane replica dies (leader => failover)
+  kControllerPartition = 12,  // controller fabric splits; heals after a delay
+  kNumKinds = 13,
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -83,6 +85,13 @@ struct FaultPlanConfig {
   // stream (StreamId::kPeerPlan) so enabling it reshuffles none of the
   // schedules above.
   double peer_replica_loss_rate = 0.0;
+  // Control-plane faults: a controller replica crash or a controller-fabric
+  // partition (the event's `worker` picks the replica / partition pivot,
+  // `payload_seed` keys the isolated subset).  Drawn from a fifth salted
+  // stream (StreamId::kControllerPlan) so arming them leaves every earlier
+  // family's schedule for the same seed bitwise unchanged.
+  double controller_crash_rate = 0.0;
+  double controller_partition_rate = 0.0;
 };
 
 /// A fixed schedule of fault events plus a consume cursor.  Events fire at

@@ -29,6 +29,9 @@ enum class StreamId : std::uint64_t {
   /// Peer-checkpoint replica loss (a rank's in-memory replica store drops a
   /// frame — DRAM eviction, process restart, NIC flap during replication).
   kPeerPlan = 0x9EE2C4EC4A11ull,
+  /// Control-plane faults (controller replica crash / controller-fabric
+  /// partition) against the replicated supervisor of fault/controller.hpp.
+  kControllerPlan = 0xC07701F1A5EDull,
 };
 
 [[nodiscard]] constexpr std::uint64_t stream_salt(StreamId id) {
@@ -47,5 +50,13 @@ static_assert(stream_salt(StreamId::kPeerPlan) !=
               stream_salt(StreamId::kCommFaultPlan));
 static_assert(stream_salt(StreamId::kPeerPlan) !=
               stream_salt(StreamId::kSdcPlan));
+static_assert(stream_salt(StreamId::kControllerPlan) !=
+              stream_salt(StreamId::kFaultPlan));
+static_assert(stream_salt(StreamId::kControllerPlan) !=
+              stream_salt(StreamId::kCommFaultPlan));
+static_assert(stream_salt(StreamId::kControllerPlan) !=
+              stream_salt(StreamId::kSdcPlan));
+static_assert(stream_salt(StreamId::kControllerPlan) !=
+              stream_salt(StreamId::kPeerPlan));
 
 }  // namespace easyscale::fault

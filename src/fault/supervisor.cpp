@@ -41,6 +41,34 @@ FaultSupervisor::FaultSupervisor(core::EasyScaleEngine& engine,
   ES_CHECK(config_.ranks_per_node >= 1, "need at least one rank per node");
   ES_CHECK(config_.peer_keep_epochs >= 1,
            "must keep at least one peer epoch");
+  ES_CHECK(config_.controller_replicas == 0 ||
+               (config_.controller_replicas >= 3 &&
+                config_.controller_replicas % 2 == 1),
+           "controller_replicas must be 0 (disabled) or odd and >= 3, got "
+               << config_.controller_replicas);
+}
+
+std::optional<DecisionRecord> FaultSupervisor::decide(DecisionKind kind,
+                                                      std::int64_t arg0,
+                                                      std::int64_t arg1,
+                                                      std::int64_t arg2) {
+  if (!control_) return std::nullopt;
+  // Propose-then-apply: the caller acts only AFTER the entry committed on a
+  // majority.  The controller fabric's virtual-time delta (commit rounds,
+  // elections, partition waits) is charged to the wall model; the decision
+  // CONTENT never depends on wall time, so the committed stream is bitwise
+  // identical across failover histories.
+  const double before = control_->stats().virtual_time_s;
+  DecisionRecord rec =
+      control_->propose(kind, engine_->global_step(), arg0, arg1, arg2);
+  const double spent = control_->stats().virtual_time_s - before;
+  stats_.controller_wall_s += spent;
+  stats_.total_wall_s += spent;
+  ++stats_.controller_decisions;
+  // Every commit carries the leader's fencing epoch forward to the
+  // checkpoint store: a deposed leader's writes die at the fence.
+  checkpoints_->raise_fence(rec.epoch);
+  return rec;
 }
 
 void FaultSupervisor::rearm_hooks() {
@@ -117,8 +145,23 @@ void FaultSupervisor::take_peer_snapshot() {
   // Copy-on-snapshot staging is the only critical-path cost; the frame
   // pushes ride the dedicated fabric's clock and surface as
   // peer_background_s at the end of the run.
-  if (peer_->snapshot(engine_->global_step(), engine_->checkpoint(),
-                      peer_excluded())) {
+  if (control_) {
+    // Replicated path: the epoch commit is a control decision.  Frames are
+    // staged and pushed first, the blessing commits on the decision log,
+    // and only then does the epoch become recoverable — a leader that dies
+    // between push and bless leaves an unblessed epoch the next leader's
+    // replayed log knows nothing about (exactly like a torn phase-1 disk
+    // write).
+    peer_->stage(engine_->global_step(), engine_->checkpoint());
+    if (peer_->replicate_staged(peer_excluded())) {
+      decide(DecisionKind::kBlessPeerEpoch, engine_->global_step());
+      peer_->commit_prepared();
+      ++stats_.peer_snapshots;
+    } else {
+      ++stats_.peer_snapshot_aborts;
+    }
+  } else if (peer_->snapshot(engine_->global_step(), engine_->checkpoint(),
+                             peer_excluded())) {
     ++stats_.peer_snapshots;
   } else {
     ++stats_.peer_snapshot_aborts;
@@ -170,6 +213,11 @@ double FaultSupervisor::step_cost() const {
 }
 
 void FaultSupervisor::save_checkpoint() {
+  // Replicated path: the blessing is a control decision FIRST; the write
+  // then carries the committing leader's fencing epoch so a deposed
+  // leader's save is rejected at the store.
+  const auto bless =
+      decide(DecisionKind::kBlessCheckpoint, config_.sdc_defense ? 1 : 0);
   if (config_.sdc_defense) {
     // Record the parameter digest chain with the payload, then bless the
     // fresh generation ONLY when the engine state it captures is witness-
@@ -177,11 +225,19 @@ void FaultSupervisor::save_checkpoint() {
     // witness just cleared.  A generation written while an undetected
     // corruption was live stays un-blessed and is skipped by the SDC
     // walk-back.
-    checkpoints_->save(engine_->checkpoint(), engine_->params_digest_chain());
+    if (bless.has_value()) {
+      checkpoints_->save_fenced(bless->epoch, engine_->checkpoint(),
+                                engine_->params_digest_chain());
+    } else {
+      checkpoints_->save(engine_->checkpoint(),
+                         engine_->params_digest_chain());
+    }
     if (engine_->last_clean_witness_step() == engine_->global_step() &&
         checkpoints_->verify_generation(0)) {
       ++stats_.verified_checkpoints;
     }
+  } else if (bless.has_value()) {
+    checkpoints_->save_fenced(bless->epoch, engine_->checkpoint());
   } else {
     checkpoints_->save(engine_->checkpoint());
   }
@@ -196,6 +252,13 @@ bool FaultSupervisor::recover(bool shrink_one, int consecutive_faults) {
   const double cost_before = step_cost();
   const bool shrinking = config_.policy == RecoveryPolicy::kElasticScaleIn &&
                          shrink_one && workers_ > 1;
+  // Two-phase condemnation on the decision log: the crashed device is
+  // proposed, then committed, BEFORE any state mutates — a failover in
+  // between replays both entries and lands in the same place.
+  if (shrinking) {
+    decide(DecisionKind::kCondemnPropose, device_of_slot_.back());
+    decide(DecisionKind::kCondemnCommit, device_of_slot_.back());
+  }
   // The crashed device's DRAM is gone BEFORE any fetch: its replica store
   // must not serve the recovery.  (By convention the highest slot dies —
   // which slot is immaterial to training bits.)
@@ -218,8 +281,10 @@ bool FaultSupervisor::recover(bool shrink_one, int consecutive_faults) {
       }
     }
   }
+  const bool from_peer = bytes.has_value();
   if (!bytes.has_value()) {
-    bytes = checkpoints_->load_latest_valid();
+    bytes = control_ ? checkpoints_->load_latest_valid_fenced(control_->epoch())
+                     : checkpoints_->load_latest_valid();
     if (bytes.has_value()) ++stats_.disk_recoveries;
   }
   if (!bytes.has_value()) {
@@ -227,10 +292,14 @@ bool FaultSupervisor::recover(bool shrink_one, int consecutive_faults) {
                 "job lost");
     return false;
   }
+  // Which saved state this recovery restores from (0 = peer quorum,
+  // 1 = disk walk-back) is itself a committed decision.
+  decide(DecisionKind::kRecoveryPoint, from_peer ? 0 : 1, before);
   if (shrinking) {
     drop_slot(workers_ - 1);
     --workers_;
     ++stats_.scale_ins;
+    decide(DecisionKind::kMembershipEpoch, workers_, -1, 2);
   }
   reshape_workers();
   engine_->restore(*bytes);
@@ -265,6 +334,13 @@ bool FaultSupervisor::recover_from_sdc(const core::IntegrityError& e,
   const double cost_before = step_cost();
   const std::int64_t slot = e.worker();
   const std::int64_t device = device_of_slot_[static_cast<std::size_t>(slot)];
+  // Two-phase condemnation + quarantine on the decision log (arg1 = 1
+  // flags the SDC origin).  All three entries commit BEFORE any local
+  // state mutates, so a mid-recovery failover replays them and the new
+  // leader's quarantine view matches exactly.
+  decide(DecisionKind::kCondemnPropose, device, 1);
+  decide(DecisionKind::kCondemnCommit, device, 1);
+  decide(DecisionKind::kQuarantine, device, slot);
   condemned_.insert(device);
   // Nothing the corrupt device holds is trusted again — not even replica
   // frames it stored for OTHER ranks (its DRAM integrity is in question).
@@ -305,6 +381,7 @@ bool FaultSupervisor::recover_from_sdc(const core::IntegrityError& e,
       stats_.total_wall_s += config_.replacement_wait_s;
     }
   }
+  decide(DecisionKind::kMembershipEpoch, workers_, device, 3);
   ++stats_.devices_quarantined;
   stats_.recovery_wall_s += config_.sdc_repair_s;
   stats_.total_wall_s += config_.sdc_repair_s;
@@ -329,9 +406,11 @@ bool FaultSupervisor::recover_from_sdc(const core::IntegrityError& e,
       }
     }
   }
+  decide(DecisionKind::kRecoveryPoint, restored.has_value() ? 0 : 1, before);
   if (restored.has_value()) {
     engine_->restore(*restored);
   } else {
+    if (control_) checkpoints_->check_fence(control_->epoch(), "SDC restore");
     const auto verified = checkpoints_->load_latest_verified();
     if (!verified.has_value()) {
       ES_LOG_WARN("no peer quorum and no verified checkpoint generation on "
@@ -393,13 +472,46 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
     pcfg.keep_epochs = config_.peer_keep_epochs;
     peer_ = std::make_unique<PeerCheckpointService>(*peer_fabric_, pcfg);
   }
+  // Replicated control plane: 2f+1 supervisor replicas over their own
+  // fabric.  Every decision below goes through decide() — proposed to the
+  // log, applied only once committed on a majority.
+  control_.reset();
+  if (config_.controller_replicas > 0) {
+    ControllerConfig ccfg = config_.controller;
+    ccfg.replicas = config_.controller_replicas;
+    control_ = std::make_unique<ControlPlane>(ccfg);
+  }
   reshape_workers();
-  // Anchor generation: recovery is always possible, even when the very
-  // first steps are hit.  Under sdc_defense it is verified (step 0 is the
-  // witness chain's trusted root).
-  save_checkpoint();
-  take_peer_snapshot();
+  try {
+    // The run opens with a committed membership epoch: the initial worker
+    // set is itself a decision a failed-over leader must replay.
+    decide(DecisionKind::kMembershipEpoch, workers_, -1, 0);
+    // Anchor generation: recovery is always possible, even when the very
+    // first steps are hit.  Under sdc_defense it is verified (step 0 is the
+    // witness chain's trusted root).
+    save_checkpoint();
+    take_peer_snapshot();
+    run_loop(target_step);
+  } catch (const ControllerUnavailableError& e) {
+    // More than f of the 2f+1 replicas are gone: no quorum, no leader, no
+    // decisions.  Honest unavailability — the job halts rather than let a
+    // minority leader keep mutating state (split-brain).
+    ES_LOG_WARN("control plane lost quorum; halting: " << e.what());
+    stats_.controller_unavailable = true;
+    stats_.failed = true;
+  }
+  stats_.steps_completed = engine_->global_step();
+  stats_.witness_replays = engine_->witness_stats().replays;
+  if (peer_) {
+    stats_.peer_background_s = peer_->stats().replicate_virtual_s;
+  }
+  if (control_) {
+    stats_.controller_failovers = control_->stats().failovers;
+  }
+  return stats_;
+}
 
+void FaultSupervisor::run_loop(std::int64_t target_step) {
   int consecutive_faults = 0;
   std::int64_t clean_steps = 0;
   while (engine_->global_step() < target_step) {
@@ -426,7 +538,13 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
             // nothing is lost and no rollback happens.
             save_checkpoint();
             if (workers_ > 1) {
-              drop_slot(static_cast<std::int64_t>(event.worker) % workers_);
+              const std::int64_t slot =
+                  static_cast<std::int64_t>(event.worker) % workers_;
+              // The shrink is a committed membership decision (arg1 = the
+              // revoked device, arg2 = 1 flags a graceful revocation).
+              decide(DecisionKind::kMembershipEpoch, workers_ - 1,
+                     device_of_slot_[static_cast<std::size_t>(slot)], 1);
+              drop_slot(slot);
               --workers_;
               reshape_workers();
               ++stats_.scale_ins;
@@ -501,6 +619,27 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
           // from now on is corrupted (no exception, no crash).  Detection —
           // if anyone is watching — happens at the next witness step.
           arm_sdc(event);
+          break;
+        case FaultKind::kControllerCrash:
+          // A controller replica dies.  Training is untouched; the loss
+          // surfaces at the next decision — a dead LEADER costs a lease
+          // failover, a dead follower at worst thins the ack quorum.  With
+          // the control plane disabled the event is a no-op (the in-process
+          // supervisor has no replicas to lose).
+          if (control_) {
+            control_->crash_replica(static_cast<std::int64_t>(event.worker));
+            ++stats_.controller_crashes;
+          }
+          break;
+        case FaultKind::kControllerPartition:
+          // The controller fabric partitions: a seeded minority subset
+          // (never a majority — quorum math, not luck) is isolated until
+          // partition_heal_s of fabric time passes.  Decisions stall or
+          // fail over, they never fork.
+          if (control_) {
+            control_->partition(event.payload_seed);
+            ++stats_.controller_partitions;
+          }
           break;
         case FaultKind::kPeerReplicaLoss:
           // One frame evaporates from a rank's replica shelf (host OOM,
@@ -591,7 +730,9 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
         config_.regrow_after_clean_steps > 0 && workers_ < initial_workers_ &&
         ++clean_steps >= config_.regrow_after_clean_steps) {
       // Refill with a FRESH device: condemned ids never re-enter the slot
-      // map, so a quarantined device stays quarantined forever.
+      // map, so a quarantined device stays quarantined forever.  The
+      // reshard choice (new extent, new device) commits first.
+      decide(DecisionKind::kReshard, workers_ + 1, next_device_id_);
       device_of_slot_.push_back(next_device_id_++);
       ++workers_;
       reshape_workers();
@@ -601,12 +742,6 @@ GoodputStats FaultSupervisor::run_to(std::int64_t target_step,
       clean_steps = 0;
     }
   }
-  stats_.steps_completed = engine_->global_step();
-  stats_.witness_replays = engine_->witness_stats().replays;
-  if (peer_) {
-    stats_.peer_background_s = peer_->stats().replicate_virtual_s;
-  }
-  return stats_;
 }
 
 }  // namespace easyscale::fault

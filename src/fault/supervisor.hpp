@@ -32,6 +32,7 @@
 #include "fault/quarantine_feed.hpp"
 #include "core/engine.hpp"
 #include "core/integrity.hpp"
+#include "fault/controller.hpp"
 #include "fault/injector.hpp"
 #include "fault/integrity.hpp"
 #include "fault/peer_checkpoint.hpp"
@@ -109,6 +110,18 @@ struct SupervisorConfig {
   /// path cost of the peer pipeline; pushes ride the fabric clock in the
   /// background).
   double peer_stage_s = 0.05;
+
+  // --- Replicated control plane (fault/controller.hpp) ---
+  /// 2f+1 controller replicas; 0 keeps the historical in-process supervisor
+  /// (no replication, no decision log — behaviour bitwise unchanged).  When
+  /// positive it must be odd and >= 3; the supervisor then PROPOSES every
+  /// control decision to the replicated log and APPLIES only committed
+  /// entries, so a leader crash fails over to a follower that replays the
+  /// same committed stream and training continues bitwise unchanged.
+  int controller_replicas = 0;
+  /// Lease/fabric/heal parameters of the control plane (`replicas` inside
+  /// is overridden by controller_replicas above).
+  ControllerConfig controller;
 };
 
 /// Resolve the effective peer replica count: a positive config value wins;
@@ -142,7 +155,12 @@ struct GoodputStats {
   std::int64_t peer_recoveries = 0;       // recoveries served from peer quorum
   std::int64_t disk_recoveries = 0;       // fell back to the disk walk-back
   std::int64_t peer_replicas_lost = 0;    // injected replica-loss events
-  bool failed = false;  // only kGangRestart can fail
+  std::int64_t controller_decisions = 0;   // committed decision-log entries
+  std::int64_t controller_failovers = 0;   // leadership changed hands
+  std::int64_t controller_crashes = 0;     // injected replica crashes
+  std::int64_t controller_partitions = 0;  // injected fabric partitions
+  bool controller_unavailable = false;  // > f replicas lost: no quorum
+  bool failed = false;  // kGangRestart, torn disks, or a lost control plane
 
   double total_wall_s = 0.0;
   double step_wall_s = 0.0;        // time inside surviving steps
@@ -151,6 +169,7 @@ struct GoodputStats {
   double reconfig_wall_s = 0.0;    // graceful scale in/out
   double lost_wall_s = 0.0;        // step time that was rolled back
   double comm_wall_s = 0.0;        // fabric time: transfers, retries, waits
+  double controller_wall_s = 0.0;  // control-plane commits + failovers
   double witness_wall_s = 0.0;     // verification overhead (replay cost)
   double peer_wall_s = 0.0;        // copy-on-snapshot staging (critical path)
   double peer_background_s = 0.0;  // replication fabric time, overlapped —
@@ -212,6 +231,13 @@ class FaultSupervisor {
     return peer_.get();
   }
 
+  /// The replicated control plane of the current run (nullptr when
+  /// controller_replicas == 0 or run_to has not started).  Tests compare
+  /// its committed log's content_tail() across failover histories.
+  [[nodiscard]] const ControlPlane* control_plane() const {
+    return control_.get();
+  }
+
  private:
   /// A sticky corrupt device: its deterministic corruptor plus the step at
   /// which corruption began (for detection-latency accounting).
@@ -223,6 +249,18 @@ class FaultSupervisor {
   /// Simulated wall-seconds of one global step at the current worker count
   /// (ESTs on one worker run serially, §3.2).
   [[nodiscard]] double step_cost() const;
+  /// Propose one decision to the replicated log and wait for its commit;
+  /// charges the control plane's virtual time to the wall model and raises
+  /// the checkpoint fence to the committing leader's epoch.  nullopt when
+  /// the control plane is disabled (the historical in-process path).
+  /// Propagates ControllerUnavailableError when quorum is lost for good.
+  std::optional<DecisionRecord> decide(DecisionKind kind,
+                                       std::int64_t arg0 = 0,
+                                       std::int64_t arg1 = 0,
+                                       std::int64_t arg2 = 0);
+  /// The supervision loop proper (run_to's body after setup); split out so
+  /// run_to can catch ControllerUnavailableError around the whole run.
+  void run_loop(std::int64_t target_step);
   void save_checkpoint();
   /// Roll back to the newest valid generation; optionally drop one worker
   /// (elastic crash path).  Returns false when recovery is impossible.
@@ -276,6 +314,8 @@ class FaultSupervisor {
   /// replacement devices live outside the peer world and hold no replicas.
   std::unique_ptr<comm::SimTransport> peer_fabric_;
   std::unique_ptr<PeerCheckpointService> peer_;
+  /// Replicated control plane of the current run (controller_replicas > 0).
+  std::unique_ptr<ControlPlane> control_;
 };
 
 }  // namespace easyscale::fault

@@ -131,4 +131,25 @@ bool IntraJobScheduler::quarantine_worker(std::int64_t slot) {
   return true;
 }
 
+int IntraJobScheduler::apply_quarantine_decisions(
+    const fault::DecisionLog& log) {
+  // Only entries BEHIND the cursor are new; the cursor then jumps to the
+  // log's end, so replaying the same committed log (e.g. after a controller
+  // failover handed a follower the full history) applies nothing twice.
+  int vacated = 0;
+  const auto& records = log.records();
+  for (std::size_t i = static_cast<std::size_t>(quarantine_cursor_);
+       i < records.size(); ++i) {
+    const auto& rec = records[i];
+    if (rec.kind != fault::DecisionKind::kQuarantine) continue;
+    // arg1 carries the condemned worker slot (arg0 is the device id, kept
+    // for the cluster ledger).  A slot that cannot be vacated any more —
+    // the membership already moved past it — is skipped, not an error:
+    // the decision was applied by whoever committed it.
+    if (quarantine_worker(rec.arg1)) ++vacated;
+  }
+  quarantine_cursor_ = static_cast<std::int64_t>(records.size());
+  return vacated;
+}
+
 }  // namespace easyscale::sched

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "core/engine.hpp"
+#include "fault/controller.hpp"
 #include "sched/companion.hpp"
 
 namespace easyscale::sched {
@@ -58,6 +59,19 @@ class IntraJobScheduler {
     return blocklist_;
   }
 
+  /// Consume COMMITTED kQuarantine entries from the replicated decision
+  /// log (fault/controller.hpp): each unseen entry's slot (arg1) is vacated
+  /// via quarantine_worker.  An internal cursor makes repeated calls
+  /// idempotent — replaying the log after a controller failover applies
+  /// each quarantine exactly once.  Returns the number of workers vacated
+  /// this call.
+  int apply_quarantine_decisions(const fault::DecisionLog& log);
+
+  /// Log entries already consumed by apply_quarantine_decisions.
+  [[nodiscard]] std::int64_t quarantine_log_cursor() const {
+    return quarantine_cursor_;
+  }
+
   /// Drop the current plan (the job pauses; GPUs return to the pool).  The
   /// engine keeps its last worker set but the cluster stops stepping it.
   void release() {
@@ -80,6 +94,7 @@ class IntraJobScheduler {
   Plan previous_;
   double previous_observed_ = 0.0;
   std::vector<core::WorkerSpec> blocklist_;
+  std::int64_t quarantine_cursor_ = 0;  // decision-log entries consumed
 };
 
 }  // namespace easyscale::sched

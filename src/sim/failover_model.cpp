@@ -1,0 +1,68 @@
+#include "sim/failover_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace easyscale::sim {
+
+namespace {
+
+/// One control message on the fabric: fixed latency + wire time.
+double message_s(const comm::TransportConfig& fabric, std::int64_t bytes) {
+  return fabric.link_latency_s +
+         static_cast<double>(bytes) / fabric.link_bandwidth_bps;
+}
+
+// Control-message sizes, mirroring fault/controller.cpp's cost model.
+constexpr std::int64_t kHeartbeatBytes = 48;
+constexpr std::int64_t kAckBytes = 16;
+constexpr std::int64_t kLogHeaderBytes = 16;  // magic + count + tail digest
+
+}  // namespace
+
+FailoverModelResult model_failover(const FailoverModelConfig& config) {
+  ES_CHECK(config.replicas >= 3 && config.replicas % 2 == 1,
+           "failover model needs an odd replica count >= 3, got "
+               << config.replicas);
+  ES_CHECK(config.log_entries >= 0, "log_entries must be non-negative");
+  ES_CHECK(config.entry_bytes >= 1, "entry_bytes must be positive");
+
+  const auto& f = config.fabric;
+  const int followers = config.replicas - 1;
+  FailoverModelResult r;
+
+  // 1. Detection: the dead leader's heartbeat silence must age past the
+  //    deadline before anyone acts.
+  r.detect_s = f.heartbeat_deadline_s;
+
+  // 2. Lease wait: no new grant is safe while the deposed holder could
+  //    still believe it leads, so the worst case waits out a freshly
+  //    renewed term in full.
+  r.lease_wait_s = config.lease.term_s;
+
+  // 3. Election: one promise round — a header-sized request plus an ack
+  //    per surviving replica, charged sequentially like the fabric does.
+  r.election_s = static_cast<double>(followers) *
+                 (message_s(f, kHeartbeatBytes) + message_s(f, kAckBytes));
+
+  // 4. Sync: probe each replica's log length, fetch the longest log, then
+  //    re-replicate it to the remaining followers (each with an ack).
+  const std::int64_t log_bytes =
+      kLogHeaderBytes + config.log_entries * config.entry_bytes;
+  r.sync_s = static_cast<double>(followers) * message_s(f, kHeartbeatBytes) +
+             message_s(f, log_bytes) +
+             static_cast<double>(std::max(0, followers - 1)) *
+                 (message_s(f, log_bytes) + message_s(f, kAckBytes));
+
+  r.total_s = r.detect_s + r.lease_wait_s + r.election_s + r.sync_s;
+
+  // Steady state: one commit ships the record to every follower and
+  // collects acks.
+  r.commit_round_s = static_cast<double>(followers) *
+                     (message_s(f, config.entry_bytes) +
+                      message_s(f, kAckBytes));
+  return r;
+}
+
+}  // namespace easyscale::sim

@@ -1,0 +1,57 @@
+// Controller failover-latency model.
+//
+// Analytic counterpart of the replicated control plane's charge model
+// (fault/controller.hpp): when the supervisor leader dies, how long until
+// a follower holds the lease and the committed decision log is back in
+// service?  The model decomposes the latency the ControlPlane charges to
+// its fabric clock — failure detection, waiting out the dead leader's
+// lease, the promise round of the election, and the new-leader log sync —
+// from the same TransportConfig/LeaseConfig parameters, so the
+// BENCH_fault_recovery --controller-only section can report measured
+// failover latency side by side with the model's decomposition and the
+// two agree on the floor (a measured failover can never beat detection).
+//
+// Also models the steady-state decision throughput: one commit costs a
+// record round (kWireBytes to each follower) plus an ack round, so
+// decisions/s ~= 1 / commit_round_s at quorum.
+#pragma once
+
+#include <cstdint>
+
+#include "comm/lease.hpp"
+#include "comm/transport.hpp"
+
+namespace easyscale::sim {
+
+struct FailoverModelConfig {
+  /// Controller replica count (2f+1).
+  int replicas = 3;
+  /// Controller-fabric link model (latency/bandwidth/deadlines).
+  comm::TransportConfig fabric;
+  /// Lease parameters (term length bounds the wait for a dead leader's
+  /// lease to lapse).
+  comm::LeaseConfig lease;
+  /// Committed decision-log entries the new leader must sync.
+  std::int64_t log_entries = 0;
+  /// Wire bytes per decision record (DecisionRecord::kWireBytes).
+  std::int64_t entry_bytes = 88;
+};
+
+struct FailoverModelResult {
+  double detect_s = 0.0;      // heartbeat silence until the death is seen
+  double lease_wait_s = 0.0;  // worst case: the full remaining lease term
+  double election_s = 0.0;    // promise round to the surviving replicas
+  double sync_s = 0.0;        // probe + fetch + re-replicate the log
+  double total_s = 0.0;       // sum: the modelled worst-case failover
+  double commit_round_s = 0.0;  // one decision commit at quorum
+  /// Steady-state committed decisions per second (no faults).
+  [[nodiscard]] double decisions_per_second() const {
+    return commit_round_s > 0.0 ? 1.0 / commit_round_s : 0.0;
+  }
+};
+
+/// Evaluate the model.  Deterministic for a config.
+[[nodiscard]] FailoverModelResult model_failover(
+    const FailoverModelConfig& config);
+
+}  // namespace easyscale::sim

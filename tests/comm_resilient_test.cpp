@@ -360,6 +360,37 @@ TEST(MembershipMonitor, TimeoutPlusOverdueHeartbeatCondemns) {
   EXPECT_EQ(monitor.num_live(), 3);
 }
 
+TEST(MembershipMonitor, SimultaneousExpiryCondemnsInAscendingRankOrder) {
+  // Two workers' deadlines expire at the SAME heartbeat tick.  The order
+  // their timeouts were noted (which send happened to fail first) must not
+  // decide the condemnation order: it is always ascending rank, so every
+  // replica of the control plane derives the identical decision sequence.
+  TransportConfig cfg;  // heartbeat_deadline_s = 0.25
+  const double tick = 1.0 + cfg.heartbeat_deadline_s + 0.01;
+
+  MembershipMonitor fwd(4, cfg);
+  for (int r = 0; r < 4; ++r) fwd.record_heartbeat(r, 1.0);
+  fwd.record_heartbeat(0, tick);  // rank 0 stays fresh
+  fwd.note_timeout(1);
+  fwd.note_timeout(3);
+
+  MembershipMonitor rev(4, cfg);
+  for (int r = 0; r < 4; ++r) rev.record_heartbeat(r, 1.0);
+  rev.record_heartbeat(0, tick);
+  rev.note_timeout(3);  // noted in the OPPOSITE order
+  rev.note_timeout(1);
+
+  EXPECT_EQ(fwd.condemnable(tick), (std::vector<int>{1, 3}));
+  EXPECT_EQ(rev.condemnable(tick), (std::vector<int>{1, 3}));
+  EXPECT_EQ(fwd.condemn_expired(tick), (std::vector<int>{1, 3}));
+  EXPECT_EQ(rev.condemn_expired(tick), (std::vector<int>{1, 3}));
+  EXPECT_EQ(fwd.live_ranks(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(rev.live_ranks(), (std::vector<int>{0, 2}));
+  // A second sweep at the same tick finds nothing: condemnation is
+  // idempotent, dead ranks never re-enter the due list.
+  EXPECT_TRUE(fwd.condemn_expired(tick).empty());
+}
+
 TEST(SimTransport, InjectTargetsTheNextCollective) {
   SimTransport transport(2, TransportConfig{});
   transport.begin_collective();  // collective 0, clean

@@ -1,0 +1,226 @@
+// Controller-storm soak: composed leader crashes, controller partitions,
+// rank deaths and peer replica loss against the replicated control plane.
+//
+// Each seed varies the engine seed, worker count, controller replica count
+// (3 or 5) and snapshot cadence, then layers training faults AND
+// controller faults on one schedule.  Every run that keeps a controller
+// quorum must land bitwise on the controller-quiet run — same params
+// digest, same decision-content tail.  A run that loses the quorum must
+// halt with honest unavailability and leave every replica's log a prefix
+// of one shared history (no split-brain, no fork).  CI sweeps many seeds
+// (EASYSCALE_SOAK_SEEDS) at two intra-op thread counts, plain and under
+// TSan; the local default stays small.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint_manager.hpp"
+#include "core/engine.hpp"
+#include "fault/controller.hpp"
+#include "fault/injector.hpp"
+#include "fault/supervisor.hpp"
+#include "models/datasets.hpp"
+
+namespace easyscale::fault {
+namespace {
+
+int soak_seed_count() {
+  if (const char* env = std::getenv("EASYSCALE_SOAK_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 4;
+}
+
+int soak_thread_count() {
+  if (const char* env = std::getenv("EASYSCALE_SOAK_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1;
+}
+
+/// Any two replicas must agree on every index both hold: committed entries
+/// live on one shared chain, so a divergence here IS a fork.
+void expect_no_fork(const ControlPlane& cp, int seed) {
+  for (int a = 0; a < cp.replicas(); ++a) {
+    for (int b = a + 1; b < cp.replicas(); ++b) {
+      const auto& la = cp.replica_log(a).records();
+      const auto& lb = cp.replica_log(b).records();
+      const std::size_t n = std::min(la.size(), lb.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(la[i].chain, lb[i].chain)
+            << "seed " << seed << ": replicas " << a << " and " << b
+            << " forked at log index " << i;
+      }
+    }
+  }
+}
+
+TEST(ControllerStorm, SurvivingRunsStayBitwiseAndQuorumLossIsHonest) {
+  const int seeds = soak_seed_count();
+  const int threads = soak_thread_count();
+  auto wd = models::make_dataset_for("NeuMF", 128, 16, 42);
+  constexpr std::int64_t kSteps = 20;
+  std::int64_t survived = 0;
+  std::int64_t halted = 0;
+  std::int64_t total_ctrl_crashes = 0;
+  std::int64_t total_ctrl_partitions = 0;
+  std::int64_t total_failovers = 0;
+  for (int s = 0; s < seeds; ++s) {
+    core::EasyScaleConfig ecfg;
+    ecfg.workload = "NeuMF";
+    ecfg.num_ests = 4;
+    ecfg.batch_per_est = 4;
+    ecfg.seed = 42 + static_cast<std::uint64_t>(s);
+    ecfg.intra_op_threads = threads;
+    const std::int64_t workers = 2 + s % 3;
+
+    // Training faults shared by both runs of this seed.
+    FaultPlanConfig pcfg;
+    pcfg.seed = 0xC7A1 + static_cast<std::uint64_t>(s) * 0x9E3779B97F4A7C15ull;
+    pcfg.horizon_steps = kSteps;
+    pcfg.num_workers = workers;
+    pcfg.crash_rate = 0.10;
+    pcfg.rank_death_rate = 0.05;
+    pcfg.peer_replica_loss_rate = 0.20;
+
+    SupervisorConfig scfg;
+    scfg.policy = RecoveryPolicy::kElasticScaleIn;
+    scfg.checkpoint_every = 2 + s % 3;
+    scfg.peer_replicas = 1 + s % 2;
+    scfg.peer_snapshot_every = 1;
+    scfg.ranks_per_node = 1 + s % 2;
+    scfg.controller_replicas = (s % 2 == 0) ? 5 : 3;
+
+    const auto run = [&](const FaultPlanConfig& plan, int tag,
+                         GoodputStats* out, std::uint64_t* digest,
+                         std::vector<std::uint64_t>* contents) {
+      core::EasyScaleEngine engine(ecfg, *wd.train, wd.augment);
+      core::CheckpointManager mgr(std::string(::testing::TempDir()) +
+                                      "/controller_storm_" +
+                                      std::to_string(s) + "_" +
+                                      std::to_string(tag),
+                                  4);
+      mgr.clear();
+      FaultSupervisor sup(engine, mgr, FaultInjector::from_config(plan), scfg);
+      *out = sup.run_to(kSteps, workers);
+      *digest = engine.params_digest();
+      contents->clear();
+      for (const auto& rec : sup.control_plane()->log().records()) {
+        contents->push_back(rec.payload_digest);
+      }
+      expect_no_fork(*sup.control_plane(), s);
+      mgr.clear();
+    };
+
+    // Controller-quiet reference: the control plane runs, nothing attacks
+    // it.
+    GoodputStats quiet;
+    std::uint64_t quiet_digest = 0;
+    std::vector<std::uint64_t> quiet_contents;
+    run(pcfg, 0, &quiet, &quiet_digest, &quiet_contents);
+    ASSERT_FALSE(quiet.failed) << "seed " << s;
+    ASSERT_GT(quiet.controller_decisions, 0) << "seed " << s;
+
+    // The storm: the same training schedule plus controller crashes and
+    // partitions from the fresh salted stream.
+    FaultPlanConfig storm = pcfg;
+    storm.controller_crash_rate = 0.05;
+    storm.controller_partition_rate = 0.12;
+    ASSERT_EQ(FaultInjector::from_config(storm).schedule(),
+              FaultInjector::from_config(storm).schedule())
+        << "seed " << s;
+    GoodputStats stormy;
+    std::uint64_t stormy_digest = 0;
+    std::vector<std::uint64_t> stormy_contents;
+    run(storm, 1, &stormy, &stormy_digest, &stormy_contents);
+    total_ctrl_crashes += stormy.controller_crashes;
+    total_ctrl_partitions += stormy.controller_partitions;
+    total_failovers += stormy.controller_failovers;
+
+    if (stormy.failed) {
+      // More than f of the 2f+1 replicas are gone: the ONLY acceptable
+      // outcome is an honest halt.  The committed decisions it did make
+      // must be a prefix of the quiet run's stream — halting never forks
+      // history.
+      EXPECT_TRUE(stormy.controller_unavailable) << "seed " << s;
+      ASSERT_LE(stormy_contents.size(), quiet_contents.size())
+          << "seed " << s;
+      for (std::size_t i = 0; i < stormy_contents.size(); ++i) {
+        EXPECT_EQ(stormy_contents[i], quiet_contents[i])
+            << "seed " << s << " forked at decision " << i;
+      }
+      ++halted;
+      continue;
+    }
+    // Quorum held throughout: failovers must be invisible — same params
+    // bits, same decision stream as the controller-quiet run.
+    EXPECT_EQ(stormy_digest, quiet_digest) << "seed " << s;
+    EXPECT_EQ(stormy_contents, quiet_contents) << "seed " << s;
+    // The wall partition must hold with the controller's fabric time as
+    // its own component.
+    EXPECT_NEAR(stormy.step_wall_s + stormy.checkpoint_wall_s +
+                    stormy.recovery_wall_s + stormy.reconfig_wall_s +
+                    stormy.comm_wall_s + stormy.witness_wall_s +
+                    stormy.peer_wall_s + stormy.controller_wall_s,
+                stormy.total_wall_s, 1e-9)
+        << "seed " << s;
+    ++survived;
+  }
+  // The storm must be real across the sweep, and it must not wipe out
+  // every run: surviving seeds are the bitwise witnesses.
+  EXPECT_GT(survived, 0);
+  EXPECT_GT(total_ctrl_crashes + total_ctrl_partitions, 0);
+  if (seeds >= 16) {
+    EXPECT_GT(total_failovers, 0)
+        << "leader crashes must force real failovers across " << seeds
+        << " seeds";
+  }
+}
+
+TEST(ControllerStorm, MoreThanFFailuresHaltHonestlyWithoutSplitBrain) {
+  const int seeds = std::min(soak_seed_count(), 8);
+  auto wd = models::make_dataset_for("NeuMF", 128, 16, 42);
+  constexpr std::int64_t kSteps = 12;
+  for (int s = 0; s < seeds; ++s) {
+    core::EasyScaleConfig ecfg;
+    ecfg.workload = "NeuMF";
+    ecfg.num_ests = 4;
+    ecfg.batch_per_est = 4;
+    ecfg.seed = 77 + static_cast<std::uint64_t>(s);
+    // f+1 = 2 crashes among 2f+1 = 3 replicas, at seed-varied steps.
+    std::vector<FaultEvent> events = {
+        FaultEvent{.kind = FaultKind::kControllerCrash,
+                   .step = 1 + s % 3,
+                   .worker = s % 3},
+        FaultEvent{.kind = FaultKind::kControllerCrash,
+                   .step = 2 + s % 3,
+                   .worker = (s + 1) % 3},
+    };
+    core::EasyScaleEngine engine(ecfg, *wd.train, wd.augment);
+    core::CheckpointManager mgr(std::string(::testing::TempDir()) +
+                                    "/controller_quorum_loss_" +
+                                    std::to_string(s),
+                                4);
+    mgr.clear();
+    SupervisorConfig scfg;
+    scfg.checkpoint_every = 2;
+    scfg.controller_replicas = 3;
+    FaultSupervisor sup(engine, mgr, FaultInjector(std::move(events)), scfg);
+    const auto stats = sup.run_to(kSteps, 2);
+    EXPECT_TRUE(stats.failed) << "seed " << s;
+    EXPECT_TRUE(stats.controller_unavailable) << "seed " << s;
+    EXPECT_EQ(stats.controller_crashes, 2) << "seed " << s;
+    EXPECT_EQ(sup.control_plane()->live_replicas(), 1) << "seed " << s;
+    EXPECT_FALSE(sup.control_plane()->available()) << "seed " << s;
+    expect_no_fork(*sup.control_plane(), s);
+    mgr.clear();
+  }
+}
+
+}  // namespace
+}  // namespace easyscale::fault

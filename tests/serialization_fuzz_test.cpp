@@ -6,6 +6,7 @@
 
 #include "common/digest.hpp"
 #include "core/engine.hpp"
+#include "fault/controller.hpp"
 #include "models/datasets.hpp"
 #include "rng/philox.hpp"
 
@@ -213,6 +214,116 @@ TEST(SerializationFuzz, DigestChainExtensionMovesTheTail) {
   EXPECT_TRUE(extended.verify());
   EXPECT_NE(extended.tail(), chain.tail());
   EXPECT_NE(extended, chain);
+}
+
+// --- Decision-log wire format (the replicated control plane) ---
+
+fault::DecisionLog make_decision_log() {
+  fault::DecisionLog log;
+  log.append_new(1, 0, fault::DecisionKind::kMembershipEpoch, 0, 4, -1, 0);
+  log.append_new(1, 1, fault::DecisionKind::kBlessCheckpoint, 0, 1);
+  log.append_new(2, 2, fault::DecisionKind::kCondemnPropose, 3, 7);
+  log.append_new(2, 3, fault::DecisionKind::kCondemnCommit, 3, 7);
+  log.append_new(2, 4, fault::DecisionKind::kQuarantine, 3, 7, 1);
+  return log;
+}
+
+TEST(SerializationFuzz, DecisionRecordEveryByteFlipRejected) {
+  // The whole-record digest trailer covers every preceding byte and is
+  // itself re-verified, so flipping ANY of the 88 wire bytes — header,
+  // payload, digests or the trailer itself — must raise a named Error.
+  const auto log = make_decision_log();
+  const auto bytes = log.records()[2].serialize();
+  ASSERT_EQ(bytes.size(), fault::DecisionRecord::kWireBytes);
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (std::uint8_t flip : {0x01, 0x80, 0xFF}) {
+      auto mutated = bytes;
+      mutated[pos] ^= flip;
+      EXPECT_THROW((void)fault::DecisionRecord::parse(mutated), Error)
+          << "flip 0x" << std::hex << static_cast<int>(flip) << " at byte "
+          << std::dec << pos;
+    }
+  }
+  EXPECT_EQ(fault::DecisionRecord::parse(bytes), log.records()[2]);
+}
+
+TEST(SerializationFuzz, DecisionRecordTruncationAtEveryOffsetRejected) {
+  const auto bytes = make_decision_log().records()[0].serialize();
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    const std::span<const std::uint8_t> cut(bytes.data(), keep);
+    EXPECT_THROW((void)fault::DecisionRecord::parse(cut), Error)
+        << "cut at " << keep;
+  }
+  auto padded = bytes;
+  padded.push_back(0x00);  // oversize is writer/reader disagreement too
+  EXPECT_THROW((void)fault::DecisionRecord::parse(padded), Error);
+}
+
+TEST(SerializationFuzz, DecisionLogEveryByteFlipRejected) {
+  // Log framing: magic + count + records + tail trailer.  Every byte is
+  // covered by a check — magic/count by the header validation, record
+  // bytes by the per-record digest, the trailer by the tail comparison.
+  const auto log = make_decision_log();
+  const auto bytes = log.serialize();
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    auto mutated = bytes;
+    mutated[pos] ^= 0x10;
+    EXPECT_THROW((void)fault::DecisionLog::parse(mutated), Error)
+        << "flip at byte " << pos;
+  }
+  const auto round = fault::DecisionLog::parse(bytes);
+  EXPECT_EQ(round.tail(), log.tail());
+  EXPECT_EQ(round.records(), log.records());
+}
+
+TEST(SerializationFuzz, DecisionLogTruncationAtEveryOffsetRejected) {
+  const auto bytes = make_decision_log().serialize();
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    const std::span<const std::uint8_t> cut(bytes.data(), keep);
+    EXPECT_THROW((void)fault::DecisionLog::parse(cut), Error)
+        << "cut at " << keep;
+  }
+}
+
+TEST(SerializationFuzz, DecisionLogDuplicatedEntryRejectedNeverApplied) {
+  const auto source = make_decision_log();
+  fault::DecisionLog dst;
+  dst.append(source.records()[0]);
+  const auto size_before = dst.size();
+  try {
+    dst.append(source.records()[0]);  // replayed entry
+    FAIL() << "duplicated entry was applied";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicated or reordered"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(dst.size(), size_before);  // rejected means NOT applied
+  EXPECT_THROW(dst.append(source.records()[2]), Error);  // skips ahead
+  EXPECT_EQ(dst.size(), size_before);
+  dst.append(source.records()[1]);  // the dense successor still lands
+  EXPECT_EQ(dst.tail(), source.records()[1].chain);
+}
+
+TEST(SerializationFuzz, DecisionLogReorderedWireRejected) {
+  // Swap two adjacent records inside the serialized log, and separately
+  // overwrite slot 1 with a copy of slot 0: both must be rejected by the
+  // dense-index/chain validation during parse, never half-applied.
+  const auto bytes = make_decision_log().serialize();
+  const std::size_t header = sizeof(std::uint32_t) + sizeof(std::uint64_t);
+  constexpr std::size_t kRec = fault::DecisionRecord::kWireBytes;
+
+  auto swapped = bytes;
+  for (std::size_t i = 0; i < kRec; ++i) {
+    std::swap(swapped[header + kRec + i], swapped[header + 2 * kRec + i]);
+  }
+  EXPECT_THROW((void)fault::DecisionLog::parse(swapped), Error);
+
+  auto duplicated = bytes;
+  for (std::size_t i = 0; i < kRec; ++i) {
+    duplicated[header + kRec + i] = duplicated[header + i];
+  }
+  EXPECT_THROW((void)fault::DecisionLog::parse(duplicated), Error);
 }
 
 TEST(SerializationFuzz, RandomTruncationsAlwaysThrow) {
