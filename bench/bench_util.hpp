@@ -2,10 +2,13 @@
 // fixed-width tables, and wall-clock timing.
 #pragma once
 
+#include <benchmark/benchmark.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
+#include <sstream>
 #include <string>
 
 #include "common/env.hpp"
@@ -59,6 +62,59 @@ namespace easyscale::bench {
               "release build (set EASYSCALE_BENCH_ALLOW_DEBUG=1 to "
               "override, loudly stamped).\n",
               artifact.c_str());
+  return false;
+}
+
+/// Build type of the google-benchmark *library* this binary linked, probed
+/// by rendering the library's own JSON context header (1.7.x has no
+/// programmatic getter).  A debug library times through unoptimized
+/// instrumentation, so its numbers are as non-comparable as a debug
+/// easyscale build — guard_release_benchmark_library gates on this.
+[[nodiscard]] inline std::string benchmark_library_build_type() {
+  std::ostringstream oss;
+  benchmark::BenchmarkReporter::Context ctx;
+  benchmark::JSONReporter reporter;
+  reporter.SetOutputStream(&oss);
+  reporter.SetErrorStream(&oss);
+  reporter.ReportContext(ctx);
+  const std::string text = oss.str();
+  const std::string key = "\"library_build_type\": \"";
+  const auto pos = text.find(key);
+  if (pos == std::string::npos) return "unknown";
+  const auto end = text.find('"', pos + key.size());
+  if (end == std::string::npos) return "unknown";
+  return text.substr(pos + key.size(), end - (pos + key.size()));
+}
+
+/// Companion gate to guard_release_build for artifacts whose numbers come
+/// from google-benchmark's timing loop: a debug benchmark library is
+/// refused just like a debug easyscale build (same
+/// EASYSCALE_BENCH_ALLOW_DEBUG=1 escape, loudly stamped).  Self-timed
+/// recorders (steady_clock in our own release binary) do not need this —
+/// they bypass the library's timing entirely.
+[[nodiscard]] inline bool guard_release_benchmark_library(
+    const std::string& artifact) {
+  const std::string lib = benchmark_library_build_type();
+  if (lib == "release") return true;
+  std::optional<std::int64_t> allow;
+  try {
+    allow = env_int64("EASYSCALE_BENCH_ALLOW_DEBUG", 0, 1);
+  } catch (const Error& e) {
+    std::printf("REFUSED: %s\n", e.what());
+    return false;
+  }
+  if (allow.value_or(0) == 1) {
+    std::printf("WARNING: google-benchmark library build type is '%s' — %s "
+                "numbers are not comparable.\n",
+                lib.c_str(), artifact.c_str());
+    return true;
+  }
+  std::printf(
+      "REFUSED: the linked google-benchmark library reports build type '%s'; "
+      "%s must be timed against a release benchmark library (use the "
+      "self-timed --record path, or set EASYSCALE_BENCH_ALLOW_DEBUG=1 to "
+      "override, loudly stamped).\n",
+      lib.c_str(), artifact.c_str());
   return false;
 }
 

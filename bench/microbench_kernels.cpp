@@ -1,13 +1,33 @@
 // google-benchmark microbenchmarks of the substrate hot paths: GEMM kernel
-// variants, ring all-reduce, Philox, EST context capture/restore and
-// on-demand checkpointing.
+// variants, SIMD backend sweeps, ring all-reduce, Philox, EST context
+// capture/restore and on-demand checkpointing.
+//
+// Modes:
+//   microbench_kernels                          google-benchmark suite
+//   microbench_kernels --record <path>          self-timed SIMD speedup
+//                                               artifact (BENCH_kernels.json)
+//   microbench_kernels --check-baseline <path>  gate measured SIMD speedups
+//                                               against bench/kernel_baseline.json
+//
+// The --record/--check-baseline path times with steady_clock inside THIS
+// release binary, so a debug system benchmark library cannot taint the
+// numbers; the plain google-benchmark mode is gated on both build types.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "comm/ring.hpp"
 #include "core/engine.hpp"
 #include "kernels/conv.hpp"
 #include "kernels/gemm.hpp"
+#include "kernels/reduce.hpp"
+#include "kernels/simd.hpp"
 #include "models/datasets.hpp"
 #include "rng/philox.hpp"
 #include "rng/sampling.hpp"
@@ -105,6 +125,84 @@ BENCHMARK(BM_ConvIm2colThreads)
     ->ArgNames({"threads"})
     ->Unit(benchmark::kMillisecond);
 
+// SIMD backend sweep over the native GEMM: identical problem, variant and
+// thread count per backend, so the throughput ratio is the pure vector
+// speedup (results are bitwise identical by the lane-tree contract).
+void BM_GemmSimdBackend(benchmark::State& state) {
+  const auto backend = static_cast<kernels::SimdBackend>(state.range(0));
+  const std::int64_t n = state.range(1);
+  if (!kernels::simd_backend_available(backend)) {
+    state.SkipWithError("backend unavailable on this host/build");
+    return;
+  }
+  kernels::ExecContext ctx;
+  ctx.policy = kernels::KernelPolicy::kDeterministic;
+  ctx.intra_op_threads = 1;
+  ctx.simd = backend;
+  rng::Philox gen(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  rng::fill_normal(gen, a, 0.0f, 1.0f);
+  rng::fill_normal(gen, b, 0.0f, 1.0f);
+  for (auto _ : state) {
+    kernels::gemm(ctx, n, n, n, a, b, c, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  state.SetLabel(kernels::simd_backend_name(backend));
+}
+BENCHMARK(BM_GemmSimdBackend)
+    ->ArgsProduct({{1, 2, 3}, {128, 256}})
+    ->ArgNames({"backend", "n"});
+
+// Same sweep over the im2col conv forward (the other acceptance-gate
+// kernel) and the direct-canonical D2 conv.
+void BM_ConvSimdBackend(benchmark::State& state) {
+  const auto backend = static_cast<kernels::SimdBackend>(state.range(0));
+  const bool direct = state.range(1) != 0;
+  if (!kernels::simd_backend_available(backend)) {
+    state.SkipWithError("backend unavailable on this host/build");
+    return;
+  }
+  kernels::ExecContext ctx;
+  ctx.policy = direct ? kernels::KernelPolicy::kHardwareAgnostic
+                      : kernels::KernelPolicy::kDeterministic;
+  ctx.intra_op_threads = 1;
+  ctx.simd = backend;
+  const kernels::Conv2dDims d{.batch = 4,
+                              .in_channels = 32,
+                              .in_h = 32,
+                              .in_w = 32,
+                              .out_channels = 64,
+                              .kernel_h = 3,
+                              .kernel_w = 3,
+                              .stride = 1,
+                              .pad = 1,
+                              .groups = 1};
+  rng::Philox gen(4);
+  std::vector<float> input(static_cast<std::size_t>(d.batch * d.in_channels *
+                                                    d.in_h * d.in_w));
+  std::vector<float> weight(static_cast<std::size_t>(
+      d.out_channels * d.in_channels * d.kernel_h * d.kernel_w));
+  std::vector<float> bias(static_cast<std::size_t>(d.out_channels));
+  std::vector<float> out(static_cast<std::size_t>(d.batch * d.out_channels *
+                                                  d.out_h() * d.out_w()));
+  rng::fill_normal(gen, input, 0.0f, 1.0f);
+  rng::fill_normal(gen, weight, 0.0f, 0.1f);
+  rng::fill_normal(gen, bias, 0.0f, 0.1f);
+  for (auto _ : state) {
+    kernels::conv2d_forward(ctx, d, input, weight, bias, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out.size()));
+  state.SetLabel(kernels::simd_backend_name(backend));
+}
+BENCHMARK(BM_ConvSimdBackend)
+    ->ArgsProduct({{1, 2, 3}, {0, 1}})
+    ->ArgNames({"backend", "direct"});
+
 void BM_RingAllreduce(benchmark::State& state) {
   const std::int64_t world = state.range(0);
   const std::size_t n = 1 << 14;
@@ -169,16 +267,320 @@ void BM_ElasticReconfigure(benchmark::State& state) {
 }
 BENCHMARK(BM_ElasticReconfigure);
 
+// ---------------------------------------------------------------------------
+// Self-timed SIMD speedup section (--record / --check-baseline).
+//
+// Timing uses steady_clock inside this binary, so only easyscale's own
+// build type matters (guard_release_build); the system benchmark library's
+// build type is recorded for transparency but cannot taint the numbers.
+// ---------------------------------------------------------------------------
+
+/// Best-of-5 seconds per call: each repetition runs `fn` until >= 25 ms
+/// elapsed; the minimum repetition rate is the least-noisy estimate.
+double best_seconds_per_call(const std::function<void()>& fn) {
+  fn();  // warm caches and scratch arenas
+  double best = 1e30;
+  for (int rep = 0; rep < 5; ++rep) {
+    int iters = 0;
+    const double elapsed = bench::time_seconds([&] {
+      const auto t0 = std::chrono::steady_clock::now();
+      do {
+        fn();
+        ++iters;
+      } while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             t0)
+                   .count() < 0.025);
+    });
+    best = std::min(best, elapsed / iters);
+  }
+  return best;
+}
+
+struct SimdMeasurement {
+  std::string kernel;                 // e.g. "gemm_n128"
+  double flops_per_call;              // for GFLOP/s reporting
+  std::vector<std::pair<kernels::SimdBackend, double>> seconds;  // per backend
+
+  [[nodiscard]] double seconds_for(kernels::SimdBackend b) const {
+    for (const auto& [backend, sec] : seconds) {
+      if (backend == b) return sec;
+    }
+    return -1.0;
+  }
+};
+
+std::vector<SimdMeasurement> measure_simd_kernels() {
+  std::vector<SimdMeasurement> out;
+  const auto backends = kernels::available_simd_backends();
+
+  const auto sweep = [&](std::string name, double flops,
+                         const std::function<void(const kernels::ExecContext&)>&
+                             body) {
+    SimdMeasurement m;
+    m.kernel = std::move(name);
+    m.flops_per_call = flops;
+    for (kernels::SimdBackend backend : backends) {
+      kernels::ExecContext ctx;
+      ctx.policy = kernels::KernelPolicy::kDeterministic;
+      ctx.intra_op_threads = 1;
+      ctx.simd = backend;
+      m.seconds.emplace_back(backend,
+                             best_seconds_per_call([&] { body(ctx); }));
+    }
+    out.push_back(std::move(m));
+  };
+
+  for (const std::int64_t n : {std::int64_t{128}, std::int64_t{256}}) {
+    rng::Philox gen(1);
+    auto a = std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(n * n));
+    auto b = std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(n * n));
+    auto c = std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(n * n));
+    rng::fill_normal(gen, *a, 0.0f, 1.0f);
+    rng::fill_normal(gen, *b, 0.0f, 1.0f);
+    sweep("gemm_n" + std::to_string(n), 2.0 * n * n * n,
+          [=](const kernels::ExecContext& ctx) {
+            kernels::gemm(ctx, n, n, n, *a, *b, *c, false);
+            benchmark::DoNotOptimize(c->data());
+          });
+  }
+
+  {
+    const kernels::Conv2dDims d{.batch = 4,
+                                .in_channels = 32,
+                                .in_h = 32,
+                                .in_w = 32,
+                                .out_channels = 64,
+                                .kernel_h = 3,
+                                .kernel_w = 3,
+                                .stride = 1,
+                                .pad = 1,
+                                .groups = 1};
+    rng::Philox gen(4);
+    auto input = std::make_shared<std::vector<float>>(static_cast<std::size_t>(
+        d.batch * d.in_channels * d.in_h * d.in_w));
+    auto weight = std::make_shared<std::vector<float>>(static_cast<std::size_t>(
+        d.out_channels * d.in_channels * d.kernel_h * d.kernel_w));
+    auto bias = std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(d.out_channels));
+    auto outbuf = std::make_shared<std::vector<float>>(static_cast<std::size_t>(
+        d.batch * d.out_channels * d.out_h() * d.out_w()));
+    rng::fill_normal(gen, *input, 0.0f, 1.0f);
+    rng::fill_normal(gen, *weight, 0.0f, 0.1f);
+    rng::fill_normal(gen, *bias, 0.0f, 0.1f);
+    const double conv_flops = 2.0 * d.batch * d.out_channels * d.out_h() *
+                              d.out_w() * d.in_channels * d.kernel_h *
+                              d.kernel_w;
+    sweep("conv_im2col", conv_flops, [=](const kernels::ExecContext& ctx) {
+      kernels::conv2d_forward(ctx, d, *input, *weight, *bias, *outbuf);
+      benchmark::DoNotOptimize(outbuf->data());
+    });
+    sweep("conv_direct", conv_flops, [=](const kernels::ExecContext& ctx) {
+      kernels::ExecContext d2 = ctx;
+      d2.policy = kernels::KernelPolicy::kHardwareAgnostic;
+      kernels::conv2d_forward(d2, d, *input, *weight, *bias, *outbuf);
+      benchmark::DoNotOptimize(outbuf->data());
+    });
+  }
+
+  {
+    const std::int64_t stride = 1024, count = 2048;
+    rng::Philox gen(7);
+    auto values = std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(stride * count));
+    auto slots = std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(stride));
+    rng::fill_normal(gen, *values, 0.0f, 1.0f);
+    sweep("reduce_batch", static_cast<double>(stride * count),
+          [=](const kernels::ExecContext& ctx) {
+            std::fill(slots->begin(), slots->end(), 0.0f);
+            kernels::reduce_sum_strided_batch(ctx, *values, stride, count,
+                                              *slots);
+            benchmark::DoNotOptimize(slots->data());
+          });
+  }
+  return out;
+}
+
+double speedup_vs_scalar(const SimdMeasurement& m, kernels::SimdBackend b) {
+  const double scalar = m.seconds_for(kernels::SimdBackend::kScalar);
+  const double vec = m.seconds_for(b);
+  return (scalar > 0.0 && vec > 0.0) ? scalar / vec : 0.0;
+}
+
+int record_simd_artifact(const char* path,
+                         const std::vector<SimdMeasurement>& ms) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) {
+    std::printf("ERROR: cannot write %s\n", path);
+    return 1;
+  }
+  char date[64] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  if (gmtime_r(&now, &tm_utc) != nullptr) {
+    std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"comment\": \"SIMD backend speedups, self-timed "
+               "(steady_clock, best of 5) inside the release easyscale "
+               "binary; the system google-benchmark library's timing loop "
+               "is not used, so its build type cannot taint these "
+               "numbers.\",\n");
+  std::fprintf(f, "  \"context\": {\n");
+  std::fprintf(f, "    \"date\": \"%s\",\n", date);
+  std::fprintf(f, "    \"easyscale_build_type\": \"%s\",\n",
+               bench::build_type());
+  std::fprintf(f, "    \"benchmark_library_build_type\": \"%s\",\n",
+               bench::benchmark_library_build_type().c_str());
+  std::fprintf(f, "    \"timer\": \"self (steady_clock)\",\n");
+  std::fprintf(f, "    \"intra_op_threads\": 1,\n");
+  std::fprintf(f, "    \"detected_backend\": \"%s\"\n",
+               kernels::simd_backend_name(kernels::detected_simd_backend()));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < ms.size(); ++i) {
+    const auto& m = ms[i];
+    for (std::size_t j = 0; j < m.seconds.size(); ++j) {
+      const auto& [backend, sec] = m.seconds[j];
+      const bool last = i + 1 == ms.size() && j + 1 == m.seconds.size();
+      std::fprintf(f,
+                   "    {\"kernel\": \"%s\", \"backend\": \"%s\", "
+                   "\"seconds_per_call\": %.9g, \"gflops\": %.4g, "
+                   "\"speedup_vs_scalar\": %.4g}%s\n",
+                   m.kernel.c_str(), kernels::simd_backend_name(backend),
+                   sec, m.flops_per_call / sec * 1e-9,
+                   speedup_vs_scalar(m, backend), last ? "" : ",");
+    }
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  bench::note(std::string("SIMD speedup artifact written to ") + path);
+  return 0;
+}
+
+int check_simd_baseline(const char* path,
+                        const std::vector<SimdMeasurement>& ms) {
+  std::FILE* b = std::fopen(path, "rb");
+  if (b == nullptr) {
+    std::printf("ERROR: cannot read baseline %s\n", path);
+    return 1;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), b)) > 0) text.append(buf, n);
+  std::fclose(b);
+
+  bool ok = true;
+  int checked = 0;
+  // Baseline rows: {"kernel": ..., "backend": ..., "min_speedup_vs_scalar": X}
+  const char* at = text.c_str();
+  while ((at = std::strstr(at, "\"kernel\": \"")) != nullptr) {
+    char kernel[64] = {0};
+    char backend[32] = {0};
+    double min_speedup = 0.0;
+    const char* bk = std::strstr(at, "\"backend\": \"");
+    const char* sp = std::strstr(at, "\"min_speedup_vs_scalar\":");
+    if (std::sscanf(at, "\"kernel\": \"%63[^\"]\"", kernel) != 1 ||
+        bk == nullptr ||
+        std::sscanf(bk, "\"backend\": \"%31[^\"]\"", backend) != 1 ||
+        sp == nullptr ||
+        std::sscanf(sp, "\"min_speedup_vs_scalar\": %lf", &min_speedup) != 1) {
+      std::printf("BASELINE: malformed row near '%.40s'\n", at);
+      ok = false;
+      ++at;
+      continue;
+    }
+    at = sp;
+    kernels::SimdBackend want = kernels::SimdBackend::kScalar;
+    if (std::strcmp(backend, "avx2") == 0) {
+      want = kernels::SimdBackend::kAvx2;
+    } else if (std::strcmp(backend, "avx512") == 0) {
+      want = kernels::SimdBackend::kAvx512;
+    } else {
+      std::printf("BASELINE: unknown backend '%s'\n", backend);
+      ok = false;
+      continue;
+    }
+    if (!kernels::simd_backend_available(want)) {
+      // The CI simd-cross-check job guarantees an AVX2-capable builder;
+      // elsewhere an unavailable backend is a skip, not a failure.
+      std::printf("SKIP: %s/%s — backend unavailable on this host/build\n",
+                  kernel, backend);
+      continue;
+    }
+    const SimdMeasurement* m = nullptr;
+    for (const auto& cand : ms) {
+      if (cand.kernel == kernel) m = &cand;
+    }
+    if (m == nullptr) {
+      std::printf("BASELINE: no measurement for kernel '%s'\n", kernel);
+      ok = false;
+      continue;
+    }
+    const double got = speedup_vs_scalar(*m, want);
+    const bool pass = got >= min_speedup;
+    std::printf("%s: %s/%s speedup %.2fx (floor %.2fx)\n",
+                pass ? "OK" : "REGRESSION", kernel, backend, got, min_speedup);
+    if (!pass) ok = false;
+    ++checked;
+  }
+  if (checked == 0) {
+    std::printf("BASELINE: no applicable rows checked in %s\n", path);
+    return 1;
+  }
+  if (ok) bench::note("SIMD speedups meet the checked-in baseline floors");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* record_path = nullptr;
+  const char* baseline_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--record") == 0 && i + 1 < argc) {
+      record_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check-baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
+  }
+  if (record_path != nullptr || baseline_path != nullptr) {
+    // Self-timed SIMD speedup path: debug-build numbers are refused (the
+    // timing loop lives in THIS binary; the benchmark library is unused).
+    if (!easyscale::bench::guard_release_build(
+            record_path != nullptr ? record_path : "kernel baseline check")) {
+      return 2;
+    }
+    easyscale::bench::banner("microbench_kernels",
+                             "SIMD backend speedups (self-timed)");
+    const auto measurements = measure_simd_kernels();
+    int rc = 0;
+    if (record_path != nullptr) {
+      rc = record_simd_artifact(record_path, measurements);
+    }
+    if (rc == 0 && baseline_path != nullptr) {
+      rc = check_simd_baseline(baseline_path, measurements);
+    }
+    return rc;
+  }
   // Refuse debug-build numbers (BENCH_kernels.json must come from a
-  // release build) and stamp THIS repo's build type into the context —
-  // google-benchmark's own `library_build_type` describes the system
-  // benchmark library, not our code.
+  // release build of our code AND a release benchmark library — the
+  // google-benchmark timing loop runs inside that library).
   if (!easyscale::bench::guard_release_build("BENCH_kernels.json")) return 2;
+  if (!easyscale::bench::guard_release_benchmark_library("BENCH_kernels.json")) {
+    return 2;
+  }
   benchmark::AddCustomContext("easyscale_build_type",
                               easyscale::bench::build_type());
+  benchmark::AddCustomContext(
+      "easyscale_detected_simd",
+      easyscale::kernels::simd_backend_name(
+          easyscale::kernels::detected_simd_backend()));
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

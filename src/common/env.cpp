@@ -44,4 +44,21 @@ std::optional<std::int64_t> env_int64(const char* name, std::int64_t min_value,
   return parsed;
 }
 
+std::optional<std::string> env_token(
+    const char* name, std::initializer_list<const char*> allowed) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  const std::string text(env);
+  for (const char* token : allowed) {
+    if (text == token) return text;
+  }
+  std::string accepted;
+  for (const char* token : allowed) {
+    if (!accepted.empty()) accepted += "|";
+    accepted += token;
+  }
+  ES_THROW(name << "=\"" << text << "\" is not an accepted value ("
+                << accepted << "; exact match, no whitespace)");
+}
+
 }  // namespace easyscale

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <string>
 
@@ -28,5 +29,14 @@ namespace easyscale {
 ///  - outside [min,max] -> Error naming `name`, the value and the range.
 [[nodiscard]] std::optional<std::int64_t> env_int64(
     const char* name, std::int64_t min_value, std::int64_t max_value);
+
+/// Read the environment variable `name` as one of the `allowed` tokens,
+/// matched EXACTLY (case-sensitive, no trimming — "avx2 " and "AVX-512"
+/// are typos, not requests).
+///  - unset or empty -> nullopt (caller applies its default);
+///  - anything else  -> Error naming `name`, quoting the value and listing
+///                      the accepted tokens.
+[[nodiscard]] std::optional<std::string> env_token(
+    const char* name, std::initializer_list<const char*> allowed);
 
 }  // namespace easyscale

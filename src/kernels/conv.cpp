@@ -38,6 +38,9 @@ void im2col(const ExecContext& ctx, const Conv2dDims& d,
            "im2col: bad cols size");
   // Each input channel owns kernel_h*kernel_w disjoint rows of `cols`, so
   // the channel loop parallelizes owner-computes; the copy never sums.
+  // Pure data movement, so the stride-1 fast path below (zero-fill the
+  // padding runs, memcpy the contiguous valid run) is backend-independent:
+  // it produces the same bytes on every SimdBackend.
   parallel_for(
       ctx, cg, work_grain(d.kernel_h * d.kernel_w * oh * ow),
       [&](int /*chunk*/, std::int64_t c0, std::int64_t c1) {
@@ -49,14 +52,32 @@ void im2col(const ExecContext& ctx, const Conv2dDims& d,
               float* dst = cols.data() + row * oh * ow;
               for (std::int64_t y = 0; y < oh; ++y) {
                 const std::int64_t iy = y * d.stride + kh - d.pad;
+                float* drow = dst + y * ow;
+                if (iy < 0 || iy >= d.in_h) {
+                  std::fill(drow, drow + ow, 0.0f);
+                  continue;
+                }
+                const float* src = sample_input.data() +
+                                   (ic * d.in_h + iy) * d.in_w;
+                if (d.stride == 1) {
+                  // ix = x + kw - pad is valid for x in [x_lo, x_hi).
+                  std::int64_t x_lo =
+                      std::min(ow, std::max<std::int64_t>(0, d.pad - kw));
+                  std::int64_t x_hi = std::min(ow, d.in_w + d.pad - kw);
+                  if (x_hi < x_lo) x_hi = x_lo;
+                  std::fill(drow, drow + x_lo, 0.0f);
+                  std::copy(src + (x_lo + kw - d.pad),
+                            src + (x_hi + kw - d.pad), drow + x_lo);
+                  std::fill(drow + x_hi, drow + ow, 0.0f);
+                  continue;
+                }
                 for (std::int64_t x = 0; x < ow; ++x) {
                   const std::int64_t ix = x * d.stride + kw - d.pad;
                   float v = 0.0f;
-                  if (iy >= 0 && iy < d.in_h && ix >= 0 && ix < d.in_w) {
-                    v = sample_input[static_cast<std::size_t>(
-                        (ic * d.in_h + iy) * d.in_w + ix)];
+                  if (ix >= 0 && ix < d.in_w) {
+                    v = src[static_cast<std::size_t>(ix)];
                   }
-                  dst[y * ow + x] = v;
+                  drow[x] = v;
                 }
               }
             }
@@ -72,7 +93,11 @@ void col2im(const ExecContext& ctx, const Conv2dDims& d,
   const std::int64_t oh = d.out_h(), ow = d.out_w();
   // Channel c only accumulates into its own input-channel plane, and the
   // (kh, kw, y, x) accumulation order within a channel is the sequential
-  // one — owner-computes over channels.
+  // one — owner-computes over channels.  For stride 1 each (kh, kw, y) row
+  // touches a contiguous run of distinct input elements exactly once, so
+  // the lanewise add_vec below performs the identical single add per
+  // element as the scalar loop.
+  const SimdOps& ops = ctx.simd_ops();
   parallel_for(
       ctx, cg, work_grain(d.kernel_h * d.kernel_w * oh * ow),
       [&](int /*chunk*/, std::int64_t c0, std::int64_t c1) {
@@ -85,11 +110,27 @@ void col2im(const ExecContext& ctx, const Conv2dDims& d,
               for (std::int64_t y = 0; y < oh; ++y) {
                 const std::int64_t iy = y * d.stride + kh - d.pad;
                 if (iy < 0 || iy >= d.in_h) continue;
+                float* gin_row = sample_grad_input.data() +
+                                 (ic * d.in_h + iy) * d.in_w;
+                if (d.stride == 1) {
+                  std::int64_t x_lo =
+                      std::min(ow, std::max<std::int64_t>(0, d.pad - kw));
+                  std::int64_t x_hi = std::min(ow, d.in_w + d.pad - kw);
+                  if (x_hi < x_lo) x_hi = x_lo;
+                  float* gdst = gin_row + (x_lo + kw - d.pad);
+                  const float* gsrc = src + y * ow + x_lo;
+                  const std::int64_t len = x_hi - x_lo;
+                  if (ops.add_vec != nullptr) {
+                    ops.add_vec(gdst, gsrc, len);
+                  } else {
+                    for (std::int64_t i = 0; i < len; ++i) gdst[i] += gsrc[i];
+                  }
+                  continue;
+                }
                 for (std::int64_t x = 0; x < ow; ++x) {
                   const std::int64_t ix = x * d.stride + kw - d.pad;
                   if (ix < 0 || ix >= d.in_w) continue;
-                  sample_grad_input[static_cast<std::size_t>(
-                      (ic * d.in_h + iy) * d.in_w + ix)] += src[y * ow + x];
+                  gin_row[ix] += src[y * ow + x];
                 }
               }
             }
@@ -110,6 +151,12 @@ void forward_direct(const ExecContext& ctx, const Conv2dDims& d,
   const std::int64_t in_sample = d.in_channels * d.in_h * d.in_w;
   // Every (n, f) output plane is written by exactly one chunk, and each
   // output element keeps its single running accumulator — canonical order.
+  // The vector path below assigns lanes to adjacent output columns x of the
+  // row interior (where no bounds check can fire for stride 1), each lane
+  // replaying the exact scalar c -> kh -> kw chain, so the stores are
+  // bitwise-equal to the scalar loop; boundary columns and strided convs
+  // stay on the scalar per-element body.
+  const SimdOps& ops = ctx.simd_ops();
   parallel_for(
       ctx, d.batch * d.out_channels,
       work_grain(oh * ow * cg * d.kernel_h * d.kernel_w),
@@ -123,7 +170,9 @@ void forward_direct(const ExecContext& ctx, const Conv2dDims& d,
           const float b =
               bias.empty() ? 0.0f : bias[static_cast<std::size_t>(f)];
           for (std::int64_t y = 0; y < oh; ++y) {
-            for (std::int64_t x = 0; x < ow; ++x) {
+            float* out_row =
+                out.data() + ((n * d.out_channels + f) * oh + y) * ow;
+            const auto scalar_at = [&](std::int64_t x) {
               float acc = 0.0f;  // single running accumulator: canonical order
               for (std::int64_t c = 0; c < cg; ++c) {
                 const std::int64_t ic = g * cg + c;
@@ -138,9 +187,40 @@ void forward_direct(const ExecContext& ctx, const Conv2dDims& d,
                   }
                 }
               }
-              out[static_cast<std::size_t>(
-                  ((n * d.out_channels + f) * oh + y) * ow + x)] = acc + b;
+              out_row[x] = acc + b;
+            };
+            if (ops.conv_row == nullptr || d.stride != 1) {
+              for (std::int64_t x = 0; x < ow; ++x) scalar_at(x);
+              continue;
             }
+            // Interior columns: ix = x - pad + kw stays in [0, in_w) for
+            // every kw, so only the kh bounds check remains and it is
+            // hoisted into [kh_lo, kh_hi).
+            std::int64_t x_lo = std::min(ow, d.pad);
+            std::int64_t x_hi = std::min(ow, d.in_w - d.kernel_w + d.pad + 1);
+            if (x_hi < x_lo) x_hi = x_lo;
+            for (std::int64_t x = 0; x < x_lo; ++x) scalar_at(x);
+            if (x_lo < x_hi) {
+              ConvRowArgs args;
+              args.in_n = in_n;
+              args.w_f = w_f;
+              args.out_row = out_row;
+              args.ic0 = g * cg;
+              args.cg = cg;
+              args.in_h = d.in_h;
+              args.in_w = d.in_w;
+              args.kernel_h = d.kernel_h;
+              args.kernel_w = d.kernel_w;
+              args.kh_lo = std::max<std::int64_t>(0, d.pad - y);
+              args.kh_hi = std::min(d.kernel_h, d.in_h + d.pad - y);
+              args.iy0 = y - d.pad;
+              args.pad = d.pad;
+              args.bias = b;
+              args.x_lo = x_lo;
+              args.x_hi = x_hi;
+              ops.conv_row(args);
+            }
+            for (std::int64_t x = x_hi; x < ow; ++x) scalar_at(x);
           }
         }
       });
@@ -169,12 +249,17 @@ void forward_im2col(const ExecContext& ctx, const Conv2dDims& d,
                                  static_cast<std::size_t>(fg * kdim));
       gemm(ctx, fg, oh * ow, kdim, w_g, cols, out_g, false);
       if (!bias.empty()) {
+        const SimdOps& ops = ctx.simd_ops();
         parallel_for(ctx, fg, work_grain(oh * ow),
                      [&](int /*chunk*/, std::int64_t f0, std::int64_t f1) {
                        for (std::int64_t f = f0; f < f1; ++f) {
                          const float b =
                              bias[static_cast<std::size_t>(g * fg + f)];
                          float* o = out_g.data() + f * oh * ow;
+                         if (ops.add_scalar != nullptr) {
+                           ops.add_scalar(o, b, oh * ow);
+                           continue;
+                         }
                          for (std::int64_t i = 0; i < oh * ow; ++i) o[i] += b;
                        }
                      });

@@ -9,9 +9,15 @@ namespace easyscale::kernels {
 
 namespace {
 
+struct Entry {
+  std::string name;
+  CustomDotFn dot;
+  CustomPanelFn panel;  // may be null: scalar packed path on every backend
+};
+
 struct Registry {
   std::mutex mutex;
-  std::vector<std::pair<std::string, CustomDotFn>> entries;
+  std::vector<Entry> entries;
 };
 
 Registry& registry() {
@@ -21,11 +27,13 @@ Registry& registry() {
 
 }  // namespace
 
-int register_custom_gemm(std::string name, CustomDotFn fn) {
+int register_custom_gemm(std::string name, CustomDotFn fn,
+                         CustomPanelFn panel) {
   ES_CHECK(fn != nullptr, "custom kernel must be callable");
   auto& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
-  r.entries.emplace_back(std::move(name), std::move(fn));
+  r.entries.push_back(
+      Entry{std::move(name), std::move(fn), std::move(panel)});
   return static_cast<int>(r.entries.size());  // handles are 1-based
 }
 
@@ -34,7 +42,7 @@ const CustomDotFn& custom_gemm(int handle) {
   std::lock_guard<std::mutex> lock(r.mutex);
   ES_CHECK(handle >= 1 && handle <= static_cast<int>(r.entries.size()),
            "unknown custom kernel handle " << handle);
-  return r.entries[static_cast<std::size_t>(handle - 1)].second;
+  return r.entries[static_cast<std::size_t>(handle - 1)].dot;
 }
 
 const std::string& custom_gemm_name(int handle) {
@@ -42,7 +50,17 @@ const std::string& custom_gemm_name(int handle) {
   std::lock_guard<std::mutex> lock(r.mutex);
   ES_CHECK(handle >= 1 && handle <= static_cast<int>(r.entries.size()),
            "unknown custom kernel handle " << handle);
-  return r.entries[static_cast<std::size_t>(handle - 1)].first;
+  return r.entries[static_cast<std::size_t>(handle - 1)].name;
+}
+
+const CustomPanelFn* custom_gemm_panel(int handle) {
+  auto& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  ES_CHECK(handle >= 1 && handle <= static_cast<int>(r.entries.size()),
+           "unknown custom kernel handle " << handle);
+  const CustomPanelFn& panel =
+      r.entries[static_cast<std::size_t>(handle - 1)].panel;
+  return panel != nullptr ? &panel : nullptr;
 }
 
 int num_custom_gemms() {
@@ -61,6 +79,16 @@ float kahan_dot(const float* x, const float* y, std::int64_t k) {
     sum = next;
   }
   return sum;
+}
+
+CustomPanelFn kahan_panel() {
+  return [](const SimdOps& ops, const float* a_row, const float* b,
+            std::int64_t k, std::int64_t n, std::int64_t j0, std::int64_t j1,
+            float* c_row, bool accumulate) {
+    ES_CHECK(ops.kahan_panel != nullptr,
+             "kahan_panel invoked on a backend without vector bodies");
+    ops.kahan_panel(a_row, b, k, n, j0, j1, c_row, accumulate);
+  };
 }
 
 }  // namespace easyscale::kernels

@@ -21,13 +21,28 @@ namespace easyscale::kernels {
 using CustomDotFn =
     std::function<float(const float* x, const float* y, std::int64_t k)>;
 
+/// Optional vectorized companion to a CustomDotFn: computes
+/// c_row[j] (+)= dot(a_row, B[:, j]) for j in [j0, j1) against UNPACKED
+/// B[k, n] using the given backend's SimdOps, with the SAME per-output
+/// accumulation order as the scalar dot — so registering a panel changes
+/// throughput, never bits.  Kernels without a panel simply keep the scalar
+/// packed path on every backend.
+using CustomPanelFn = std::function<void(
+    const SimdOps& ops, const float* a_row, const float* b, std::int64_t k,
+    std::int64_t n, std::int64_t j0, std::int64_t j1, float* c_row,
+    bool accumulate)>;
+
 /// Register a custom kernel; returns its handle (>= 1).  Registration is
 /// process-global and append-only (handles stay valid).
-[[nodiscard]] int register_custom_gemm(std::string name, CustomDotFn fn);
+[[nodiscard]] int register_custom_gemm(std::string name, CustomDotFn fn,
+                                       CustomPanelFn panel = nullptr);
 
 /// Look up a registered kernel.  Throws for unknown handles.
 [[nodiscard]] const CustomDotFn& custom_gemm(int handle);
 [[nodiscard]] const std::string& custom_gemm_name(int handle);
+
+/// Panel of a registered kernel; nullptr when none was registered.
+[[nodiscard]] const CustomPanelFn* custom_gemm_panel(int handle);
 
 /// Number of registered custom kernels.
 [[nodiscard]] int num_custom_gemms();
@@ -35,5 +50,12 @@ using CustomDotFn =
 /// A ready-made example: Kahan-compensated summation — slower, but with
 /// far smaller accumulation error than any built-in variant.
 [[nodiscard]] float kahan_dot(const float* x, const float* y, std::int64_t k);
+
+/// Panel companion to kahan_dot: lanes replay the exact sum/comp
+/// recurrence per output column (SimdOps::kahan_panel), bitwise-equal to
+/// kahan_dot on every backend.  Register with
+/// `register_custom_gemm("kahan", kahan_dot, kahan_panel())` to vectorize
+/// the custom D2 path.
+[[nodiscard]] CustomPanelFn kahan_panel();
 
 }  // namespace easyscale::kernels

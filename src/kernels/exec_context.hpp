@@ -25,50 +25,10 @@
 #include "common/parallel_for.hpp"
 #include "kernels/device.hpp"
 #include "kernels/scratch_arena.hpp"
+#include "kernels/simd.hpp"
+#include "kernels/variants.hpp"
 
 namespace easyscale::kernels {
-
-enum class KernelPolicy : int {
-  kFastest = 0,
-  kDeterministic = 1,
-  kHardwareAgnostic = 2,
-};
-
-/// GEMM kernel variants.  The number of interleaved accumulators decides
-/// both the FP association order (bitwise-different results) and the
-/// vectorization the compiler can apply (wider = faster) — mirroring how
-/// real vendor kernels trade determinism for tuned throughput.
-enum class GemmVariant : int {
-  kSequential = 0,     // canonical single accumulator (D2 kernel; slow)
-  kInterleaved2 = 1,   // T4-native
-  kInterleaved4 = 2,   // P100-native
-  kInterleaved8 = 3,   // V100-native (widest vectorization)
-  kBlocked8 = 4,       // autotuner alternative: k-blocked partial sums
-};
-
-/// Reduction kernel variants, same idea for sum-reductions.
-enum class ReduceVariant : int {
-  kSequential = 0,
-  kPairwise64 = 1,   // V100-native tree reduction, leaf width 64
-  kPairwise128 = 2,  // P100-native
-  kPairwise256 = 3,  // T4-native
-};
-
-/// Convolution implementation.  The "vendor" path lowers to im2col + the
-/// device's native GEMM; the canonical path is a direct (slow) loop that is
-/// identical on every device — this speed gap is the Fig-12 D2 overhead.
-enum class ConvVariant : int {
-  kDirectCanonical = 0,
-  kIm2colNative = 1,
-};
-
-/// Kernel family of a completed entry-point call, for post-op observers.
-enum class KernelFamily : int {
-  kGemm = 0,
-  kConv = 1,
-  kReduce = 2,
-  kScatter = 3,
-};
 
 /// Observer invoked after a kernel entry point finishes writing an output
 /// buffer (after any parallel_for has joined, on the calling worker
@@ -91,6 +51,12 @@ struct ExecContext {
   /// Custom D2 GEMM kernel handle (kernels/custom.hpp); 0 = use the
   /// built-in pinned variant.  Only honored under kHardwareAgnostic.
   int custom_gemm = 0;
+
+  /// SIMD backend for vectorized kernel bodies (kernels/simd.hpp).  kAuto
+  /// follows EASYSCALE_SIMD, then CPU detection.  Results are bitwise
+  /// identical for every value — backends change throughput, never bits —
+  /// so this composes with intra_op_threads and the variant policy freely.
+  SimdBackend simd = SimdBackend::kAuto;
 
   /// Intra-op parallelism ways for every kernel and op running under this
   /// context.  0 = follow the EASYSCALE_THREADS process default.  Results
@@ -123,6 +89,11 @@ struct ExecContext {
   }
   [[nodiscard]] ComputePool& compute_pool() const {
     return pool != nullptr ? *pool : ComputePool::global();
+  }
+  /// This context's resolved vector-ops table.  Null members mean "use the
+  /// scalar loop" (the scalar backend is all null).
+  [[nodiscard]] const SimdOps& simd_ops() const {
+    return kernels::simd_ops(simd);
   }
 
   void notify_post_op(KernelFamily family, float* data,

@@ -3,6 +3,7 @@
 #include "kernels/custom.hpp"
 
 #include <chrono>
+#include <cstring>
 #include <vector>
 
 #include "common/error.hpp"
@@ -141,14 +142,83 @@ inline float dot_with_variant(GemmVariant variant, const float* x,
 /// thread count can never change bits.  With ctx == nullptr (autotuner
 /// probes, the legacy explicit-variant entry point) it runs sequentially
 /// and allocates its own pack buffer.
+///
+/// Under a vector backend the same partition is served by SIMD row panels
+/// over UNPACKED B: lanes are output columns, each replaying the variant's
+/// exact scalar k-order (kernels/simd_impl.hpp), so the panel path is
+/// bitwise-equal to the packed scalar path for every variant and chunking.
 void gemm_impl(const ExecContext* ctx, GemmVariant variant,
-               const CustomDotFn* custom, std::int64_t m, std::int64_t n,
-               std::int64_t k, std::span<const float> a,
-               std::span<const float> b, std::span<float> c,
-               bool accumulate) {
+               const CustomDotFn* custom, const CustomPanelFn* custom_panel,
+               std::int64_t m, std::int64_t n, std::int64_t k,
+               std::span<const float> a, std::span<const float> b,
+               std::span<float> c, bool accumulate) {
   ES_CHECK(static_cast<std::int64_t>(a.size()) == m * k, "gemm: bad A size");
   ES_CHECK(static_cast<std::int64_t>(b.size()) == k * n, "gemm: bad B size");
   ES_CHECK(static_cast<std::int64_t>(c.size()) == m * n, "gemm: bad C size");
+  const std::int64_t grain = std::max<std::int64_t>(1, kMinChunkWork / std::max<std::int64_t>(1, k));
+  const SimdOps* ops = ctx != nullptr ? &ctx->simd_ops() : nullptr;
+  if (ops != nullptr && ops->gemm_panel != nullptr &&
+      (custom == nullptr || custom_panel != nullptr)) {
+    // Pack B into the backend's column-tile layout when enough A rows
+    // amortize the copy: power-of-two row strides (n = 128, 256, 1024...)
+    // alias L1 sets and TLB pages, and the packed tiles stream
+    // contiguously instead.  Packing relocates each element once and
+    // never re-associates a sum, so both layouts are bitwise-equal
+    // (custom D2 panels take raw B and always stay unpacked).
+    const float* packed = nullptr;
+    if (custom_panel == nullptr && ops->gemm_panel_packed != nullptr &&
+        m >= 8) {
+      const std::int64_t tw = ops->gemm_tile_cols;
+      const std::int64_t ntiles = (n + tw - 1) / tw;
+      std::span<float> pb = ctx->scratch.borrow(
+          ScratchArena::kGemmPackB, static_cast<std::size_t>(ntiles * tw * k));
+      parallel_for(*ctx, ntiles, 1,
+                   [&](int /*chunk*/, std::int64_t t0, std::int64_t t1) {
+                     for (std::int64_t tile = t0; tile < t1; ++tile) {
+                       float* dst = pb.data() + tile * k * tw;
+                       const std::int64_t jlo = tile * tw;
+                       const std::int64_t w =
+                           std::min<std::int64_t>(tw, n - jlo);
+                       for (std::int64_t kk = 0; kk < k; ++kk) {
+                         float* drow = dst + kk * tw;
+                         std::memcpy(drow, b.data() + kk * n + jlo,
+                                     static_cast<std::size_t>(w) *
+                                         sizeof(float));
+                         for (std::int64_t p = w; p < tw; ++p) drow[p] = 0.0f;
+                       }
+                     }
+                   });
+      packed = pb.data();
+    }
+    // Chunk boundaries are identical to the scalar path (same n, same
+    // grain); panels just walk each chunk row-run by row-run.
+    auto panel_range = [&](std::int64_t i0, std::int64_t i1) {
+      std::int64_t idx = i0;
+      while (idx < i1) {
+        const std::int64_t i = idx / n;
+        const std::int64_t j0 = idx % n;
+        const std::int64_t j1 = std::min<std::int64_t>(n, j0 + (i1 - idx));
+        const float* arow = a.data() + i * k;
+        float* crow = c.data() + i * n;
+        if (custom_panel != nullptr) {
+          (*custom_panel)(*ops, arow, b.data(), k, n, j0, j1, crow,
+                          accumulate);
+        } else if (packed != nullptr) {
+          ops->gemm_panel_packed(variant, arow, packed, k, n, j0, j1, crow,
+                                 accumulate);
+        } else {
+          ops->gemm_panel(variant, arow, b.data(), k, n, j0, j1, crow,
+                          accumulate);
+        }
+        idx += j1 - j0;
+      }
+    };
+    parallel_for(*ctx, m * n, grain,
+                 [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                   panel_range(i0, i1);
+                 });
+    return;
+  }
   std::vector<float> local_bt;
   std::span<float> bt;
   if (ctx != nullptr) {
@@ -176,7 +246,6 @@ void gemm_impl(const ExecContext* ctx, GemmVariant variant,
     dot_range(0, m * n);
     return;
   }
-  const std::int64_t grain = std::max<std::int64_t>(1, kMinChunkWork / std::max<std::int64_t>(1, k));
   parallel_for(*ctx, m * n, grain,
                [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
                  dot_range(i0, i1);
@@ -237,14 +306,14 @@ void gemm_variant(GemmVariant variant, std::int64_t m, std::int64_t n,
                   std::int64_t k, std::span<const float> a,
                   std::span<const float> b, std::span<float> c,
                   bool accumulate) {
-  gemm_impl(nullptr, variant, nullptr, m, n, k, a, b, c, accumulate);
+  gemm_impl(nullptr, variant, nullptr, nullptr, m, n, k, a, b, c, accumulate);
 }
 
 void gemm_variant(const ExecContext& ctx, GemmVariant variant, std::int64_t m,
                   std::int64_t n, std::int64_t k, std::span<const float> a,
                   std::span<const float> b, std::span<float> c,
                   bool accumulate) {
-  gemm_impl(&ctx, variant, nullptr, m, n, k, a, b, c, accumulate);
+  gemm_impl(&ctx, variant, nullptr, nullptr, m, n, k, a, b, c, accumulate);
 }
 
 void gemm(const ExecContext& ctx, std::int64_t m, std::int64_t n,
@@ -252,16 +321,19 @@ void gemm(const ExecContext& ctx, std::int64_t m, std::int64_t n,
           std::span<float> c, bool accumulate) {
   if (ctx.policy == KernelPolicy::kHardwareAgnostic && ctx.custom_gemm != 0) {
     // User-registered D2 kernel (§3.3 future work): identical on every
-    // device by construction, accumulation order chosen by the user.
+    // device by construction, accumulation order chosen by the user.  With
+    // a registered panel the vector backends run it lanewise; without one
+    // it keeps the scalar packed path everywhere.
     const CustomDotFn& dot = custom_gemm(ctx.custom_gemm);
-    gemm_impl(&ctx, GemmVariant::kSequential, &dot, m, n, k, a, b, c,
+    const CustomPanelFn* panel = custom_gemm_panel(ctx.custom_gemm);
+    gemm_impl(&ctx, GemmVariant::kSequential, &dot, panel, m, n, k, a, b, c,
               accumulate);
     ctx.notify_post_op(KernelFamily::kGemm, c.data(),
                        static_cast<std::int64_t>(c.size()));
     return;
   }
-  gemm_impl(&ctx, select_gemm_variant(ctx, m, n, k), nullptr, m, n, k, a, b,
-            c, accumulate);
+  gemm_impl(&ctx, select_gemm_variant(ctx, m, n, k), nullptr, nullptr, m, n,
+            k, a, b, c, accumulate);
   ctx.notify_post_op(KernelFamily::kGemm, c.data(),
                      static_cast<std::int64_t>(c.size()));
 }

@@ -78,12 +78,22 @@ void reduce_sum_strided_batch(const ExecContext& ctx,
                               std::span<float> out) {
   ES_CHECK(stride > 0, "stride must be positive");
   const ReduceVariant variant = select_reduce_variant(ctx);
-  // Output slots are disjoint (owner-computes); each chunk gathers into its
-  // own buffer so chunks never share mutable state.
+  const SimdOps& ops = ctx.simd_ops();
+  // Output slots are disjoint (owner-computes).  The vector path assigns
+  // lanes to adjacent slots — the strided loads values[s + i * stride] are
+  // contiguous across lanes — with each slot keeping its variant's exact
+  // leaf/fold order, so it is bitwise-equal to the scalar gather below
+  // (which stays as the scalar backend's reference path, chunk-local
+  // buffer and all).
   parallel_for(
       ctx, static_cast<std::int64_t>(out.size()),
       std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, count)),
       [&](int /*chunk*/, std::int64_t s0, std::int64_t s1) {
+        if (ops.reduce_batch != nullptr) {
+          ops.reduce_batch(variant, values.data(), stride, count, s0, s1,
+                           out.data());
+          return;
+        }
         std::vector<float> gathered(static_cast<std::size_t>(count));
         for (std::int64_t s = s0; s < s1; ++s) {
           for (std::int64_t i = 0; i < count; ++i) {

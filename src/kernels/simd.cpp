@@ -1,0 +1,142 @@
+#include "kernels/simd.hpp"
+
+#include "common/env.hpp"
+#include "common/error.hpp"
+
+namespace easyscale::kernels {
+
+namespace {
+
+// __builtin_cpu_supports requires a literal feature name.
+bool cpu_has_avx2() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_avx512f() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx512f") != 0;
+#else
+  return false;
+#endif
+}
+
+/// The scalar backend publishes no vector bodies: call sites fall back to
+/// the original scalar loops, which are the reference the vector backends
+/// must match bitwise — keeping the scalar path literally the pre-SIMD
+/// code (an honest baseline, not a re-implementation).
+const SimdOps& scalar_ops() {
+  static const SimdOps ops;  // kind = kScalar, every pointer null
+  return ops;
+}
+
+}  // namespace
+
+const char* simd_backend_name(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kAuto:
+      return "auto";
+    case SimdBackend::kScalar:
+      return "scalar";
+    case SimdBackend::kAvx2:
+      return "avx2";
+    case SimdBackend::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+SimdBackend detected_simd_backend() {
+  static const SimdBackend detected = [] {
+    if (detail::avx512_ops() != nullptr && cpu_has_avx512f()) {
+      return SimdBackend::kAvx512;
+    }
+    if (detail::avx2_ops() != nullptr && cpu_has_avx2()) {
+      return SimdBackend::kAvx2;
+    }
+    return SimdBackend::kScalar;
+  }();
+  return detected;
+}
+
+bool simd_backend_available(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::kAuto:
+    case SimdBackend::kScalar:
+      return true;
+    case SimdBackend::kAvx2:
+      return detail::avx2_ops() != nullptr && cpu_has_avx2();
+    case SimdBackend::kAvx512:
+      return detail::avx512_ops() != nullptr && cpu_has_avx512f();
+  }
+  return false;
+}
+
+std::vector<SimdBackend> available_simd_backends() {
+  std::vector<SimdBackend> backends{SimdBackend::kScalar};
+  if (simd_backend_available(SimdBackend::kAvx2)) {
+    backends.push_back(SimdBackend::kAvx2);
+  }
+  if (simd_backend_available(SimdBackend::kAvx512)) {
+    backends.push_back(SimdBackend::kAvx512);
+  }
+  return backends;
+}
+
+SimdBackend parse_simd_backend_env() {
+  const auto token =
+      env_token("EASYSCALE_SIMD", {"auto", "avx512", "avx2", "scalar"});
+  if (!token.has_value() || *token == "auto") return detected_simd_backend();
+  const SimdBackend requested = *token == "scalar" ? SimdBackend::kScalar
+                                : *token == "avx2" ? SimdBackend::kAvx2
+                                                   : SimdBackend::kAvx512;
+  // A pinned backend the host (or this build) cannot run is an error, not
+  // a silent downgrade: a CI cross-check that "compared" avx512 against
+  // itself would be worthless.
+  ES_CHECK(simd_backend_available(requested),
+           "EASYSCALE_SIMD=" << *token << " but the " << *token
+                             << " backend is not available on this "
+                                "host/build (detected: "
+                             << simd_backend_name(detected_simd_backend())
+                             << ")");
+  return requested;
+}
+
+namespace {
+
+/// kAuto resolution, parsed once per process (kernels consult this on
+/// every call; the env must not be able to change bits mid-run).
+SimdBackend resolved_auto_backend() {
+  static const SimdBackend resolved = parse_simd_backend_env();
+  return resolved;
+}
+
+}  // namespace
+
+const SimdOps& simd_ops(SimdBackend backend) {
+  const SimdBackend concrete =
+      backend == SimdBackend::kAuto ? resolved_auto_backend() : backend;
+  switch (concrete) {
+    case SimdBackend::kAuto:
+    case SimdBackend::kScalar:
+      return scalar_ops();
+    case SimdBackend::kAvx2: {
+      ES_CHECK(simd_backend_available(SimdBackend::kAvx2),
+               "avx2 SIMD backend requested but unavailable on this "
+               "host/build");
+      return *detail::avx2_ops();
+    }
+    case SimdBackend::kAvx512: {
+      ES_CHECK(simd_backend_available(SimdBackend::kAvx512),
+               "avx512 SIMD backend requested but unavailable on this "
+               "host/build");
+      return *detail::avx512_ops();
+    }
+  }
+  ES_THROW("unreachable simd backend");
+}
+
+}  // namespace easyscale::kernels

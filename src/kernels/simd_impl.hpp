@@ -1,0 +1,667 @@
+// Generic SIMD kernel bodies, templated over a vector abstraction V.
+//
+// Included ONLY by the per-ISA translation units (simd_avx2.cpp,
+// simd_avx512.cpp), which compile with their ISA flag plus
+// -ffp-contract=off — contraction of the mul+add chains below into FMA
+// would change rounding and break the bitwise contract with the scalar
+// loops.
+//
+// V provides:
+//   using Reg;  static constexpr int kLanes;
+//   zero(), broadcast(float), load(p), store(p, v),
+//   maskload(p, m), maskstore(p, m, v)   // first m lanes; rest untouched/0
+//   add, sub, mul, div(Reg, Reg),
+//   keep_gt_zero(x, v)                   // x > 0 ? v : +0.0f, per lane
+//
+// The determinism argument, once, for all bodies here: lanes are DISTINCT
+// OUTPUT ELEMENTS (GEMM columns, reduction slots, conv output columns,
+// elementwise indices).  Each lane executes, in program order, exactly the
+// adds/muls the scalar loop executes for that element — the vector
+// instruction just executes 8/16 independent scalar chains at once.  IEEE
+// ops are deterministic per lane, so the stores are bitwise those of the
+// scalar loop.  Lane count therefore cannot appear in the numerics, which
+// is why an AVX-512 body and an AVX2 body agree with each other and with
+// the scalar fallback.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "kernels/simd.hpp"
+
+namespace easyscale::kernels::simd_impl {
+
+using std::int64_t;
+
+// ---------------------------------------------------------------------------
+// GEMM row panels.  c_row[j] (+)= dot(a_row, B[:, j]).  One j-tile = T
+// vectors of V::kLanes output columns; `m` lanes of the last vector may be
+// masked.  W interleaved accumulator registers per tile reproduce
+// dot_interleaved<W> per lane; T > 1 only adds independent parallel chains
+// (more outputs in flight), never re-associates any one output's sum.
+//
+// Every tile reads B through (bbase, bs): bbase points at the element for
+// k row 0 / output column j, and consecutive k rows are `bs` floats apart.
+// Unpacked B[k, n] passes bbase = b + j, bs = n; the packed layout passes
+// the tile base and bs = gemm_tile_cols.  The addressing never enters the
+// numerics, so both layouts produce bitwise-identical stores.
+// ---------------------------------------------------------------------------
+
+/// Column-tile width (in vectors) of the packed-B layout and of the wide
+/// interior tiles; 6 measured fastest on both AVX2 and AVX-512.
+inline constexpr int kPanelTileVecs = 6;
+
+template <typename V, int W, int T, bool Masked>
+inline void gemm_tile(const float* a, const float* bbase, int64_t bs,
+                      int64_t k, int64_t j, int m, float* c, bool accumulate) {
+  using Reg = typename V::Reg;
+  constexpr int64_t L = V::kLanes;
+  auto loadm = [&](const float* p, int t) {
+    if constexpr (Masked) {
+      return t + 1 == T ? V::maskload(p + t * L, m) : V::load(p + t * L);
+    } else {
+      (void)m;
+      return V::load(p + t * L);
+    }
+  };
+  Reg acc[W][T];
+  for (int w = 0; w < W; ++w) {
+    for (int t = 0; t < T; ++t) acc[w][t] = V::zero();
+  }
+  int64_t kk = 0;
+  for (; kk + W <= k; kk += W) {
+    // Constant trip counts: the compiler fully unrolls, so acc indices are
+    // compile-time and the accumulators live in registers.
+    for (int w = 0; w < W; ++w) {
+      const Reg av = V::broadcast(a[kk + w]);
+      const float* bp = bbase + (kk + w) * bs;
+      for (int t = 0; t < T; ++t) {
+        acc[w][t] = V::add(acc[w][t], V::mul(av, loadm(bp, t)));
+      }
+    }
+  }
+  for (; kk < k; ++kk) {  // remainder: all into acc[0], like the scalar loop
+    const Reg av = V::broadcast(a[kk]);
+    const float* bp = bbase + kk * bs;
+    for (int t = 0; t < T; ++t) {
+      acc[0][t] = V::add(acc[0][t], V::mul(av, loadm(bp, t)));
+    }
+  }
+  for (int t = 0; t < T; ++t) {
+    // Pinned fold order: total = 0 + acc[0] + acc[1] + ... (the leading
+    // 0 + acc[0] is the scalar fold's first add and matters for -0.0).
+    Reg total = V::zero();
+    for (int w = 0; w < W; ++w) total = V::add(total, acc[w][t]);
+    float* cp = c + j + t * L;
+    const bool masked_t = Masked && t + 1 == T;
+    if (accumulate) {
+      const Reg prev = masked_t ? V::maskload(cp, m) : V::load(cp);
+      total = V::add(prev, total);
+    }
+    if (masked_t) {
+      V::maskstore(cp, m, total);
+    } else {
+      V::store(cp, total);
+    }
+  }
+}
+
+// kBlocked8: within a k-block of 8 a sequential partial, block partials
+// folded left-to-right into a running total (dot_blocked per lane).
+template <typename V, int T, bool Masked>
+inline void gemm_tile_blocked8(const float* a, const float* bbase, int64_t bs,
+                               int64_t k, int64_t j, int m, float* c,
+                               bool accumulate) {
+  using Reg = typename V::Reg;
+  constexpr int64_t L = V::kLanes;
+  auto loadm = [&](const float* p, int t) {
+    if constexpr (Masked) {
+      return t + 1 == T ? V::maskload(p + t * L, m) : V::load(p + t * L);
+    } else {
+      (void)m;
+      return V::load(p + t * L);
+    }
+  };
+  Reg total[T];
+  for (int t = 0; t < T; ++t) total[t] = V::zero();
+  for (int64_t b0 = 0; b0 < k; b0 += 8) {
+    const int64_t b1 = b0 + 8 < k ? b0 + 8 : k;
+    Reg part[T];
+    for (int t = 0; t < T; ++t) part[t] = V::zero();
+    for (int64_t kk = b0; kk < b1; ++kk) {
+      const Reg av = V::broadcast(a[kk]);
+      const float* bp = bbase + kk * bs;
+      for (int t = 0; t < T; ++t) {
+        part[t] = V::add(part[t], V::mul(av, loadm(bp, t)));
+      }
+    }
+    for (int t = 0; t < T; ++t) total[t] = V::add(total[t], part[t]);
+  }
+  for (int t = 0; t < T; ++t) {
+    float* cp = c + j + t * L;
+    const bool masked_t = Masked && t + 1 == T;
+    Reg out = total[t];
+    if (accumulate) {
+      const Reg prev = masked_t ? V::maskload(cp, m) : V::load(cp);
+      out = V::add(prev, out);
+    }
+    if (masked_t) {
+      V::maskstore(cp, m, out);
+    } else {
+      V::store(cp, out);
+    }
+  }
+}
+
+template <typename V>
+inline void gemm_segment_blocked8(const float* a, const float* bbase,
+                                  int64_t bs, int64_t k, int64_t j0,
+                                  int64_t j1, float* c, bool accumulate) {
+  constexpr int64_t L = V::kLanes;
+  int64_t j = j0;
+  const float* bb = bbase;
+  for (; j + 2 * L <= j1; j += 2 * L, bb += 2 * L) {
+    gemm_tile_blocked8<V, 2, false>(a, bb, bs, k, j, 0, c, accumulate);
+  }
+  for (; j + L <= j1; j += L, bb += L) {
+    gemm_tile_blocked8<V, 1, false>(a, bb, bs, k, j, 0, c, accumulate);
+  }
+  if (j < j1) {
+    gemm_tile_blocked8<V, 1, true>(a, bb, bs, k, j, static_cast<int>(j1 - j),
+                                   c, accumulate);
+  }
+}
+
+// Kahan-compensated panel: per lane exactly kahan_dot's recurrence.
+template <typename V, int T, bool Masked>
+inline void gemm_tile_kahan(const float* a, const float* bbase, int64_t bs,
+                            int64_t k, int64_t j, int m, float* c,
+                            bool accumulate) {
+  using Reg = typename V::Reg;
+  constexpr int64_t L = V::kLanes;
+  auto loadm = [&](const float* p, int t) {
+    if constexpr (Masked) {
+      return t + 1 == T ? V::maskload(p + t * L, m) : V::load(p + t * L);
+    } else {
+      (void)m;
+      return V::load(p + t * L);
+    }
+  };
+  Reg sum[T], comp[T];
+  for (int t = 0; t < T; ++t) sum[t] = comp[t] = V::zero();
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const Reg av = V::broadcast(a[kk]);
+    const float* bp = bbase + kk * bs;
+    for (int t = 0; t < T; ++t) {
+      const Reg term = V::sub(V::mul(av, loadm(bp, t)), comp[t]);
+      const Reg next = V::add(sum[t], term);
+      comp[t] = V::sub(V::sub(next, sum[t]), term);
+      sum[t] = next;
+    }
+  }
+  for (int t = 0; t < T; ++t) {
+    float* cp = c + j + t * L;
+    const bool masked_t = Masked && t + 1 == T;
+    Reg out = sum[t];
+    if (accumulate) {
+      const Reg prev = masked_t ? V::maskload(cp, m) : V::load(cp);
+      out = V::add(prev, out);
+    }
+    if (masked_t) {
+      V::maskstore(cp, m, out);
+    } else {
+      V::store(cp, out);
+    }
+  }
+}
+
+// Wide interior tile, split into passes of PW accumulator chains.  Keeping
+// all W x T accumulators live spills registers (W=8, T>=2 exceeds the 16
+// ymm file and the spilled add chains triple in latency), so the k loop
+// runs W/PW times, pass h owning chains [h*PW, h*PW + PW).  Chain w still
+// consumes its terms (kk == w mod W) in strictly ascending kk — passes
+// reorder work ACROSS independent chains, never within one — and the
+// pass partials round-trip through a spill buffer, which is bit-preserving.
+// The final fold is the same left-to-right 0 + acc[0] + ... + acc[W-1].
+template <typename V, int W, int PW, int T>
+inline void gemm_tile_split(const float* a, const float* bbase, int64_t bs,
+                            int64_t k, int64_t j, float* c, bool accumulate) {
+  static_assert(W % PW == 0);
+  using Reg = typename V::Reg;
+  constexpr int64_t L = V::kLanes;
+  alignas(64) float spill[W][T][static_cast<std::size_t>(V::kLanes)];
+  for (int h = 0; h < W / PW; ++h) {
+    Reg acc[PW][T];
+    for (int p = 0; p < PW; ++p) {
+      for (int t = 0; t < T; ++t) acc[p][t] = V::zero();
+    }
+    int64_t kk = 0;
+    for (; kk + W <= k; kk += W) {
+      for (int p = 0; p < PW; ++p) {
+        const int w = h * PW + p;
+        const Reg av = V::broadcast(a[kk + w]);
+        const float* bp = bbase + (kk + w) * bs;
+        for (int t = 0; t < T; ++t) {
+          acc[p][t] = V::add(acc[p][t], V::mul(av, V::load(bp + t * L)));
+        }
+      }
+    }
+    if (h == 0) {  // remainder: all into chain 0, like the scalar loop
+      for (; kk < k; ++kk) {
+        const Reg av = V::broadcast(a[kk]);
+        const float* bp = bbase + kk * bs;
+        for (int t = 0; t < T; ++t) {
+          acc[0][t] = V::add(acc[0][t], V::mul(av, V::load(bp + t * L)));
+        }
+      }
+    }
+    for (int p = 0; p < PW; ++p) {
+      for (int t = 0; t < T; ++t) V::store(spill[h * PW + p][t], acc[p][t]);
+    }
+  }
+  for (int t = 0; t < T; ++t) {
+    Reg total = V::zero();
+    for (int w = 0; w < W; ++w) total = V::add(total, V::load(spill[w][t]));
+    float* cp = c + j + t * L;
+    if (accumulate) total = V::add(V::load(cp), total);
+    V::store(cp, total);
+  }
+}
+
+// Segment driver: wide split-pass tiles over the interior, then single
+// tiles, then one masked tile, all addressed through (bbase, bs).
+// PW = min(W, 2) and T = kPanelTileVecs keep 12 accumulators live —
+// measured fastest on both 16- and 32-register files; the narrow tail
+// tiles reuse the simple all-chains-live form.
+template <typename V, int W>
+inline void gemm_segment_w(const float* a, const float* bbase, int64_t bs,
+                           int64_t k, int64_t j0, int64_t j1, float* c,
+                           bool accumulate) {
+  constexpr int64_t L = V::kLanes;
+  constexpr int PW = W < 2 ? W : 2;
+  constexpr int T = kPanelTileVecs;
+  int64_t j = j0;
+  const float* bb = bbase;
+  for (; j + T * L <= j1; j += T * L, bb += T * L) {
+    gemm_tile_split<V, W, PW, T>(a, bb, bs, k, j, c, accumulate);
+  }
+  for (; j + L <= j1; j += L, bb += L) {
+    gemm_tile<V, W, 1, false>(a, bb, bs, k, j, 0, c, accumulate);
+  }
+  if (j < j1) {
+    gemm_tile<V, W, 1, true>(a, bb, bs, k, j, static_cast<int>(j1 - j), c,
+                             accumulate);
+  }
+}
+
+// Variant dispatch over one (bbase, bs)-addressed segment of columns.
+template <typename V>
+inline void gemm_segment(GemmVariant variant, const float* a,
+                         const float* bbase, int64_t bs, int64_t k,
+                         int64_t j0, int64_t j1, float* c, bool accumulate) {
+  switch (variant) {
+    case GemmVariant::kSequential:
+      gemm_segment_w<V, 1>(a, bbase, bs, k, j0, j1, c, accumulate);
+      return;
+    case GemmVariant::kInterleaved2:
+      gemm_segment_w<V, 2>(a, bbase, bs, k, j0, j1, c, accumulate);
+      return;
+    case GemmVariant::kInterleaved4:
+      gemm_segment_w<V, 4>(a, bbase, bs, k, j0, j1, c, accumulate);
+      return;
+    case GemmVariant::kInterleaved8:
+      gemm_segment_w<V, 8>(a, bbase, bs, k, j0, j1, c, accumulate);
+      return;
+    case GemmVariant::kBlocked8:
+      gemm_segment_blocked8<V>(a, bbase, bs, k, j0, j1, c, accumulate);
+      return;
+  }
+  ES_THROW("unreachable gemm variant");
+}
+
+template <typename V>
+void gemm_panel(GemmVariant variant, const float* a, const float* b,
+                int64_t k, int64_t n, int64_t j0, int64_t j1, float* c,
+                bool accumulate) {
+  gemm_segment<V>(variant, a, b + j0, n, k, j0, j1, c, accumulate);
+}
+
+/// Packed-B panel: resolve the tile each column range lives in (tile t
+/// holds columns [t*TW, (t+1)*TW) at row stride TW, zero-padded past n)
+/// and run the ordinary segment driver inside it.  Chunk boundaries need
+/// not align to tiles.
+template <typename V>
+void gemm_panel_packed(GemmVariant variant, const float* a,
+                       const float* packed, int64_t k, int64_t n, int64_t j0,
+                       int64_t j1, float* c, bool accumulate) {
+  (void)n;
+  constexpr int64_t TW = kPanelTileVecs * V::kLanes;
+  int64_t j = j0;
+  while (j < j1) {
+    const int64_t tile = j / TW;
+    const int64_t jend = j1 < (tile + 1) * TW ? j1 : (tile + 1) * TW;
+    const float* bbase = packed + tile * k * TW + (j - tile * TW);
+    gemm_segment<V>(variant, a, bbase, TW, k, j, jend, c, accumulate);
+    j = jend;
+  }
+}
+
+template <typename V>
+void kahan_panel(const float* a, const float* b, int64_t k, int64_t n,
+                 int64_t j0, int64_t j1, float* c, bool accumulate) {
+  constexpr int64_t L = V::kLanes;
+  int64_t j = j0;
+  const float* bb = b + j0;
+  for (; j + 2 * L <= j1; j += 2 * L, bb += 2 * L) {
+    gemm_tile_kahan<V, 2, false>(a, bb, n, k, j, 0, c, accumulate);
+  }
+  for (; j + L <= j1; j += L, bb += L) {
+    gemm_tile_kahan<V, 1, false>(a, bb, n, k, j, 0, c, accumulate);
+  }
+  if (j < j1) {
+    gemm_tile_kahan<V, 1, true>(a, bb, n, k, j, static_cast<int>(j1 - j), c,
+                                accumulate);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched strided reduction: lanes are output slots.  Per slot the leaf /
+// fold order is exactly sum_sequential / sum_pairwise (reduce.cpp); the
+// strided loads values[s + i * stride] are contiguous across lanes.
+// ---------------------------------------------------------------------------
+
+template <typename V>
+inline void reduce_slots(ReduceVariant variant, const float* v0,
+                         int64_t stride, int64_t count, float* out, int m) {
+  using Reg = typename V::Reg;
+  constexpr int L = V::kLanes;
+  auto loadm = [&](const float* p) {
+    return m == L ? V::load(p) : V::maskload(p, m);
+  };
+  // Plain-struct box so std::vector never sees the raw vector-attribute
+  // type (dodges -Wignored-attributes; alignment is preserved through the
+  // C++17 aligned operator new).
+  struct RegBox {
+    Reg v;
+  };
+  Reg total;
+  if (variant == ReduceVariant::kSequential) {
+    Reg acc = V::zero();
+    for (int64_t i = 0; i < count; ++i) {
+      acc = V::add(acc, loadm(v0 + i * stride));
+    }
+    total = acc;
+  } else {
+    const int64_t width = variant == ReduceVariant::kPairwise64    ? 64
+                          : variant == ReduceVariant::kPairwise128 ? 128
+                                                                   : 256;
+    std::vector<RegBox> partials;
+    partials.reserve(static_cast<std::size_t>(count / width + 1));
+    for (int64_t b0 = 0; b0 < count; b0 += width) {
+      const int64_t b1 = b0 + width < count ? b0 + width : count;
+      Reg part = V::zero();
+      for (int64_t i = b0; i < b1; ++i) {
+        part = V::add(part, loadm(v0 + i * stride));
+      }
+      partials.push_back(RegBox{part});
+    }
+    while (partials.size() > 1) {  // pairwise fold, odd partial carried
+      std::vector<RegBox> next;
+      next.reserve((partials.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < partials.size(); i += 2) {
+        next.push_back(RegBox{V::add(partials[i].v, partials[i + 1].v)});
+      }
+      if (partials.size() % 2) next.push_back(partials.back());
+      partials = std::move(next);
+    }
+    total = partials.empty() ? V::zero() : partials[0].v;
+  }
+  if (m == L) {
+    V::store(out, V::add(V::load(out), total));
+  } else {
+    V::maskstore(out, m, V::add(V::maskload(out, m), total));
+  }
+}
+
+template <typename V>
+void reduce_batch(ReduceVariant variant, const float* values, int64_t stride,
+                  int64_t count, int64_t s0, int64_t s1, float* out) {
+  constexpr int64_t L = V::kLanes;
+  int64_t s = s0;
+  for (; s + L <= s1; s += L) {
+    reduce_slots<V>(variant, values + s, stride, count, out + s,
+                    static_cast<int>(L));
+  }
+  if (s < s1) {
+    reduce_slots<V>(variant, values + s, stride, count, out + s,
+                    static_cast<int>(s1 - s));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Direct-conv stride-1 row interior: lanes are output columns x; per lane
+// the canonical single accumulator walks c -> kh -> kw, then + bias.
+// ---------------------------------------------------------------------------
+
+template <typename V, int T, bool Masked>
+inline void conv_tile(const ConvRowArgs& g, int64_t x, int m) {
+  using Reg = typename V::Reg;
+  constexpr int64_t L = V::kLanes;
+  auto loadm = [&](const float* p, int t) {
+    if constexpr (Masked) {
+      return t + 1 == T ? V::maskload(p + t * L, m) : V::load(p + t * L);
+    } else {
+      (void)m;
+      return V::load(p + t * L);
+    }
+  };
+  Reg acc[T];
+  for (int t = 0; t < T; ++t) acc[t] = V::zero();
+  for (int64_t c = 0; c < g.cg; ++c) {
+    const float* in_c = g.in_n + (g.ic0 + c) * g.in_h * g.in_w;
+    const float* w_c = g.w_f + c * g.kernel_h * g.kernel_w;
+    for (int64_t kh = g.kh_lo; kh < g.kh_hi; ++kh) {
+      const float* row = in_c + (g.iy0 + kh) * g.in_w + (x - g.pad);
+      const float* wr = w_c + kh * g.kernel_w;
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw) {
+        const Reg tap = V::broadcast(wr[kw]);
+        for (int t = 0; t < T; ++t) {
+          acc[t] = V::add(acc[t], V::mul(tap, loadm(row + kw, t)));
+        }
+      }
+    }
+  }
+  const Reg bias = V::broadcast(g.bias);
+  for (int t = 0; t < T; ++t) {
+    const Reg res = V::add(acc[t], bias);
+    if (Masked && t + 1 == T) {
+      V::maskstore(g.out_row + x + t * L, m, res);
+    } else {
+      V::store(g.out_row + x + t * L, res);
+    }
+  }
+}
+
+template <typename V>
+void conv_row(const ConvRowArgs& g) {
+  constexpr int64_t L = V::kLanes;
+  int64_t x = g.x_lo;
+  for (; x + 2 * L <= g.x_hi; x += 2 * L) conv_tile<V, 2, false>(g, x, 0);
+  for (; x + L <= g.x_hi; x += L) conv_tile<V, 1, false>(g, x, 0);
+  if (x < g.x_hi) conv_tile<V, 1, true>(g, x, static_cast<int>(g.x_hi - x));
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise maps: one lane = one index, same per-element expression as
+// the scalar loops they replace.
+// ---------------------------------------------------------------------------
+
+// Runs body(i, m) over [0, n) in L-wide blocks; m < L only on the tail.
+template <typename V, typename Body>
+inline void foreach_block(int64_t n, const Body& body) {
+  constexpr int64_t L = V::kLanes;
+  int64_t i = 0;
+  for (; i + L <= n; i += L) body(i, static_cast<int>(L));
+  if (i < n) body(i, static_cast<int>(n - i));
+}
+
+template <typename V>
+void relu_fwd(const float* x, float* out, int64_t n) {
+  constexpr int L = V::kLanes;
+  foreach_block<V>(n, [&](int64_t i, int m) {
+    if (m == L) {
+      const auto v = V::load(x + i);
+      V::store(out + i, V::keep_gt_zero(v, v));
+    } else {
+      const auto v = V::maskload(x + i, m);
+      V::maskstore(out + i, m, V::keep_gt_zero(v, v));
+    }
+  });
+}
+
+template <typename V>
+void relu_bwd(const float* x, const float* g, float* gin, int64_t n) {
+  constexpr int L = V::kLanes;
+  foreach_block<V>(n, [&](int64_t i, int m) {
+    if (m == L) {
+      V::store(gin + i, V::keep_gt_zero(V::load(x + i), V::load(g + i)));
+    } else {
+      V::maskstore(gin + i, m,
+                   V::keep_gt_zero(V::maskload(x + i, m),
+                                   V::maskload(g + i, m)));
+    }
+  });
+}
+
+template <typename V>
+void sigmoid_bwd(const float* s, const float* g, float* gin, int64_t n) {
+  using Reg = typename V::Reg;
+  constexpr int L = V::kLanes;
+  const Reg one = V::broadcast(1.0f);
+  foreach_block<V>(n, [&](int64_t i, int m) {
+    const Reg sv = m == L ? V::load(s + i) : V::maskload(s + i, m);
+    const Reg gv = m == L ? V::load(g + i) : V::maskload(g + i, m);
+    // grad_out * s * (1 - s), associated left-to-right like the scalar code
+    const Reg r = V::mul(V::mul(gv, sv), V::sub(one, sv));
+    if (m == L) {
+      V::store(gin + i, r);
+    } else {
+      V::maskstore(gin + i, m, r);
+    }
+  });
+}
+
+template <typename V>
+void add_scalar(float* out, float c, int64_t n) {
+  using Reg = typename V::Reg;
+  constexpr int L = V::kLanes;
+  const Reg cv = V::broadcast(c);
+  foreach_block<V>(n, [&](int64_t i, int m) {
+    if (m == L) {
+      V::store(out + i, V::add(V::load(out + i), cv));
+    } else {
+      V::maskstore(out + i, m, V::add(V::maskload(out + i, m), cv));
+    }
+  });
+}
+
+template <typename V>
+void add_vec(float* out, const float* add, int64_t n) {
+  constexpr int L = V::kLanes;
+  foreach_block<V>(n, [&](int64_t i, int m) {
+    if (m == L) {
+      V::store(out + i, V::add(V::load(out + i), V::load(add + i)));
+    } else {
+      V::maskstore(out + i, m,
+                   V::add(V::maskload(out + i, m), V::maskload(add + i, m)));
+    }
+  });
+}
+
+template <typename V>
+void div_scalar(float* out, float c, int64_t n) {
+  using Reg = typename V::Reg;
+  constexpr int L = V::kLanes;
+  const Reg cv = V::broadcast(c);
+  foreach_block<V>(n, [&](int64_t i, int m) {
+    if (m == L) {
+      V::store(out + i, V::div(V::load(out + i), cv));
+    } else {
+      V::maskstore(out + i, m, V::div(V::maskload(out + i, m), cv));
+    }
+  });
+}
+
+template <typename V>
+void norm_affine_vec(const float* x, const float* gamma, const float* beta,
+                     float mean, float inv_std, float* xhat, float* out,
+                     int64_t n) {
+  using Reg = typename V::Reg;
+  constexpr int L = V::kLanes;
+  const Reg mv = V::broadcast(mean);
+  const Reg sv = V::broadcast(inv_std);
+  foreach_block<V>(n, [&](int64_t i, int m) {
+    const bool full = m == L;
+    const Reg xv = full ? V::load(x + i) : V::maskload(x + i, m);
+    const Reg xh = V::mul(V::sub(xv, mv), sv);
+    const Reg gv = full ? V::load(gamma + i) : V::maskload(gamma + i, m);
+    const Reg bv = full ? V::load(beta + i) : V::maskload(beta + i, m);
+    const Reg o = V::add(V::mul(gv, xh), bv);
+    if (full) {
+      V::store(xhat + i, xh);
+      V::store(out + i, o);
+    } else {
+      V::maskstore(xhat + i, m, xh);
+      V::maskstore(out + i, m, o);
+    }
+  });
+}
+
+template <typename V>
+void norm_affine_scalar(const float* x, float gamma, float beta, float mean,
+                        float inv_std, float* xhat, float* out, int64_t n) {
+  using Reg = typename V::Reg;
+  constexpr int L = V::kLanes;
+  const Reg mv = V::broadcast(mean);
+  const Reg sv = V::broadcast(inv_std);
+  const Reg gv = V::broadcast(gamma);
+  const Reg bv = V::broadcast(beta);
+  foreach_block<V>(n, [&](int64_t i, int m) {
+    const bool full = m == L;
+    const Reg xv = full ? V::load(x + i) : V::maskload(x + i, m);
+    const Reg xh = V::mul(V::sub(xv, mv), sv);
+    const Reg o = V::add(V::mul(gv, xh), bv);
+    if (full) {
+      V::store(xhat + i, xh);
+      V::store(out + i, o);
+    } else {
+      V::maskstore(xhat + i, m, xh);
+      V::maskstore(out + i, m, o);
+    }
+  });
+}
+
+/// Populate a SimdOps table with V's instantiations.
+template <typename V>
+SimdOps make_simd_ops(SimdBackend kind) {
+  SimdOps ops;
+  ops.kind = kind;
+  ops.gemm_panel = &gemm_panel<V>;
+  ops.gemm_tile_cols = kPanelTileVecs * V::kLanes;
+  ops.gemm_panel_packed = &gemm_panel_packed<V>;
+  ops.kahan_panel = &kahan_panel<V>;
+  ops.reduce_batch = &reduce_batch<V>;
+  ops.conv_row = &conv_row<V>;
+  ops.relu_fwd = &relu_fwd<V>;
+  ops.relu_bwd = &relu_bwd<V>;
+  ops.sigmoid_bwd = &sigmoid_bwd<V>;
+  ops.add_scalar = &add_scalar<V>;
+  ops.add_vec = &add_vec<V>;
+  ops.div_scalar = &div_scalar<V>;
+  ops.norm_affine_vec = &norm_affine_vec<V>;
+  ops.norm_affine_scalar = &norm_affine_scalar<V>;
+  return ops;
+}
+
+}  // namespace easyscale::kernels::simd_impl

@@ -1,0 +1,57 @@
+// Kernel variant and policy enums, split out of exec_context.hpp so the
+// SIMD dispatch layer (kernels/simd.hpp) can name them without pulling in
+// the full ExecContext (which itself carries the chosen SimdBackend).
+//
+// A "variant" is a committed floating-point accumulation order.  §3.3 of
+// the paper identifies hardware-specific kernel implementations as a
+// nondeterminism source; here each device type's kernel is modeled as a
+// distinct association of the same sum, so switching device types changes
+// bits exactly the way real vendor kernels do — and pinning one variant
+// (D2) restores bitwise identity across devices.
+#pragma once
+
+namespace easyscale::kernels {
+
+enum class KernelPolicy : int {
+  kFastest = 0,
+  kDeterministic = 1,
+  kHardwareAgnostic = 2,
+};
+
+/// GEMM kernel variants.  The number of interleaved accumulators decides
+/// both the FP association order (bitwise-different results) and the
+/// vectorization the compiler can apply (wider = faster) — mirroring how
+/// real vendor kernels trade determinism for tuned throughput.
+enum class GemmVariant : int {
+  kSequential = 0,     // canonical single accumulator (D2 kernel; slow)
+  kInterleaved2 = 1,   // T4-native
+  kInterleaved4 = 2,   // P100-native
+  kInterleaved8 = 3,   // V100-native (widest vectorization)
+  kBlocked8 = 4,       // autotuner alternative: k-blocked partial sums
+};
+
+/// Reduction kernel variants, same idea for sum-reductions.
+enum class ReduceVariant : int {
+  kSequential = 0,
+  kPairwise64 = 1,   // V100-native tree reduction, leaf width 64
+  kPairwise128 = 2,  // P100-native
+  kPairwise256 = 3,  // T4-native
+};
+
+/// Convolution implementation.  The "vendor" path lowers to im2col + the
+/// device's native GEMM; the canonical path is a direct (slow) loop that is
+/// identical on every device — this speed gap is the Fig-12 D2 overhead.
+enum class ConvVariant : int {
+  kDirectCanonical = 0,
+  kIm2colNative = 1,
+};
+
+/// Kernel family of a completed entry-point call, for post-op observers.
+enum class KernelFamily : int {
+  kGemm = 0,
+  kConv = 1,
+  kReduce = 2,
+  kScatter = 3,
+};
+
+}  // namespace easyscale::kernels

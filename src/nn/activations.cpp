@@ -17,8 +17,16 @@ constexpr std::int64_t kTranscendentalGrain = 1024;
 Tensor ReLU::forward(StepContext& ctx, const Tensor& x) {
   cached_input_ = x;
   Tensor out(x.shape());
+  // Lanewise select — no accumulation, so the vector body is bitwise-equal
+  // to the scalar ternary per element.
+  const kernels::SimdOps& ops = ctx.ex().simd_ops();
   kernels::parallel_for(ctx.ex(), x.numel(), kActGrain,
                         [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+                          if (ops.relu_fwd != nullptr) {
+                            ops.relu_fwd(x.raw() + i0, out.raw() + i0,
+                                         i1 - i0);
+                            return;
+                          }
                           for (std::int64_t i = i0; i < i1; ++i) {
                             out.at(i) = x.at(i) > 0.0f ? x.at(i) : 0.0f;
                           }
@@ -28,9 +36,15 @@ Tensor ReLU::forward(StepContext& ctx, const Tensor& x) {
 
 Tensor ReLU::backward(StepContext& ctx, const Tensor& grad_out) {
   Tensor grad_in(grad_out.shape());
+  const kernels::SimdOps& ops = ctx.ex().simd_ops();
   kernels::parallel_for(
       ctx.ex(), grad_out.numel(), kActGrain,
       [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+        if (ops.relu_bwd != nullptr) {
+          ops.relu_bwd(cached_input_.raw() + i0, grad_out.raw() + i0,
+                       grad_in.raw() + i0, i1 - i0);
+          return;
+        }
         for (std::int64_t i = i0; i < i1; ++i) {
           grad_in.at(i) = cached_input_.at(i) > 0.0f ? grad_out.at(i) : 0.0f;
         }
@@ -89,9 +103,17 @@ Tensor Sigmoid::forward(StepContext& ctx, const Tensor& x) {
 
 Tensor Sigmoid::backward(StepContext& ctx, const Tensor& grad_out) {
   Tensor grad_in(grad_out.shape());
+  // Pure per-index map (g * s) * (1 - s); the vector body keeps the same
+  // left-to-right multiply order per lane.
+  const kernels::SimdOps& ops = ctx.ex().simd_ops();
   kernels::parallel_for(
       ctx.ex(), grad_out.numel(), kActGrain,
       [&](int /*chunk*/, std::int64_t i0, std::int64_t i1) {
+        if (ops.sigmoid_bwd != nullptr) {
+          ops.sigmoid_bwd(cached_output_.raw() + i0, grad_out.raw() + i0,
+                          grad_in.raw() + i0, i1 - i0);
+          return;
+        }
         for (std::int64_t i = i0; i < i1; ++i) {
           const float s = cached_output_.at(i);
           grad_in.at(i) = grad_out.at(i) * s * (1.0f - s);

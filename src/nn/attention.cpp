@@ -50,6 +50,7 @@ Tensor MultiheadSelfAttention::forward(StepContext& ctx, const Tensor& x) {
   Tensor ctx_out(Shape{n * t, dim_});
   // Each (sample, head) pair writes only its own probs plane and its own
   // head-offset column slice of ctx_out — owner-computes over n*heads.
+  const kernels::SimdOps& ops = ctx.ex().simd_ops();
   kernels::parallel_for(
       ctx.ex(), n * heads_,
       std::max<std::int64_t>(
@@ -78,7 +79,13 @@ Tensor MultiheadSelfAttention::forward(StepContext& ctx, const Tensor& x) {
               prow[j] = std::exp(prow[j] - row_max);
               denom += prow[j];
             }
-            for (std::int64_t j = 0; j < t; ++j) prow[j] /= denom;
+            // Lanewise divide by the scalar denom — exp and the denom
+            // reduction above stay scalar (libm order preserved).
+            if (ops.div_scalar != nullptr) {
+              ops.div_scalar(prow, denom, t);
+            } else {
+              for (std::int64_t j = 0; j < t; ++j) prow[j] /= denom;
+            }
             float* out_i = ctx_out.raw() + (s * t + i) * dim_ + off;
             for (std::int64_t d = 0; d < head_dim_; ++d) {
               float acc = 0.0f;

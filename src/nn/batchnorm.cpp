@@ -52,6 +52,7 @@ Tensor BatchNorm2d::forward(StepContext& ctx, const Tensor& x) {
   // Channels are fully independent (statistics, running buffers and output
   // planes are all per-channel), so the channel loop is owner-computes.
   // Gather buffers are chunk-local; chunks never share mutable state.
+  const kernels::SimdOps& ops = ctx.ex().simd_ops();
   kernels::parallel_for(
       ctx.ex(), channels_,
       std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, per_channel)),
@@ -95,10 +96,16 @@ Tensor BatchNorm2d::forward(StepContext& ctx, const Tensor& x) {
           cached_inv_std_.at(c) = inv_std;
           const float g = gamma_.value.at(c);
           const float b = beta_.value.at(c);
+          // Pure per-index map; norm_affine_scalar is lanewise-identical
+          // to the scalar loop below.
           for (std::int64_t s = 0; s < n; ++s) {
             const float* src = x.raw() + ((s * channels_ + c) * h * w);
             float* xh = cached_xhat_.raw() + ((s * channels_ + c) * h * w);
             float* dst = out.raw() + ((s * channels_ + c) * h * w);
+            if (ops.norm_affine_scalar != nullptr) {
+              ops.norm_affine_scalar(src, g, b, mean, inv_std, xh, dst, h * w);
+              continue;
+            }
             for (std::int64_t i = 0; i < h * w; ++i) {
               xh[i] = (src[i] - mean) * inv_std;
               dst[i] = g * xh[i] + b;

@@ -30,7 +30,11 @@ Tensor LayerNorm::forward(StepContext& ctx, const Tensor& x) {
   cached_xhat_ = Tensor(x.shape());
   cached_inv_std_ = Tensor(Shape{rows});
   Tensor out(x.shape());
-  // Rows normalize independently — owner-computes over rows.
+  // Rows normalize independently — owner-computes over rows.  The
+  // normalize-and-affine loop is a pure per-index map, so the vector body
+  // (norm_affine_vec) is bitwise-equal to the scalar loop; the mean and
+  // variance reductions keep their scalar accumulation order everywhere.
+  const kernels::SimdOps& ops = ctx.ex().simd_ops();
   kernels::parallel_for(
       ctx.ex(), rows,
       std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, dim_)),
@@ -48,6 +52,13 @@ Tensor LayerNorm::forward(StepContext& ctx, const Tensor& x) {
           var /= static_cast<float>(dim_);
           const float inv_std = 1.0f / std::sqrt(var + eps_);
           cached_inv_std_.at(r) = inv_std;
+          if (ops.norm_affine_vec != nullptr) {
+            ops.norm_affine_vec(row.data(), gamma_.value.raw(),
+                                beta_.value.raw(), mean, inv_std,
+                                cached_xhat_.raw() + r * dim_,
+                                out.raw() + r * dim_, dim_);
+            continue;
+          }
           for (std::int64_t i = 0; i < dim_; ++i) {
             const float xh =
                 (row[static_cast<std::size_t>(i)] - mean) * inv_std;

@@ -36,12 +36,18 @@ Tensor Linear::forward(StepContext& ctx, const Tensor& x) {
   kernels::gemm_nt(ctx.ex(), n, out_features_, in_features_, x.data(),
                    weight_.value.data(), out.data(), false);
   if (has_bias_) {
+    // Lanewise row[c] += bias[c] — one add per element on every backend.
+    const kernels::SimdOps& ops = ctx.ex().simd_ops();
     kernels::parallel_for(
         ctx.ex(), n,
         std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, out_features_)),
         [&](int /*chunk*/, std::int64_t r0, std::int64_t r1) {
           for (std::int64_t r = r0; r < r1; ++r) {
             float* row = out.raw() + r * out_features_;
+            if (ops.add_vec != nullptr) {
+              ops.add_vec(row, bias_.value.raw(), out_features_);
+              continue;
+            }
             for (std::int64_t c = 0; c < out_features_; ++c) {
               row[c] += bias_.value.at(c);
             }

@@ -1,0 +1,138 @@
+// Finite-difference gradient checks over the whole model zoo, swept across
+// every SIMD backend the host can run (the `gradcheck` ctest tier).
+//
+// Each check reseeds the RNG streams and restores per-worker buffers
+// (BatchNorm running stats) before every loss evaluation, so forward
+// passes are pure functions of the parameters — dropout masks and
+// augmentation draws replay identically.  Central differences
+// (L(t+h) - L(t-h)) / 2h then validate the analytic backward pass, and a
+// digest compare asserts the analytic gradients themselves are bitwise
+// identical on every backend (the lane-tree contract, end to end).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/digest.hpp"
+#include "kernels/simd.hpp"
+#include "models/datasets.hpp"
+#include "models/workload.hpp"
+
+namespace easyscale::models {
+namespace {
+
+constexpr std::uint64_t kSeed = 1234;
+
+data::Batch first_batch(const data::Dataset& ds, std::int64_t n) {
+  std::vector<data::Sample> samples;
+  for (std::int64_t i = 0; i < n; ++i) samples.push_back(ds.get(i));
+  return data::collate(samples);
+}
+
+struct GradCheckEnv {
+  std::unique_ptr<Workload> workload;
+  data::Batch batch;
+  kernels::ExecContext exec;
+  rng::StreamSet streams;
+  autograd::StepContext ctx;
+  std::vector<tensor::Tensor> buffer_snapshot;
+
+  GradCheckEnv(const std::string& name, kernels::SimdBackend backend) {
+    workload = make_workload(name);
+    workload->init(42);
+    auto wd = make_dataset_for(name, 32, 8, 42);
+    batch = first_batch(*wd.train, 4);
+    exec.policy = kernels::KernelPolicy::kDeterministic;
+    exec.simd = backend;
+    exec.intra_op_threads = 1;
+    ctx.exec = &exec;
+    ctx.rng = &streams;
+    ctx.training = true;
+    for (tensor::Tensor* b : workload->buffers()) buffer_snapshot.push_back(*b);
+  }
+
+  /// One deterministic loss evaluation: same RNG draws, same buffer state.
+  float eval_loss() {
+    auto buffers = workload->buffers();
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+      *buffers[i] = buffer_snapshot[i];
+    }
+    streams.seed_all(kSeed, 0);
+    workload->params().zero_grads();
+    return workload->train_step(ctx, batch);
+  }
+};
+
+class GradCheckTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GradCheckTest, FiniteDifferencesMatchBackwardOnEveryBackend) {
+  std::optional<std::uint64_t> scalar_digest;
+  for (kernels::SimdBackend backend : kernels::available_simd_backends()) {
+    SCOPED_TRACE(kernels::simd_backend_name(backend));
+    GradCheckEnv env(GetParam(), backend);
+    const float base_loss = env.eval_loss();
+    ASSERT_TRUE(std::isfinite(base_loss));
+
+    // Snapshot analytic gradients; their digest must be identical on every
+    // backend (bitwise lane-tree contract through full forward+backward).
+    auto& params = env.workload->params();
+    Digest grad_digest;
+    for (const auto* p : params.all()) grad_digest.update(p->grad.data());
+    if (!scalar_digest.has_value()) {
+      scalar_digest = grad_digest.value();
+    } else {
+      EXPECT_EQ(grad_digest.value(), *scalar_digest);
+    }
+    std::vector<std::vector<float>> analytic;
+    analytic.reserve(params.size());
+    for (const auto* p : params.all()) {
+      analytic.emplace_back(p->grad.data().begin(), p->grad.data().end());
+    }
+
+    // Sample up to 6 parameters spread across the store; per parameter
+    // check the largest-magnitude gradient entry plus the middle entry.
+    const std::size_t num_params = params.size();
+    const std::size_t step = std::max<std::size_t>(1, num_params / 6);
+    int checked = 0;
+    for (std::size_t pi = 0; pi < num_params; pi += step) {
+      auto& p = params.at(static_cast<int>(pi));
+      const auto& g = analytic[pi];
+      std::size_t max_i = 0;
+      for (std::size_t i = 1; i < g.size(); ++i) {
+        if (std::abs(g[i]) > std::abs(g[max_i])) max_i = i;
+      }
+      std::vector<std::size_t> indices = {max_i};
+      if (g.size() > 1) indices.push_back(g.size() / 2);
+      for (std::size_t i : indices) {
+        const float theta = p.value.at(static_cast<std::int64_t>(i));
+        const float h =
+            5e-3f * std::max(1.0f, std::abs(theta));  // central diff step
+        p.value.at(static_cast<std::int64_t>(i)) = theta + h;
+        const float lp = env.eval_loss();
+        p.value.at(static_cast<std::int64_t>(i)) = theta - h;
+        const float lm = env.eval_loss();
+        p.value.at(static_cast<std::int64_t>(i)) = theta;
+        const float fd = (lp - lm) / (2.0f * h);
+        const float an = g[i];
+        // Relative check with an absolute floor: float32 central
+        // differences resolve gradients down to roughly 1e-3 here.
+        const float denom = std::max(1.0f, std::abs(fd) + std::abs(an));
+        EXPECT_LT(std::abs(fd - an) / denom, 8e-2f)
+            << p.name << "[" << i << "] fd=" << fd << " analytic=" << an;
+        ++checked;
+      }
+    }
+    EXPECT_GT(checked, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, GradCheckTest,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace easyscale::models

@@ -1,0 +1,465 @@
+// Cross-backend bitwise equivalence for the SIMD kernel bodies.
+//
+// The lane-tree contract (kernels/simd.hpp): vector lanes map to distinct
+// output elements and replay the scalar accumulation order per lane, so
+// every backend (scalar / AVX2 / AVX-512) must produce byte-identical
+// buffers for every variant, shape — including remainders that exercise
+// the masked tails — thread count, and accumulate mode.  These sweeps
+// memcmp each available backend against the scalar reference loops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "kernels/conv.hpp"
+#include "kernels/custom.hpp"
+#include "kernels/gemm.hpp"
+#include "kernels/reduce.hpp"
+#include "rng/philox.hpp"
+#include "rng/sampling.hpp"
+
+namespace easyscale::kernels {
+namespace {
+
+bool bitwise_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+std::vector<float> random_vec(std::uint64_t seed, std::int64_t n) {
+  rng::Philox gen(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  rng::fill_normal(gen, v, 0.0f, 1.0f);
+  return v;
+}
+
+ExecContext make_ctx(SimdBackend backend, int threads = 1) {
+  ExecContext ctx;
+  ctx.simd = backend;
+  ctx.intra_op_threads = threads;
+  return ctx;
+}
+
+/// Non-scalar backends the host can actually run.
+std::vector<SimdBackend> vector_backends() {
+  std::vector<SimdBackend> out;
+  for (SimdBackend b : available_simd_backends()) {
+    if (b != SimdBackend::kScalar) out.push_back(b);
+  }
+  return out;
+}
+
+TEST(Simd, DetectionAndAvailability) {
+  EXPECT_TRUE(simd_backend_available(SimdBackend::kScalar));
+  EXPECT_TRUE(simd_backend_available(SimdBackend::kAuto));
+  const auto avail = available_simd_backends();
+  ASSERT_FALSE(avail.empty());
+  EXPECT_EQ(avail.front(), SimdBackend::kScalar);
+  // detected_simd_backend must itself be available.
+  EXPECT_TRUE(simd_backend_available(detected_simd_backend()));
+  // The scalar table publishes no vector bodies; vector tables publish all.
+  EXPECT_EQ(simd_ops(SimdBackend::kScalar).gemm_panel, nullptr);
+  for (SimdBackend b : vector_backends()) {
+    const SimdOps& ops = simd_ops(b);
+    EXPECT_EQ(ops.kind, b);
+    EXPECT_NE(ops.gemm_panel, nullptr);
+    EXPECT_NE(ops.kahan_panel, nullptr);
+    EXPECT_NE(ops.reduce_batch, nullptr);
+    EXPECT_NE(ops.conv_row, nullptr);
+    EXPECT_NE(ops.relu_fwd, nullptr);
+    EXPECT_NE(ops.norm_affine_vec, nullptr);
+  }
+}
+
+TEST(Simd, EnvOverrideStrictValidation) {
+  const char* kVar = "EASYSCALE_SIMD";
+  ASSERT_EQ(setenv(kVar, "scalar", 1), 0);
+  EXPECT_EQ(parse_simd_backend_env(), SimdBackend::kScalar);
+  // "auto" and unset both resolve straight to the detected backend.
+  ASSERT_EQ(setenv(kVar, "auto", 1), 0);
+  EXPECT_EQ(parse_simd_backend_env(), detected_simd_backend());
+  // Exact-match only: trailing whitespace and case/format variants are
+  // typos, not requests — each must fail loudly naming the variable.
+  for (const char* bad : {"avx2 ", " scalar", "AVX-512", "AVX2", "Scalar",
+                          "sse", "avx", "best", "auto\t"}) {
+    ASSERT_EQ(setenv(kVar, bad, 1), 0);
+    EXPECT_THROW(parse_simd_backend_env(), Error) << "value: '" << bad << "'";
+  }
+  // Valid tokens parse; pinning a backend the host cannot run throws
+  // (never silently downgrades).
+  for (SimdBackend b : {SimdBackend::kAvx2, SimdBackend::kAvx512}) {
+    ASSERT_EQ(setenv(kVar, simd_backend_name(b), 1), 0);
+    if (simd_backend_available(b)) {
+      EXPECT_EQ(parse_simd_backend_env(), b);
+    } else {
+      EXPECT_THROW(parse_simd_backend_env(), Error);
+    }
+  }
+  ASSERT_EQ(unsetenv(kVar), 0);
+  EXPECT_EQ(parse_simd_backend_env(), detected_simd_backend());
+}
+
+TEST(Simd, GemmAllVariantsBitwiseAcrossBackendsAndThreads) {
+  const GemmVariant variants[] = {
+      GemmVariant::kSequential, GemmVariant::kInterleaved2,
+      GemmVariant::kInterleaved4, GemmVariant::kInterleaved8,
+      GemmVariant::kBlocked8};
+  // Shapes chosen to hit full AVX-512 tiles, full AVX2 tiles, masked
+  // remainders in n, and k remainders of every interleave width.  m >= 8
+  // shapes route through the packed-B tile layout (ragged last tiles at
+  // n = 100 and 130), m < 8 through the unpacked panels.
+  const std::int64_t shapes[][3] = {{1, 1, 1},    {3, 5, 7},   {4, 33, 17},
+                                    {8, 64, 64},  {5, 100, 129}, {2, 17, 256},
+                                    {7, 130, 33}, {1, 16, 9},  {16, 100, 33},
+                                    {9, 130, 40}, {12, 96, 24}};
+  for (const auto& s : shapes) {
+    const std::int64_t m = s[0], n = s[1], k = s[2];
+    const auto a = random_vec(11 * static_cast<std::uint64_t>(m + n + k), m * k);
+    const auto b = random_vec(13 * static_cast<std::uint64_t>(m + n * k), k * n);
+    for (GemmVariant v : variants) {
+      for (bool accumulate : {false, true}) {
+        std::vector<float> ref(static_cast<std::size_t>(m * n), 0.25f);
+        const ExecContext scalar_ctx = make_ctx(SimdBackend::kScalar);
+        gemm_variant(scalar_ctx, v, m, n, k, a, b, ref, accumulate);
+        for (SimdBackend backend : vector_backends()) {
+          for (int threads : {1, 4}) {
+            std::vector<float> got(static_cast<std::size_t>(m * n), 0.25f);
+            const ExecContext ctx = make_ctx(backend, threads);
+            gemm_variant(ctx, v, m, n, k, a, b, got, accumulate);
+            EXPECT_TRUE(bitwise_equal(ref, got))
+                << simd_backend_name(backend) << " threads=" << threads
+                << " variant=" << static_cast<int>(v) << " m=" << m
+                << " n=" << n << " k=" << k << " acc=" << accumulate;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The packed-B layout must reproduce the unpacked panel bit-for-bit for
+// every variant, including at chunk boundaries that land mid-tile and in
+// the zero-padded ragged last tile.
+TEST(Simd, GemmPackedPanelMatchesUnpackedBitwise) {
+  const GemmVariant variants[] = {
+      GemmVariant::kSequential, GemmVariant::kInterleaved2,
+      GemmVariant::kInterleaved4, GemmVariant::kInterleaved8,
+      GemmVariant::kBlocked8};
+  const std::int64_t shapes[][2] = {{37, 19}, {100, 64}, {200, 7}, {96, 96}};
+  for (SimdBackend backend : vector_backends()) {
+    const SimdOps& ops = simd_ops(backend);
+    ASSERT_NE(ops.gemm_panel_packed, nullptr);
+    ASSERT_GT(ops.gemm_tile_cols, 0);
+    const std::int64_t tw = ops.gemm_tile_cols;
+    for (const auto& s : shapes) {
+      const std::int64_t n = s[0], k = s[1];
+      const auto a = random_vec(21, k);
+      const auto b = random_vec(23, k * n);
+      // Pack exactly as gemm.cpp does: tiles of tw columns, row stride tw,
+      // zero-padded past column n.
+      const std::int64_t ntiles = (n + tw - 1) / tw;
+      std::vector<float> packed(static_cast<std::size_t>(ntiles * tw * k),
+                                0.0f);
+      for (std::int64_t tile = 0; tile < ntiles; ++tile) {
+        const std::int64_t jlo = tile * tw;
+        const std::int64_t w = std::min<std::int64_t>(tw, n - jlo);
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          for (std::int64_t p = 0; p < w; ++p) {
+            packed[static_cast<std::size_t>(tile * k * tw + kk * tw + p)] =
+                b[static_cast<std::size_t>(kk * n + jlo + p)];
+          }
+        }
+      }
+      // Column ranges: full row, a mid-tile split pair, and a narrow
+      // interior window straddling a tile boundary.
+      const std::int64_t ranges[][2] = {
+          {0, n}, {0, n / 2}, {n / 2, n}, {n / 3, std::min(n, n / 3 + tw)}};
+      for (GemmVariant v : variants) {
+        for (const auto& r : ranges) {
+          const std::int64_t j0 = r[0], j1 = r[1];
+          if (j0 >= j1) continue;
+          std::vector<float> ref(static_cast<std::size_t>(n), 0.125f);
+          std::vector<float> got(static_cast<std::size_t>(n), 0.125f);
+          ops.gemm_panel(v, a.data(), b.data(), k, n, j0, j1, ref.data(),
+                         true);
+          ops.gemm_panel_packed(v, a.data(), packed.data(), k, n, j0, j1,
+                                got.data(), true);
+          EXPECT_TRUE(bitwise_equal(ref, got))
+              << simd_backend_name(backend) << " variant="
+              << static_cast<int>(v) << " n=" << n << " k=" << k
+              << " j0=" << j0 << " j1=" << j1;
+        }
+      }
+    }
+  }
+}
+
+TEST(Simd, KahanPanelMatchesKahanDotBitwise) {
+  const std::int64_t shapes[][2] = {{7, 5}, {33, 64}, {100, 129}, {256, 17}};
+  for (const auto& s : shapes) {
+    const std::int64_t k = s[0], n = s[1];
+    const auto a = random_vec(3, k);
+    const auto b = random_vec(5, k * n);
+    for (bool accumulate : {false, true}) {
+      std::vector<float> ref(static_cast<std::size_t>(n), 0.5f);
+      for (std::int64_t j = 0; j < n; ++j) {
+        std::vector<float> col(static_cast<std::size_t>(k));
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          col[static_cast<std::size_t>(kk)] =
+              b[static_cast<std::size_t>(kk * n + j)];
+        }
+        const float dot = kahan_dot(a.data(), col.data(), k);
+        auto& slot = ref[static_cast<std::size_t>(j)];
+        slot = accumulate ? slot + dot : dot;
+      }
+      for (SimdBackend backend : vector_backends()) {
+        const SimdOps& ops = simd_ops(backend);
+        ASSERT_NE(ops.kahan_panel, nullptr);
+        std::vector<float> got(static_cast<std::size_t>(n), 0.5f);
+        ops.kahan_panel(a.data(), b.data(), k, n, 0, n, got.data(),
+                        accumulate);
+        EXPECT_TRUE(bitwise_equal(ref, got))
+            << simd_backend_name(backend) << " k=" << k << " n=" << n
+            << " acc=" << accumulate;
+      }
+    }
+  }
+}
+
+TEST(Simd, ReduceAllVariantsBitwiseAcrossBackendsAndThreads) {
+  const ReduceVariant variants[] = {
+      ReduceVariant::kSequential, ReduceVariant::kPairwise64,
+      ReduceVariant::kPairwise128, ReduceVariant::kPairwise256};
+  // (slots, count): remainder slots vs lane width, and counts around the
+  // pairwise leaf widths so the odd-carry fold is exercised.
+  const std::int64_t shapes[][2] = {{1, 3},    {5, 64},   {17, 100},
+                                    {33, 257}, {129, 65}, {8, 1}};
+  for (const auto& s : shapes) {
+    const std::int64_t slots = s[0], count = s[1];
+    const auto values = random_vec(17, slots * count);
+    for (ReduceVariant v : variants) {
+      ExecContext scalar_ctx = make_ctx(SimdBackend::kScalar);
+      scalar_ctx.device = DeviceType::kT4;  // device is irrelevant here
+      std::vector<float> ref(static_cast<std::size_t>(slots), 1.0f);
+      {
+        // Pin the variant by calling the strided batch through a context
+        // whose policy resolves to it is indirect; instead reproduce the
+        // reference directly per slot.
+        for (std::int64_t slot = 0; slot < slots; ++slot) {
+          std::vector<float> gathered(static_cast<std::size_t>(count));
+          for (std::int64_t i = 0; i < count; ++i) {
+            gathered[static_cast<std::size_t>(i)] =
+                values[static_cast<std::size_t>(slot + i * slots)];
+          }
+          ref[static_cast<std::size_t>(slot)] +=
+              reduce_sum_variant(v, gathered);
+        }
+      }
+      for (SimdBackend backend : vector_backends()) {
+        const SimdOps& ops = simd_ops(backend);
+        ASSERT_NE(ops.reduce_batch, nullptr);
+        std::vector<float> got(static_cast<std::size_t>(slots), 1.0f);
+        ops.reduce_batch(v, values.data(), slots, count, 0, slots,
+                         got.data());
+        EXPECT_TRUE(bitwise_equal(ref, got))
+            << simd_backend_name(backend) << " variant=" << static_cast<int>(v)
+            << " slots=" << slots << " count=" << count;
+      }
+    }
+  }
+}
+
+TEST(Simd, ReduceStridedBatchEntryPointBitwise) {
+  // End-to-end through reduce_sum_strided_batch (policy-selected variant,
+  // parallel_for chunking) across backends and thread counts.
+  const std::int64_t stride = 37, count = 120;
+  const auto values = random_vec(23, stride * count);
+  std::vector<float> ref(static_cast<std::size_t>(stride), 0.0f);
+  reduce_sum_strided_batch(make_ctx(SimdBackend::kScalar), values, stride,
+                           count, ref);
+  for (SimdBackend backend : vector_backends()) {
+    for (int threads : {1, 4}) {
+      std::vector<float> got(static_cast<std::size_t>(stride), 0.0f);
+      reduce_sum_strided_batch(make_ctx(backend, threads), values, stride,
+                               count, got);
+      EXPECT_TRUE(bitwise_equal(ref, got))
+          << simd_backend_name(backend) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(Simd, ConvForwardBothVariantsBitwiseAcrossBackendsAndThreads) {
+  // Direct-canonical (D2) exercises conv_row's interior/boundary split;
+  // im2col-native exercises the GEMM panels plus the bias add.  Shapes mix
+  // strides (the stride-2 cases must take the scalar row path), padding,
+  // groups, and widths around both lane counts.
+  const Conv2dDims dims[] = {
+      {2, 3, 9, 9, 4, 3, 3, 1, 1, 1},     // classic 3x3 pad 1
+      {1, 2, 8, 21, 6, 3, 3, 1, 1, 2},    // grouped, wide rows
+      {2, 4, 7, 34, 8, 5, 3, 1, 2, 1},    // pad 2, masked interior tail
+      {1, 3, 10, 10, 5, 3, 3, 2, 1, 1},   // stride 2: scalar rows
+      {1, 1, 4, 4, 2, 4, 4, 1, 0, 1},     // kernel == input, no interior
+      {2, 2, 6, 40, 4, 1, 1, 1, 0, 2},    // 1x1 kernel, pure interior
+  };
+  for (const Conv2dDims& d : dims) {
+    const std::int64_t in_elems = d.batch * d.in_channels * d.in_h * d.in_w;
+    const std::int64_t w_elems =
+        d.out_channels * (d.in_channels / d.groups) * d.kernel_h * d.kernel_w;
+    const std::int64_t out_elems =
+        d.batch * d.out_channels * d.out_h() * d.out_w();
+    const auto input = random_vec(31, in_elems);
+    const auto weight = random_vec(37, w_elems);
+    const auto bias = random_vec(41, d.out_channels);
+    for (KernelPolicy policy :
+         {KernelPolicy::kHardwareAgnostic, KernelPolicy::kDeterministic}) {
+      std::vector<float> ref(static_cast<std::size_t>(out_elems));
+      ExecContext sctx = make_ctx(SimdBackend::kScalar);
+      sctx.policy = policy;
+      conv2d_forward(sctx, d, input, weight, bias, ref);
+      for (SimdBackend backend : vector_backends()) {
+        for (int threads : {1, 4}) {
+          std::vector<float> got(static_cast<std::size_t>(out_elems));
+          ExecContext ctx = make_ctx(backend, threads);
+          ctx.policy = policy;
+          conv2d_forward(ctx, d, input, weight, bias, got);
+          EXPECT_TRUE(bitwise_equal(ref, got))
+              << simd_backend_name(backend) << " threads=" << threads
+              << " policy=" << static_cast<int>(policy) << " in_w=" << d.in_w
+              << " stride=" << d.stride;
+        }
+      }
+    }
+  }
+}
+
+TEST(Simd, ConvBackwardBothVariantsBitwiseAcrossBackends) {
+  const Conv2dDims d = {2, 3, 9, 19, 4, 3, 3, 1, 1, 1};
+  const std::int64_t in_elems = d.batch * d.in_channels * d.in_h * d.in_w;
+  const std::int64_t w_elems =
+      d.out_channels * (d.in_channels / d.groups) * d.kernel_h * d.kernel_w;
+  const std::int64_t out_elems =
+      d.batch * d.out_channels * d.out_h() * d.out_w();
+  const auto input = random_vec(43, in_elems);
+  const auto weight = random_vec(47, w_elems);
+  const auto grad_out = random_vec(53, out_elems);
+  for (KernelPolicy policy :
+       {KernelPolicy::kHardwareAgnostic, KernelPolicy::kDeterministic}) {
+    std::vector<float> gi_ref(static_cast<std::size_t>(in_elems));
+    std::vector<float> gw_ref(static_cast<std::size_t>(w_elems));
+    std::vector<float> gb_ref(static_cast<std::size_t>(d.out_channels));
+    ExecContext sctx = make_ctx(SimdBackend::kScalar);
+    sctx.policy = policy;
+    conv2d_backward(sctx, d, input, weight, grad_out, gi_ref, gw_ref, gb_ref);
+    for (SimdBackend backend : vector_backends()) {
+      for (int threads : {1, 4}) {
+        std::vector<float> gi(static_cast<std::size_t>(in_elems));
+        std::vector<float> gw(static_cast<std::size_t>(w_elems));
+        std::vector<float> gb(static_cast<std::size_t>(d.out_channels));
+        ExecContext ctx = make_ctx(backend, threads);
+        ctx.policy = policy;
+        conv2d_backward(ctx, d, input, weight, grad_out, gi, gw, gb);
+        EXPECT_TRUE(bitwise_equal(gi_ref, gi))
+            << simd_backend_name(backend) << " threads=" << threads;
+        EXPECT_TRUE(bitwise_equal(gw_ref, gw));
+        EXPECT_TRUE(bitwise_equal(gb_ref, gb));
+      }
+    }
+  }
+}
+
+TEST(Simd, ElementwiseBodiesBitwise) {
+  // Sizes straddling both lane widths plus a large run.
+  const std::int64_t sizes[] = {1, 7, 8, 9, 15, 16, 17, 31, 33, 1000, 1025};
+  for (std::int64_t n : sizes) {
+    const auto x = random_vec(61, n);
+    const auto g = random_vec(67, n);
+    auto s = random_vec(71, n);
+    for (auto& v : s) v = 1.0f / (1.0f + v * v);  // sigmoid-like in (0, 1]
+    const auto gamma = random_vec(73, n);
+    const auto beta = random_vec(79, n);
+    const float mean = 0.125f, inv_std = 1.75f, c = 3.0f;
+
+    std::vector<float> relu_ref(static_cast<std::size_t>(n));
+    std::vector<float> relu_bwd_ref(static_cast<std::size_t>(n));
+    std::vector<float> sig_bwd_ref(static_cast<std::size_t>(n));
+    std::vector<float> add_s_ref = g;
+    std::vector<float> add_v_ref = g;
+    std::vector<float> div_ref = g;
+    std::vector<float> xhat_ref(static_cast<std::size_t>(n));
+    std::vector<float> affine_ref(static_cast<std::size_t>(n));
+    std::vector<float> xhat2_ref(static_cast<std::size_t>(n));
+    std::vector<float> affine2_ref(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      relu_ref[u] = x[u] > 0.0f ? x[u] : 0.0f;
+      relu_bwd_ref[u] = x[u] > 0.0f ? g[u] : 0.0f;
+      sig_bwd_ref[u] = g[u] * s[u] * (1.0f - s[u]);
+      add_s_ref[u] += c;
+      add_v_ref[u] += x[u];
+      div_ref[u] /= c;
+      xhat_ref[u] = (x[u] - mean) * inv_std;
+      affine_ref[u] = gamma[u] * xhat_ref[u] + beta[u];
+      xhat2_ref[u] = (x[u] - mean) * inv_std;
+      affine2_ref[u] = gamma[0] * xhat2_ref[u] + beta[0];
+    }
+    for (SimdBackend backend : vector_backends()) {
+      const SimdOps& ops = simd_ops(backend);
+      std::vector<float> out(static_cast<std::size_t>(n));
+      ops.relu_fwd(x.data(), out.data(), n);
+      EXPECT_TRUE(bitwise_equal(relu_ref, out)) << "relu n=" << n;
+      ops.relu_bwd(x.data(), g.data(), out.data(), n);
+      EXPECT_TRUE(bitwise_equal(relu_bwd_ref, out)) << "relu_bwd n=" << n;
+      ops.sigmoid_bwd(s.data(), g.data(), out.data(), n);
+      EXPECT_TRUE(bitwise_equal(sig_bwd_ref, out)) << "sigmoid_bwd n=" << n;
+      out = g;
+      ops.add_scalar(out.data(), c, n);
+      EXPECT_TRUE(bitwise_equal(add_s_ref, out)) << "add_scalar n=" << n;
+      out = g;
+      ops.add_vec(out.data(), x.data(), n);
+      EXPECT_TRUE(bitwise_equal(add_v_ref, out)) << "add_vec n=" << n;
+      out = g;
+      ops.div_scalar(out.data(), c, n);
+      EXPECT_TRUE(bitwise_equal(div_ref, out)) << "div_scalar n=" << n;
+      std::vector<float> xhat(static_cast<std::size_t>(n));
+      ops.norm_affine_vec(x.data(), gamma.data(), beta.data(), mean, inv_std,
+                          xhat.data(), out.data(), n);
+      EXPECT_TRUE(bitwise_equal(xhat_ref, xhat)) << "norm xhat n=" << n;
+      EXPECT_TRUE(bitwise_equal(affine_ref, out)) << "norm out n=" << n;
+      ops.norm_affine_scalar(x.data(), gamma[0], beta[0], mean, inv_std,
+                             xhat.data(), out.data(), n);
+      EXPECT_TRUE(bitwise_equal(xhat2_ref, xhat)) << "normS xhat n=" << n;
+      EXPECT_TRUE(bitwise_equal(affine2_ref, out)) << "normS out n=" << n;
+    }
+  }
+}
+
+TEST(Simd, GemmEntryPointWithCustomKahanPanelBitwise) {
+  // The custom-D2 path: a kernel registered WITH a panel runs vectorized
+  // against unpacked B and must match the scalar packed path bit-for-bit.
+  static const int handle =
+      register_custom_gemm("kahan_simd_sweep", kahan_dot, kahan_panel());
+  const std::int64_t m = 5, n = 67, k = 43;
+  const auto a = random_vec(83, m * k);
+  const auto b = random_vec(89, k * n);
+  std::vector<float> ref(static_cast<std::size_t>(m * n));
+  ExecContext sctx = make_ctx(SimdBackend::kScalar);
+  sctx.policy = KernelPolicy::kHardwareAgnostic;
+  sctx.custom_gemm = handle;
+  gemm(sctx, m, n, k, a, b, ref, false);
+  for (SimdBackend backend : vector_backends()) {
+    for (int threads : {1, 4}) {
+      std::vector<float> got(static_cast<std::size_t>(m * n));
+      ExecContext ctx = make_ctx(backend, threads);
+      ctx.policy = KernelPolicy::kHardwareAgnostic;
+      ctx.custom_gemm = handle;
+      gemm(ctx, m, n, k, a, b, got, false);
+      EXPECT_TRUE(bitwise_equal(ref, got))
+          << simd_backend_name(backend) << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace easyscale::kernels
